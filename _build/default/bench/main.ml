@@ -1,0 +1,662 @@
+(* The benchmark harness: one experiment per measurable claim of the
+   paper (the paper is a theory paper with no empirical tables, so the
+   experiment set E1..E10 defined in DESIGN.md §3 validates each theorem
+   and the motivating application; EXPERIMENTS.md records expected vs
+   measured for every table printed here).
+
+   Run with: dune exec bench/main.exe *)
+
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Budget = Rebal_core.Budget
+module Lower_bounds = Rebal_core.Lower_bounds
+module Greedy = Rebal_algo.Greedy
+module M_partition = Rebal_algo.M_partition
+module Local_search = Rebal_algo.Local_search
+module Lpt = Rebal_algo.Lpt
+module Exact = Rebal_algo.Exact
+module BP = Rebal_algo.Budgeted_partition
+module Ptas = Rebal_algo.Ptas
+module Gap = Rebal_lp.Gap
+module Dist = Rebal_workloads.Dist
+module Gen = Rebal_workloads.Gen
+module Rng = Rebal_workloads.Rng
+module Tight = Rebal_workloads.Tight
+module Table = Rebal_harness.Table
+module Stats = Rebal_harness.Stats
+module Timer = Rebal_harness.Timer
+
+let ratio = Stats.ratio
+let pf = Printf.sprintf
+
+let header title =
+  Printf.printf "\n################ %s ################\n\n" title
+
+(* ---------------------------------------------------------------------- *)
+(* E1 — Theorem 1: GREEDY is a tight (2 - 1/m)-approximation.             *)
+(* ---------------------------------------------------------------------- *)
+
+let e1 () =
+  header "E1: GREEDY tightness (Theorem 1)";
+  let t = Table.create ~title:"adversarial family: one size-m job + m^2-m unit jobs, k = m-1"
+      ~columns:[ "m"; "opt"; "greedy(asc)"; "greedy(desc)"; "ratio(asc)"; "bound 2-1/m" ]
+  in
+  List.iter
+    (fun m ->
+      let tight = Tight.greedy_tight ~m in
+      let inst = tight.Tight.instance in
+      let asc = Greedy.solve ~order:Greedy.Ascending inst ~k:tight.Tight.k in
+      let desc = Greedy.solve ~order:Greedy.Descending inst ~k:tight.Tight.k in
+      Table.add_row t
+        [
+          string_of_int m;
+          string_of_int tight.Tight.opt;
+          string_of_int (Assignment.makespan inst asc);
+          string_of_int (Assignment.makespan inst desc);
+          pf "%.4f" (ratio (Assignment.makespan inst asc) tight.Tight.opt);
+          pf "%.4f" (2.0 -. (1.0 /. float_of_int m));
+        ])
+    [ 2; 4; 8; 16; 32; 64 ];
+  Table.print t;
+  (* On random workloads the measured ratio vs the exact optimum stays
+     well below the guarantee. *)
+  let rng = Rng.create 101 in
+  let ratios = ref [] in
+  for _ = 1 to 150 do
+    let n = Rng.int_range rng 4 10 in
+    let m = Rng.int_range rng 2 4 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 50) in
+    let initial = Array.init n (fun _ -> Rng.int rng m) in
+    let inst = Instance.create ~sizes ~m initial in
+    let k = Rng.int_range rng 0 n in
+    let opt = Exact.opt_makespan_exn inst ~budget:(Budget.Moves k) in
+    let g = Assignment.makespan inst (Greedy.solve inst ~k) in
+    ratios := ratio g opt :: !ratios
+  done;
+  let s = Stats.summarize (Array.of_list !ratios) in
+  Printf.printf
+    "random instances vs exact optimum (150 runs): mean ratio %.4f, max %.4f\n\
+     (guarantee 2 - 1/m = 1.75 at m=4; the adversarial family above is what\n\
+     makes the bound tight)\n"
+    s.Stats.mean s.Stats.max
+
+(* ---------------------------------------------------------------------- *)
+(* E2 — Theorems 2/3: M-PARTITION is a tight 1.5-approximation.           *)
+(* ---------------------------------------------------------------------- *)
+
+let e2 () =
+  header "E2: M-PARTITION 1.5-approximation (Theorems 2 and 3)";
+  let t = Table.create ~title:"adversarial 2-processor instance (scaled), k = 1"
+      ~columns:[ "scale"; "opt"; "m-partition"; "ratio"; "bound" ]
+  in
+  List.iter
+    (fun scale ->
+      let tight = Tight.partition_tight ~scale () in
+      let inst = tight.Tight.instance in
+      let a = M_partition.solve inst ~k:tight.Tight.k in
+      Table.add_row t
+        [
+          string_of_int scale;
+          string_of_int tight.Tight.opt;
+          string_of_int (Assignment.makespan inst a);
+          pf "%.4f" (ratio (Assignment.makespan inst a) tight.Tight.opt);
+          "1.5000";
+        ])
+    [ 1; 10; 100; 1000 ];
+  Table.print t;
+  let rng = Rng.create 102 in
+  let mp_ratios = ref [] and g_ratios = ref [] in
+  for _ = 1 to 200 do
+    let n = Rng.int_range rng 4 10 in
+    let m = Rng.int_range rng 2 4 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 50) in
+    let initial = Array.init n (fun _ -> Rng.int rng m) in
+    let inst = Instance.create ~sizes ~m initial in
+    let k = Rng.int_range rng 0 n in
+    let opt = Exact.opt_makespan_exn inst ~budget:(Budget.Moves k) in
+    mp_ratios := ratio (Assignment.makespan inst (M_partition.solve inst ~k)) opt :: !mp_ratios;
+    g_ratios := ratio (Assignment.makespan inst (Greedy.solve inst ~k)) opt :: !g_ratios
+  done;
+  let mp = Stats.summarize (Array.of_list !mp_ratios) in
+  let g = Stats.summarize (Array.of_list !g_ratios) in
+  let t2 = Table.create ~title:"random instances vs exact optimum (200 runs)"
+      ~columns:[ "algorithm"; "mean ratio"; "p95"; "max"; "guarantee" ]
+  in
+  Table.add_row t2 [ "m-partition"; pf "%.4f" mp.Stats.mean; pf "%.4f" mp.Stats.p95; pf "%.4f" mp.Stats.max; "1.5" ];
+  Table.add_row t2 [ "greedy"; pf "%.4f" g.Stats.mean; pf "%.4f" g.Stats.p95; pf "%.4f" g.Stats.max; "2 - 1/m" ];
+  Table.print t2
+
+(* ---------------------------------------------------------------------- *)
+(* E3 — running time: O(n log n) scaling (Theorems 1 and 3).              *)
+(* ---------------------------------------------------------------------- *)
+
+let e3 () =
+  header "E3: running time scaling (Bechamel, O(n log n) claim)";
+  let open Bechamel in
+  let open Toolkit in
+  let make_instance n =
+    let rng = Rng.create (1000 + n) in
+    let dist = Dist.prepare (Dist.Zipf { ranks = 1000; alpha = 1.1; scale = 10_000 }) in
+    Gen.random rng ~n ~m:64 ~dist ()
+  in
+  let sizes = [ 1_000; 4_000; 16_000; 64_000 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let inst = make_instance n in
+        let k = n / 20 in
+        [
+          Test.make ~name:(pf "greedy/%d" n) (Staged.stage (fun () -> ignore (Greedy.solve inst ~k)));
+          Test.make ~name:(pf "m-partition/%d" n)
+            (Staged.stage (fun () -> ignore (M_partition.solve inst ~k)));
+          Test.make ~name:(pf "lpt/%d" n) (Staged.stage (fun () -> ignore (Lpt.solve inst)));
+        ])
+      sizes
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"E3" tests) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t = Table.create ~title:"per-call wall time (OLS estimate)"
+      ~columns:[ "algorithm"; "n"; "time (ms)"; "ns / (n log2 n)" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (ns :: _) -> rows := (name, ns) :: !rows
+      | _ -> ())
+    results;
+  let sorted =
+    List.sort
+      (fun (a, _) (b, _) ->
+        let algo s = List.nth (String.split_on_char '/' s) 1 in
+        let size s = int_of_string (List.nth (String.split_on_char '/' s) 2) in
+        if algo a <> algo b then compare (algo a) (algo b) else compare (size a) (size b))
+      !rows
+  in
+  List.iter
+    (fun (name, ns) ->
+      let parts = String.split_on_char '/' name in
+      let algo = List.nth parts 1 and n = int_of_string (List.nth parts 2) in
+      let nlogn = float_of_int n *. (log (float_of_int n) /. log 2.0) in
+      Table.add_row t [ algo; string_of_int n; pf "%.3f" (ns /. 1e6); pf "%.2f" (ns /. nlogn) ])
+    sorted;
+  Table.print t;
+  print_endline
+    "the last column is flat when the running time is Theta(n log n); greedy\n\
+     and m-partition track lpt's constant within a small factor."
+
+(* ---------------------------------------------------------------------- *)
+(* E4 — solution quality across workloads at scale (vs lower bound).      *)
+(* ---------------------------------------------------------------------- *)
+
+let e4 () =
+  header "E4: quality across workloads, n=2000 m=32 k=100 (vs lower bound)";
+  let n = 2000 and m = 32 in
+  let k = 100 in
+  let workloads =
+    [
+      ("uniform", fun rng -> Gen.random rng ~n ~m ~dist:(Dist.prepare (Dist.Uniform { lo = 1; hi = 100 })) ());
+      ("zipf", fun rng -> Gen.random rng ~n ~m ~dist:(Dist.prepare (Dist.Zipf { ranks = 1000; alpha = 1.1; scale = 5000 })) ());
+      ( "bimodal",
+        fun rng ->
+          Gen.random rng ~n ~m
+            ~dist:(Dist.prepare (Dist.Bimodal { small_lo = 1; small_hi = 20; big_lo = 200; big_hi = 400; big_prob = 0.05 }))
+            () );
+      ( "drifted",
+        fun rng ->
+          Gen.drifted rng ~n ~m ~dist:(Dist.prepare (Dist.Exponential { mean = 50.0 })) ~drift:0.3 () );
+      ( "skewed",
+        fun rng ->
+          Gen.skewed rng ~n ~m ~dist:(Dist.prepare (Dist.Exponential { mean = 50.0 })) ~skew:1.2 () );
+    ]
+  in
+  let t = Table.create ~title:"makespan / lower bound (and wall time, ms)"
+      ~columns:[ "workload"; "initial"; "greedy"; "m-partition"; "local-search"; "lpt(k=inf)"; "mp ms" ]
+  in
+  List.iter
+    (fun (name, build) ->
+      let inst = build (Rng.create 103) in
+      let lb = Lower_bounds.best inst ~budget:(Budget.Moves k) in
+      (* lpt ignores the move budget, so it is measured against the
+         budget-free bound (average / max size), not the k-bound. *)
+      let lb_free = max (Lower_bounds.average inst) (Lower_bounds.max_size inst) in
+      let cell a = pf "%.3f" (ratio (Assignment.makespan inst a) lb) in
+      let mp, mp_time = Timer.time (fun () -> M_partition.solve inst ~k) in
+      Table.add_row t
+        [
+          name;
+          pf "%.3f" (ratio (Instance.initial_makespan inst) lb);
+          cell (Greedy.solve inst ~k);
+          cell mp;
+          cell (Local_search.solve inst ~k);
+          pf "%.3f" (ratio (Assignment.makespan inst (Lpt.solve inst)) lb_free);
+          pf "%.1f" (mp_time *. 1e3);
+        ])
+    workloads;
+  Table.print t;
+  print_endline
+    "m-partition stays within its 1.5 guarantee of the *lower bound* (hence\n\
+     of OPT) everywhere; lpt ignores the move budget entirely and is the\n\
+     what-if-moves-were-free reference."
+
+(* ---------------------------------------------------------------------- *)
+(* E5 — the moves/makespan tradeoff curve.                                *)
+(* ---------------------------------------------------------------------- *)
+
+let e5 () =
+  header "E5: moves vs makespan tradeoff (drifted workload, n=1000 m=16)";
+  let rng = Rng.create 104 in
+  let dist = Dist.prepare (Dist.Exponential { mean = 60.0 }) in
+  let inst = Gen.drifted rng ~n:1000 ~m:16 ~dist ~drift:0.25 () in
+  let t = Table.create ~title:"makespan after at most k moves"
+      ~columns:[ "k"; "greedy"; "m-partition"; "mp moves used"; "local-search"; "lower bound" ]
+  in
+  List.iter
+    (fun k ->
+      let mp = M_partition.solve inst ~k in
+      Table.add_row t
+        [
+          string_of_int k;
+          string_of_int (Assignment.makespan inst (Greedy.solve inst ~k));
+          string_of_int (Assignment.makespan inst mp);
+          string_of_int (Assignment.moves inst mp);
+          string_of_int (Assignment.makespan inst (Local_search.solve inst ~k));
+          string_of_int (Lower_bounds.best inst ~budget:(Budget.Moves k));
+        ])
+    [ 0; 1; 2; 4; 8; 16; 32; 64; 128; 256; 1000 ];
+  Table.print t
+
+(* ---------------------------------------------------------------------- *)
+(* E6 — §3.2: arbitrary relocation costs within a budget.                 *)
+(* ---------------------------------------------------------------------- *)
+
+let e6 () =
+  header "E6: arbitrary-cost rebalancing (Section 3.2)";
+  (* Small instances against the exact optimum. *)
+  let rng = Rng.create 105 in
+  let ratios = ref [] in
+  for _ = 1 to 100 do
+    let n = Rng.int_range rng 4 9 in
+    let m = Rng.int_range rng 2 4 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 30) in
+    let costs = Array.init n (fun _ -> Rng.int_range rng 0 9) in
+    let initial = Array.init n (fun _ -> Rng.int rng m) in
+    let inst = Instance.create ~costs ~sizes ~m initial in
+    let b = Rng.int_range rng 0 20 in
+    let opt = Exact.opt_makespan_exn inst ~budget:(Budget.Cost b) in
+    let a, _ = BP.solve inst ~budget:b in
+    ratios := ratio (Assignment.makespan inst a) opt :: !ratios
+  done;
+  let s = Stats.summarize (Array.of_list !ratios) in
+  Printf.printf
+    "small instances vs exact (100 runs): mean ratio %.4f, p95 %.4f, max %.4f\n\
+     (guarantee 1.5 * (1 + alpha) = 1.575 at alpha = 0.05)\n\n"
+    s.Stats.mean s.Stats.p95 s.Stats.max;
+  (* A medium instance across cost models and budget sweep. *)
+  let t = Table.create ~title:"n=60 m=6, makespan vs budget (exact-knapsack §3.2 algorithm)"
+      ~columns:[ "cost model"; "B=0"; "B=10"; "B=25"; "B=50"; "B=100"; "lower bound" ]
+  in
+  List.iter
+    (fun (name, cost) ->
+      let rng = Rng.create 106 in
+      let dist = Dist.prepare (Dist.Uniform { lo = 5; hi = 100 }) in
+      let inst = Gen.skewed rng ~n:60 ~m:6 ~dist ~skew:1.0 ~cost () in
+      let at b = string_of_int (Assignment.makespan inst (fst (BP.solve inst ~budget:b))) in
+      Table.add_row t
+        [
+          name;
+          at 0;
+          at 10;
+          at 25;
+          at 50;
+          at 100;
+          string_of_int (Lower_bounds.best inst ~budget:(Budget.Cost 0));
+        ])
+    [
+      ("unit", Gen.Unit);
+      ("size-proportional", Gen.Proportional_to_size { per = 10 });
+      ("inverse-size", Gen.Inverse_size { numerator = 100 });
+      ("random", Gen.Uniform_random { lo = 1; hi = 10 });
+    ];
+  Table.print t;
+  print_endline
+    "makespan decreases monotonically with the budget under every cost model;\n\
+     inverse-size costs (sticky small jobs) are the hardest to exploit."
+
+(* ---------------------------------------------------------------------- *)
+(* E7 — §4: the PTAS reaches (1 + eps) OPT on toy instances.              *)
+(* ---------------------------------------------------------------------- *)
+
+let e7 () =
+  header "E7: PTAS quality and cost (Section 4 / Theorem 4)";
+  let t = Table.create ~title:"30 toy instances per delta, vs exact optimum"
+      ~columns:[ "delta"; "mean ratio"; "max ratio"; "mean DP states"; "mean ms"; "m-partition ratio" ]
+  in
+  List.iter
+    (fun delta ->
+      let rng = Rng.create 107 in
+      let ratios = ref [] and states = ref [] and times = ref [] and mp_ratios = ref [] in
+      for _ = 1 to 30 do
+        let n = Rng.int_range rng 4 9 in
+        let m = Rng.int_range rng 2 3 in
+        let sizes = Array.init n (fun _ -> Rng.int_range rng 10 300 * 10) in
+        let initial = Array.init n (fun _ -> Rng.int rng m) in
+        let inst = Instance.create ~sizes ~m initial in
+        let k = Rng.int_range rng 0 n in
+        let budget = Budget.Moves k in
+        let opt = Exact.opt_makespan_exn inst ~budget in
+        let (a, stats), dt = Timer.time (fun () -> Ptas.solve_with_stats ~delta inst ~budget) in
+        ratios := ratio (Assignment.makespan inst a) opt :: !ratios;
+        states := float_of_int stats.Ptas.dp_states :: !states;
+        times := dt *. 1e3 :: !times;
+        mp_ratios := ratio (Assignment.makespan inst (M_partition.solve inst ~k)) opt :: !mp_ratios
+      done;
+      let r = Stats.summarize (Array.of_list !ratios) in
+      let st = Stats.mean (Array.of_list !states) in
+      let tm = Stats.mean (Array.of_list !times) in
+      let mp = Stats.mean (Array.of_list !mp_ratios) in
+      Table.add_row t
+        [ pf "%.2f" delta; pf "%.4f" r.Stats.mean; pf "%.4f" r.Stats.max; pf "%.0f" st; pf "%.2f" tm; pf "%.4f" mp ])
+    [ 0.5; 0.3; 0.2; 0.1 ];
+  Table.print t;
+  print_endline
+    "smaller delta buys quality at a steep state-space price — the paper's\n\
+     point that M-PARTITION, not the PTAS, is the practical algorithm."
+
+(* ---------------------------------------------------------------------- *)
+(* E8 — §5: the hardness reductions, executed.                            *)
+(* ---------------------------------------------------------------------- *)
+
+let e8 () =
+  header "E8: hardness reductions verified in both directions (Section 5)";
+  let module Tdm = Rebal_reductions.Three_dm in
+  let module Conflict = Rebal_reductions.Conflict in
+  let module Move_min = Rebal_reductions.Move_min in
+  let module Restricted = Rebal_reductions.Restricted in
+  let t = Table.create ~title:"random 3DM / PARTITION inputs through each gadget"
+      ~columns:[ "reduction"; "instances"; "yes"; "no"; "agreements" ]
+  in
+  let rng = Rng.create 108 in
+  let conflict_yes = ref 0 and conflict_no = ref 0 and conflict_ok = ref 0 in
+  for _ = 1 to 30 do
+    let n = Rng.int_range rng 1 3 in
+    let dm = Tdm.random rng ~n ~triples:(Rng.int_range rng n 6) in
+    if Tdm.has_perfect_matching dm then incr conflict_yes else incr conflict_no;
+    if Conflict.verify_reduction dm then incr conflict_ok
+  done;
+  Table.add_row t
+    [ "3DM -> conflict scheduling (Thm 7)"; "30"; string_of_int !conflict_yes; string_of_int !conflict_no; string_of_int !conflict_ok ];
+  let restricted_yes = ref 0 and restricted_no = ref 0 and restricted_ok = ref 0 in
+  for _ = 1 to 30 do
+    let n = Rng.int_range rng 1 3 in
+    let dm = Tdm.random rng ~n ~triples:(Rng.int_range rng n 6) in
+    if Tdm.has_perfect_matching dm then incr restricted_yes else incr restricted_no;
+    if Restricted.verify_reduction dm then incr restricted_ok
+  done;
+  Table.add_row t
+    [ "3DM -> two-cost makespan (Thm 6/Cor 1)"; "30"; string_of_int !restricted_yes; string_of_int !restricted_no; string_of_int !restricted_ok ];
+  let mm_yes = ref 0 and mm_no = ref 0 and mm_ok = ref 0 and mm_count = ref 0 in
+  while !mm_count < 30 do
+    let r = Rng.int_range rng 2 8 in
+    let numbers = Array.init r (fun _ -> Rng.int_range rng 1 15) in
+    if Array.fold_left ( + ) 0 numbers mod 2 = 0 then begin
+      incr mm_count;
+      if Move_min.partition_exists numbers then incr mm_yes else incr mm_no;
+      if Move_min.verify_reduction numbers then incr mm_ok
+    end
+  done;
+  Table.add_row t
+    [ "PARTITION -> move minimization (Thm 5)"; "30"; string_of_int !mm_yes; string_of_int !mm_no; string_of_int !mm_ok ];
+  Table.print t;
+  print_endline
+    "every row must show agreements = instances: the gadgets decide the\n\
+     source problem exactly, which is the content of the hardness theorems."
+
+(* ---------------------------------------------------------------------- *)
+(* E9 — §1: the web-server migration case study.                          *)
+(* ---------------------------------------------------------------------- *)
+
+let e9 () =
+  header "E9: web-server migration over a simulated week (Section 1 motivation)";
+  let traffic =
+    Rebal_sim.Traffic.create (Rng.create 109) ~sites:240 ~horizon:168 ~zipf_alpha:0.6
+      ~scale:400 ~period:24 ~diurnal_depth:0.7 ~noise:0.12 ~flash_prob:0.002
+      ~flash_mult:6 ~flash_len:5 ()
+  in
+  let t = Table.create ~title:"240 sites, 12 servers, rebalance every 6h"
+      ~columns:[ "policy"; "mean imbalance"; "p95 imbalance"; "peak"; "migrations" ]
+  in
+  List.iter
+    (fun policy ->
+      let r =
+        Rebal_sim.Simulation.run traffic
+          { Rebal_sim.Simulation.servers = 12; period = 6; policy }
+      in
+      Table.add_row t
+        [
+          Rebal_sim.Policy.name policy;
+          pf "%.3f" r.Rebal_sim.Simulation.mean_imbalance;
+          pf "%.3f" r.Rebal_sim.Simulation.p95_imbalance;
+          string_of_int r.Rebal_sim.Simulation.peak_makespan;
+          string_of_int r.Rebal_sim.Simulation.total_moves;
+        ])
+    [
+      Rebal_sim.Policy.No_rebalance;
+      Rebal_sim.Policy.Greedy 8;
+      Rebal_sim.Policy.M_partition 8;
+      Rebal_sim.Policy.Local_search 8;
+      Rebal_sim.Policy.Triggered { k = 8; threshold = 1.25 };
+      Rebal_sim.Policy.Full_lpt;
+    ];
+  Table.print t;
+  print_endline
+    "bounded-move policies recover most of full rebalancing's imbalance\n\
+     reduction with around 2% of its migrations — the Linder-Shah claim."
+
+(* ---------------------------------------------------------------------- *)
+(* E10 — the Shmoys-Tardos GAP baseline.                                  *)
+(* ---------------------------------------------------------------------- *)
+
+let e10 () =
+  header "E10: Shmoys-Tardos GAP baseline vs the paper's algorithms";
+  let rng = Rng.create 110 in
+  let gap_r = ref [] and bp_r = ref [] and gap_t = ref [] and bp_t = ref [] in
+  for _ = 1 to 60 do
+    let n = Rng.int_range rng 6 13 in
+    let m = Rng.int_range rng 2 4 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 30) in
+    let costs = Array.init n (fun _ -> Rng.int_range rng 0 9) in
+    let initial = Array.init n (fun _ -> Rng.int rng m) in
+    let inst = Instance.create ~costs ~sizes ~m initial in
+    let b = Rng.int_range rng 0 25 in
+    let opt = Exact.opt_makespan_exn inst ~budget:(Budget.Cost b) in
+    let g, dt_g = Timer.time (fun () -> fst (Gap.solve inst ~budget:b)) in
+    let p, dt_p = Timer.time (fun () -> fst (BP.solve inst ~budget:b)) in
+    gap_r := ratio (Assignment.makespan inst g) opt :: !gap_r;
+    bp_r := ratio (Assignment.makespan inst p) opt :: !bp_r;
+    gap_t := dt_g *. 1e3 :: !gap_t;
+    bp_t := dt_p *. 1e3 :: !bp_t
+  done;
+  let t = Table.create ~title:"60 random costed instances vs exact optimum"
+      ~columns:[ "algorithm"; "mean ratio"; "p95 ratio"; "max ratio"; "guarantee"; "mean ms" ]
+  in
+  let row name rs ts guarantee =
+    let s = Stats.summarize (Array.of_list rs) in
+    Table.add_row t
+      [ name; pf "%.4f" s.Stats.mean; pf "%.4f" s.Stats.p95; pf "%.4f" s.Stats.max; guarantee; pf "%.2f" (Stats.mean (Array.of_list ts)) ]
+  in
+  row "st-gap (LP rounding)" !gap_r !gap_t "2.0";
+  row "budgeted-partition (§3.2)" !bp_r !bp_t "1.5(1+a)";
+  Table.print t;
+  print_endline
+    "the paper's combinatorial algorithm matches or beats the LP baseline in\n\
+     quality and is far cheaper — its stated motivation for bettering the\n\
+     generalized-assignment route."
+
+
+(* ---------------------------------------------------------------------- *)
+(* E11 — Corollary 1: constrained load rebalancing, ST upper bound.       *)
+(* ---------------------------------------------------------------------- *)
+
+let e11 () =
+  header "E11: constrained load rebalancing (Corollary 1 upper bound)";
+  let module Restricted = Rebal_reductions.Restricted in
+  let rng = Rng.create 111 in
+  let ratios = ref [] and targets_ok = ref 0 and runs = ref 0 in
+  for _ = 1 to 60 do
+    let n = Rng.int_range rng 2 7 in
+    let m = Rng.int_range rng 2 3 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 20) in
+    let eligible =
+      Array.init n (fun _ ->
+          let count = Rng.int_range rng 1 m in
+          let all = Array.init m Fun.id in
+          Rng.shuffle rng all;
+          List.sort compare (Array.to_list (Array.sub all 0 count)))
+    in
+    let initial = Array.map List.hd eligible in
+    let inst = Instance.create ~sizes ~m initial in
+    let restricted = Restricted.create ~sizes ~machines:m ~eligible in
+    match Restricted.min_makespan restricted with
+    | None -> ()
+    | Some opt -> begin
+      match Gap.solve_constrained inst ~eligible ~budget:n with
+      | None -> ()
+      | Some (a, target) ->
+        incr runs;
+        ratios := ratio (Assignment.makespan inst a) opt :: !ratios;
+        if target <= opt then incr targets_ok
+    end
+  done;
+  let s = Stats.summarize (Array.of_list !ratios) in
+  Printf.printf
+    "constrained ST rounding vs brute-force constrained optimum (%d runs):\n\
+     mean ratio %.4f, p95 %.4f, max %.4f (guarantee 2.0);\n\
+     LP target lower-bounded the optimum in %d/%d runs.\n\
+     Corollary 1 says no polynomial algorithm can guarantee < 1.5 here;\n\
+     factor 2 remains the best known upper bound (open problem in §5).\n"
+    !runs s.Stats.mean s.Stats.p95 s.Stats.max !targets_ok !runs
+
+(* ---------------------------------------------------------------------- *)
+(* E12 — ablation: how much of the threshold set does the scan visit?     *)
+(* ---------------------------------------------------------------------- *)
+
+let e12 () =
+  header "E12: M-PARTITION threshold-scan ablation (value of the G1 bound)";
+  let t = Table.create
+      ~title:"thresholds evaluated, scanning from max(avg,max) vs from the G1-augmented bound"
+      ~columns:[ "n"; "m"; "k"; "candidates"; "tried (with G1)"; "tried (without G1)" ]
+  in
+  List.iter
+    (fun (n, m) ->
+      let rng = Rng.create (112 + n) in
+      let dist = Dist.prepare (Dist.Exponential { mean = 50.0 }) in
+      let inst = Gen.drifted rng ~n ~m ~dist ~drift:0.3 () in
+      let views = Instance.sorted_views inst in
+      let candidates = M_partition.candidate_thresholds inst in
+      List.iter
+        (fun k ->
+          let _, stats = M_partition.solve_with_stats inst ~k in
+          (* Ablated scan: start at the G1-free lower bound and walk the
+             same candidate set. *)
+          let lb0 = max (Lower_bounds.average inst) (Lower_bounds.max_size inst) in
+          let tried0 = ref 0 in
+          let feasible threshold =
+            incr tried0;
+            match Rebal_algo.Partition.plan inst ~views ~threshold with
+            | Some plan -> plan.Rebal_algo.Partition.moves <= k
+            | None -> false
+          in
+          (if not (feasible lb0) then begin
+             let i = ref 0 in
+             let stop = ref false in
+             while not !stop do
+               if !i >= Array.length candidates then stop := true
+               else begin
+                 let c = candidates.(!i) in
+                 incr i;
+                 if c >= lb0 && feasible c then stop := true
+               end
+             done
+           end);
+          Table.add_row t
+            [
+              string_of_int n;
+              string_of_int m;
+              string_of_int k;
+              string_of_int stats.M_partition.candidates;
+              string_of_int stats.M_partition.tried;
+              string_of_int !tried0;
+            ])
+        [ 1; n / 100; n / 10 ])
+    [ (1_000, 16); (10_000, 32); (100_000, 64) ];
+  Table.print t;
+  print_endline
+    "starting the scan at Lemma 1's G1 bound collapses it to a single plan\n\
+     evaluation at small k, where the average-load bound alone can be far\n\
+     below the reachable makespan and costs thousands of evaluations."
+
+
+(* ---------------------------------------------------------------------- *)
+(* E13 — §1: process migration under heavy vs light-tailed lifetimes.     *)
+(* ---------------------------------------------------------------------- *)
+
+let e13 () =
+  header "E13: process migration and lifetime tails (the [6] vs [9] debate)";
+  let module PS = Rebal_sim.Process_sim in
+  let run lifetime rate policy =
+    PS.run (Rng.create 113)
+      { PS.cpus = 8; arrival_rate = rate; lifetime; horizon = 6000; period = 10; policy }
+  in
+  let t = Table.create
+      ~title:"8 processor-sharing CPUs, rebalance every 10 steps, greedy budget sweep"
+      ~columns:[ "lifetimes"; "policy"; "mean slowdown"; "benefit %"; "migrations" ]
+  in
+  let scenario name lifetime rate =
+    let none = run lifetime rate Rebal_sim.Policy.No_rebalance in
+    let full = run lifetime rate Rebal_sim.Policy.Full_lpt in
+    let denom = none.PS.mean_slowdown -. full.PS.mean_slowdown in
+    let row policy_name r =
+      Table.add_row t
+        [
+          name;
+          policy_name;
+          pf "%.3f" r.PS.mean_slowdown;
+          pf "%.0f" (100.0 *. (none.PS.mean_slowdown -. r.PS.mean_slowdown) /. denom);
+          string_of_int r.PS.migrations;
+        ]
+    in
+    row "none" none;
+    List.iter
+      (fun k -> row (pf "greedy k=%d" k) (run lifetime rate (Rebal_sim.Policy.Greedy k)))
+      [ 1; 4 ];
+    row "full-lpt" full
+  in
+  scenario "pareto(1.1)" (PS.Pareto_work { alpha = 1.1; xmin = 1.0 }) 0.5;
+  scenario "exponential" (PS.Exponential_work 5.5) 0.82;
+  Table.print t;
+  print_endline
+    "both regimes saturate by k = 4, but the heavy-tailed one needs 2-3x\n\
+     fewer actual migrations for the same benefit: the gain concentrates in\n\
+     relocating a few marathon processes (Harchol-Balter & Downey's point),\n\
+     while light-tailed workloads must churn many processes to profit\n\
+     (Lazowska et al's cost concern)."
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  Printf.printf "\nall experiments done in %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,371 @@
+(* The rebalance command-line tool: generate instances, solve them with
+   any algorithm in the library, inspect lower bounds, and run the
+   web-server simulation. See README.md for a tour. *)
+
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Budget = Rebal_core.Budget
+module Verify = Rebal_core.Verify
+module Io = Rebal_core.Io
+module Lower_bounds = Rebal_core.Lower_bounds
+module Dist = Rebal_workloads.Dist
+module Gen = Rebal_workloads.Gen
+module Rng = Rebal_workloads.Rng
+open Cmdliner
+
+(* ----- shared argument parsing ----- *)
+
+let dist_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "uniform"; lo; hi ] ->
+      Ok (Dist.Uniform { lo = int_of_string lo; hi = int_of_string hi })
+    | [ "constant"; c ] -> Ok (Dist.Constant (int_of_string c))
+    | [ "exp"; mean ] -> Ok (Dist.Exponential { mean = float_of_string mean })
+    | [ "zipf"; alpha; scale ] ->
+      Ok (Dist.Zipf { ranks = 1000; alpha = float_of_string alpha; scale = int_of_string scale })
+    | [ "pareto"; alpha; scale ] ->
+      Ok (Dist.Pareto { alpha = float_of_string alpha; scale = int_of_string scale })
+    | [ "bimodal"; p ] ->
+      Ok
+        (Dist.Bimodal
+           { small_lo = 1; small_hi = 20; big_lo = 100; big_hi = 300; big_prob = float_of_string p })
+    | _ ->
+      Error
+        (`Msg
+          "expected DIST as uniform:LO:HI | constant:C | exp:MEAN | zipf:ALPHA:SCALE | \
+           pareto:ALPHA:SCALE | bimodal:PROB")
+  in
+  let parse s = try parse s with Failure _ -> Error (`Msg "bad number in DIST") in
+  Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Dist.name d))
+
+let cost_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "unit" ] -> Ok Gen.Unit
+    | [ "size"; per ] -> Ok (Gen.Proportional_to_size { per = int_of_string per })
+    | [ "inverse"; num ] -> Ok (Gen.Inverse_size { numerator = int_of_string num })
+    | [ "random"; lo; hi ] ->
+      Ok (Gen.Uniform_random { lo = int_of_string lo; hi = int_of_string hi })
+    | _ -> Error (`Msg "expected COST as unit | size:PER | inverse:NUM | random:LO:HI")
+  in
+  let parse s = try parse s with Failure _ -> Error (`Msg "bad number in COST") in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Gen.cost_model_name c))
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let read_instance_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Io.read_instance ic)
+
+(* ----- gen ----- *)
+
+let gen_cmd =
+  let n = Arg.(value & opt int 100 & info [ "n"; "jobs" ] ~docv:"N" ~doc:"Number of jobs.") in
+  let m = Arg.(value & opt int 10 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.") in
+  let dist =
+    Arg.(
+      value
+      & opt dist_conv (Dist.Uniform { lo = 1; hi = 100 })
+      & info [ "dist" ] ~docv:"DIST" ~doc:"Job size distribution.")
+  in
+  let cost =
+    Arg.(value & opt cost_conv Gen.Unit & info [ "cost" ] ~docv:"COST" ~doc:"Relocation cost model.")
+  in
+  let placement =
+    Arg.(
+      value
+      & opt (enum [ ("random", `Random); ("skewed", `Skewed); ("drifted", `Drifted) ]) `Random
+      & info [ "placement" ] ~docv:"KIND" ~doc:"Initial placement: random, skewed or drifted.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file (stdout if absent).")
+  in
+  let run n m dist cost placement out seed =
+    let rng = Rng.create seed in
+    let dist = Dist.prepare dist in
+    let inst =
+      match placement with
+      | `Random -> Gen.random rng ~n ~m ~dist ~cost ()
+      | `Skewed -> Gen.skewed rng ~n ~m ~dist ~skew:1.5 ~cost ()
+      | `Drifted -> Gen.drifted rng ~n ~m ~dist ~drift:0.3 ~cost ()
+    in
+    match out with
+    | None -> Io.write_instance stdout inst
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Io.write_instance oc inst);
+      Printf.printf "wrote %d jobs on %d processors to %s\n" n m path
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a load-rebalancing instance.")
+    Term.(const run $ n $ m $ dist $ cost $ placement $ out $ seed_arg)
+
+(* ----- solve ----- *)
+
+type algo =
+  | A_greedy
+  | A_m_partition
+  | A_local_search
+  | A_lpt
+  | A_budgeted
+  | A_ptas
+  | A_gap
+  | A_exact
+  | A_none
+
+let algo_enum =
+  [
+    ("greedy", A_greedy);
+    ("m-partition", A_m_partition);
+    ("local-search", A_local_search);
+    ("lpt", A_lpt);
+    ("budgeted-partition", A_budgeted);
+    ("ptas", A_ptas);
+    ("gap", A_gap);
+    ("exact", A_exact);
+    ("none", A_none);
+  ]
+
+let solve_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
+  let algo =
+    Arg.(value & opt (enum algo_enum) A_m_partition & info [ "algo" ] ~docv:"ALGO" ~doc:"Algorithm.")
+  in
+  let k = Arg.(value & opt (some int) None & info [ "k"; "moves" ] ~docv:"K" ~doc:"Move budget.") in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"B" ~doc:"Relocation cost budget.")
+  in
+  let show_assignment =
+    Arg.(value & flag & info [ "assignment" ] ~doc:"Print the resulting assignment.")
+  in
+  let run file algo k budget show_assignment =
+    match read_instance_file file with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Ok inst ->
+      let budget_t =
+        match (k, budget) with
+        | Some k, None -> Budget.Moves k
+        | None, Some b -> Budget.Cost b
+        | None, None -> Budget.Moves (Instance.n inst / 10)
+        | Some _, Some _ ->
+          Printf.eprintf "error: give either --k or --budget, not both\n";
+          exit 1
+      in
+      let assignment =
+        match (algo, budget_t) with
+        | A_greedy, Budget.Moves k -> Rebal_algo.Greedy.solve inst ~k
+        | A_m_partition, Budget.Moves k -> Rebal_algo.M_partition.solve inst ~k
+        | A_local_search, Budget.Moves k -> Rebal_algo.Local_search.solve inst ~k
+        | A_lpt, _ -> Rebal_algo.Lpt.solve inst
+        | A_budgeted, Budget.Cost b -> fst (Rebal_algo.Budgeted_partition.solve inst ~budget:b)
+        | A_budgeted, Budget.Moves k ->
+          if Instance.unit_cost inst then fst (Rebal_algo.Budgeted_partition.solve inst ~budget:k)
+          else begin
+            Printf.eprintf "error: budgeted-partition needs --budget on costed instances\n";
+            exit 1
+          end
+        | A_ptas, b -> Rebal_algo.Ptas.solve inst ~budget:b
+        | A_gap, Budget.Cost b -> fst (Rebal_lp.Gap.solve inst ~budget:b)
+        | A_gap, Budget.Moves _ ->
+          Printf.eprintf "error: gap needs --budget (cost budget)\n";
+          exit 1
+        | A_exact, b -> begin
+          match Rebal_algo.Exact.solve inst ~budget:b with
+          | Some a -> a
+          | None ->
+            Printf.eprintf "error: exact solver hit its node limit\n";
+            exit 1
+        end
+        | A_none, _ -> Assignment.identity inst
+        | (A_greedy | A_m_partition | A_local_search), Budget.Cost _ ->
+          Printf.eprintf "error: this algorithm takes --k (a move budget)\n";
+          exit 1
+      in
+      (match Verify.check inst assignment ~budget:budget_t with
+      | Error msg ->
+        Printf.eprintf "internal error: invalid assignment: %s\n" msg;
+        exit 1
+      | Ok report ->
+        Printf.printf "initial makespan:  %d\n" (Instance.initial_makespan inst);
+        Printf.printf "final makespan:    %d\n" report.Verify.makespan;
+        Printf.printf "moves:             %d\n" report.Verify.moves;
+        Printf.printf "relocation cost:   %d\n" report.Verify.relocation_cost;
+        Printf.printf "budget:            %s ok=%b\n"
+          (Format.asprintf "%a" Budget.pp budget_t)
+          report.Verify.budget_ok;
+        Printf.printf "lower bound:       %d\n" report.Verify.lower_bound;
+        Printf.printf "ratio vs bound:    %.4f\n" report.Verify.ratio);
+      if show_assignment then Io.write_assignment stdout assignment
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve an instance with a chosen algorithm.")
+    Term.(const run $ file $ algo $ k $ budget $ show_assignment)
+
+(* ----- bounds ----- *)
+
+let bounds_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
+  let k = Arg.(value & opt int 0 & info [ "k" ] ~docv:"K" ~doc:"Move budget for the G1 bound.") in
+  let run file k =
+    match read_instance_file file with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Ok inst ->
+      Printf.printf "jobs:             %d\n" (Instance.n inst);
+      Printf.printf "processors:       %d\n" (Instance.m inst);
+      Printf.printf "initial makespan: %d\n" (Instance.initial_makespan inst);
+      Printf.printf "average load:     %d\n" (Lower_bounds.average inst);
+      Printf.printf "max job size:     %d\n" (Lower_bounds.max_size inst);
+      Printf.printf "G1 (k=%d):        %d\n" k (Lower_bounds.g1 inst ~k)
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print lower bounds on the optimal makespan.")
+    Term.(const run $ file $ k)
+
+(* ----- simulate ----- *)
+
+let simulate_cmd =
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  let sites = Arg.(value & opt int 200 & info [ "sites" ] ~docv:"N" ~doc:"Number of websites.") in
+  let servers = Arg.(value & opt int 10 & info [ "servers" ] ~docv:"M" ~doc:"Number of servers.") in
+  let horizon = Arg.(value & opt int 168 & info [ "horizon" ] ~docv:"T" ~doc:"Simulated steps.") in
+  let period = Arg.(value & opt int 6 & info [ "period" ] ~docv:"P" ~doc:"Steps between rebalances.") in
+  let k = Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Per-round move budget.") in
+  let run csv sites servers horizon period k seed =
+    let traffic =
+      Rebal_sim.Traffic.create (Rng.create seed) ~sites ~horizon ~zipf_alpha:0.5 ~scale:300
+        ~diurnal_depth:0.8 ~noise:0.15 ~flash_prob:0.003 ~flash_mult:5 ~flash_len:8 ()
+    in
+    let table =
+      Rebal_harness.Table.create ~title:"web-server simulation"
+        ~columns:[ "policy"; "mean imb"; "p95 imb"; "peak"; "moves" ]
+    in
+    List.iter
+      (fun policy ->
+        let r = Rebal_sim.Simulation.run traffic { Rebal_sim.Simulation.servers; period; policy } in
+        Rebal_harness.Table.add_row table
+          [
+            Rebal_sim.Policy.name policy;
+            Printf.sprintf "%.3f" r.Rebal_sim.Simulation.mean_imbalance;
+            Printf.sprintf "%.3f" r.Rebal_sim.Simulation.p95_imbalance;
+            string_of_int r.Rebal_sim.Simulation.peak_makespan;
+            string_of_int r.Rebal_sim.Simulation.total_moves;
+          ])
+      [
+        Rebal_sim.Policy.No_rebalance;
+        Rebal_sim.Policy.Greedy k;
+        Rebal_sim.Policy.M_partition k;
+        Rebal_sim.Policy.Local_search k;
+        Rebal_sim.Policy.Full_lpt;
+      ];
+    Rebal_harness.Table.print table;
+    Option.iter (fun path -> Rebal_harness.Table.save_csv table ~path) csv
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the web-server migration simulation.")
+    Term.(const run $ csv $ sites $ servers $ horizon $ period $ k $ seed_arg)
+
+
+(* ----- sweep ----- *)
+
+let sweep_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
+  let target =
+    Arg.(value & opt (some int) None & info [ "target" ] ~docv:"T" ~doc:"Also report the cheapest k reaching this makespan.")
+  in
+  let run file target =
+    match read_instance_file file with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Ok inst ->
+      let table =
+        Rebal_harness.Table.create ~title:"moves/makespan Pareto frontier (m-partition)"
+          ~columns:[ "budget k"; "moves used"; "makespan" ]
+      in
+      List.iter
+        (fun p ->
+          Rebal_harness.Table.add_row table
+            [
+              string_of_int p.Rebal_algo.Sweep.k;
+              string_of_int p.Rebal_algo.Sweep.moves;
+              string_of_int p.Rebal_algo.Sweep.makespan;
+            ])
+        (Rebal_algo.Sweep.frontier inst);
+      Rebal_harness.Table.print table;
+      match target with
+      | None -> ()
+      | Some t -> begin
+        match Rebal_algo.Sweep.cheapest_k_for inst ~target:t with
+        | Some k -> Printf.printf "cheapest k reaching makespan <= %d: %d\n" t k
+        | None -> Printf.printf "makespan <= %d not reachable by m-partition\n" t
+      end
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Print the moves-vs-makespan Pareto frontier of an instance.")
+    Term.(const run $ file $ target)
+
+(* ----- process-sim ----- *)
+
+let process_sim_cmd =
+  let cpus = Arg.(value & opt int 8 & info [ "cpus" ] ~docv:"M" ~doc:"Number of CPUs.") in
+  let rate = Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"L" ~doc:"Process arrivals per step.") in
+  let horizon = Arg.(value & opt int 6000 & info [ "horizon" ] ~docv:"T" ~doc:"Simulated steps.") in
+  let period = Arg.(value & opt int 10 & info [ "period" ] ~docv:"P" ~doc:"Steps between rebalances.") in
+  let k = Arg.(value & opt int 4 & info [ "k"; "moves" ] ~docv:"K" ~doc:"Per-round migration budget.") in
+  let heavy =
+    Arg.(value & opt bool true & info [ "heavy-tail" ] ~docv:"BOOL" ~doc:"Pareto(1.1) lifetimes when true, exponential otherwise.")
+  in
+  let run cpus rate horizon period k heavy seed =
+    let module PS = Rebal_sim.Process_sim in
+    let lifetime =
+      if heavy then PS.Pareto_work { alpha = 1.1; xmin = 1.0 }
+      else PS.Exponential_work 5.5
+    in
+    let table =
+      Rebal_harness.Table.create ~title:"process migration simulation"
+        ~columns:[ "policy"; "mean slowdown"; "p95"; "imbalance"; "migrations"; "completed" ]
+    in
+    List.iter
+      (fun policy ->
+        let r =
+          PS.run (Rng.create seed)
+            { PS.cpus; arrival_rate = rate; lifetime; horizon; period; policy }
+        in
+        Rebal_harness.Table.add_row table
+          [
+            Rebal_sim.Policy.name policy;
+            Printf.sprintf "%.3f" r.PS.mean_slowdown;
+            Printf.sprintf "%.1f" r.PS.p95_slowdown;
+            Printf.sprintf "%.2f" r.PS.mean_backlog_imbalance;
+            string_of_int r.PS.migrations;
+            string_of_int r.PS.completed;
+          ])
+      [
+        Rebal_sim.Policy.No_rebalance;
+        Rebal_sim.Policy.Greedy k;
+        Rebal_sim.Policy.M_partition k;
+        Rebal_sim.Policy.Full_lpt;
+      ];
+    Rebal_harness.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "process-sim" ~doc:"Run the process-migration simulation.")
+    Term.(const run $ cpus $ rate $ horizon $ period $ k $ heavy $ seed_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "rebalance" ~version:"1.0.0"
+      ~doc:"Load rebalancing: bounded-migration makespan minimization (SPAA 2003)."
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ gen_cmd; solve_cmd; bounds_cmd; simulate_cmd; sweep_cmd; process_sim_cmd ]))

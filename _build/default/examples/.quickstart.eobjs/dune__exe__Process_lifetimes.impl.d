@@ -1,0 +1,1 @@
+examples/process_lifetimes.ml: List Printf Rebal_harness Rebal_sim Rebal_workloads

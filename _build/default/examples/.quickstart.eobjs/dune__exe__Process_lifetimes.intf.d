@@ -1,0 +1,1 @@
+examples/process_lifetimes.mli:

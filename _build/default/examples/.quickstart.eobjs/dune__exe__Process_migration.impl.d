@@ -1,0 +1,1 @@
+examples/process_migration.ml: Array List Printf Rebal_algo Rebal_core Rebal_harness Rebal_lp Rebal_workloads

@@ -1,0 +1,1 @@
+examples/process_migration.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Rebal_algo Rebal_core String

@@ -1,0 +1,1 @@
+examples/tradeoff.ml: List Printf Rebal_algo Rebal_core Rebal_harness Rebal_workloads

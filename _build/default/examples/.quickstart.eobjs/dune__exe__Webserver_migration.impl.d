@@ -1,0 +1,1 @@
+examples/webserver_migration.ml: Array List Printf Rebal_harness Rebal_sim Rebal_workloads

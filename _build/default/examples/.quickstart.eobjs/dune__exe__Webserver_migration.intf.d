@@ -1,0 +1,1 @@
+examples/webserver_migration.mli:

@@ -1,0 +1,81 @@
+(* Does process migration pay? — replaying the §1 literature debate.
+
+   The paper's introduction cites two camps: Harchol-Balter & Downey [6]
+   showed with trace-driven simulation that migrating processes pays off
+   because real process lifetimes are heavy-tailed (a few marathon
+   processes dominate the load, and moving one fixes an imbalance for a
+   long time); Lazowska et al [9] argued the benefits are limited outside
+   unrealistic CPU-bound workloads, because migration has a price and
+   well-behaved workloads rebalance themselves through churn.
+
+   With the process simulator both positions coexist: we run the same
+   cluster under Pareto (heavy-tailed) and exponential (memoryless)
+   lifetimes at comparable congestion and sweep the per-round migration
+   budget. Watch the migration counts, not just the slowdowns.
+
+   Run with: dune exec examples/process_lifetimes.exe *)
+
+module PS = Rebal_sim.Process_sim
+module Policy = Rebal_sim.Policy
+module Rng = Rebal_workloads.Rng
+module Table = Rebal_harness.Table
+
+let cpus = 8
+let horizon = 6000
+let period = 10
+
+let run lifetime rate policy =
+  PS.run (Rng.create 42) { PS.cpus; arrival_rate = rate; lifetime; horizon; period; policy }
+
+let scenario table name lifetime rate =
+  let none = run lifetime rate Policy.No_rebalance in
+  let full = run lifetime rate Policy.Full_lpt in
+  let denom = none.PS.mean_slowdown -. full.PS.mean_slowdown in
+  let benefit r = 100.0 *. (none.PS.mean_slowdown -. r.PS.mean_slowdown) /. denom in
+  List.iter
+    (fun (pname, policy) ->
+      let r = run lifetime rate policy in
+      Table.add_row table
+        [
+          name;
+          pname;
+          Printf.sprintf "%.3f" r.PS.mean_slowdown;
+          Printf.sprintf "%.1f" r.PS.p95_slowdown;
+          Printf.sprintf "%.0f%%" (benefit r);
+          string_of_int r.PS.migrations;
+          string_of_int r.PS.completed;
+        ])
+    [
+      ("never migrate", Policy.No_rebalance);
+      ("greedy, 1 move/round", Policy.Greedy 1);
+      ("greedy, 4 moves/round", Policy.Greedy 4);
+      ("m-partition, 4/round", Policy.M_partition 4);
+      ("migrate freely (lpt)", Policy.Full_lpt);
+    ]
+
+let () =
+  Printf.printf
+    "%d processor-sharing CPUs, one rebalancing round every %d steps,\n\
+     %d simulated steps, comparable utilization in both scenarios.\n\n"
+    cpus period horizon;
+  let table =
+    Table.create ~title:"process migration under different lifetime tails"
+      ~columns:[ "lifetimes"; "policy"; "slowdown"; "p95"; "benefit"; "migrations"; "done" ]
+  in
+  scenario table "pareto(1.1)" (PS.Pareto_work { alpha = 1.1; xmin = 1.0 }) 0.5;
+  scenario table "exponential" (PS.Exponential_work 5.5) 0.82;
+  Table.print table;
+  print_endline
+    "reading the table:\n\
+     - migration helps in both regimes (the [6] observation survives);\n\
+     - under heavy tails the same benefit costs 2-3x fewer migrations\n\
+       than under exponential lifetimes: the gain concentrates in moving\n\
+       a few marathon processes, while light-tailed workloads must churn\n\
+       many processes to profit — exactly the overhead the sceptics [9]\n\
+       worried about;\n\
+     - m-partition moves jobs only when its 1.5-makespan certificate\n\
+       demands it. Under heavy tails one marathon process IS the\n\
+       makespan, no move budget can beat 1.5x that, and so it stays\n\
+       almost idle: a vivid reminder that the paper's objective is the\n\
+       peak load, and that mean slowdown rewards a policy (greedy) that\n\
+       spends its whole budget every round."

@@ -1,0 +1,59 @@
+(* Quickstart: the whole public API in one small program.
+
+   A cluster of 4 processors ran balanced for a while, then usage drifted
+   and processor 0 became hot. We may move at most 3 jobs; how close to a
+   perfect balance can we get?
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Budget = Rebal_core.Budget
+module Lower_bounds = Rebal_core.Lower_bounds
+module Verify = Rebal_core.Verify
+
+let () =
+  (* 10 jobs; sizes in arbitrary load units; initial placement is skewed
+     towards processor 0. *)
+  let sizes = [| 48; 30; 27; 25; 21; 18; 14; 11; 8; 6 |] in
+  let initial = [| 0; 0; 1; 0; 2; 0; 3; 1; 2; 3 |] in
+  let inst = Instance.create ~sizes ~m:4 initial in
+  let k = 3 in
+  Printf.printf "jobs=%d processors=%d move budget k=%d\n" (Instance.n inst)
+    (Instance.m inst) k;
+  Printf.printf "initial loads: [%s]  makespan=%d\n"
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int (Instance.initial_loads inst))))
+    (Instance.initial_makespan inst);
+  Printf.printf "lower bound on any rebalancing: %d\n\n"
+    (Lower_bounds.best inst ~budget:(Budget.Moves k));
+
+  let show name assignment =
+    let report = Verify.check_exn inst assignment ~budget:(Budget.Moves k) in
+    Printf.printf "%-14s makespan=%-4d moves=%d  loads=[%s]\n" name
+      report.Verify.makespan report.Verify.moves
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int (Assignment.loads inst assignment))))
+  in
+  (* The paper's two algorithms. GREEDY: tight 2 - 1/m approximation,
+     M-PARTITION: 1.5-approximation, both O(n log n). *)
+  show "greedy" (Rebal_algo.Greedy.solve inst ~k);
+  show "m-partition" (Rebal_algo.M_partition.solve inst ~k);
+  (* The exact optimum, for reference (exponential; fine at this size). *)
+  (match Rebal_algo.Exact.solve inst ~budget:(Budget.Moves k) with
+  | Some a -> show "exact optimum" a
+  | None -> print_endline "exact solver hit its node limit");
+  print_newline ();
+
+  (* The same instance under a relocation *cost* budget: moving job i
+     costs its size (data volume); we can afford 40 units of movement. *)
+  let costs = Array.copy sizes in
+  let costed = Instance.create ~costs ~sizes ~m:4 initial in
+  let budget = 40 in
+  let a, guess = Rebal_algo.Budgeted_partition.solve costed ~budget in
+  Printf.printf
+    "cost-budgeted (B=%d): makespan=%d cost=%d (accepted guess %d, bound 1.5x)\n"
+    budget
+    (Assignment.makespan costed a)
+    (Assignment.relocation_cost costed a)
+    guess

@@ -1,0 +1,1 @@
+lib/algorithms/budgeted_partition.ml: Array List Option Rebal_core Rebal_ds Rebal_knapsack

@@ -1,0 +1,1 @@
+lib/algorithms/budgeted_partition.mli: Rebal_core

@@ -1,0 +1,1 @@
+lib/algorithms/exact.ml: Array Float Greedy Option Rebal_core

@@ -1,0 +1,1 @@
+lib/algorithms/exact.mli: Rebal_core

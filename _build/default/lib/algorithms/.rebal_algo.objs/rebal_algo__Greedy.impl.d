@@ -1,0 +1,1 @@
+lib/algorithms/greedy.ml: Array List Rebal_core Rebal_ds

@@ -1,0 +1,1 @@
+lib/algorithms/greedy.mli: Rebal_core

@@ -1,0 +1,1 @@
+lib/algorithms/local_search.ml: Array Hashtbl Rebal_core

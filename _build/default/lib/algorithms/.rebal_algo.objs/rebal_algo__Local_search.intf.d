@@ -1,0 +1,1 @@
+lib/algorithms/local_search.mli: Rebal_core

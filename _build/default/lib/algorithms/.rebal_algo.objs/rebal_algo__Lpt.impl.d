@@ -1,0 +1,1 @@
+lib/algorithms/lpt.ml: Array Rebal_core Rebal_ds

@@ -1,0 +1,1 @@
+lib/algorithms/lpt.mli: Rebal_core

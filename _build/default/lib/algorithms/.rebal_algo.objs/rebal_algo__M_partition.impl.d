@@ -1,0 +1,1 @@
+lib/algorithms/m_partition.ml: Array List Partition Rebal_core Rebal_ds

@@ -1,0 +1,1 @@
+lib/algorithms/m_partition.mli: Rebal_core

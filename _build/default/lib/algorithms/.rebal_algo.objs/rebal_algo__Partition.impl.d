@@ -1,0 +1,1 @@
+lib/algorithms/partition.ml: Array Fun List Rebal_core Rebal_ds

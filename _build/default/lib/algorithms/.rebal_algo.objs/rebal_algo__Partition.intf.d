@@ -1,0 +1,1 @@
+lib/algorithms/partition.mli: Rebal_core Rebal_ds

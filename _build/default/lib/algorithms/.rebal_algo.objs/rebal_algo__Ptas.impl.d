@@ -1,0 +1,1 @@
+lib/algorithms/ptas.ml: Array Hashtbl List Rebal_core

@@ -1,0 +1,1 @@
+lib/algorithms/ptas.mli: Rebal_core

@@ -1,0 +1,1 @@
+lib/algorithms/sweep.ml: List M_partition Rebal_core

@@ -1,0 +1,1 @@
+lib/algorithms/sweep.mli: Rebal_core

@@ -1,0 +1,38 @@
+(** Exact branch-and-bound solver. The problem is NP-hard (§2 of the
+    paper, by reduction from multiprocessor scheduling), so this solver is
+    exponential and intended for the small instances on which the test
+    suite and the benchmark tables validate true approximation ratios.
+
+    The search assigns jobs in decreasing size order, branching on the
+    receiving processor. Pruning: incumbent makespan, the average-load and
+    largest-remaining-job lower bounds, the relocation budget, and a
+    symmetry cut that never tries two non-initial processors with equal
+    current load for the same job. *)
+
+val solve :
+  ?node_limit:int ->
+  Rebal_core.Instance.t ->
+  budget:Rebal_core.Budget.t ->
+  Rebal_core.Assignment.t option
+(** An optimal assignment within the budget, or [None] if the search
+    visits more than [node_limit] nodes (default [20_000_000]) first.
+    The initial assignment is always feasible, so when the node limit is
+    not hit the result is never [None]. *)
+
+val opt_makespan :
+  ?node_limit:int -> Rebal_core.Instance.t -> budget:Rebal_core.Budget.t -> int option
+(** Makespan of [solve]'s result. *)
+
+val opt_makespan_exn :
+  ?node_limit:int -> Rebal_core.Instance.t -> budget:Rebal_core.Budget.t -> int
+(** @raise Failure if the node limit is exceeded. *)
+
+val brute_force :
+  Rebal_core.Instance.t -> budget:Rebal_core.Budget.t -> Rebal_core.Assignment.t
+(** Exhaustive enumeration of all [m^n] assignments — a second,
+    independent exact solver used by the test-suite to cross-validate the
+    branch-and-bound (its pruning and symmetry logic never touch this
+    code path). Ties are broken toward fewer budget units spent, then
+    lexicographically smaller assignments, so the makespan (though not
+    necessarily the witness) matches [solve].
+    @raise Invalid_argument if [m^n] exceeds 10 million states. *)

@@ -1,0 +1,67 @@
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Sorted_jobs = Rebal_ds.Sorted_jobs
+module Indexed_heap = Rebal_ds.Indexed_heap
+
+type insertion_order =
+  | As_removed
+  | Ascending
+  | Descending
+
+(* Step 1: remove, k times, the largest job from the most-loaded
+   processor. Each processor consumes its descending-sorted job view in
+   order, so a cursor per processor suffices; the most-loaded processor is
+   the minimum of a heap keyed by negated load. Returns the removed jobs
+   in removal order and the resulting loads. *)
+let removal_phase inst ~k =
+  if k < 0 then invalid_arg "Greedy: negative k";
+  let m = Instance.m inst in
+  let views = Instance.sorted_views inst in
+  let cursor = Array.make m 0 in
+  let load = Array.make m 0 in
+  let heap = Indexed_heap.create m in
+  for p = 0 to m - 1 do
+    load.(p) <- Sorted_jobs.total views.(p);
+    Indexed_heap.set heap p (-load.(p))
+  done;
+  let removed = ref [] in
+  (try
+     for _ = 1 to min k (Instance.n inst) do
+       let p, neg = Indexed_heap.min_exn heap in
+       if neg = 0 then raise Exit;
+       let v = views.(p) in
+       let job = Sorted_jobs.id v cursor.(p) in
+       let size = Sorted_jobs.size v cursor.(p) in
+       cursor.(p) <- cursor.(p) + 1;
+       load.(p) <- load.(p) - size;
+       Indexed_heap.set heap p (-load.(p));
+       removed := (job, size) :: !removed
+     done
+   with Exit -> ());
+  (List.rev !removed, load)
+
+let removal_phase_makespan inst ~k =
+  let _, load = removal_phase inst ~k in
+  Array.fold_left max 0 load
+
+let solve ?(order = Descending) inst ~k =
+  let removed, load = removal_phase inst ~k in
+  let removed =
+    match order with
+    | As_removed -> removed
+    | Ascending ->
+      List.stable_sort (fun (_, s1) (_, s2) -> compare s1 s2) removed
+    | Descending ->
+      List.stable_sort (fun (_, s1) (_, s2) -> compare s2 s1) removed
+  in
+  let m = Instance.m inst in
+  let heap = Indexed_heap.create m in
+  Array.iteri (fun p l -> Indexed_heap.set heap p l) load;
+  let assign = Instance.initial_assignment inst in
+  List.iter
+    (fun (job, size) ->
+      let p, l = Indexed_heap.min_exn heap in
+      assign.(job) <- p;
+      Indexed_heap.set heap p (l + size))
+    removed;
+  Assignment.of_array ~m assign

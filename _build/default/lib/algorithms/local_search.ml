@@ -1,0 +1,64 @@
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+
+let solve inst ~k =
+  if k < 0 then invalid_arg "Local_search: negative k";
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  let assign = Instance.initial_assignment inst in
+  let load = Array.make m 0 in
+  for j = 0 to n - 1 do
+    load.(assign.(j)) <- load.(assign.(j)) + Instance.size inst j
+  done;
+  (* Jobs currently displaced from their initial processor. *)
+  let displaced = Hashtbl.create 16 in
+  let displaced_count () = Hashtbl.length displaced in
+  let argmax () =
+    let best = ref 0 in
+    for p = 1 to m - 1 do
+      if load.(p) > load.(!best) then best := p
+    done;
+    !best
+  in
+  let argmin () =
+    let best = ref 0 in
+    for p = 1 to m - 1 do
+      if load.(p) < load.(!best) then best := p
+    done;
+    !best
+  in
+  let continue_ = ref (m > 1) in
+  while !continue_ do
+    let src = argmax () in
+    let dst = argmin () in
+    (* Best job to shift: minimizes max(load src - s, load dst + s),
+       provided that is strictly below load src. *)
+    let best_job = ref (-1) in
+    let best_peak = ref load.(src) in
+    for j = 0 to n - 1 do
+      if assign.(j) = src then begin
+        let s = Instance.size inst j in
+        let peak = max (load.(src) - s) (load.(dst) + s) in
+        let new_displacement =
+          if Instance.initial inst j = dst then 0
+          else if Hashtbl.mem displaced j then 0
+          else 1
+        in
+        if peak < !best_peak && displaced_count () + new_displacement <= k then begin
+          best_peak := peak;
+          best_job := j
+        end
+      end
+    done;
+    if !best_job < 0 then continue_ := false
+    else begin
+      let j = !best_job in
+      let s = Instance.size inst j in
+      assign.(j) <- dst;
+      load.(src) <- load.(src) - s;
+      load.(dst) <- load.(dst) + s;
+      if dst = Instance.initial inst j then Hashtbl.remove displaced j
+      else Hashtbl.replace displaced j ()
+    end
+  done;
+  Assignment.of_array ~m assign

@@ -1,0 +1,14 @@
+(** A simple hill-climbing baseline: repeatedly shift one job from the
+    most-loaded processor to the least-loaded processor while that
+    improves the makespan and the move budget permits. It carries no
+    approximation guarantee for bounded moves and exists to show, in the
+    benchmark tables, what the guarantees of GREEDY and M-PARTITION buy
+    over the obvious heuristic. *)
+
+val solve : Rebal_core.Instance.t -> k:int -> Rebal_core.Assignment.t
+(** At most [k] jobs end up displaced from their initial processor.
+    Each round moves, from an arbitrary most-loaded processor, the job
+    whose transfer to the least-loaded processor minimizes the resulting
+    pairwise maximum; rounds stop when no transfer strictly improves
+    that pairwise maximum or the budget is exhausted.
+    @raise Invalid_argument if [k < 0]. *)

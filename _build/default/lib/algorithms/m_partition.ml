@@ -1,0 +1,79 @@
+module Instance = Rebal_core.Instance
+module Budget = Rebal_core.Budget
+module Lower_bounds = Rebal_core.Lower_bounds
+module Sorted_jobs = Rebal_ds.Sorted_jobs
+
+let candidate_thresholds inst =
+  let views = Instance.sorted_views inst in
+  let acc = ref [] in
+  for j = 0 to Instance.n inst - 1 do
+    acc := (2 * Instance.size inst j) :: !acc
+  done;
+  Array.iter
+    (fun v ->
+      for l = 0 to Sorted_jobs.length v do
+        let s = Sorted_jobs.suffix v l in
+        acc := s :: (2 * s) :: !acc
+      done)
+    views;
+  let arr = Array.of_list !acc in
+  Array.sort compare arr;
+  (* Deduplicate in place. *)
+  let out = ref [] in
+  Array.iter
+    (fun t ->
+      match !out with
+      | last :: _ when last = t -> ()
+      | _ -> out := t :: !out)
+    arr;
+  Array.of_list (List.rev !out)
+
+type scan_stats = {
+  candidates : int;
+  tried : int;
+  accepted : int;
+  lower_bound : int;
+}
+
+let solve_with_stats inst ~k =
+  if k < 0 then invalid_arg "M_partition: negative k";
+  let views = Instance.sorted_views inst in
+  let lb = Lower_bounds.best inst ~budget:(Budget.Moves k) in
+  let candidates = candidate_thresholds inst in
+  let tried = ref 0 in
+  let feasible t =
+    incr tried;
+    match Partition.plan inst ~views ~threshold:t with
+    | Some plan when plan.Partition.moves <= k -> Some plan
+    | Some _ | None -> None
+  in
+  let finish plan t =
+    ( Partition.build inst ~views plan,
+      { candidates = Array.length candidates; tried = !tried; accepted = t; lower_bound = lb } )
+  in
+  (* Try the lower bound itself first (it need not be a candidate value),
+     then every candidate above it in increasing order. The scan always
+     terminates: at the initial makespan — which is a suffix sum, hence a
+     candidate — the plan moves nothing. *)
+  let rec scan i =
+    if i >= Array.length candidates then
+      failwith "M_partition: no feasible threshold (impossible)"
+    else begin
+      let t = candidates.(i) in
+      if t < lb then scan (i + 1)
+      else begin
+        match feasible t with
+        | Some plan -> finish plan t
+        | None -> scan (i + 1)
+      end
+    end
+  in
+  match feasible lb with
+  | Some plan -> finish plan lb
+  | None -> scan 0
+
+let solve_with_threshold inst ~k =
+  let assignment, stats = solve_with_stats inst ~k in
+  (assignment, stats.accepted)
+
+let solve inst ~k = fst (solve_with_threshold inst ~k)

@@ -1,0 +1,41 @@
+(** M-PARTITION (§3.1): PARTITION without knowing the optimal makespan.
+
+    The behaviour of PARTITION is a piecewise-constant function of the
+    makespan guess: the large/small classification of job [j] changes
+    only when the guess crosses [2*s_j], the value [b_i] changes only at
+    the suffix sums of processor [i]'s descending-sorted job sizes, and
+    [a_i] changes only at twice those suffix sums (Lemma 5 of the paper).
+    M-PARTITION therefore enumerates this [O(n)]-sized set of threshold
+    values in increasing order, starting from a certified lower bound on
+    [OPT], and runs the PARTITION plan at each until the plan needs at
+    most [k] moves. Because the optimum itself needs at least as many
+    moves as the plan at the largest threshold [<= OPT] (Lemma 3/6), the
+    accepted threshold never exceeds [OPT], and the built assignment has
+    makespan at most [1.5 * OPT] within [k] moves (Theorem 3). *)
+
+val candidate_thresholds : Rebal_core.Instance.t -> int array
+(** The sorted, deduplicated threshold set: [{2 s_j}] for every job,
+    every suffix sum of every processor's sorted sizes, and twice those
+    suffix sums. Exposed for the test-suite, which verifies the
+    piecewise-constance claim directly. *)
+
+val solve_with_threshold : Rebal_core.Instance.t -> k:int -> Rebal_core.Assignment.t * int
+(** The assignment and the accepted threshold.
+    @raise Invalid_argument if [k < 0]. *)
+
+val solve : Rebal_core.Instance.t -> k:int -> Rebal_core.Assignment.t
+(** [fst (solve_with_threshold inst ~k)]: at most [k] displaced jobs,
+    makespan at most [1.5 * OPT(k)]. *)
+
+type scan_stats = {
+  candidates : int;  (** size of the candidate threshold set *)
+  tried : int;  (** thresholds evaluated before acceptance *)
+  accepted : int;  (** the accepted threshold *)
+  lower_bound : int;  (** the certified lower bound the scan started at *)
+}
+
+val solve_with_stats : Rebal_core.Instance.t -> k:int -> Rebal_core.Assignment.t * scan_stats
+(** Like [solve_with_threshold] but also reports how much of the
+    candidate set the scan actually visited — the quantity behind the
+    near-linear running time in practice (the benchmark suite's scan
+    ablation measures it). *)

@@ -1,0 +1,164 @@
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Sorted_jobs = Rebal_ds.Sorted_jobs
+module Indexed_heap = Rebal_ds.Indexed_heap
+
+type plan = {
+  threshold : int;
+  moves : int;
+  large_total : int;
+  large_extra : int;
+  selected : bool array;
+  a : int array;
+  b : int array;
+}
+
+(* Per-processor quantities for a guess [t], all on the descending-sorted
+   view. After step 1 the processor keeps its smallest large job (the one
+   at position lc-1) plus all small jobs (positions lc..). *)
+
+let large_counts views ~threshold =
+  Array.map (fun v -> Sorted_jobs.large_count v ~threshold) views
+
+let a_value v ~lc ~threshold =
+  (* Small jobs remaining must total at most t/2: 2*total <= t is exactly
+     total <= floor(t/2) for integers. *)
+  Sorted_jobs.min_removals_to_cap v ~from_:lc ~cap:(threshold / 2)
+
+let b_value v ~lc ~threshold =
+  let small_total = Sorted_jobs.suffix v lc in
+  let kept_total =
+    small_total + (if lc >= 1 then Sorted_jobs.size v (lc - 1) else 0)
+  in
+  if kept_total <= threshold then 0
+  else if lc >= 1 then
+    (* The kept large job is the largest kept job, so the count-minimal
+       removal takes it first, then small jobs largest-first. *)
+    1 + Sorted_jobs.min_removals_to_cap v ~from_:lc ~cap:threshold
+  else Sorted_jobs.min_removals_to_cap v ~from_:0 ~cap:threshold
+
+let plan inst ~views ~threshold =
+  if threshold < 0 then invalid_arg "Partition.plan: negative threshold";
+  let m = Instance.m inst in
+  let lc = large_counts views ~threshold in
+  let large_total = Array.fold_left ( + ) 0 lc in
+  if large_total > m then None
+  else begin
+    let with_large = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 lc in
+    let large_extra = large_total - with_large in
+    let a = Array.make m 0 in
+    let b = Array.make m 0 in
+    for p = 0 to m - 1 do
+      a.(p) <- a_value views.(p) ~lc:lc.(p) ~threshold;
+      b.(p) <- b_value views.(p) ~lc:lc.(p) ~threshold
+    done;
+    (* Select the L_T processors of smallest c = a - b; ties prefer
+       processors holding a large job (this tie-break is what guarantees
+       every unselected processor with a large job has b >= 1). *)
+    let order = Array.init m (fun p -> p) in
+    Array.sort
+      (fun p1 p2 ->
+        let c1 = a.(p1) - b.(p1) and c2 = a.(p2) - b.(p2) in
+        if c1 <> c2 then compare c1 c2
+        else begin
+          let l1 = if lc.(p1) > 0 then 0 else 1 in
+          let l2 = if lc.(p2) > 0 then 0 else 1 in
+          if l1 <> l2 then compare l1 l2 else compare p1 p2
+        end)
+      order;
+    let selected = Array.make m false in
+    for i = 0 to large_total - 1 do
+      selected.(order.(i)) <- true
+    done;
+    (* Step-1 removals contribute L_E; selected processors then pay a,
+       unselected processors pay b. *)
+    let moves = ref large_extra in
+    for p = 0 to m - 1 do
+      if selected.(p) then moves := !moves + a.(p) else moves := !moves + b.(p)
+    done;
+    Some { threshold; moves = !moves; large_total; large_extra; selected; a; b }
+  end
+
+let build inst ~views { threshold; selected; a; b; _ } =
+  let m = Instance.m inst in
+  let lc = large_counts views ~threshold in
+  let assign = Instance.initial_assignment inst in
+  let removed_large = ref [] in
+  let removed_small = ref [] in
+  let load = Array.make m 0 in
+  for p = 0 to m - 1 do
+    let v = views.(p) in
+    (* Step 1: all large jobs but the smallest one leave processor p. *)
+    let step1 = Sorted_jobs.ids_in_range v 0 (max 0 (lc.(p) - 1)) in
+    List.iter (fun j -> removed_large := j :: !removed_large) step1;
+    let gone = ref (Sorted_jobs.prefix v (max 0 (lc.(p) - 1))) in
+    if selected.(p) then begin
+      (* Step 3: the a.(p) largest small jobs leave. *)
+      let smalls = Sorted_jobs.ids_in_range v lc.(p) (lc.(p) + a.(p)) in
+      List.iter
+        (fun j -> removed_small := (j, Instance.size inst j) :: !removed_small)
+        smalls;
+      gone := !gone + (Sorted_jobs.prefix v (lc.(p) + a.(p)) - Sorted_jobs.prefix v lc.(p))
+    end
+    else if lc.(p) >= 1 then begin
+      (* Step 4 on a processor that still holds its one large job: the
+         large job must leave (b >= 1 is guaranteed by the tie-break; see
+         Partition.mli) together with the b-1 largest small jobs. *)
+      assert (b.(p) >= 1);
+      removed_large := Sorted_jobs.id v (lc.(p) - 1) :: !removed_large;
+      gone := !gone + Sorted_jobs.size v (lc.(p) - 1);
+      let smalls = Sorted_jobs.ids_in_range v lc.(p) (lc.(p) + b.(p) - 1) in
+      List.iter
+        (fun j -> removed_small := (j, Instance.size inst j) :: !removed_small)
+        smalls;
+      gone := !gone + (Sorted_jobs.prefix v (lc.(p) + b.(p) - 1) - Sorted_jobs.prefix v lc.(p))
+    end
+    else begin
+      (* Step 4, no large job: the b.(p) largest jobs leave. *)
+      let smalls = Sorted_jobs.ids_in_range v 0 b.(p) in
+      List.iter
+        (fun j -> removed_small := (j, Instance.size inst j) :: !removed_small)
+        smalls;
+      gone := !gone + Sorted_jobs.prefix v b.(p)
+    end;
+    load.(p) <- Sorted_jobs.total v - !gone
+  done;
+  (* Step 5: every removed large job goes to a distinct selected processor
+     that has no large job. The counting argument in §3 of the paper makes
+     the two lists the same length. *)
+  let large_free =
+    List.filter (fun p -> selected.(p) && lc.(p) = 0) (List.init m Fun.id)
+  in
+  let rec place_large jobs frees =
+    match (jobs, frees) with
+    | [], [] -> ()
+    | j :: jobs', p :: frees' ->
+      assign.(j) <- p;
+      load.(p) <- load.(p) + Instance.size inst j;
+      place_large jobs' frees'
+    | _ -> invalid_arg "Partition.build: large job / large-free processor mismatch"
+  in
+  place_large !removed_large large_free;
+  (* Step 6: removed small jobs go, largest first, to the least loaded
+     processor. Any order satisfies Theorem 2; descending is simply the
+     best practical choice. *)
+  let smalls =
+    List.sort
+      (fun (j1, s1) (j2, s2) -> if s1 <> s2 then compare s2 s1 else compare j1 j2)
+      !removed_small
+  in
+  let heap = Indexed_heap.create m in
+  Array.iteri (fun p l -> Indexed_heap.set heap p l) load;
+  List.iter
+    (fun (j, s) ->
+      let p, l = Indexed_heap.min_exn heap in
+      assign.(j) <- p;
+      Indexed_heap.set heap p (l + s))
+    smalls;
+  Assignment.of_array ~m assign
+
+let solve inst ~opt_guess =
+  let views = Instance.sorted_views inst in
+  match plan inst ~views ~threshold:opt_guess with
+  | None -> None
+  | Some p -> Some (build inst ~views p)

@@ -1,0 +1,48 @@
+(** The paper's §4 approximation scheme for the load rebalancing problem
+    with arbitrary relocation costs: for any fixed [delta > 0], a solution
+    with relocation cost within the budget and makespan at most
+    [(1 + c*delta) * OPT] (here [c = 7]; the paper's constant is 5 — ours
+    is slightly looser because every rounding step is kept
+    integer-exact), in time polynomial in [n] for fixed [delta].
+
+    Machinery, faithful to the paper:
+    - jobs larger than [~delta * t] (guess [t]) are {e large} and their
+      sizes are rounded up to a geometric grid with ratio [1 + delta],
+      giving [s = O(log(1/delta)/delta)] size classes;
+    - a processor configuration is [(x_1..x_s, V)]: large-job counts per
+      class plus the total small load rounded up to the grain
+      [g = ceil(delta * t)];
+    - a dynamic program over processors consumes the global class counts
+      and a global small-load allowance, minimizing relocation cost; the
+      cost of retargeting one processor removes the cheapest surplus
+      large jobs per class and removes small jobs by increasing
+      cost-density until within the target allowance plus one grain
+      (the §3.2 greedy, [Knapsack.greedy_density]);
+    - the makespan guess is raised along a [(1 + delta)] geometric grid
+      until the DP cost fits the budget.
+
+    The DP is exponential in [1/delta] (the paper's table is
+    [O(m n^{s+1})]), so this is — exactly as the paper concedes — a
+    complexity-theoretic result; use it on toy instances only. *)
+
+type stats = {
+  accepted_guess : int;  (** the first makespan guess whose DP cost fits *)
+  dp_cost : int;  (** relocation cost the DP committed to *)
+  dp_states : int;  (** memo-table size at acceptance *)
+  classes : int;  (** number of large size classes [s] *)
+}
+
+val solve_with_stats :
+  ?delta:float ->
+  ?guess_cap:int ->
+  Rebal_core.Instance.t ->
+  budget:Rebal_core.Budget.t ->
+  Rebal_core.Assignment.t * stats
+(** [delta] defaults to [0.2] (i.e. epsilon ~ 1.4). [guess_cap] bounds the
+    number of geometric guesses tried (default 200, far beyond need).
+    @raise Invalid_argument if [delta <= 0 || delta > 1].
+    @raise Failure if no guess is feasible within [guess_cap] (cannot
+    happen for a well-formed instance). *)
+
+val solve :
+  ?delta:float -> Rebal_core.Instance.t -> budget:Rebal_core.Budget.t -> Rebal_core.Assignment.t

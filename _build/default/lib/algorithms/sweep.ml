@@ -1,0 +1,61 @@
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+
+type point = {
+  k : int;
+  moves : int;
+  makespan : int;
+}
+
+let point_of inst k =
+  let a = M_partition.solve inst ~k in
+  { k; moves = Assignment.moves inst a; makespan = Assignment.makespan inst a }
+
+let curve inst ~ks = List.map (point_of inst) ks
+
+let frontier ?(max_points = 24) inst =
+  let n = Instance.n inst in
+  let rec budgets acc k count =
+    if k >= n || count >= max_points - 1 then List.rev (n :: acc)
+    else budgets (k :: acc) (max (k + 1) (2 * k)) (count + 1)
+  in
+  let points = curve inst ~ks:(budgets [ 0 ] 1 1) in
+  (* Keep the non-dominated points: sort by moves, then keep strictly
+     decreasing makespans. *)
+  let sorted =
+    List.sort
+      (fun p1 p2 ->
+        if p1.moves <> p2.moves then compare p1.moves p2.moves
+        else compare p1.makespan p2.makespan)
+      points
+  in
+  let rec prune best = function
+    | [] -> []
+    | p :: rest ->
+      if p.makespan < best then p :: prune p.makespan rest else prune best rest
+  in
+  prune max_int sorted
+
+let cheapest_k_for inst ~target =
+  if target < 0 then invalid_arg "Sweep.cheapest_k_for: negative target";
+  let n = Instance.n inst in
+  if (point_of inst n).makespan > target then None
+  else begin
+    (* The scan's accepted threshold is non-increasing in k, so the
+       achieved makespan of the built solution is non-increasing in k up
+       to ties; binary search on the smallest k that reaches the target,
+       then walk down defensively in case of local non-monotonicity. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if (point_of inst mid).makespan <= target then search lo mid
+        else search (mid + 1) hi
+      end
+    in
+    let k = search 0 n in
+    let rec refine k =
+      if k > 0 && (point_of inst (k - 1)).makespan <= target then refine (k - 1) else k
+    in
+    Some (refine k)
+  end

@@ -1,0 +1,32 @@
+(** Moves-versus-makespan tradeoff utilities built on M-PARTITION.
+
+    The rebalancing problem exists because moves are scarce; the question
+    an operator actually asks is "how many moves until the cluster is
+    acceptably balanced?". This module answers it by sweeping the move
+    budget and reporting the Pareto frontier of (moves actually used,
+    makespan achieved) pairs, and by inverting the sweep to find the
+    smallest budget reaching a target. *)
+
+type point = {
+  k : int;  (** the budget the point was produced with *)
+  moves : int;  (** moves the solution actually uses ([<= k]) *)
+  makespan : int;
+}
+
+val curve : Rebal_core.Instance.t -> ks:int list -> point list
+(** One M-PARTITION run per requested budget, in the given order. *)
+
+val frontier : ?max_points:int -> Rebal_core.Instance.t -> point list
+(** The Pareto frontier over a doubling budget sweep [0, 1, 2, 4, .. n]
+    (at most [max_points] sweep points, default 24): points strictly
+    dominated in both coordinates are dropped, and the list is sorted by
+    increasing moves / decreasing makespan. *)
+
+val cheapest_k_for : Rebal_core.Instance.t -> target:int -> int option
+(** The smallest budget [k] whose M-PARTITION solution has makespan at
+    most [target], found by binary search — valid because the accepted
+    threshold of the scan is non-increasing in [k] — or [None] if even
+    [k = n] misses the target (remember the algorithm is 1.5-approximate:
+    a reachable target can still be reported [None] if only the exact
+    optimum attains it).
+    @raise Invalid_argument if [target < 0]. *)

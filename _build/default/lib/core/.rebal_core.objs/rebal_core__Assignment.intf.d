@@ -1,0 +1,1 @@
+lib/core/assignment.mli: Instance

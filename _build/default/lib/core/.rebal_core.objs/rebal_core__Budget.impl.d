@@ -1,0 +1,1 @@
+lib/core/budget.ml: Assignment Format Instance

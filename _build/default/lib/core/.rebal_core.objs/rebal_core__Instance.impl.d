@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Rebal_ds

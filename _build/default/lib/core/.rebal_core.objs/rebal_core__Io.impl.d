@@ -1,0 +1,1 @@
+lib/core/io.ml: Array Assignment Buffer Instance List Option Printf String

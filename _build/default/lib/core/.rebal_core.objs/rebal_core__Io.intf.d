@@ -1,0 +1,1 @@
+lib/core/io.mli: Assignment Instance

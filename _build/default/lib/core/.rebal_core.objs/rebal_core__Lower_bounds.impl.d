@@ -1,0 +1,1 @@
+lib/core/lower_bounds.ml: Array Budget Instance Rebal_ds

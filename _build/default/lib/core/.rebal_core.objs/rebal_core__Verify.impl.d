@@ -1,0 +1,1 @@
+lib/core/verify.ml: Assignment Budget Format Instance Lower_bounds Printf

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Assignment Budget Format Instance

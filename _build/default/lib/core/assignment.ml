@@ -1,0 +1,44 @@
+type t = {
+  m : int;
+  assign : int array;
+}
+
+let of_array ~m assign =
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= m then invalid_arg "Assignment.of_array: processor out of range")
+    assign;
+  { m; assign = Array.copy assign }
+
+let identity inst = { m = Instance.m inst; assign = Instance.initial_assignment inst }
+let to_array t = Array.copy t.assign
+let processor t j = t.assign.(j)
+let n t = Array.length t.assign
+let m t = t.m
+
+let check inst t =
+  if n t <> Instance.n inst || t.m <> Instance.m inst then
+    invalid_arg "Assignment: instance/assignment shape mismatch"
+
+let loads inst t =
+  check inst t;
+  let loads = Array.make t.m 0 in
+  Array.iteri (fun j p -> loads.(p) <- loads.(p) + Instance.size inst j) t.assign;
+  loads
+
+let makespan inst t = Array.fold_left max 0 (loads inst t)
+
+let moved_jobs inst t =
+  check inst t;
+  let moved = ref [] in
+  for j = n t - 1 downto 0 do
+    if t.assign.(j) <> Instance.initial inst j then moved := j :: !moved
+  done;
+  !moved
+
+let moves inst t = List.length (moved_jobs inst t)
+
+let relocation_cost inst t =
+  List.fold_left (fun acc j -> acc + Instance.cost inst j) 0 (moved_jobs inst t)
+
+let equal t1 t2 = t1.m = t2.m && t1.assign = t2.assign

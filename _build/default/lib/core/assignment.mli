@@ -1,0 +1,42 @@
+(** A (complete) assignment of jobs to processors — the output of every
+    rebalancing algorithm — together with the derived quantities the
+    problem is stated in terms of: loads, makespan, number of moved jobs
+    and total relocation cost relative to an instance's initial
+    assignment. *)
+
+type t
+
+val of_array : m:int -> int array -> t
+(** Take ownership-by-copy of a job-to-processor map.
+    @raise Invalid_argument if any entry is outside [0 .. m-1]. *)
+
+val identity : Instance.t -> t
+(** The instance's initial assignment (zero moves). *)
+
+val to_array : t -> int array
+(** Fresh copy of the job-to-processor map. *)
+
+val processor : t -> int -> int
+(** Processor assigned to a job. *)
+
+val n : t -> int
+val m : t -> int
+
+val loads : Instance.t -> t -> int array
+(** Per-processor load under this assignment.
+    @raise Invalid_argument if the assignment doesn't match the instance
+    (different [n] or [m]). *)
+
+val makespan : Instance.t -> t -> int
+(** Maximum processor load. *)
+
+val moved_jobs : Instance.t -> t -> int list
+(** Jobs assigned to a different processor than initially, ascending. *)
+
+val moves : Instance.t -> t -> int
+(** Number of moved jobs. *)
+
+val relocation_cost : Instance.t -> t -> int
+(** Total relocation cost of the moved jobs. *)
+
+val equal : t -> t -> bool

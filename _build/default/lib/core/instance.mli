@@ -1,0 +1,63 @@
+(** A load-rebalancing instance: [n] jobs of positive integer size, an
+    initial assignment of jobs to [m] processors, and a per-job relocation
+    cost (all 1 for the unit-cost problem of §2–§3.1 of the paper).
+
+    Sizes and costs are integers so that the threshold comparisons inside
+    PARTITION ("size strictly greater than [OPT/2]") are exact. *)
+
+type t
+
+val create : ?costs:int array -> sizes:int array -> m:int -> int array -> t
+(** [create ~sizes ~m initial] validates and builds an instance, where the
+    final positional argument is the initial job-to-processor map.
+    [costs] defaults to all-ones (the unit-cost problem, where the budget
+    is a number of moves).
+    @raise Invalid_argument if [m < 1], any size is [<= 0], any cost is
+    negative, the lengths of [sizes], [costs] and [initial] differ, or any
+    initial processor is outside [0 .. m-1]. *)
+
+val n : t -> int
+(** Number of jobs. *)
+
+val m : t -> int
+(** Number of processors. *)
+
+val size : t -> int -> int
+(** Size of a job. *)
+
+val cost : t -> int -> int
+(** Relocation cost of a job. *)
+
+val initial : t -> int -> int
+(** Initial processor of a job. *)
+
+val sizes : t -> int array
+(** Fresh copy of the size vector. *)
+
+val costs : t -> int array
+(** Fresh copy of the cost vector. *)
+
+val initial_assignment : t -> int array
+(** Fresh copy of the initial job-to-processor map. *)
+
+val total_size : t -> int
+(** Sum of all job sizes. *)
+
+val max_size : t -> int
+(** Largest job size (0 when there are no jobs). *)
+
+val unit_cost : t -> bool
+(** Whether every relocation cost is exactly 1. *)
+
+val initial_loads : t -> int array
+(** Load vector of the initial assignment. *)
+
+val initial_makespan : t -> int
+(** Makespan of the initial assignment. *)
+
+val jobs_on : t -> int -> (int * int) array
+(** [(job_id, size)] pairs initially on a processor, in job-id order. *)
+
+val sorted_views : t -> Rebal_ds.Sorted_jobs.t array
+(** Per-processor descending-sorted views of the initial assignment
+    (computed once, [O(n log n)] overall). *)

@@ -1,0 +1,93 @@
+let write_instance oc inst =
+  Printf.fprintf oc "processors %d\n" (Instance.m inst);
+  for j = 0 to Instance.n inst - 1 do
+    Printf.fprintf oc "job %d %d %d\n" (Instance.size inst j)
+      (Instance.cost inst j) (Instance.initial inst j)
+  done
+
+let instance_to_string inst =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "processors %d\n" (Instance.m inst));
+  for j = 0 to Instance.n inst - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "job %d %d %d\n" (Instance.size inst j)
+         (Instance.cost inst j) (Instance.initial inst j))
+  done;
+  Buffer.contents buf
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  strip_comment line |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_lines lines =
+  let m = ref None in
+  let jobs = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun idx line ->
+      if !error = None then begin
+        let lineno = idx + 1 in
+        match tokens line with
+        | [] -> ()
+        | [ "processors"; v ] -> begin
+          match int_of_string_opt v with
+          | Some v when v >= 1 -> m := Some v
+          | _ -> error := Some (Printf.sprintf "line %d: bad processor count" lineno)
+        end
+        | [ "job"; s; c; p ] -> begin
+          match (int_of_string_opt s, int_of_string_opt c, int_of_string_opt p) with
+          | Some s, Some c, Some p -> jobs := (s, c, p) :: !jobs
+          | _ -> error := Some (Printf.sprintf "line %d: bad job line" lineno)
+        end
+        | _ -> error := Some (Printf.sprintf "line %d: unrecognized line" lineno)
+      end)
+    lines;
+  match (!error, !m) with
+  | Some msg, _ -> Error msg
+  | None, None -> Error "missing 'processors' line"
+  | None, Some m ->
+    let jobs = Array.of_list (List.rev !jobs) in
+    let sizes = Array.map (fun (s, _, _) -> s) jobs in
+    let costs = Array.map (fun (_, c, _) -> c) jobs in
+    let initial = Array.map (fun (_, _, p) -> p) jobs in
+    (try Ok (Instance.create ~costs ~sizes ~m initial)
+     with Invalid_argument msg -> Error msg)
+
+let lines_of_channel ic =
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  loop []
+
+let read_instance ic = parse_lines (lines_of_channel ic)
+let instance_of_string s = parse_lines (String.split_on_char '\n' s)
+
+let assignment_to_string assignment =
+  Assignment.to_array assignment |> Array.to_list |> List.map string_of_int
+  |> String.concat " "
+
+let write_assignment oc assignment =
+  output_string oc (assignment_to_string assignment);
+  output_char oc '\n'
+
+let assignment_of_string ~m s =
+  let toks = tokens s in
+  let parsed = List.map int_of_string_opt toks in
+  if List.exists (fun v -> v = None) parsed then
+    Error "assignment: non-integer token"
+  else begin
+    let arr = Array.of_list (List.map Option.get parsed) in
+    try Ok (Assignment.of_array ~m arr) with Invalid_argument msg -> Error msg
+  end
+
+let read_assignment ~m ic =
+  let contents = lines_of_channel ic |> String.concat " " in
+  assignment_of_string ~m contents

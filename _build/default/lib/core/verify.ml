@@ -1,0 +1,45 @@
+type report = {
+  makespan : int;
+  moves : int;
+  relocation_cost : int;
+  budget_ok : bool;
+  lower_bound : int;
+  ratio : float;
+}
+
+let check inst assignment ~budget =
+  if Assignment.n assignment <> Instance.n inst then
+    Error
+      (Printf.sprintf "assignment covers %d jobs but instance has %d"
+         (Assignment.n assignment) (Instance.n inst))
+  else if Assignment.m assignment <> Instance.m inst then
+    Error
+      (Printf.sprintf "assignment uses %d processors but instance has %d"
+         (Assignment.m assignment) (Instance.m inst))
+  else begin
+    let makespan = Assignment.makespan inst assignment in
+    let moves = Assignment.moves inst assignment in
+    let relocation_cost = Assignment.relocation_cost inst assignment in
+    let budget_ok = Budget.within inst assignment budget in
+    let lower_bound = Lower_bounds.best inst ~budget in
+    let ratio =
+      if lower_bound = 0 then 1.0
+      else float_of_int makespan /. float_of_int lower_bound
+    in
+    Ok { makespan; moves; relocation_cost; budget_ok; lower_bound; ratio }
+  end
+
+let check_exn inst assignment ~budget =
+  match check inst assignment ~budget with
+  | Error msg -> failwith ("Verify.check_exn: " ^ msg)
+  | Ok report ->
+    if not report.budget_ok then
+      failwith
+        (Format.asprintf "Verify.check_exn: budget %a exceeded (moves=%d cost=%d)"
+           Budget.pp budget report.moves report.relocation_cost);
+    report
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "makespan=%d moves=%d cost=%d budget_ok=%b lb=%d ratio=%.4f" r.makespan
+    r.moves r.relocation_cost r.budget_ok r.lower_bound r.ratio

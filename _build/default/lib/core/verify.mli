@@ -1,0 +1,24 @@
+(** Independent validation of algorithm outputs. Every algorithm in
+    [rebal_algo] is checked against this module in the test suite: the
+    checker recomputes loads, move counts and costs from scratch and never
+    trusts any quantity reported by a solver. *)
+
+type report = {
+  makespan : int;
+  moves : int;
+  relocation_cost : int;
+  budget_ok : bool;
+  lower_bound : int;  (** [Lower_bounds.best] for the same budget *)
+  ratio : float;  (** makespan / lower_bound; an upper bound on the true approximation ratio *)
+}
+
+val check : Instance.t -> Assignment.t -> budget:Budget.t -> (report, string) result
+(** [Ok report] if the assignment is well-formed for the instance;
+    [Error msg] describes the first shape problem found. A blown budget is
+    not an error: it is reported via [budget_ok] so callers can decide. *)
+
+val check_exn : Instance.t -> Assignment.t -> budget:Budget.t -> report
+(** Like [check] but also fails if the budget is exceeded.
+    @raise Failure on any violation. *)
+
+val pp_report : Format.formatter -> report -> unit

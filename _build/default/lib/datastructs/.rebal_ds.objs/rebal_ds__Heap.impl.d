@@ -1,0 +1,1 @@
+lib/datastructs/heap.ml: Array List

@@ -1,0 +1,1 @@
+lib/datastructs/heap.mli:

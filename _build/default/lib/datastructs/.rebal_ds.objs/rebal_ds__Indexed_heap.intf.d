@@ -1,0 +1,1 @@
+lib/datastructs/indexed_heap.mli:

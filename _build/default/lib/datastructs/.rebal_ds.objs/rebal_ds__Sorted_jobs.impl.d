@@ -1,0 +1,1 @@
+lib/datastructs/sorted_jobs.ml: Array

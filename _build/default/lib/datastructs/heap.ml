@@ -1,0 +1,105 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) = struct
+  type t = {
+    mutable data : E.t array;
+    mutable size : int;
+  }
+
+  let create ?(capacity = 16) () = ignore capacity; { data = [||]; size = 0 }
+
+  let length h = h.size
+  let is_empty h = h.size = 0
+
+  let grow h x =
+    let cap = Array.length h.data in
+    if h.size = cap then begin
+      let ncap = if cap = 0 then 16 else 2 * cap in
+      let ndata = Array.make ncap x in
+      Array.blit h.data 0 ndata 0 h.size;
+      h.data <- ndata
+    end
+
+  let rec sift_up data i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if E.compare data.(i) data.(parent) < 0 then begin
+        let tmp = data.(i) in
+        data.(i) <- data.(parent);
+        data.(parent) <- tmp;
+        sift_up data parent
+      end
+    end
+
+  let rec sift_down data size i =
+    let l = (2 * i) + 1 in
+    let r = l + 1 in
+    let smallest = ref i in
+    if l < size && E.compare data.(l) data.(!smallest) < 0 then smallest := l;
+    if r < size && E.compare data.(r) data.(!smallest) < 0 then smallest := r;
+    if !smallest <> i then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(!smallest);
+      data.(!smallest) <- tmp;
+      sift_down data size !smallest
+    end
+
+  let add h x =
+    grow h x;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    sift_up h.data (h.size - 1)
+
+  let min h = if h.size = 0 then None else Some h.data.(0)
+
+  let min_exn h =
+    if h.size = 0 then invalid_arg "Heap.min_exn: empty heap" else h.data.(0)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        sift_down h.data h.size 0
+      end;
+      Some top
+    end
+
+  let pop_exn h =
+    match pop h with
+    | Some x -> x
+    | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+  let clear h = h.size <- 0
+
+  let of_list xs =
+    let h = create ~capacity:(List.length xs + 1) () in
+    List.iter (add h) xs;
+    h
+
+  let to_sorted_list h =
+    let rec drain acc =
+      match pop h with
+      | None -> List.rev acc
+      | Some x -> drain (x :: acc)
+    in
+    drain []
+
+  let iter f h =
+    for i = 0 to h.size - 1 do
+      f h.data.(i)
+    done
+
+  let fold f init h =
+    let acc = ref init in
+    for i = 0 to h.size - 1 do
+      acc := f !acc h.data.(i)
+    done;
+    !acc
+end

@@ -1,0 +1,56 @@
+(** Functorized binary min-heap over a dynamically-resized array.
+
+    Used throughout the algorithm library: [Greedy] keeps a max-heap of
+    processors ordered by load (by inverting the comparison), the
+    reassignment steps of [Partition] and [Greedy] keep a min-heap of
+    processor loads, and the exact solver uses a heap for its frontier.
+
+    All operations are in-place; [add] and [pop] are [O(log n)],
+    [min] is [O(1)]. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh empty heap. [capacity] is a sizing hint; the backing array
+      grows geometrically on demand either way. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val add : t -> E.t -> unit
+  (** Insert an element; duplicates are allowed. *)
+
+  val min : t -> E.t option
+  (** Smallest element without removing it, or [None] if empty. *)
+
+  val min_exn : t -> E.t
+  (** @raise Invalid_argument if the heap is empty. *)
+
+  val pop : t -> E.t option
+  (** Remove and return the smallest element, or [None] if empty. *)
+
+  val pop_exn : t -> E.t
+  (** @raise Invalid_argument if the heap is empty. *)
+
+  val clear : t -> unit
+
+  val of_list : E.t list -> t
+  (** Heap containing the given elements; [O(n log n)]. *)
+
+  val to_sorted_list : t -> E.t list
+  (** Drain the heap, returning its elements in increasing order.
+      The heap is empty afterwards. *)
+
+  val iter : (E.t -> unit) -> t -> unit
+  (** Iterate over the elements in unspecified order. *)
+
+  val fold : ('a -> E.t -> 'a) -> 'a -> t -> 'a
+  (** Fold over the elements in unspecified order. *)
+end

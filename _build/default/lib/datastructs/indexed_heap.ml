@@ -1,0 +1,114 @@
+type t = {
+  n : int;
+  heap : int array; (* heap.(i) = key at heap slot i *)
+  pos : int array; (* pos.(key) = heap slot, or -1 if absent *)
+  prio : int array; (* prio.(key), meaningful only if present *)
+  mutable size : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Indexed_heap.create: negative capacity";
+  { n; heap = Array.make (max n 1) (-1); pos = Array.make (max n 1) (-1); prio = Array.make (max n 1) 0; size = 0 }
+
+let capacity h = h.n
+let length h = h.size
+let is_empty h = h.size = 0
+
+let check_key h key =
+  if key < 0 || key >= h.n then invalid_arg "Indexed_heap: key out of range"
+
+let mem h key =
+  check_key h key;
+  h.pos.(key) >= 0
+
+let priority h key =
+  check_key h key;
+  if h.pos.(key) >= 0 then Some h.prio.(key) else None
+
+(* Lexicographic (priority, key) order makes extraction deterministic. *)
+let before h k1 k2 =
+  let p1 = h.prio.(k1) and p2 = h.prio.(k2) in
+  p1 < p2 || (p1 = p2 && k1 < k2)
+
+let swap h i j =
+  let ki = h.heap.(i) and kj = h.heap.(j) in
+  h.heap.(i) <- kj;
+  h.heap.(j) <- ki;
+  h.pos.(kj) <- i;
+  h.pos.(ki) <- j
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h h.heap.(i) h.heap.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 in
+  let r = l + 1 in
+  let best = ref i in
+  if l < h.size && before h h.heap.(l) h.heap.(!best) then best := l;
+  if r < h.size && before h h.heap.(r) h.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let set h key prio =
+  check_key h key;
+  if h.pos.(key) >= 0 then begin
+    let old = h.prio.(key) in
+    h.prio.(key) <- prio;
+    let i = h.pos.(key) in
+    if prio < old then sift_up h i else sift_down h i
+  end
+  else begin
+    h.prio.(key) <- prio;
+    h.heap.(h.size) <- key;
+    h.pos.(key) <- h.size;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+  end
+
+let remove h key =
+  check_key h key;
+  let i = h.pos.(key) in
+  if i >= 0 then begin
+    h.size <- h.size - 1;
+    h.pos.(key) <- -1;
+    if i < h.size then begin
+      let moved = h.heap.(h.size) in
+      h.heap.(i) <- moved;
+      h.pos.(moved) <- i;
+      sift_up h i;
+      sift_down h i
+    end
+  end
+
+let min h =
+  if h.size = 0 then None
+  else begin
+    let key = h.heap.(0) in
+    Some (key, h.prio.(key))
+  end
+
+let min_exn h =
+  match min h with
+  | Some entry -> entry
+  | None -> invalid_arg "Indexed_heap.min_exn: empty heap"
+
+let pop_min h =
+  match min h with
+  | None -> None
+  | Some (key, _) as entry ->
+    remove h key;
+    entry
+
+let clear h =
+  for i = 0 to h.size - 1 do
+    h.pos.(h.heap.(i)) <- -1
+  done;
+  h.size <- 0

@@ -1,0 +1,48 @@
+(** Min-heap over a fixed universe of integer keys [0 .. n-1] with integer
+    priorities and support for changing the priority of a present key
+    ("decrease-key" and "increase-key") in [O(log n)].
+
+    Used by the web-server simulator to track server loads that change as
+    sites are migrated, and by list-scheduling style placement loops where
+    the same processor is re-keyed many times. Ties between equal
+    priorities are broken by the smaller key, so iteration orders are
+    deterministic. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty heap over keys [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val capacity : t -> int
+(** The size of the key universe [n]. *)
+
+val length : t -> int
+(** Number of keys currently present. *)
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** Whether the key is present. *)
+
+val priority : t -> int -> int option
+(** Current priority of a key, if present. *)
+
+val set : t -> int -> int -> unit
+(** [set h key prio] inserts [key] with priority [prio], or updates its
+    priority if already present.
+    @raise Invalid_argument if [key] is outside [0 .. n-1]. *)
+
+val remove : t -> int -> unit
+(** Remove a key; no-op if absent. *)
+
+val min : t -> (int * int) option
+(** [(key, priority)] with the smallest priority (smallest key on ties). *)
+
+val min_exn : t -> int * int
+(** @raise Invalid_argument if empty. *)
+
+val pop_min : t -> (int * int) option
+(** Remove and return the minimum entry. *)
+
+val clear : t -> unit

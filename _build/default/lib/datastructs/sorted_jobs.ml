@@ -1,0 +1,68 @@
+type t = {
+  ids : int array;
+  sizes : int array;
+  pre : int array; (* pre.(l) = sum of the l largest sizes; length q+1 *)
+}
+
+let of_assoc jobs =
+  let q = Array.length jobs in
+  let order = Array.copy jobs in
+  Array.sort
+    (fun (id1, s1) (id2, s2) ->
+      if s1 <> s2 then compare s2 s1 else compare id1 id2)
+    order;
+  let ids = Array.make q 0 in
+  let sizes = Array.make q 0 in
+  let pre = Array.make (q + 1) 0 in
+  Array.iteri
+    (fun i (id, s) ->
+      if s < 0 then invalid_arg "Sorted_jobs.of_assoc: negative size";
+      ids.(i) <- id;
+      sizes.(i) <- s;
+      pre.(i + 1) <- pre.(i) + s)
+    order;
+  { ids; sizes; pre }
+
+let length t = Array.length t.ids
+let id t i = t.ids.(i)
+let size t i = t.sizes.(i)
+let total t = t.pre.(Array.length t.ids)
+let prefix t l = t.pre.(l)
+let suffix t l = total t - t.pre.(l)
+
+let large_count t ~threshold =
+  (* Sizes are descending, so the large jobs form a prefix: binary search
+     for the first position whose size is small (2*size <= threshold). *)
+  let q = length t in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if 2 * t.sizes.(mid) > threshold then search (mid + 1) hi
+      else search lo mid
+    end
+  in
+  search 0 q
+
+let min_removals_to_cap t ~from_ ~cap =
+  let q = length t in
+  let tail_total = suffix t from_ in
+  (* remaining(r) = tail_total - (pre.(from_+r) - pre.(from_)) decreases in
+     r; find the least r with remaining(r) <= cap. *)
+  let remaining r = tail_total - (t.pre.(from_ + r) - t.pre.(from_)) in
+  if remaining (q - from_) > cap then
+    invalid_arg "Sorted_jobs.min_removals_to_cap: cap unreachable";
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if remaining mid <= cap then search lo mid else search (mid + 1) hi
+    end
+  in
+  search 0 (q - from_)
+
+let ids_in_range t lo hi =
+  let rec collect i acc =
+    if i < lo then acc else collect (i - 1) (t.ids.(i) :: acc)
+  in
+  collect (hi - 1) []

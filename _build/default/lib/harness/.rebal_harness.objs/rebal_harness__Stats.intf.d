@@ -1,0 +1,1 @@
+lib/harness/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/harness/timer.ml: Array Option Unix

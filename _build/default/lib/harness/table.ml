@@ -1,0 +1,55 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let add_int_row t label ints = add_row t (label :: List.map string_of_int ints)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let pad i cell =
+    let extra = widths.(i) - String.length cell in
+    if i = 0 then cell ^ String.make extra ' ' else String.make extra ' ' ^ cell
+  in
+  let emit_row row =
+    Buffer.add_string buf (String.concat "  " (List.mapi pad row));
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.columns;
+  Buffer.add_string buf (String.make (Array.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let sanitize cell = String.map (fun c -> if c = ',' then ';' else c) cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map sanitize row) in
+  let body = String.concat "\n" (line t.columns :: List.map line (List.rev t.rows)) in
+  body ^ "\n"
+
+let save_csv t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

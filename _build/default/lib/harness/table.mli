@@ -1,0 +1,25 @@
+(** Aligned plain-text tables and CSV emission for the experiment
+    harness. Every benchmark table in EXPERIMENTS.md is printed through
+    this module so the formatting is uniform. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** Convenience: a label cell followed by integer cells. *)
+
+val render : t -> string
+(** The table as an aligned text block, title first. *)
+
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)
+
+val to_csv : t -> string
+(** Comma-separated values (header + rows), commas in cells replaced by
+    semicolons. *)
+
+val save_csv : t -> path:string -> unit

@@ -1,0 +1,16 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_median ?(repeats = 5) f =
+  let repeats = max 1 repeats in
+  let times = Array.make repeats 0.0 in
+  let result = ref None in
+  for i = 0 to repeats - 1 do
+    let r, dt = time f in
+    result := Some r;
+    times.(i) <- dt
+  done;
+  Array.sort compare times;
+  (Option.get !result, times.(repeats / 2))

@@ -1,0 +1,11 @@
+(** Wall-clock measurement for the running-time experiments (E3). For
+    statistically careful micro-benchmarks the bench executable uses
+    Bechamel; this is the lightweight utility for one-shot timings inside
+    experiment tables. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** Run [repeats] times (default 5) and report the median elapsed
+    seconds of the runs together with the last result. *)

@@ -1,0 +1,1 @@
+lib/knapsack/knapsack.mli:

@@ -1,0 +1,204 @@
+type solution = {
+  value : int;
+  weight : int;
+  chosen : bool array;
+}
+
+let validate ~weights ~values ~capacity =
+  let n = Array.length weights in
+  if Array.length values <> n then
+    invalid_arg "Knapsack: weights and values lengths differ";
+  if capacity < 0 then invalid_arg "Knapsack: negative capacity";
+  Array.iter (fun w -> if w < 0 then invalid_arg "Knapsack: negative weight") weights;
+  Array.iter (fun v -> if v < 0 then invalid_arg "Knapsack: negative value") values;
+  n
+
+let solution_of_mask ~weights ~values chosen =
+  let value = ref 0 and weight = ref 0 in
+  Array.iteri
+    (fun i keep ->
+      if keep then begin
+        value := !value + values.(i);
+        weight := !weight + weights.(i)
+      end)
+    chosen;
+  { value = !value; weight = !weight; chosen }
+
+let max_value_exact ~weights ~values ~capacity =
+  let n = validate ~weights ~values ~capacity in
+  (* dp.(w) = best value with total weight <= w, rebuilt item by item;
+     take.(i).(w) records whether item i is taken at weight budget w. *)
+  let dp = Array.make (capacity + 1) 0 in
+  let take = Array.make_matrix n (capacity + 1) false in
+  for i = 0 to n - 1 do
+    let wi = weights.(i) and vi = values.(i) in
+    if wi <= capacity then
+      for w = capacity downto wi do
+        let candidate = dp.(w - wi) + vi in
+        if candidate > dp.(w) then begin
+          dp.(w) <- candidate;
+          take.(i).(w) <- true
+        end
+      done
+  done;
+  let chosen = Array.make n false in
+  let w = ref capacity in
+  for i = n - 1 downto 0 do
+    if take.(i).(!w) then begin
+      chosen.(i) <- true;
+      w := !w - weights.(i)
+    end
+  done;
+  solution_of_mask ~weights ~values chosen
+
+let brute_force ~weights ~values ~capacity =
+  let n = validate ~weights ~values ~capacity in
+  if n > 25 then invalid_arg "Knapsack.brute_force: too many items";
+  let best_value = ref (-1) in
+  let best_mask = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let value = ref 0 and weight = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        value := !value + values.(i);
+        weight := !weight + weights.(i)
+      end
+    done;
+    if !weight <= capacity && !value > !best_value then begin
+      best_value := !value;
+      best_mask := mask
+    end
+  done;
+  let chosen = Array.init n (fun i -> !best_mask land (1 lsl i) <> 0) in
+  solution_of_mask ~weights ~values chosen
+
+let max_value_fptas ~weights ~values ~capacity ~epsilon =
+  let n = validate ~weights ~values ~capacity in
+  if epsilon <= 0.0 then invalid_arg "Knapsack.max_value_fptas: epsilon <= 0";
+  let vmax = Array.fold_left max 0 values in
+  if n = 0 || vmax = 0 then
+    (* Value is identically 0: keep everything that fits greedily. *)
+    solution_of_mask ~weights ~values
+      (let room = ref capacity in
+       Array.map
+         (fun w ->
+           if w <= !room then begin
+             room := !room - w;
+             true
+           end
+           else false)
+         weights)
+  else begin
+    (* Scale values down by mu, then DP on "min weight to reach scaled
+       value v". Scaled optimum <= n * floor(vmax/mu) <= n^2/epsilon. *)
+    let mu = max 1 (int_of_float (epsilon *. float_of_int vmax /. float_of_int n)) in
+    let scaled = Array.map (fun v -> v / mu) values in
+    let vbound = Array.fold_left ( + ) 0 scaled in
+    let inf = max_int / 2 in
+    let dp = Array.make (vbound + 1) inf in
+    let take = Array.make_matrix n (vbound + 1) false in
+    dp.(0) <- 0;
+    for i = 0 to n - 1 do
+      let wi = weights.(i) and vi = scaled.(i) in
+      for v = vbound downto vi do
+        if dp.(v - vi) + wi < dp.(v) then begin
+          dp.(v) <- dp.(v - vi) + wi;
+          take.(i).(v) <- true
+        end
+      done
+    done;
+    let best_v = ref 0 in
+    for v = 0 to vbound do
+      if dp.(v) <= capacity then best_v := v
+    done;
+    let chosen = Array.make n false in
+    let v = ref !best_v in
+    for i = n - 1 downto 0 do
+      if take.(i).(!v) then begin
+        chosen.(i) <- true;
+        v := !v - scaled.(i)
+      end
+    done;
+    solution_of_mask ~weights ~values chosen
+  end
+
+let greedy_density ~weights ~values ~capacity ~slack =
+  let n = validate ~weights ~values ~capacity in
+  if slack < 0 then invalid_arg "Knapsack.greedy_density: negative slack";
+  let chosen = Array.make n true in
+  let total = Array.fold_left ( + ) 0 weights in
+  if total <= capacity + slack then solution_of_mask ~weights ~values chosen
+  else begin
+    let order = Array.init n (fun i -> i) in
+    (* Increasing value density; zero-weight items have infinite density
+       and are never discarded before positive-weight ones. Ties by index
+       keep the result deterministic. *)
+    let density i =
+      if weights.(i) = 0 then infinity
+      else float_of_int values.(i) /. float_of_int weights.(i)
+    in
+    Array.sort
+      (fun i j ->
+        let di = density i and dj = density j in
+        if di <> dj then compare di dj else compare i j)
+      order;
+    let kept = ref total in
+    let idx = ref 0 in
+    while !kept > capacity + slack && !idx < n do
+      let i = order.(!idx) in
+      if weights.(i) > 0 then begin
+        chosen.(i) <- false;
+        kept := !kept - weights.(i)
+      end;
+      incr idx
+    done;
+    solution_of_mask ~weights ~values chosen
+  end
+
+let max_value_branch_and_bound ~weights ~values ~capacity =
+  let n = validate ~weights ~values ~capacity in
+  (* Decreasing value density; zero-weight positive-value items are free
+     and taken up front by density infinity. *)
+  let order = Array.init n (fun i -> i) in
+  let density i =
+    if weights.(i) = 0 then infinity
+    else float_of_int values.(i) /. float_of_int weights.(i)
+  in
+  Array.sort
+    (fun i j ->
+      let di = density i and dj = density j in
+      if di <> dj then compare dj di else compare i j)
+    order;
+  (* Dantzig bound: fill the remaining capacity fractionally from
+     position [idx] onwards. Zero-weight items always contribute fully
+     (they sort first, so none follow the first partial item). *)
+  let rec fractional idx room acc =
+    if idx >= n then acc
+    else begin
+      let i = order.(idx) in
+      if weights.(i) = 0 then fractional (idx + 1) room (acc +. float_of_int values.(i))
+      else if weights.(i) <= room then
+        fractional (idx + 1) (room - weights.(i)) (acc +. float_of_int values.(i))
+      else acc +. (float_of_int values.(i) *. float_of_int room /. float_of_int weights.(i))
+    end
+  in
+  let best = ref (-1) in
+  let best_mask = Array.make n false in
+  let cur_mask = Array.make n false in
+  let rec dfs idx room value =
+    if value > !best then begin
+      best := value;
+      Array.blit cur_mask 0 best_mask 0 n
+    end;
+    if idx < n && fractional idx room (float_of_int value) > float_of_int !best then begin
+      let i = order.(idx) in
+      if weights.(i) <= room then begin
+        cur_mask.(i) <- true;
+        dfs (idx + 1) (room - weights.(i)) (value + values.(i));
+        cur_mask.(i) <- false
+      end;
+      dfs (idx + 1) room value
+    end
+  in
+  dfs 0 capacity 0;
+  solution_of_mask ~weights ~values (Array.copy best_mask)

@@ -1,0 +1,59 @@
+(** 0/1 knapsack solvers.
+
+    §3.2 of the paper reduces the arbitrary-cost versions of the
+    per-processor quantities [a_i] and [b_i] to knapsack: "find the set of
+    small jobs to remain in the processor such that the total size is no
+    more than [T/2] and the total relocation cost of these jobs is as high
+    as possible" — i.e. maximize the {e kept} cost subject to a size cap,
+    so the {e removed} cost is minimized. The paper notes the subroutine
+    can be the exact DP when sizes are polynomially bounded, or an
+    approximation scheme otherwise; both are provided, plus the greedy
+    density heuristic with capacity slack that the paper's §3.2/§4
+    configuration procedure uses for small jobs.
+
+    Conventions: [weights.(i) >= 0], [values.(i) >= 0], [capacity >= 0].
+    All solvers return the chosen ("kept") subset as a boolean mask. *)
+
+type solution = {
+  value : int;  (** total value of the chosen subset *)
+  weight : int;  (** total weight of the chosen subset *)
+  chosen : bool array;
+}
+
+val max_value_exact : weights:int array -> values:int array -> capacity:int -> solution
+(** Exact DP over weights, [O(n * capacity)] time and space.
+    @raise Invalid_argument on negative inputs or mismatched lengths. *)
+
+val max_value_fptas :
+  weights:int array -> values:int array -> capacity:int -> epsilon:float -> solution
+(** Value-scaling FPTAS: the returned value is at least
+    [(1 - epsilon) * optimum], and the weight respects [capacity]
+    exactly. [O(n^2 * (n / epsilon))] worst case, independent of the
+    magnitudes of the weights.
+    @raise Invalid_argument if [epsilon <= 0]. *)
+
+val greedy_density :
+  weights:int array -> values:int array -> capacity:int -> slack:int -> solution
+(** Start from keeping every item and discard items in increasing
+    value-density order (value per unit weight, cheapest-to-lose first)
+    until the kept weight is at most [capacity + slack]. This is the
+    paper's "remove small jobs greedily by cost-to-size ratio until the
+    total size is within the cap plus one small-job slack" step (§3.2/§4).
+
+    Guarantee (the paper's small-jobs lemma): whenever
+    [slack >= max_i weights.(i)], the kept value is at least the exact
+    optimum value for a kept weight of [capacity] — the slack buys back
+    integrality. The kept weight never exceeds [capacity + slack].
+    @raise Invalid_argument if [slack < 0]. *)
+
+val max_value_branch_and_bound :
+  weights:int array -> values:int array -> capacity:int -> solution
+(** Exact depth-first branch-and-bound in decreasing density order with
+    the Dantzig (fractional-relaxation) upper bound for pruning. Unlike
+    the DP its cost does not grow with [capacity], which is what the
+    §3.2 algorithm needs once processor loads are large; worst case is
+    exponential in the item count but instances arising from a single
+    processor's job list prune very well. *)
+
+val brute_force : weights:int array -> values:int array -> capacity:int -> solution
+(** Exhaustive reference used by the test-suite; exponential, n <= 20. *)

@@ -1,0 +1,1 @@
+lib/lp/gap.ml: Array List Mcmf Rebal_core Simplex

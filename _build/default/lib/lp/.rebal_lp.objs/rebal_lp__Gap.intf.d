@@ -1,0 +1,1 @@
+lib/lp/gap.mli: Rebal_core

@@ -1,0 +1,1 @@
+lib/lp/mcmf.ml: Array Queue

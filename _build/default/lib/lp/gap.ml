@@ -1,0 +1,228 @@
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+
+(* Variables of the relaxation at target [t]: one per (job, machine) pair
+   with s_i <= t, restricted to the job's eligible machines when the
+   constrained variant is being solved. *)
+let variables inst ~eligible ~target =
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  let allowed i j =
+    match eligible with
+    | None -> true
+    | Some sets -> List.mem j sets.(i)
+  in
+  let vars = ref [] in
+  for i = n - 1 downto 0 do
+    if Instance.size inst i <= target then
+      for j = m - 1 downto 0 do
+        if allowed i j then vars := (i, j) :: !vars
+      done
+  done;
+  Array.of_list !vars
+
+let relocation_cost_of inst i j =
+  if Instance.initial inst i = j then 0 else Instance.cost inst i
+
+let lp_solution ?(tol = 1e-9) ?eligible ~cost_of inst ~target =
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  if Instance.max_size inst > target then None
+  else begin
+    let vars = variables inst ~eligible ~target in
+    let nv = Array.length vars in
+    let objective = Array.make nv 0.0 in
+    Array.iteri (fun v (i, j) -> objective.(v) <- float_of_int (cost_of i j)) vars;
+    let constraints = ref [] in
+    (* Each job fully assigned. *)
+    for i = 0 to n - 1 do
+      let row = Array.make nv 0.0 in
+      Array.iteri (fun v (i', _) -> if i' = i then row.(v) <- 1.0) vars;
+      constraints := (row, Simplex.Eq, 1.0) :: !constraints
+    done;
+    (* Machine loads within target. *)
+    for j = 0 to m - 1 do
+      let row = Array.make nv 0.0 in
+      Array.iteri
+        (fun v (i, j') -> if j' = j then row.(v) <- float_of_int (Instance.size inst i))
+        vars;
+      constraints := (row, Simplex.Le, float_of_int target) :: !constraints
+    done;
+    match
+      Simplex.solve ~tol
+        { Simplex.maximize = false; objective; constraints = !constraints }
+    with
+    | Simplex.Infeasible | Simplex.Unbounded -> None
+    | Simplex.Optimal { x; value } -> Some (vars, x, value)
+  end
+
+(* Slot construction + min-cost matching. [frac] holds x_ij > tol. *)
+let round ~cost_of inst ~vars ~x ~tol =
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  (* Per machine: jobs with positive fraction, sorted by decreasing size. *)
+  let per_machine = Array.make m [] in
+  Array.iteri
+    (fun v (i, j) -> if x.(v) > tol then per_machine.(j) <- (i, x.(v)) :: per_machine.(j))
+    vars;
+  (* Build slots: slot = (machine, slot-rank); edges job -> slot. *)
+  let slots = ref [] in
+  let edges = ref [] in
+  let nslots = ref 0 in
+  for j = 0 to m - 1 do
+    let jobs =
+      List.sort
+        (fun (i1, _) (i2, _) ->
+          let s1 = Instance.size inst i1 and s2 = Instance.size inst i2 in
+          if s1 <> s2 then compare s2 s1 else compare i1 i2)
+        per_machine.(j)
+    in
+    if jobs <> [] then begin
+      let slot_id = ref !nslots in
+      slots := (!slot_id, j) :: !slots;
+      incr nslots;
+      let room = ref 1.0 in
+      List.iter
+        (fun (i, f) ->
+          let remaining = ref f in
+          (* Greedily pour this job's fraction into consecutive slots. *)
+          while !remaining > tol do
+            if !room <= tol then begin
+              slot_id := !nslots;
+              slots := (!slot_id, j) :: !slots;
+              incr nslots;
+              room := 1.0
+            end;
+            let put = min !remaining !room in
+            edges := (i, !slot_id) :: !edges;
+            remaining := !remaining -. put;
+            room := !room -. put
+          done)
+        jobs
+    end
+  done;
+  let slot_machine = Array.make (max 1 !nslots) 0 in
+  List.iter (fun (s, j) -> slot_machine.(s) <- j) !slots;
+  (* Min-cost perfect matching of jobs to slots over the support edges:
+     source(0) -> jobs (1..n) -> slots (n+1..n+nslots) -> sink. *)
+  let source = 0 and sink = n + !nslots + 1 in
+  let g = Mcmf.create (sink + 1) in
+  for i = 0 to n - 1 do
+    Mcmf.add_edge g ~src:source ~dst:(1 + i) ~capacity:1 ~cost:0
+  done;
+  let job_slot_edges = ref [] in
+  List.iter
+    (fun (i, s) ->
+      let id = Mcmf.flow_on g in
+      Mcmf.add_edge g ~src:(1 + i) ~dst:(1 + n + s)
+        ~capacity:1
+        ~cost:(cost_of i slot_machine.(s));
+      job_slot_edges := (id, i, s) :: !job_slot_edges)
+    !edges;
+  for s = 0 to !nslots - 1 do
+    Mcmf.add_edge g ~src:(1 + n + s) ~dst:sink ~capacity:1 ~cost:0
+  done;
+  let flow, _cost = Mcmf.min_cost_max_flow g ~source ~sink in
+  if flow < n then None
+  else begin
+    let assign = Instance.initial_assignment inst in
+    List.iter
+      (fun (id, i, s) -> if Mcmf.edge_flow g id = 1 then assign.(i) <- slot_machine.(s))
+      !job_slot_edges;
+    Some (Assignment.of_array ~m assign)
+  end
+
+let general_cost ~cost_of inst assignment =
+  let total = ref 0 in
+  for i = 0 to Instance.n inst - 1 do
+    total := !total + cost_of i (Assignment.processor assignment i)
+  done;
+  !total
+
+let feasible_target_cost ?(tol = 1e-7) ?eligible ~cost_of inst ~budget ~target =
+  match lp_solution ~tol ?eligible ~cost_of inst ~target with
+  | None -> None
+  | Some (vars, x, value) ->
+    if value > float_of_int budget +. 1e-6 then None
+    else begin
+      match round ~cost_of inst ~vars ~x ~tol with
+      | None -> None
+      | Some assignment ->
+        (* The matching theorem promises cost <= LP cost; re-verify
+           defensively against the integer budget. *)
+        if general_cost ~cost_of inst assignment <= budget then Some assignment
+        else None
+    end
+
+let feasible_target ?tol ?eligible inst ~budget ~target =
+  feasible_target_cost ?tol ?eligible ~cost_of:(relocation_cost_of inst) inst ~budget
+    ~target
+
+let binary_search ?tol ?eligible ~cost_of inst ~budget ~lb ~ub =
+  (* Feasibility is monotone in the target, so plain binary search. *)
+  let rec search lo hi best =
+    if lo > hi then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      match feasible_target_cost ?tol ?eligible ~cost_of inst ~budget ~target:mid with
+      | Some a -> search lo (mid - 1) (Some (a, mid))
+      | None -> search (mid + 1) hi best
+    end
+  in
+  search lb ub None
+
+let solve ?tol inst ~budget =
+  if budget < 0 then invalid_arg "Gap.solve: negative budget";
+  let m = Instance.m inst in
+  let lb = max ((Instance.total_size inst + m - 1) / m) (Instance.max_size inst) in
+  let ub = max lb (Instance.initial_makespan inst) in
+  match binary_search ?tol ~cost_of:(relocation_cost_of inst) inst ~budget ~lb ~ub with
+  | Some result -> result
+  | None ->
+    (* The initial assignment is feasible at the initial makespan with
+       cost 0, so this is unreachable. *)
+    failwith "Gap.solve: no feasible target (impossible)"
+
+let solve_constrained ?tol inst ~eligible ~budget =
+  if budget < 0 then invalid_arg "Gap.solve_constrained: negative budget";
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  if Array.length eligible <> n then
+    invalid_arg "Gap.solve_constrained: eligibility length mismatch";
+  Array.iteri
+    (fun i sets ->
+      ignore i;
+      List.iter
+        (fun j ->
+          if j < 0 || j >= m then
+            invalid_arg "Gap.solve_constrained: machine out of range")
+        sets)
+    eligible;
+  let lb = max ((Instance.total_size inst + m - 1) / m) (Instance.max_size inst) in
+  (* Unlike the unconstrained problem, the initial assignment need not be
+     eligible, and small targets can make the LP infeasible outright; the
+     search cap is the total size (one machine takes everything it may). *)
+  let ub = max lb (Instance.total_size inst) in
+  binary_search ?tol ~eligible ~cost_of:(relocation_cost_of inst) inst ~budget ~lb ~ub
+
+let solve_general ?tol inst ~costs ~budget =
+  if budget < 0 then invalid_arg "Gap.solve_general: negative budget";
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  if Array.length costs <> n then
+    invalid_arg "Gap.solve_general: cost matrix has wrong number of rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then
+        invalid_arg "Gap.solve_general: cost matrix has wrong number of columns";
+      Array.iter (fun c -> if c < 0 then invalid_arg "Gap.solve_general: negative cost") row)
+    costs;
+  let cost_of i j = costs.(i).(j) in
+  let lb = max ((Instance.total_size inst + m - 1) / m) (Instance.max_size inst) in
+  (* Staying put can itself be priced, so even the initial placement may
+     bust the budget: the search can fail outright. *)
+  let ub = max lb (Instance.total_size inst) in
+  match binary_search ?tol ~cost_of inst ~budget ~lb ~ub with
+  | None -> None
+  | Some (assignment, target) ->
+    Some (assignment, target, general_cost ~cost_of inst assignment)

@@ -1,0 +1,80 @@
+(** The Shmoys–Tardos 2-approximation baseline, specialized to the
+    generalized-assignment encoding of load rebalancing that §2 of the
+    paper describes: job [i] costs [0] on its initial processor and its
+    relocation cost [c_i] everywhere else, all processing times are
+    machine-independent.
+
+    For a target makespan [t], the LP relaxation minimizes total
+    relocation cost subject to fractional assignment, per-machine load at
+    most [t], and [x_ij = 0] whenever [s_i > t]. A vertex optimum is
+    rounded with the slot construction: machine [j] gets
+    [ceil(sum_i x_ij)] slots, jobs are poured into the slots in
+    decreasing size order, and a minimum-cost integral perfect matching
+    of jobs to slots (a min-cost-flow) picks the final assignment. The
+    rounded cost never exceeds the LP cost, and each machine's load is at
+    most [t] plus its largest assigned job, i.e. at most [2t].
+
+    The smallest feasible [t] is found by binary search (feasibility is
+    monotone in [t]); since the true optimum is LP-feasible at its own
+    makespan, the result is a 2-approximation within budget. *)
+
+val feasible_target :
+  ?tol:float ->
+  ?eligible:int list array ->
+  Rebal_core.Instance.t ->
+  budget:int ->
+  target:int ->
+  Rebal_core.Assignment.t option
+(** Round one target: [Some assignment] with relocation cost at most
+    [budget] and makespan at most [2 * target], or [None] when the LP is
+    infeasible or costs more than the budget. *)
+
+val solve :
+  ?tol:float -> Rebal_core.Instance.t -> budget:int -> Rebal_core.Assignment.t * int
+(** Binary-search the smallest feasible target and round it. Returns the
+    assignment and that target (a lower bound on the optimal makespan,
+    making the result a certified 2-approximation).
+    @raise Invalid_argument if [budget < 0]. *)
+
+val solve_constrained :
+  ?tol:float ->
+  Rebal_core.Instance.t ->
+  eligible:int list array ->
+  budget:int ->
+  (Rebal_core.Assignment.t * int) option
+(** The {e Constrained Load Rebalancing} problem of §5 (Corollary 1):
+    each job may only be placed on its [eligible] machines. Corollary 1
+    shows no polynomial algorithm approximates it below 3/2; the paper
+    notes the Shmoys–Tardos rounding remains the best known upper bound
+    at factor 2 — this is that algorithm, with the LP restricted to
+    eligible pairs. Returns [None] when no target is LP-feasible within
+    budget (e.g. a job whose eligible set is empty); otherwise the
+    assignment uses only eligible machines, costs at most [budget], and
+    its makespan is at most twice the smallest LP-feasible target, which
+    lower-bounds the constrained optimum.
+    @raise Invalid_argument if [budget < 0], the eligibility array length
+    differs from [n], or a machine index is out of range. *)
+
+val solve_general :
+  ?tol:float ->
+  Rebal_core.Instance.t ->
+  costs:int array array ->
+  budget:int ->
+  (Rebal_core.Assignment.t * int * int) option
+(** Full generalized-assignment costs in the §5 setting: machine-dependent
+    cost [costs.(i).(j)] charged for ending job [i] on machine [j]
+    (processing times stay machine-independent, as everywhere in the
+    paper). The instance's own relocation costs are ignored; its initial
+    assignment only matters if the matrix prices it. Returns
+    [(assignment, target, cost)] — makespan at most [2 * target] with
+    [target] a lower bound on the constrained optimum and [cost <= budget]
+    — or [None] when no target is LP-feasible within the budget (with
+    machine-dependent costs even the "do nothing" placement can be
+    unaffordable).
+
+    This is the bridge between the paper's Theorem 6 gadget (two-valued
+    costs) and its only known upper bound: run the gadget's cost matrix
+    through this solver to see the factor-2 rounding at work on the
+    instances the hardness proof builds.
+    @raise Invalid_argument on a misshapen or negative cost matrix or a
+    negative budget. *)

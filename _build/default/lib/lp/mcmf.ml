@@ -1,0 +1,136 @@
+type t = {
+  n : int;
+  mutable heads : int array; (* adjacency list heads per node *)
+  mutable nxt : int array; (* next edge index in the node's list *)
+  mutable dst : int array;
+  mutable cap : int array;
+  mutable cost : int array;
+  mutable edges : int; (* count of arcs, including residual twins *)
+  mutable original : int; (* count of user-added edges *)
+  mutable orig_cap : int array; (* original capacity per user edge *)
+  mutable orig_arc : int array; (* arc index of each user edge *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Mcmf.create";
+  {
+    n;
+    heads = Array.make (max n 1) (-1);
+    nxt = [||];
+    dst = [||];
+    cap = [||];
+    cost = [||];
+    edges = 0;
+    original = 0;
+    orig_cap = [||];
+    orig_arc = [||];
+  }
+
+let ensure_arrays t =
+  let need = t.edges + 2 in
+  if Array.length t.dst < need then begin
+    let ncap = max 16 (2 * need) in
+    let grow arr = Array.append arr (Array.make (ncap - Array.length arr) 0) in
+    t.nxt <- grow t.nxt;
+    t.dst <- grow t.dst;
+    t.cap <- grow t.cap;
+    t.cost <- grow t.cost
+  end;
+  let need_o = t.original + 1 in
+  if Array.length t.orig_cap < need_o then begin
+    let ncap = max 16 (2 * need_o) in
+    let grow arr = Array.append arr (Array.make (ncap - Array.length arr) 0) in
+    t.orig_cap <- grow t.orig_cap;
+    t.orig_arc <- grow t.orig_arc
+  end
+
+let add_arc t src dst cap cost =
+  let e = t.edges in
+  t.nxt.(e) <- t.heads.(src);
+  t.heads.(src) <- e;
+  t.dst.(e) <- dst;
+  t.cap.(e) <- cap;
+  t.cost.(e) <- cost;
+  t.edges <- e + 1
+
+let add_edge t ~src ~dst ~capacity ~cost =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Mcmf.add_edge: node out of range";
+  if capacity < 0 then invalid_arg "Mcmf.add_edge: negative capacity";
+  ensure_arrays t;
+  t.orig_cap.(t.original) <- capacity;
+  t.orig_arc.(t.original) <- t.edges;
+  t.original <- t.original + 1;
+  add_arc t src dst capacity cost;
+  add_arc t dst src 0 (-cost)
+
+let flow_on t = t.original
+let edge_flow t i = t.orig_cap.(i) - t.cap.(t.orig_arc.(i))
+
+(* Successive shortest augmenting paths; SPFA handles the negative
+   residual costs that appear after augmentation. Each augmentation pushes
+   the bottleneck along one cheapest source->sink path. *)
+let min_cost_max_flow t ~source ~sink =
+  if source < 0 || source >= t.n || sink < 0 || sink >= t.n then
+    invalid_arg "Mcmf.min_cost_max_flow: node out of range";
+  let inf = max_int / 4 in
+  let total_flow = ref 0 and total_cost = ref 0 in
+  let dist = Array.make t.n inf in
+  let in_queue = Array.make t.n false in
+  let pred_arc = Array.make t.n (-1) in
+  let continue_ = ref true in
+  while !continue_ do
+    Array.fill dist 0 t.n inf;
+    Array.fill pred_arc 0 t.n (-1);
+    dist.(source) <- 0;
+    let queue = Queue.create () in
+    Queue.add source queue;
+    in_queue.(source) <- true;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      in_queue.(u) <- false;
+      let e = ref t.heads.(u) in
+      while !e >= 0 do
+        let arc = !e in
+        if t.cap.(arc) > 0 then begin
+          let v = t.dst.(arc) in
+          let nd = dist.(u) + t.cost.(arc) in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            pred_arc.(v) <- arc;
+            if not in_queue.(v) then begin
+              in_queue.(v) <- true;
+              Queue.add v queue
+            end
+          end
+        end;
+        e := t.nxt.(arc)
+      done
+    done;
+    if dist.(sink) >= inf then continue_ := false
+    else begin
+      (* Bottleneck along the path (walk back via predecessor arcs; the
+         twin of arc 2i is 2i+1 and vice versa). *)
+      let twin arc = arc lxor 1 in
+      let rec bottleneck v acc =
+        if v = source then acc
+        else begin
+          let arc = pred_arc.(v) in
+          bottleneck t.dst.(twin arc) (min acc t.cap.(arc))
+        end
+      in
+      let push = bottleneck sink inf in
+      let rec apply v =
+        if v <> source then begin
+          let arc = pred_arc.(v) in
+          t.cap.(arc) <- t.cap.(arc) - push;
+          t.cap.(twin arc) <- t.cap.(twin arc) + push;
+          apply t.dst.(twin arc)
+        end
+      in
+      apply sink;
+      total_flow := !total_flow + push;
+      total_cost := !total_cost + (push * dist.(sink))
+    end
+  done;
+  (!total_flow, !total_cost)

@@ -1,0 +1,28 @@
+(** Minimum-cost maximum-flow on a directed graph with integer capacities
+    and integer edge costs (successive shortest paths with SPFA, which
+    tolerates zero-cost edges and needs no potentials).
+
+    Used by [Gap] to extract a minimum-cost integral matching of jobs to
+    machine slots from the fractional LP solution — the last step of the
+    Shmoys–Tardos rounding. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty graph on nodes [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> capacity:int -> cost:int -> unit
+(** Adds a directed edge (and its zero-capacity residual twin).
+    @raise Invalid_argument on node indices out of range or negative
+    capacity. *)
+
+val min_cost_max_flow : t -> source:int -> sink:int -> int * int
+(** [(flow, cost)] of a maximum flow of minimum cost. Mutates the graph's
+    residual capacities; call once per graph. *)
+
+val flow_on : t -> int
+(** Number of directed edges added so far (edge ids are [0 .. flow_on-1]
+    in insertion order). *)
+
+val edge_flow : t -> int -> int
+(** Flow routed on the [i]-th added edge after [min_cost_max_flow]. *)

@@ -1,0 +1,231 @@
+type kind =
+  | Le
+  | Ge
+  | Eq
+
+type problem = {
+  maximize : bool;
+  objective : float array;
+  constraints : (float array * kind * float) list;
+}
+
+type outcome =
+  | Optimal of { x : float array; value : float }
+  | Infeasible
+  | Unbounded
+
+(* Dense tableau:
+     tab.(r).(c) for r < rows is the constraint matrix with the rhs in the
+     last column; row [rows] is the objective row (reduced costs, with the
+     current objective value negated in the rhs cell). [basis.(r)] is the
+     variable basic in row r. We always MAXIMIZE the objective row. *)
+type tableau = {
+  tab : float array array;
+  basis : int array;
+  rows : int;
+  cols : int; (* structural + slack + artificial columns, excluding rhs *)
+}
+
+let pivot t ~row ~col ~tol =
+  let piv = t.tab.(row).(col) in
+  let prow = t.tab.(row) in
+  for c = 0 to t.cols do
+    prow.(c) <- prow.(c) /. piv
+  done;
+  for r = 0 to t.rows do
+    if r <> row then begin
+      let factor = t.tab.(r).(col) in
+      if abs_float factor > tol then begin
+        let rrow = t.tab.(r) in
+        for c = 0 to t.cols do
+          rrow.(c) <- rrow.(c) -. (factor *. prow.(c))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* One phase of maximization over the allowed columns. Bland's rule:
+   entering column is the lowest-index improving one, leaving row breaks
+   ratio ties by lowest basis index. Returns [`Optimal] or [`Unbounded]. *)
+let optimize t ~allowed ~tol =
+  let rec loop () =
+    let obj = t.tab.(t.rows) in
+    let entering = ref (-1) in
+    (try
+       for c = 0 to t.cols - 1 do
+         if allowed c && obj.(c) > tol then begin
+           entering := c;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for r = 0 to t.rows - 1 do
+        let coeff = t.tab.(r).(col) in
+        if coeff > tol then begin
+          let ratio = t.tab.(r).(t.cols) /. coeff in
+          if
+            ratio < !best_ratio -. tol
+            || (abs_float (ratio -. !best_ratio) <= tol
+               && (!best_row < 0 || t.basis.(r) < t.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := r
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col ~tol;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve ?(tol = 1e-9) { maximize; objective; constraints } =
+  let nvars = Array.length objective in
+  List.iter
+    (fun (row, _, _) ->
+      if Array.length row <> nvars then
+        invalid_arg "Simplex.solve: constraint row length mismatch")
+    constraints;
+  (* Normalize to non-negative right-hand sides. *)
+  let constraints =
+    List.map
+      (fun (row, kind, b) ->
+        if b < 0.0 then begin
+          let flipped =
+            match kind with
+            | Le -> Ge
+            | Ge -> Le
+            | Eq -> Eq
+          in
+          (Array.map (fun v -> -.v) row, flipped, -.b)
+        end
+        else (Array.copy row, kind, b))
+      constraints
+  in
+  let rows = List.length constraints in
+  let n_slack =
+    List.fold_left
+      (fun acc (_, kind, _) ->
+        match kind with
+        | Le | Ge -> acc + 1
+        | Eq -> acc)
+      0 constraints
+  in
+  let n_artificial =
+    List.fold_left
+      (fun acc (_, kind, _) ->
+        match kind with
+        | Ge | Eq -> acc + 1
+        | Le -> acc)
+      0 constraints
+  in
+  let cols = nvars + n_slack + n_artificial in
+  let tab = Array.make_matrix (rows + 1) (cols + 1) 0.0 in
+  let basis = Array.make rows (-1) in
+  let art_start = nvars + n_slack in
+  let slack_idx = ref nvars in
+  let art_idx = ref art_start in
+  List.iteri
+    (fun r (row, kind, b) ->
+      Array.blit row 0 tab.(r) 0 nvars;
+      tab.(r).(cols) <- b;
+      (match kind with
+      | Le ->
+        tab.(r).(!slack_idx) <- 1.0;
+        basis.(r) <- !slack_idx;
+        incr slack_idx
+      | Ge ->
+        tab.(r).(!slack_idx) <- -1.0;
+        incr slack_idx;
+        tab.(r).(!art_idx) <- 1.0;
+        basis.(r) <- !art_idx;
+        incr art_idx
+      | Eq ->
+        tab.(r).(!art_idx) <- 1.0;
+        basis.(r) <- !art_idx;
+        incr art_idx))
+    constraints;
+  let t = { tab; basis; rows; cols } in
+  let outcome =
+    if n_artificial > 0 then begin
+      (* Phase 1: maximize -(sum of artificials). Express the objective in
+         terms of the non-basic variables by adding the artificial rows. *)
+      for c = 0 to cols do
+        let s = ref 0.0 in
+        List.iteri
+          (fun r (_, kind, _) ->
+            match kind with
+            | Ge | Eq -> s := !s +. tab.(r).(c)
+            | Le -> ())
+          constraints;
+        t.tab.(rows).(c) <- !s
+      done;
+      for a = art_start to cols - 1 do
+        t.tab.(rows).(a) <- 0.0
+      done;
+      match optimize t ~allowed:(fun _ -> true) ~tol with
+      | `Unbounded -> `Phase1_unbounded
+      | `Optimal ->
+        if t.tab.(rows).(cols) > sqrt tol then `Infeasible
+        else begin
+          (* Drive any basic artificial out of the basis if possible. *)
+          for r = 0 to rows - 1 do
+            if t.basis.(r) >= art_start then begin
+              let found = ref false in
+              for c = 0 to art_start - 1 do
+                if (not !found) && abs_float t.tab.(r).(c) > sqrt tol then begin
+                  found := true;
+                  pivot t ~row:r ~col:c ~tol
+                end
+              done
+            end
+          done;
+          `Feasible
+        end
+    end
+    else `Feasible
+  in
+  match outcome with
+  | `Infeasible -> Infeasible
+  | `Phase1_unbounded ->
+    (* Cannot happen: phase-1 objective is bounded above by 0. *)
+    Infeasible
+  | `Feasible -> begin
+    (* Phase 2 objective, rewritten over the current basis. *)
+    let sign = if maximize then 1.0 else -1.0 in
+    let obj = t.tab.(rows) in
+    Array.fill obj 0 (cols + 1) 0.0;
+    for c = 0 to nvars - 1 do
+      obj.(c) <- sign *. objective.(c)
+    done;
+    for r = 0 to rows - 1 do
+      let b = t.basis.(r) in
+      if b < nvars then begin
+        let coeff = obj.(b) in
+        if abs_float coeff > 0.0 then
+          for c = 0 to cols do
+            obj.(c) <- obj.(c) -. (coeff *. t.tab.(r).(c))
+          done
+      end
+    done;
+    (* Artificial columns stay out of the basis in phase 2. *)
+    let allowed c = c < art_start in
+    match optimize t ~allowed ~tol with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let x = Array.make nvars 0.0 in
+      for r = 0 to rows - 1 do
+        if t.basis.(r) < nvars then x.(t.basis.(r)) <- t.tab.(r).(cols)
+      done;
+      let value = Array.fold_left ( +. ) 0.0 (Array.mapi (fun i xi -> objective.(i) *. xi) x) in
+      Optimal { x; value }
+  end

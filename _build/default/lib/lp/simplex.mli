@@ -1,0 +1,31 @@
+(** A small dense two-phase simplex solver over floats, with Bland's rule
+    for anti-cycling. Built as the substrate for the Shmoys–Tardos
+    generalized-assignment baseline (the paper's §2 points out that load
+    rebalancing reduces to GAP, whose best approximation is LP-based).
+
+    Problems are stated as: optimize [c . x] subject to row constraints
+    [a . x (<=|=|>=) b] and [x >= 0]. The solver returns a {e basic}
+    optimal solution — a vertex of the polytope — which is what the
+    rounding step of [Gap] relies on (a vertex of the GAP relaxation has
+    at most [jobs + machines] nonzero entries). *)
+
+type kind =
+  | Le
+  | Ge
+  | Eq
+
+type problem = {
+  maximize : bool;
+  objective : float array;
+  constraints : (float array * kind * float) list;
+}
+
+type outcome =
+  | Optimal of { x : float array; value : float }
+  | Infeasible
+  | Unbounded
+
+val solve : ?tol:float -> problem -> outcome
+(** [tol] (default [1e-9]) is the pivoting tolerance.
+    @raise Invalid_argument if a constraint row length differs from the
+    objective length. *)

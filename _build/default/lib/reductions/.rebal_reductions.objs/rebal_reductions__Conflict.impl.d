@@ -1,0 +1,1 @@
+lib/reductions/conflict.ml: Array Fun List Three_dm

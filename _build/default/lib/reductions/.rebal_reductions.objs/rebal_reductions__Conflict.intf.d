@@ -1,0 +1,1 @@
+lib/reductions/conflict.mli: Three_dm

@@ -1,0 +1,1 @@
+lib/reductions/move_min.ml: Array Rebal_algo Rebal_core

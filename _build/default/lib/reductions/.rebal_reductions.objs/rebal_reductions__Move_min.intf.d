@@ -1,0 +1,1 @@
+lib/reductions/move_min.mli: Rebal_core

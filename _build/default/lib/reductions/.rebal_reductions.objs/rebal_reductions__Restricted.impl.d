@@ -1,0 +1,1 @@
+lib/reductions/restricted.ml: Array Fun List Three_dm

@@ -1,0 +1,1 @@
+lib/reductions/restricted.mli: Three_dm

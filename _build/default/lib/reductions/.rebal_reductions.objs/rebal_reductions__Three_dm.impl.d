@@ -1,0 +1,1 @@
+lib/reductions/three_dm.ml: Array Fun List Rebal_workloads

@@ -1,0 +1,1 @@
+lib/reductions/three_dm.mli: Rebal_workloads

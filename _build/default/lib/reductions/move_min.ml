@@ -1,0 +1,54 @@
+module Instance = Rebal_core.Instance
+module Budget = Rebal_core.Budget
+module Exact = Rebal_algo.Exact
+
+let subset_sum numbers ~target =
+  if target < 0 then false
+  else begin
+    let reachable = Array.make (target + 1) false in
+    reachable.(0) <- true;
+    Array.iter
+      (fun a ->
+        if a >= 0 then
+          for s = target downto a do
+            if reachable.(s - a) then reachable.(s) <- true
+          done)
+      numbers;
+    reachable.(target)
+  end
+
+let partition_exists numbers =
+  let total = Array.fold_left ( + ) 0 numbers in
+  total mod 2 = 0 && subset_sum numbers ~target:(total / 2)
+
+let of_partition numbers =
+  Array.iter
+    (fun a -> if a <= 0 then invalid_arg "Move_min.of_partition: numbers must be positive")
+    numbers;
+  let total = Array.fold_left ( + ) 0 numbers in
+  if total mod 2 <> 0 then invalid_arg "Move_min.of_partition: odd total";
+  let n = Array.length numbers in
+  let inst = Instance.create ~sizes:numbers ~m:2 (Array.make n 0) in
+  (inst, total / 2)
+
+let min_moves_to_target ?node_limit inst ~target =
+  let n = Instance.n inst in
+  let opt_at k = Exact.opt_makespan_exn ?node_limit inst ~budget:(Budget.Moves k) in
+  if opt_at n > target then None
+  else begin
+    (* OPT(k) is non-increasing in k: binary search the least k that
+       reaches the target. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if opt_at mid <= target then search lo mid else search (mid + 1) hi
+      end
+    in
+    Some (search 0 n)
+  end
+
+let verify_reduction numbers =
+  let inst, target = of_partition numbers in
+  let feasible = min_moves_to_target inst ~target <> None in
+  feasible = partition_exists numbers

@@ -1,0 +1,33 @@
+(** The {e move minimization} problem of §5 (Theorem 5): given a bound on
+    the maximum processor load, minimize the number of relocations that
+    achieve it (reporting infeasible when the bound is unachievable).
+
+    The paper's reduction from the number-PARTITION problem shows no
+    polynomial approximation of any factor exists: numbers [a_1..a_r]
+    summing to [2S] become [r] jobs on processor 0 of a 2-processor
+    instance with load bound [S]; the bound is achievable — by relocating
+    the jobs of one side of the partition — iff a perfect partition
+    exists, and distinguishing "some finite move count" from "infinite"
+    is exactly deciding PARTITION. *)
+
+val subset_sum : int array -> target:int -> bool
+(** Pseudo-polynomial DP; the reference decision procedure. *)
+
+val partition_exists : int array -> bool
+(** Whether the numbers split into two halves of equal sum. *)
+
+val of_partition : int array -> Rebal_core.Instance.t * int
+(** The reduction: [(instance, load_bound)].
+    @raise Invalid_argument if the numbers' sum is odd or any is
+    non-positive. *)
+
+val min_moves_to_target :
+  ?node_limit:int -> Rebal_core.Instance.t -> target:int -> int option
+(** Minimum number of moves achieving makespan at most [target], [None]
+    when no number of moves suffices. Binary search over the move budget
+    around the exact branch-and-bound solver; exponential.
+    @raise Failure if the underlying exact solver hits its node limit. *)
+
+val verify_reduction : int array -> bool
+(** Checks that [min_moves_to_target] on the reduction instance is finite
+    iff [partition_exists]. *)

@@ -1,0 +1,119 @@
+type t = {
+  sizes : int array;
+  machines : int;
+  eligible : int list array;
+}
+
+let create ~sizes ~machines ~eligible =
+  let n = Array.length sizes in
+  if Array.length eligible <> n then
+    invalid_arg "Restricted.create: sizes and eligibility lengths differ";
+  Array.iter
+    (fun s -> if s <= 0 then invalid_arg "Restricted.create: non-positive size")
+    sizes;
+  Array.iter
+    (fun ms ->
+      if ms = [] then invalid_arg "Restricted.create: empty eligibility";
+      List.iter
+        (fun p ->
+          if p < 0 || p >= machines then
+            invalid_arg "Restricted.create: machine out of range")
+        ms)
+    eligible;
+  { sizes = Array.copy sizes; machines; eligible = Array.map (fun l -> l) eligible }
+
+let jobs t = Array.length t.sizes
+let machines t = t.machines
+let size t j = t.sizes.(j)
+let eligible t j = t.eligible.(j)
+
+let feasible t ~target =
+  let n = jobs t in
+  (* Most-constrained-first ordering: fewest eligible machines, then
+     largest size. *)
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun j1 j2 ->
+      let e1 = List.length t.eligible.(j1) and e2 = List.length t.eligible.(j2) in
+      if e1 <> e2 then compare e1 e2
+      else if t.sizes.(j1) <> t.sizes.(j2) then compare t.sizes.(j2) t.sizes.(j1)
+      else compare j1 j2)
+    order;
+  let load = Array.make t.machines 0 in
+  let assign = Array.make n (-1) in
+  let rec place idx =
+    if idx = n then true
+    else begin
+      let j = order.(idx) in
+      List.exists
+        (fun p ->
+          if load.(p) + t.sizes.(j) <= target then begin
+            load.(p) <- load.(p) + t.sizes.(j);
+            assign.(j) <- p;
+            if place (idx + 1) then true
+            else begin
+              load.(p) <- load.(p) - t.sizes.(j);
+              assign.(j) <- -1;
+              false
+            end
+          end
+          else false)
+        t.eligible.(j)
+    end
+  in
+  if place 0 then Some (Array.copy assign) else None
+
+let min_makespan t =
+  let total = Array.fold_left ( + ) 0 t.sizes in
+  let lb = Array.fold_left max 0 t.sizes in
+  let rec scan target =
+    if target > total then None
+    else begin
+      match feasible t ~target with
+      | Some _ -> Some target
+      | None -> scan (target + 1)
+    end
+  in
+  scan lb
+
+let of_three_dm dm =
+  let n = Three_dm.n dm in
+  let m = Three_dm.size dm in
+  (* Machines of each type (= A-coordinate), and the machines containing
+     each B / C element. *)
+  let by_type = Array.make n [] in
+  let by_b = Array.make n [] in
+  let by_c = Array.make n [] in
+  for i = m - 1 downto 0 do
+    let a, b, c = Three_dm.triple dm i in
+    by_type.(a) <- i :: by_type.(a);
+    by_b.(b) <- i :: by_b.(b);
+    by_c.(c) <- i :: by_c.(c)
+  done;
+  for u = 0 to n - 1 do
+    if by_b.(u) = [] || by_c.(u) = [] then
+      invalid_arg "Restricted.of_three_dm: uncovered element (trivially NO)"
+  done;
+  let sizes = ref [] and eligible = ref [] in
+  (* 2n element jobs of size 1. *)
+  for u = n - 1 downto 0 do
+    sizes := 1 :: 1 :: !sizes;
+    eligible := by_b.(u) :: by_c.(u) :: !eligible
+  done;
+  (* t_j - 1 dummy jobs of size 2 per type j. *)
+  for j = 0 to n - 1 do
+    let t_j = List.length by_type.(j) in
+    for _ = 1 to t_j - 1 do
+      sizes := 2 :: !sizes;
+      eligible := by_type.(j) :: !eligible
+    done
+  done;
+  create ~sizes:(Array.of_list !sizes) ~machines:m
+    ~eligible:(Array.of_list !eligible)
+
+let verify_reduction dm =
+  match of_three_dm dm with
+  | exception Invalid_argument _ -> not (Three_dm.has_perfect_matching dm)
+  | gadget ->
+    let schedulable = feasible gadget ~target:2 <> None in
+    schedulable = Three_dm.has_perfect_matching dm

@@ -1,0 +1,50 @@
+(** Restricted assignment — each job may only run on an {e eligible}
+    subset of the machines. This single model carries both of the paper's
+    remaining §5 hardness results:
+
+    - Theorem 6 (two-valued costs): in the gadget built from a
+      3-dimensional matching instance, assigning any job outside its
+      eligible set costs [q] instead of [p], and a cost budget of
+      [(m + n) * p] forces every job onto an eligible machine. So
+      "makespan 2 within budget" is exactly [feasible ~target:2] here.
+    - Corollary 1 (Constrained Load Rebalancing): eligibility {e is} the
+      constraint, so a polynomial algorithm approximating the makespan
+      below 3/2 would decide [feasible ~target:2] vs "at least 3" and
+      hence 3DM.
+
+    The gadget (§5, proof of Theorem 6): machines are the [m] triples;
+    for each 3DM type [j] (the [A]-element), [t_j - 1] {e dummy} jobs of
+    size 2 are eligible exactly on the type-[j] machines; each of the
+    [2n] {e element} jobs (the [B] and [C] elements) has size 1 and is
+    eligible exactly on the machines whose triple contains it. A schedule
+    of makespan 2 exists iff the 3DM instance has a perfect matching. *)
+
+type t
+
+val create : sizes:int array -> machines:int -> eligible:int list array -> t
+(** @raise Invalid_argument on empty/out-of-range eligibility lists,
+    non-positive sizes, or mismatched lengths. *)
+
+val jobs : t -> int
+val machines : t -> int
+val size : t -> int -> int
+val eligible : t -> int -> int list
+
+val feasible : t -> target:int -> int array option
+(** An assignment of every job to an eligible machine with makespan at
+    most [target], if one exists. Backtracking; exponential. *)
+
+val min_makespan : t -> int option
+(** The smallest feasible makespan ([None] if some job has no eligible
+    machine — cannot happen for values of [create]). Linear scan of
+    feasible targets from the trivial lower bound. *)
+
+val of_three_dm : Three_dm.t -> t
+(** Theorem 6's gadget.
+    @raise Invalid_argument if some 3DM element of [B] or [C] appears in
+    no triple (the gadget would contain a job with empty eligibility;
+    such instances are trivially NO instances). *)
+
+val verify_reduction : Three_dm.t -> bool
+(** [feasible ~target:2] on the gadget agrees with the existence of a
+    perfect matching. *)

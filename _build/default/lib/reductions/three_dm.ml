@@ -1,0 +1,71 @@
+module Rng = Rebal_workloads.Rng
+
+type t = {
+  n : int;
+  triples : (int * int * int) array;
+}
+
+let create ~n ~triples =
+  Array.iter
+    (fun (a, b, c) ->
+      if a < 0 || a >= n || b < 0 || b >= n || c < 0 || c >= n then
+        invalid_arg "Three_dm.create: element out of range")
+    triples;
+  { n; triples = Array.copy triples }
+
+let n t = t.n
+let size t = Array.length t.triples
+let triple t i = t.triples.(i)
+let triples t = Array.copy t.triples
+
+(* Cover A-elements in order; for each, try the triples whose A-coordinate
+   matches and whose B and C elements are still free. *)
+let matching t =
+  let by_a = Array.make t.n [] in
+  Array.iteri
+    (fun i (a, _, _) -> by_a.(a) <- i :: by_a.(a))
+    t.triples;
+  let used_b = Array.make t.n false in
+  let used_c = Array.make t.n false in
+  let chosen = Array.make t.n (-1) in
+  let rec cover a =
+    if a = t.n then true
+    else
+      List.exists
+        (fun i ->
+          let _, b, c = t.triples.(i) in
+          if used_b.(b) || used_c.(c) then false
+          else begin
+            used_b.(b) <- true;
+            used_c.(c) <- true;
+            chosen.(a) <- i;
+            if cover (a + 1) then true
+            else begin
+              used_b.(b) <- false;
+              used_c.(c) <- false;
+              chosen.(a) <- -1;
+              false
+            end
+          end)
+        by_a.(a)
+  in
+  if t.n = 0 then Some [||] else if cover 0 then Some chosen else None
+
+let has_perfect_matching t = matching t <> None
+
+let random_yes rng ~n ~extra =
+  let perm_b = Array.init n Fun.id in
+  let perm_c = Array.init n Fun.id in
+  Rng.shuffle rng perm_b;
+  Rng.shuffle rng perm_c;
+  let planted = Array.init n (fun a -> (a, perm_b.(a), perm_c.(a))) in
+  let noise =
+    Array.init extra (fun _ -> (Rng.int rng n, Rng.int rng n, Rng.int rng n))
+  in
+  let all = Array.append planted noise in
+  Rng.shuffle rng all;
+  create ~n ~triples:all
+
+let random rng ~n ~triples =
+  create ~n
+    ~triples:(Array.init triples (fun _ -> (Rng.int rng n, Rng.int rng n, Rng.int rng n)))

@@ -1,0 +1,37 @@
+(** 3-dimensional matching, the NP-complete problem both §5 reductions of
+    the paper start from. An instance over element universes
+    [A = B = C = {0 .. n-1}] is a family of triples; the question is
+    whether [n] pairwise-disjoint triples cover all three universes.
+
+    The brute-force decision procedure makes the executable reductions
+    testable in both directions on small instances. *)
+
+type t
+
+val create : n:int -> triples:(int * int * int) array -> t
+(** @raise Invalid_argument if any coordinate is outside [0 .. n-1]. *)
+
+val n : t -> int
+(** Universe size. *)
+
+val size : t -> int
+(** Number of triples ([m] in the paper's notation; the reductions
+    require [m >= n] to be meaningful). *)
+
+val triple : t -> int -> int * int * int
+
+val triples : t -> (int * int * int) array
+(** Fresh copy of the family. *)
+
+val has_perfect_matching : t -> bool
+(** Backtracking decision; exponential, use [n <= 8] or so. *)
+
+val matching : t -> int array option
+(** A witness: [n] triple indices forming a matching, if one exists. *)
+
+val random_yes : Rebal_workloads.Rng.t -> n:int -> extra:int -> t
+(** A planted YES instance: a random perfect matching plus [extra] random
+    noise triples, shuffled. *)
+
+val random : Rebal_workloads.Rng.t -> n:int -> triples:int -> t
+(** [triples] uniformly random triples; may or may not have a matching. *)

@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Printf Rebal_algo Rebal_core

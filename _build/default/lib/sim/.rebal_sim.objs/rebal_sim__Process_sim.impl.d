@@ -1,0 +1,1 @@
+lib/sim/process_sim.ml: Array Float List Policy Rebal_core Rebal_workloads

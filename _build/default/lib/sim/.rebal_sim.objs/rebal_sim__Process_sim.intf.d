@@ -1,0 +1,1 @@
+lib/sim/process_sim.mli: Policy Rebal_workloads

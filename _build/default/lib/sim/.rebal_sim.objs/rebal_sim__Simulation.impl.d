@@ -1,0 +1,1 @@
+lib/sim/simulation.ml: Array Policy Rebal_algo Rebal_core Traffic

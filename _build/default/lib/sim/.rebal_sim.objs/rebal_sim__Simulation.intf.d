@@ -1,0 +1,1 @@
+lib/sim/simulation.mli: Policy Traffic

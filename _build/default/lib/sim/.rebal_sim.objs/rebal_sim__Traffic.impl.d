@@ -1,0 +1,1 @@
+lib/sim/traffic.ml: Array Float Fun Rebal_workloads

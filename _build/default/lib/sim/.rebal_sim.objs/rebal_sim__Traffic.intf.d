@@ -1,0 +1,1 @@
+lib/sim/traffic.mli: Rebal_workloads

@@ -1,0 +1,36 @@
+type t =
+  | No_rebalance
+  | Greedy of int
+  | M_partition of int
+  | Local_search of int
+  | Full_lpt
+  | Triggered of { k : int; threshold : float }
+
+let name = function
+  | No_rebalance -> "none"
+  | Greedy k -> Printf.sprintf "greedy(k=%d)" k
+  | M_partition k -> Printf.sprintf "m-partition(k=%d)" k
+  | Local_search k -> Printf.sprintf "local-search(k=%d)" k
+  | Full_lpt -> "full-lpt"
+  | Triggered { k; threshold } -> Printf.sprintf "triggered(k=%d,t=%.2f)" k threshold
+
+let budget = function
+  | No_rebalance -> Some 0
+  | Greedy k | M_partition k | Local_search k | Triggered { k; _ } -> Some k
+  | Full_lpt -> None
+
+let apply policy inst =
+  match policy with
+  | No_rebalance -> Rebal_core.Assignment.identity inst
+  | Greedy k -> Rebal_algo.Greedy.solve inst ~k
+  | M_partition k -> Rebal_algo.M_partition.solve inst ~k
+  | Local_search k -> Rebal_algo.Local_search.solve inst ~k
+  | Full_lpt -> Rebal_algo.Lpt.solve inst
+  | Triggered { k; threshold } ->
+    let m = Rebal_core.Instance.m inst in
+    let total = Rebal_core.Instance.total_size inst in
+    let average = float_of_int total /. float_of_int m in
+    let makespan = float_of_int (Rebal_core.Instance.initial_makespan inst) in
+    if average > 0.0 && makespan /. average > threshold then
+      Rebal_algo.M_partition.solve inst ~k
+    else Rebal_core.Assignment.identity inst

@@ -1,0 +1,26 @@
+(** Rebalancing policies the simulator can run each rebalancing round.
+    Each policy consumes a load-rebalancing instance (sites as jobs,
+    current rates as sizes, the current placement as the initial
+    assignment) and returns a new placement. *)
+
+type t =
+  | No_rebalance  (** leave everything where it is *)
+  | Greedy of int  (** the paper's GREEDY with this per-round move budget *)
+  | M_partition of int  (** the paper's M-PARTITION, per-round budget *)
+  | Local_search of int  (** hill-climbing baseline, per-round budget *)
+  | Full_lpt  (** rebalance from scratch, unbounded moves *)
+  | Triggered of { k : int; threshold : float }
+      (** run M-PARTITION with budget [k], but only when the measured
+          imbalance (makespan / average) exceeds [threshold] — the
+          hysteresis pattern real operators use to avoid churn *)
+
+val name : t -> string
+
+val budget : t -> int option
+(** The per-round move budget, when the policy has one. *)
+
+val apply : t -> Rebal_core.Instance.t -> Rebal_core.Assignment.t
+(** Run one rebalancing round. The result moves at most the policy's
+    budget (unbounded for [Full_lpt], zero for [No_rebalance]).
+    [Triggered] compares the instance's initial imbalance against its
+    threshold and returns the identity assignment when below it. *)

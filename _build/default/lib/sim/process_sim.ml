@@ -1,0 +1,151 @@
+module Rng = Rebal_workloads.Rng
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+
+type lifetime =
+  | Exponential_work of float
+  | Pareto_work of { alpha : float; xmin : float }
+
+type config = {
+  cpus : int;
+  arrival_rate : float;
+  lifetime : lifetime;
+  horizon : int;
+  period : int;
+  policy : Policy.t;
+}
+
+type result = {
+  completed : int;
+  mean_slowdown : float;
+  p95_slowdown : float;
+  mean_backlog_imbalance : float;
+  migrations : int;
+  residual : int;
+}
+
+(* One service unit = [scale] micro-units of work; integer arithmetic
+   keeps runs bit-reproducible. *)
+let scale = 1000
+
+type proc = {
+  mutable remaining : int; (* micro-units *)
+  work : int;
+  arrival : int;
+  mutable cpu : int;
+}
+
+let validate cfg =
+  if cfg.cpus <= 0 then invalid_arg "Process_sim: cpus must be positive";
+  if cfg.horizon <= 0 then invalid_arg "Process_sim: horizon must be positive";
+  if cfg.period <= 0 then invalid_arg "Process_sim: period must be positive";
+  if cfg.arrival_rate <= 0.0 then invalid_arg "Process_sim: arrival rate must be positive";
+  match cfg.lifetime with
+  | Exponential_work mean ->
+    if mean <= 0.0 then invalid_arg "Process_sim: non-positive mean work"
+  | Pareto_work { alpha; xmin } ->
+    if alpha <= 0.0 || xmin <= 0.0 then invalid_arg "Process_sim: bad Pareto parameters"
+
+let poisson rng lambda =
+  (* Knuth's method; fine for the small rates used here. *)
+  let l = exp (-.lambda) in
+  let rec draw k p =
+    let p = p *. Rng.float rng 1.0 in
+    if p > l then draw (k + 1) p else k
+  in
+  draw 0 1.0
+
+let sample_work rng = function
+  | Exponential_work mean ->
+    max 1 (int_of_float (Rng.exponential rng ~mean *. float_of_int scale))
+  | Pareto_work { alpha; xmin } ->
+    let u = ref (Rng.float rng 1.0) in
+    while !u <= 0.0 do
+      u := Rng.float rng 1.0
+    done;
+    let w = xmin /. (!u ** (1.0 /. alpha)) in
+    (* Cap at 10^4 service units so one sample cannot dwarf the horizon. *)
+    let capped = Float.min w 10_000.0 in
+    max 1 (int_of_float (capped *. float_of_int scale))
+
+let run rng cfg =
+  validate cfg;
+  let alive = ref [] in
+  let slowdowns = ref [] in
+  let completed = ref 0 in
+  let migrations = ref 0 in
+  let imbalance_sum = ref 0.0 in
+  let imbalance_samples = ref 0 in
+  let backlog = Array.make cfg.cpus 0 in
+  let count = Array.make cfg.cpus 0 in
+  for t = 0 to cfg.horizon - 1 do
+    (* Arrivals land on a uniformly random CPU. *)
+    let arrivals = poisson rng cfg.arrival_rate in
+    for _ = 1 to arrivals do
+      let work = sample_work rng cfg.lifetime in
+      alive := { remaining = work; work; arrival = t; cpu = Rng.int rng cfg.cpus } :: !alive
+    done;
+    (* Rebalancing round: remaining work is the job size. *)
+    if t > 0 && t mod cfg.period = 0 && !alive <> [] then begin
+      let procs = Array.of_list !alive in
+      let sizes = Array.map (fun p -> max 1 p.remaining) procs in
+      let initial = Array.map (fun p -> p.cpu) procs in
+      let inst = Instance.create ~sizes ~m:cfg.cpus initial in
+      let next = Policy.apply cfg.policy inst in
+      Array.iteri
+        (fun i p ->
+          let dst = Assignment.processor next i in
+          if dst <> p.cpu then begin
+            incr migrations;
+            p.cpu <- dst
+          end)
+        procs
+    end;
+    (* Processor sharing: each CPU spreads [scale] micro-units across its
+       residents. *)
+    Array.fill count 0 cfg.cpus 0;
+    Array.fill backlog 0 cfg.cpus 0;
+    List.iter
+      (fun p ->
+        count.(p.cpu) <- count.(p.cpu) + 1;
+        backlog.(p.cpu) <- backlog.(p.cpu) + p.remaining)
+      !alive;
+    let total_backlog = Array.fold_left ( + ) 0 backlog in
+    if total_backlog > 0 then begin
+      let mean = float_of_int total_backlog /. float_of_int cfg.cpus in
+      let mx = float_of_int (Array.fold_left max 0 backlog) in
+      imbalance_sum := !imbalance_sum +. (mx /. mean);
+      incr imbalance_samples
+    end;
+    let survivors = ref [] in
+    List.iter
+      (fun p ->
+        let share = scale / max 1 count.(p.cpu) in
+        p.remaining <- p.remaining - share;
+        if p.remaining <= 0 then begin
+          incr completed;
+          let sojourn = float_of_int (t + 1 - p.arrival) in
+          let service = float_of_int p.work /. float_of_int scale in
+          slowdowns := (sojourn /. Float.max service 1e-9) :: !slowdowns
+        end
+        else survivors := p :: !survivors)
+      !alive;
+    alive := !survivors
+  done;
+  let slow = Array.of_list !slowdowns in
+  Array.sort compare slow;
+  let n = Array.length slow in
+  let mean_slowdown =
+    if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 slow /. float_of_int n
+  in
+  let p95_slowdown = if n = 0 then 0.0 else slow.(min (n - 1) (95 * n / 100)) in
+  {
+    completed = !completed;
+    mean_slowdown;
+    p95_slowdown;
+    mean_backlog_imbalance =
+      (if !imbalance_samples = 0 then 1.0
+       else !imbalance_sum /. float_of_int !imbalance_samples);
+    migrations = !migrations;
+    residual = List.length !alive;
+  }

@@ -1,0 +1,53 @@
+(** Process-migration simulator — the paper's other §1 motivation.
+
+    A small cluster of CPUs runs a churning population of processes.
+    Each CPU is processor-sharing: at every time step it delivers one
+    unit of service, split equally among its resident processes. New
+    processes arrive as a Poisson stream and land on a uniformly random
+    CPU; each carries a total work requirement drawn from a configurable
+    lifetime distribution and departs when served in full. Periodically a
+    rebalancing policy may migrate at most its budget of processes,
+    treating remaining work as the job size.
+
+    The §1 literature disagrees about whether such migration is worth it:
+    Harchol-Balter & Downey [6] argue yes because real process lifetimes
+    are heavy-tailed (a few marathon processes dominate and are worth
+    moving), Lazowska et al [9] argue the benefit is limited for
+    well-behaved (exponential) workloads. Both positions are reproducible
+    here by switching [lifetime] — experiment E13 does exactly that.
+
+    The headline metric is the mean {e slowdown} of completed processes:
+    (completion time − arrival time) / total work, i.e. how many times
+    longer than its bare service requirement a process took. *)
+
+type lifetime =
+  | Exponential_work of float  (** mean work per process *)
+  | Pareto_work of { alpha : float; xmin : float }
+      (** heavy tail: [P(W > w) = (xmin / w)^alpha], the [6] model *)
+
+type config = {
+  cpus : int;
+  arrival_rate : float;  (** expected process arrivals per time step *)
+  lifetime : lifetime;
+  horizon : int;  (** simulated time steps *)
+  period : int;  (** steps between rebalancing rounds *)
+  policy : Policy.t;
+}
+
+type result = {
+  completed : int;
+  mean_slowdown : float;
+  p95_slowdown : float;
+  mean_backlog_imbalance : float;
+      (** time-average of (max CPU backlog / mean CPU backlog), sampled
+          on steps where the system is non-empty *)
+  migrations : int;
+  residual : int;  (** processes still running at the horizon *)
+}
+
+val run : Rebal_workloads.Rng.t -> config -> result
+(** Simulate. Work quantities are tracked in integer micro-units
+    internally, so results are exactly reproducible for a given seed.
+    @raise Invalid_argument on non-positive [cpus], [horizon] or
+    [period], a non-positive arrival rate, or nonsense lifetime
+    parameters. *)

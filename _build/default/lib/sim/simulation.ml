@@ -1,0 +1,82 @@
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+
+type step = {
+  time : int;
+  makespan : int;
+  average : float;
+  imbalance : float;
+  moves : int;
+}
+
+type result = {
+  steps : step array;
+  total_moves : int;
+  peak_makespan : int;
+  mean_imbalance : float;
+  p95_imbalance : float;
+  final_placement : int array;
+}
+
+type config = {
+  servers : int;
+  period : int;
+  policy : Policy.t;
+}
+
+let percentile values p =
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let idx = int_of_float (p *. float_of_int (n - 1)) in
+    sorted.(idx)
+  end
+
+let run traffic { servers; period; policy } =
+  if servers <= 0 then invalid_arg "Simulation.run: servers must be positive";
+  if period <= 0 then invalid_arg "Simulation.run: period must be positive";
+  let sites = Traffic.sites traffic in
+  let horizon = Traffic.horizon traffic in
+  (* Initial placement: LPT on the rates at time 0. *)
+  let placement =
+    let rates0 = Traffic.rates_at traffic ~time:0 in
+    let inst0 = Instance.create ~sizes:rates0 ~m:servers (Array.make sites 0) in
+    Assignment.to_array (Rebal_algo.Lpt.solve inst0)
+  in
+  let steps = Array.make horizon { time = 0; makespan = 0; average = 0.0; imbalance = 1.0; moves = 0 } in
+  let total_moves = ref 0 in
+  for time = 0 to horizon - 1 do
+    let rates = Traffic.rates_at traffic ~time in
+    let moves =
+      if time > 0 && time mod period = 0 then begin
+        let inst = Instance.create ~sizes:rates ~m:servers placement in
+        let next = Policy.apply policy inst in
+        let moved = Assignment.moves inst next in
+        Array.blit (Assignment.to_array next) 0 placement 0 sites;
+        moved
+      end
+      else 0
+    in
+    total_moves := !total_moves + moves;
+    let load = Array.make servers 0 in
+    Array.iteri (fun s p -> load.(p) <- load.(p) + rates.(s)) placement;
+    let makespan = Array.fold_left max 0 load in
+    let total = Array.fold_left ( + ) 0 rates in
+    let average = float_of_int total /. float_of_int servers in
+    let imbalance = if average > 0.0 then float_of_int makespan /. average else 1.0 in
+    steps.(time) <- { time; makespan; average; imbalance; moves }
+  done;
+  let imbalances = Array.map (fun s -> s.imbalance) steps in
+  let mean_imbalance =
+    Array.fold_left ( +. ) 0.0 imbalances /. float_of_int horizon
+  in
+  {
+    steps;
+    total_moves = !total_moves;
+    peak_makespan = Array.fold_left (fun acc s -> max acc s.makespan) 0 steps;
+    mean_imbalance;
+    p95_imbalance = percentile imbalances 0.95;
+    final_placement = placement;
+  }

@@ -1,0 +1,38 @@
+(** The web-server cluster simulation: a fixed set of sites whose request
+    rates follow a [Traffic.t] trace, served by [servers] machines.
+    Every [period] steps the configured policy may migrate sites, paying
+    one move per migrated site; between rounds the placement is frozen
+    while the rates keep drifting.
+
+    The per-step metrics captured are the ones the rebalancing problem is
+    about: the makespan (hottest server), the load average (the ideal),
+    their ratio (imbalance), and the cumulative number of migrations. *)
+
+type step = {
+  time : int;
+  makespan : int;
+  average : float;
+  imbalance : float;  (** makespan / average *)
+  moves : int;  (** migrations performed at this step (0 between rounds) *)
+}
+
+type result = {
+  steps : step array;
+  total_moves : int;
+  peak_makespan : int;
+  mean_imbalance : float;
+  p95_imbalance : float;
+  final_placement : int array;
+}
+
+type config = {
+  servers : int;
+  period : int;  (** steps between rebalancing rounds; must be [>= 1] *)
+  policy : Policy.t;
+}
+
+val run : Traffic.t -> config -> result
+(** Simulate the whole trace horizon. The initial placement is an LPT
+    balance of the rates at time 0 (the cluster starts well-balanced and
+    then drifts — the situation the paper's introduction describes).
+    @raise Invalid_argument on non-positive [servers] or [period]. *)

@@ -1,0 +1,56 @@
+module Rng = Rebal_workloads.Rng
+
+type t = {
+  sites : int;
+  horizon : int;
+  matrix : int array array; (* matrix.(time).(site) *)
+}
+
+let create rng ~sites ~horizon ?(zipf_alpha = 1.0) ?(scale = 1000) ?(period = 24)
+    ?(diurnal_depth = 0.5) ?(noise = 0.1) ?(flash_prob = 0.002) ?(flash_mult = 8)
+    ?(flash_len = 6) () =
+  if sites <= 0 || horizon <= 0 || scale <= 0 then
+    invalid_arg "Traffic.create: sites, horizon and scale must be positive";
+  (* Zipf base popularity by site rank (site ids are shuffled ranks so the
+     hot sites are not clustered at low indices). *)
+  let ranks = Array.init sites Fun.id in
+  Rng.shuffle rng ranks;
+  let base =
+    Array.init sites (fun s ->
+        let rank = ranks.(s) + 1 in
+        max 1.0 (float_of_int scale /. (float_of_int rank ** zipf_alpha)))
+  in
+  let phase = Array.init sites (fun _ -> Rng.float rng (float_of_int period)) in
+  (* Flash-crowd end time per site, extended as events fire. *)
+  let flash_until = Array.make sites (-1) in
+  let matrix =
+    Array.init horizon (fun time ->
+        Array.init sites (fun s ->
+            if Rng.float rng 1.0 < flash_prob then
+              flash_until.(s) <- max flash_until.(s) (time + flash_len);
+            let diurnal =
+              1.0
+              +. diurnal_depth
+                 *. sin
+                      (2.0 *. Float.pi
+                      *. ((float_of_int time +. phase.(s)) /. float_of_int period))
+            in
+            let jitter = 1.0 +. ((Rng.float rng 2.0 -. 1.0) *. noise) in
+            let flash = if time <= flash_until.(s) then float_of_int flash_mult else 1.0 in
+            max 1 (int_of_float (base.(s) *. diurnal *. jitter *. flash))))
+  in
+  { sites; horizon; matrix }
+
+let sites t = t.sites
+let horizon t = t.horizon
+
+let rate t ~site ~time =
+  if site < 0 || site >= t.sites || time < 0 || time >= t.horizon then
+    invalid_arg "Traffic.rate: out of range";
+  t.matrix.(time).(site)
+
+let rates_at t ~time =
+  if time < 0 || time >= t.horizon then invalid_arg "Traffic.rates_at: out of range";
+  Array.copy t.matrix.(time)
+
+let total_at t ~time = Array.fold_left ( + ) 0 t.matrix.(time)

@@ -1,0 +1,47 @@
+(** Synthetic website traffic for the web-server case study the paper's
+    introduction motivates (and Linder–Shah's unpublished experiments
+    ran on real servers — see DESIGN.md §4 for the substitution note).
+
+    Each site gets a Zipf-distributed base request rate, a diurnal
+    modulation with a site-specific phase (different audiences wake at
+    different times), multiplicative noise, and occasional {e flash
+    crowds} that multiply a site's rate for a stretch of steps. All
+    randomness is drawn at [create] time from the supplied generator, so
+    a traffic trace is an immutable, replayable object. *)
+
+type t
+
+val create :
+  Rebal_workloads.Rng.t ->
+  sites:int ->
+  horizon:int ->
+  ?zipf_alpha:float ->
+  ?scale:int ->
+  ?period:int ->
+  ?diurnal_depth:float ->
+  ?noise:float ->
+  ?flash_prob:float ->
+  ?flash_mult:int ->
+  ?flash_len:int ->
+  unit ->
+  t
+(** [sites] websites over [horizon] time steps. [scale] (default 1000) is
+    the base rate of the most popular site; [zipf_alpha] (default 1.0)
+    the popularity skew; [period] (default 24) the diurnal cycle length;
+    [diurnal_depth] (default 0.5) the peak-to-mean swing; [noise]
+    (default 0.1) multiplicative jitter; each site enters a flash crowd
+    with probability [flash_prob] (default 0.002) per step, multiplying
+    its rate by [flash_mult] (default 8) for [flash_len] (default 6)
+    steps.
+    @raise Invalid_argument on non-positive [sites]/[horizon]/[scale]. *)
+
+val sites : t -> int
+val horizon : t -> int
+
+val rate : t -> site:int -> time:int -> int
+(** Request rate (always [>= 1]) of a site at a time step. [O(1)]. *)
+
+val rates_at : t -> time:int -> int array
+(** All site rates at one step (fresh array). *)
+
+val total_at : t -> time:int -> int

@@ -1,0 +1,1 @@
+lib/workloads/dist.ml: Array Printf Rng

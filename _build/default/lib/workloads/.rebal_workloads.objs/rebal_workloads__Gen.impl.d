@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Dist Printf Rebal_core Rebal_ds Rng

@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Dist Rebal_core Rng

@@ -1,0 +1,1 @@
+lib/workloads/tight.ml: Array Rebal_core

@@ -1,0 +1,1 @@
+lib/workloads/tight.mli: Rebal_core

@@ -1,0 +1,91 @@
+type spec =
+  | Constant of int
+  | Uniform of { lo : int; hi : int }
+  | Exponential of { mean : float }
+  | Zipf of { ranks : int; alpha : float; scale : int }
+  | Bimodal of { small_lo : int; small_hi : int; big_lo : int; big_hi : int; big_prob : float }
+  | Pareto of { alpha : float; scale : int }
+
+type t = {
+  spec : spec;
+  zipf_cdf : float array; (* cumulative rank weights, empty unless Zipf *)
+}
+
+let validate = function
+  | Constant c -> if c <= 0 then invalid_arg "Dist: Constant size must be positive"
+  | Uniform { lo; hi } ->
+    if lo <= 0 || hi < lo then invalid_arg "Dist: bad Uniform range"
+  | Exponential { mean } ->
+    if mean <= 0.0 then invalid_arg "Dist: Exponential mean must be positive"
+  | Zipf { ranks; alpha; scale } ->
+    if ranks < 1 || alpha < 0.0 || scale < 1 then invalid_arg "Dist: bad Zipf"
+  | Bimodal { small_lo; small_hi; big_lo; big_hi; big_prob } ->
+    if small_lo <= 0 || small_hi < small_lo || big_lo <= 0 || big_hi < big_lo
+       || big_prob < 0.0 || big_prob > 1.0
+    then invalid_arg "Dist: bad Bimodal"
+  | Pareto { alpha; scale } ->
+    if alpha <= 0.0 || scale < 1 then invalid_arg "Dist: bad Pareto"
+
+let prepare spec =
+  validate spec;
+  let zipf_cdf =
+    match spec with
+    | Zipf { ranks; alpha; _ } ->
+      let cdf = Array.make ranks 0.0 in
+      let acc = ref 0.0 in
+      for r = 1 to ranks do
+        acc := !acc +. (1.0 /. (float_of_int r ** alpha));
+        cdf.(r - 1) <- !acc
+      done;
+      cdf
+    | Constant _ | Uniform _ | Exponential _ | Bimodal _ | Pareto _ -> [||]
+  in
+  { spec; zipf_cdf }
+
+let spec t = t.spec
+
+let name = function
+  | Constant c -> Printf.sprintf "const(%d)" c
+  | Uniform { lo; hi } -> Printf.sprintf "uniform(%d,%d)" lo hi
+  | Exponential { mean } -> Printf.sprintf "exp(%.0f)" mean
+  | Zipf { alpha; _ } -> Printf.sprintf "zipf(%.2f)" alpha
+  | Bimodal { big_prob; _ } -> Printf.sprintf "bimodal(%.2f)" big_prob
+  | Pareto { alpha; _ } -> Printf.sprintf "pareto(%.2f)" alpha
+
+let zipf_rank t rng =
+  let cdf = t.zipf_cdf in
+  let ranks = Array.length cdf in
+  let u = Rng.float rng cdf.(ranks - 1) in
+  (* First rank whose cumulative weight exceeds u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) > u then search lo mid else search (mid + 1) hi
+    end
+  in
+  search 0 (ranks - 1) + 1
+
+let sample t rng =
+  match t.spec with
+  | Constant c -> c
+  | Uniform { lo; hi } -> Rng.int_range rng lo hi
+  | Exponential { mean } ->
+    let x = Rng.exponential rng ~mean in
+    max 1 (int_of_float (ceil x))
+  | Zipf { scale; _ } ->
+    let r = zipf_rank t rng in
+    max 1 (scale / r)
+  | Bimodal { small_lo; small_hi; big_lo; big_hi; big_prob } ->
+    if Rng.float rng 1.0 < big_prob then Rng.int_range rng big_lo big_hi
+    else Rng.int_range rng small_lo small_hi
+  | Pareto { alpha; scale } ->
+    let u = ref (Rng.float rng 1.0) in
+    while !u <= 0.0 do
+      u := Rng.float rng 1.0
+    done;
+    let x = float_of_int scale /. (!u ** (1.0 /. alpha)) in
+    (* Cap so a single pathological draw cannot dominate the instance. *)
+    min (scale * 1000) (max 1 (int_of_float (ceil x)))
+
+let sample_many t rng count = Array.init count (fun _ -> sample t rng)

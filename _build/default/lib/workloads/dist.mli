@@ -1,0 +1,33 @@
+(** Job-size distributions. Specs are declarative and serializable-ish;
+    [prepare] compiles a spec once (e.g. the Zipf CDF table) so that
+    [sample] is [O(log ranks)] or better. All samples are positive
+    integers. *)
+
+type spec =
+  | Constant of int  (** all jobs the same size *)
+  | Uniform of { lo : int; hi : int }  (** uniform integers in [lo..hi] *)
+  | Exponential of { mean : float }
+      (** rounded-up exponential, heavy on small jobs *)
+  | Zipf of { ranks : int; alpha : float; scale : int }
+      (** rank [r] drawn with probability proportional to [r^-alpha]; the
+          sampled size is [max 1 (scale / r)] — a few huge sites, a long
+          tail of tiny ones, the canonical web-workload shape *)
+  | Bimodal of { small_lo : int; small_hi : int; big_lo : int; big_hi : int; big_prob : float }
+      (** mostly small jobs with an occasional big one *)
+  | Pareto of { alpha : float; scale : int }
+      (** continuous heavy tail, rounded up *)
+
+type t
+
+val prepare : spec -> t
+(** @raise Invalid_argument on nonsensical parameters (non-positive sizes,
+    empty ranges, probabilities outside [0,1], [alpha <= 0] for Pareto). *)
+
+val spec : t -> spec
+val name : spec -> string
+(** Short label for tables, e.g. ["zipf(1.1)"]. *)
+
+val sample : t -> Rng.t -> int
+(** One positive job size. *)
+
+val sample_many : t -> Rng.t -> int -> int array

@@ -1,0 +1,52 @@
+(** Instance generators. Each generator is a pure function of the supplied
+    [Rng.t], so experiments are reproducible from a seed.
+
+    The three initial-placement regimes model the three situations the
+    paper's introduction motivates:
+
+    - [random]: jobs land on uniformly random processors (a cluster that
+      was never balanced);
+    - [skewed]: placement is biased towards low-index processors with
+      strength [skew] (a cluster whose early servers accreted load);
+    - [drifted]: placement starts from an LPT-balanced assignment and each
+      job then migrates to a random processor with probability [drift]
+      (a cluster that {e was} balanced and has since drifted — the regime
+      in which bounded-move rebalancing shines). *)
+
+type cost_model =
+  | Unit  (** every move costs 1 (the §2–3.1 problem) *)
+  | Proportional_to_size of { per : int }
+      (** cost = ⌈size / per⌉ — moving big jobs is expensive (data motion) *)
+  | Inverse_size of { numerator : int }
+      (** cost = max 1 (numerator / size) — small jobs are sticky
+          (e.g. latency-critical sites with many connections) *)
+  | Uniform_random of { lo : int; hi : int }
+
+val cost_model_name : cost_model -> string
+
+val random :
+  Rng.t -> n:int -> m:int -> dist:Dist.t -> ?cost:cost_model -> unit -> Rebal_core.Instance.t
+
+val skewed :
+  Rng.t ->
+  n:int ->
+  m:int ->
+  dist:Dist.t ->
+  skew:float ->
+  ?cost:cost_model ->
+  unit ->
+  Rebal_core.Instance.t
+(** [skew >= 0]; 0 is uniform, larger concentrates load on few processors
+    (processor chosen with probability proportional to [(rank+1)^-skew]). *)
+
+val drifted :
+  Rng.t ->
+  n:int ->
+  m:int ->
+  dist:Dist.t ->
+  drift:float ->
+  ?cost:cost_model ->
+  unit ->
+  Rebal_core.Instance.t
+(** [drift] in [0,1]: fraction of jobs expected to have moved away from
+    the balanced position. *)

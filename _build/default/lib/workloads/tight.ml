@@ -1,0 +1,46 @@
+module Instance = Rebal_core.Instance
+
+type t = {
+  instance : Rebal_core.Instance.t;
+  k : int;
+  opt : int;
+  worst_makespan : int;
+}
+
+let greedy_tight ~m =
+  if m < 2 then invalid_arg "Tight.greedy_tight: need m >= 2";
+  (* Job 0 has size m on processor 0; then m-1 unit jobs on each of the m
+     processors. Initial loads: 2m-1 on processor 0, m-1 elsewhere. *)
+  let n = 1 + (m * (m - 1)) in
+  let sizes = Array.make n 1 in
+  sizes.(0) <- m;
+  let initial = Array.make n 0 in
+  let idx = ref 1 in
+  for p = 0 to m - 1 do
+    for _ = 1 to m - 1 do
+      initial.(!idx) <- p;
+      incr idx
+    done
+  done;
+  let instance = Instance.create ~sizes ~m initial in
+  { instance; k = m - 1; opt = m; worst_makespan = (2 * m) - 1 }
+
+let partition_tight ?(scale = 1) () =
+  if scale < 1 then invalid_arg "Tight.partition_tight: scale must be >= 1";
+  (* Paper (OPT = 1, sizes 1/2 and 1) scaled by 2*scale to stay integral:
+     P0 = {scale, 2*scale}, P1 = {scale}, k = 1, OPT = 2*scale. With this
+     OPT, PARTITION computes L_T = 1, a = (0,0), b = (1,0), selects P0
+     (c_0 = -1 < c_1 = 0) and moves nothing — makespan stays 3*scale. *)
+  let sizes = [| scale; 2 * scale; scale |] in
+  let initial = [| 0; 0; 1 |] in
+  let instance = Instance.create ~sizes ~m:2 initial in
+  { instance; k = 1; opt = 2 * scale; worst_makespan = 3 * scale }
+
+let two_tier ~pairs ~size =
+  if pairs < 1 || size < 1 then invalid_arg "Tight.two_tier: bad parameters";
+  let m = 2 * pairs in
+  let n = 2 * pairs in
+  let sizes = Array.make n size in
+  let initial = Array.init n (fun j -> j / 2) in
+  let instance = Instance.create ~sizes ~m initial in
+  { instance; k = pairs; opt = size; worst_makespan = 2 * size }

@@ -1,0 +1,35 @@
+(** The paper's adversarial instances, exactly as constructed in the
+    tightness arguments, plus scaled variants. Each constructor returns
+    the instance together with the move budget and the optimal makespan
+    the paper derives for it. *)
+
+type t = {
+  instance : Rebal_core.Instance.t;
+  k : int;  (** the move budget of the construction *)
+  opt : int;  (** the optimal makespan, from the paper's argument *)
+  worst_makespan : int;  (** the makespan the adversarial run exhibits *)
+}
+
+val greedy_tight : m:int -> t
+(** Theorem 1's instance: one job of size [m] and [m^2 - m] unit jobs;
+    initially every processor holds [m-1] unit jobs and processor 0 also
+    holds the size-[m] job; [k = m-1]. GREEDY that reinserts the size-[m]
+    job last reproduces the initial configuration of value [2m-1] while
+    [OPT = m], giving the tight ratio [2 - 1/m].
+    @raise Invalid_argument if [m < 2]. *)
+
+val partition_tight : ?scale:int -> unit -> t
+(** Theorem 2's instance (integer-scaled by [2*scale]): two processors,
+    the first holding jobs of sizes [scale] and [2*scale], the second a
+    job of size [scale]; [k = 1] and [OPT = 2*scale]. PARTITION makes no
+    move and keeps makespan [3*scale] — exactly ratio 1.5.
+    @raise Invalid_argument if [scale < 1]. *)
+
+val two_tier : pairs:int -> size:int -> t
+(** A best-case family: [2*pairs] processors, the first [pairs] of which
+    each hold two jobs of size [size] while the rest are empty, with
+    [k = pairs]. One move per loaded processor reaches the optimum
+    [size]; the no-move makespan is [2*size]. Both GREEDY and PARTITION
+    should solve this family exactly, which makes it a calibration point
+    for the benchmark tables.
+    @raise Invalid_argument if [pairs < 1] or [size < 1]. *)

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Array List Option Printf Rebal_algo Rebal_core Rebal_workloads

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Format List Rebal_algo Rebal_core Rebal_workloads String

@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Array Int List Rebal_ds Rebal_workloads

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Filename Fun List Rebal_algo Rebal_core

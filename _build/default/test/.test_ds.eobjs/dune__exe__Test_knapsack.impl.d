@@ -1,0 +1,1 @@
+test/test_knapsack.ml: Alcotest Array List QCheck2 QCheck_alcotest Rebal_knapsack Rebal_workloads

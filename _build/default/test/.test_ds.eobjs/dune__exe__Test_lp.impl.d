@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Fun List Option Rebal_algo Rebal_core Rebal_lp Rebal_reductions Rebal_workloads Stdlib

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Fun Gen Int List QCheck2 QCheck_alcotest Rebal_algo Rebal_core Rebal_ds Test

@@ -1,0 +1,1 @@
+test/test_ptas.ml: Alcotest Array List Rebal_algo Rebal_core Rebal_workloads

@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Fun List Rebal_core Rebal_reductions Rebal_workloads

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Rebal_sim Rebal_workloads

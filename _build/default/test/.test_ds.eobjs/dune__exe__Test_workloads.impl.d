@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Fun List Rebal_core Rebal_workloads

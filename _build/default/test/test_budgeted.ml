@@ -1,0 +1,164 @@
+(* Tests for the arbitrary-cost PARTITION (§3.2): budget compliance,
+   approximation quality against the exact solver, agreement with the
+   unit-cost algorithm when all costs are 1, and the behaviour of the
+   plan-cost curve. *)
+
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Budget = Rebal_core.Budget
+module BP = Rebal_algo.Budgeted_partition
+module Exact = Rebal_algo.Exact
+module Rng = Rebal_workloads.Rng
+
+let alpha = 0.05
+
+let random_cost_instance rng =
+  let n = Rng.int_range rng 1 8 in
+  let m = Rng.int_range rng 1 4 in
+  let sizes = Array.init n (fun _ -> Rng.int_range rng 1 20) in
+  let costs = Array.init n (fun _ -> Rng.int_range rng 0 9) in
+  let initial = Array.init n (fun _ -> Rng.int rng m) in
+  (Instance.create ~costs ~sizes ~m initial, Rng.int_range rng 0 25)
+
+let test_budget_respected () =
+  let rng = Rng.create 60 in
+  for _ = 1 to 200 do
+    let inst, b = random_cost_instance rng in
+    let a, _ = BP.solve ~alpha inst ~budget:b in
+    if Assignment.relocation_cost inst a > b then
+      Alcotest.failf "cost %d > budget %d" (Assignment.relocation_cost inst a) b
+  done
+
+let test_approximation_vs_exact () =
+  let rng = Rng.create 61 in
+  for _ = 1 to 200 do
+    let inst, b = random_cost_instance rng in
+    let opt = Exact.opt_makespan_exn inst ~budget:(Budget.Cost b) in
+    let a, accepted = BP.solve ~alpha inst ~budget:b in
+    let ms = Assignment.makespan inst a in
+    (* Guarantee: ms <= 1.5 * accepted and accepted <= (1 + alpha) * opt
+       (+1 for the integer grid). *)
+    if 2 * ms > 3 * accepted then
+      Alcotest.failf "makespan %d > 1.5 * accepted guess %d" ms accepted;
+    let guess_cap = int_of_float (ceil ((1.0 +. alpha) *. float_of_int opt)) + 1 in
+    if accepted > guess_cap then
+      Alcotest.failf "accepted guess %d > (1+alpha)*opt bound %d (opt=%d)" accepted
+        guess_cap opt
+  done
+
+let test_unit_costs_match_move_budget () =
+  (* With all costs 1, a cost budget of k is exactly a move budget of k;
+     the budgeted algorithm must then also be a 1.5(1+alpha)
+     approximation against the move-budget optimum. *)
+  let rng = Rng.create 62 in
+  for _ = 1 to 200 do
+    let n = Rng.int_range rng 1 8 in
+    let m = Rng.int_range rng 1 4 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 20) in
+    let initial = Array.init n (fun _ -> Rng.int rng m) in
+    let inst = Instance.create ~sizes ~m initial in
+    let k = Rng.int_range rng 0 n in
+    let opt = Exact.opt_makespan_exn inst ~budget:(Budget.Moves k) in
+    let a, _ = BP.solve ~alpha inst ~budget:k in
+    Alcotest.(check bool) "moves within k" true (Assignment.moves inst a <= k);
+    let ms = Assignment.makespan inst a in
+    let bound = 1.5 *. (1.0 +. alpha) *. float_of_int opt +. 1.5 in
+    if float_of_int ms > bound then
+      Alcotest.failf "unit-cost budgeted partition %d > bound %.1f (opt=%d)" ms bound opt
+  done
+
+let test_zero_budget_moves_only_free_jobs () =
+  let rng = Rng.create 63 in
+  for _ = 1 to 100 do
+    let inst, _ = random_cost_instance rng in
+    let a, _ = BP.solve ~alpha inst ~budget:0 in
+    List.iter
+      (fun j -> Alcotest.(check int) "free move" 0 (Instance.cost inst j))
+      (Assignment.moved_jobs inst a)
+  done
+
+let test_plan_cost_zero_at_initial_makespan () =
+  let rng = Rng.create 64 in
+  for _ = 1 to 100 do
+    let inst, _ = random_cost_instance rng in
+    match BP.plan_cost inst ~threshold:(Instance.initial_makespan inst) with
+    | Some c -> Alcotest.(check int) "free at UB" 0 c
+    | None -> Alcotest.fail "plan infeasible at initial makespan"
+  done
+
+let test_plan_cost_infeasible_when_too_many_larges () =
+  (* m jobs of size 10 on one of 2 processors, threshold small enough that
+     every job is large: 3 large jobs > 2 processors. *)
+  let inst = Instance.create ~sizes:[| 10; 10; 10 |] ~m:2 [| 0; 0; 0 |] in
+  Alcotest.(check (option int)) "infeasible" None (BP.plan_cost inst ~threshold:11)
+
+let test_fptas_mode () =
+  let rng = Rng.create 65 in
+  for _ = 1 to 100 do
+    let inst, b = random_cost_instance rng in
+    let a, accepted = BP.solve ~alpha ~knapsack:(BP.Fptas 0.2) inst ~budget:b in
+    Alcotest.(check bool) "fptas mode within budget" true
+      (Assignment.relocation_cost inst a <= b);
+    (* The knapsack approximation can overpay in cost but never violates
+       the size caps, so the 1.5 shape bound on the accepted guess holds. *)
+    Alcotest.(check bool) "fptas mode 1.5 of guess" true
+      (2 * Assignment.makespan inst a <= 3 * accepted)
+  done
+
+let test_expensive_large_job_stays () =
+  (* One overloaded processor with an expensive huge job and cheap small
+     jobs: the algorithm should shed the cheap ones. *)
+  let sizes = [| 10; 2; 2; 2; 2; 2 |] in
+  let costs = [| 100; 1; 1; 1; 1; 1 |] in
+  let initial = [| 0; 0; 0; 0; 0; 0 |] in
+  let inst = Instance.create ~costs ~sizes ~m:2 initial in
+  let a, _ = BP.solve ~alpha inst ~budget:5 in
+  Alcotest.(check int) "huge job unmoved" 0 (Assignment.processor a 0);
+  Alcotest.(check bool) "cost within budget" true (Assignment.relocation_cost inst a <= 5);
+  Alcotest.(check bool) "makespan improved" true
+    (Assignment.makespan inst a < Instance.initial_makespan inst)
+
+
+let test_knapsack_modes_agree () =
+  (* All exact knapsack modes see the same optimal removal costs, so the
+     plan-cost curve and the accepted threshold must be identical. The
+     chosen kept sets may be different (equal-value ties), so the built
+     assignments are only required to satisfy the same guarantees. *)
+  let rng = Rng.create 66 in
+  for _ = 1 to 100 do
+    let inst, b = random_cost_instance rng in
+    let solve mode = BP.solve ~alpha ~knapsack:mode inst ~budget:b in
+    let a_auto, t_auto = solve BP.Auto in
+    let a_dp, t_dp = solve BP.Exact_dp in
+    let a_bb, t_bb = solve BP.Branch_and_bound in
+    Alcotest.(check int) "auto = dp threshold" t_dp t_auto;
+    Alcotest.(check int) "bb = dp threshold" t_dp t_bb;
+    List.iter
+      (fun (label, t) ->
+        Alcotest.(check (option int)) label (BP.plan_cost ~knapsack:BP.Exact_dp inst ~threshold:t)
+          (BP.plan_cost ~knapsack:BP.Branch_and_bound inst ~threshold:t))
+      [ ("plan cost parity at accepted threshold", t_dp) ];
+    List.iter
+      (fun a ->
+        Alcotest.(check bool) "budget ok" true (Assignment.relocation_cost inst a <= b);
+        Alcotest.(check bool) "1.5 of threshold" true
+          (2 * Assignment.makespan inst a <= 3 * t_dp))
+      [ a_auto; a_dp; a_bb ]
+  done
+
+let () =
+  Alcotest.run "rebal_budgeted"
+    [
+      ( "budgeted_partition",
+        [
+          Alcotest.test_case "budget respected" `Quick test_budget_respected;
+          Alcotest.test_case "1.5(1+a) vs exact" `Quick test_approximation_vs_exact;
+          Alcotest.test_case "unit costs = move budget" `Quick test_unit_costs_match_move_budget;
+          Alcotest.test_case "zero budget" `Quick test_zero_budget_moves_only_free_jobs;
+          Alcotest.test_case "plan free at initial makespan" `Quick test_plan_cost_zero_at_initial_makespan;
+          Alcotest.test_case "too many larges infeasible" `Quick test_plan_cost_infeasible_when_too_many_larges;
+          Alcotest.test_case "fptas knapsack mode" `Quick test_fptas_mode;
+          Alcotest.test_case "expensive large job stays" `Quick test_expensive_large_job_stays;
+          Alcotest.test_case "knapsack modes agree" `Quick test_knapsack_modes_agree;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for the core problem types: instance validation, assignment
+   accounting, budgets, lower bounds (including Lemma 1's G1) and the text
+   round-trip. *)
+
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Budget = Rebal_core.Budget
+module Lower_bounds = Rebal_core.Lower_bounds
+module Verify = Rebal_core.Verify
+module Io = Rebal_core.Io
+module Rng = Rebal_workloads.Rng
+module Exact = Rebal_algo.Exact
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+
+let simple () =
+  Instance.create ~sizes:[| 5; 3; 2; 2 |] ~m:2 [| 0; 0; 1; 0 |]
+
+let test_instance_accessors () =
+  let inst = simple () in
+  check_int "n" 4 (Instance.n inst);
+  check_int "m" 2 (Instance.m inst);
+  check_int "total" 12 (Instance.total_size inst);
+  check_int "max size" 5 (Instance.max_size inst);
+  Alcotest.(check bool) "unit cost" true (Instance.unit_cost inst);
+  check (Alcotest.array Alcotest.int) "loads" [| 10; 2 |] (Instance.initial_loads inst);
+  check_int "makespan" 10 (Instance.initial_makespan inst)
+
+let test_instance_validation () =
+  let raises msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  ignore raises;
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Instance.create ~sizes:[| 0 |] ~m:1 [| 0 |]);
+  expect_invalid (fun () -> Instance.create ~sizes:[| 1 |] ~m:0 [| 0 |]);
+  expect_invalid (fun () -> Instance.create ~sizes:[| 1 |] ~m:1 [| 1 |]);
+  expect_invalid (fun () -> Instance.create ~sizes:[| 1; 2 |] ~m:1 [| 0 |]);
+  expect_invalid (fun () -> Instance.create ~costs:[| -1 |] ~sizes:[| 1 |] ~m:1 [| 0 |])
+
+let test_instance_copies_are_fresh () =
+  let sizes = [| 4; 4 |] in
+  let initial = [| 0; 1 |] in
+  let inst = Instance.create ~sizes ~m:2 initial in
+  sizes.(0) <- 99;
+  initial.(0) <- 1;
+  check_int "size unaffected" 4 (Instance.size inst 0);
+  check_int "initial unaffected" 0 (Instance.initial inst 0);
+  let s = Instance.sizes inst in
+  s.(1) <- 77;
+  check_int "accessor copy" 4 (Instance.size inst 1)
+
+let test_assignment_accounting () =
+  let inst = simple () in
+  let a = Assignment.of_array ~m:2 [| 1; 0; 1; 0 |] in
+  check (Alcotest.array Alcotest.int) "loads" [| 5; 7 |] (Assignment.loads inst a);
+  check_int "makespan" 7 (Assignment.makespan inst a);
+  check (Alcotest.list Alcotest.int) "moved" [ 0 ] (Assignment.moved_jobs inst a);
+  check_int "moves" 1 (Assignment.moves inst a);
+  check_int "cost" 1 (Assignment.relocation_cost inst a);
+  Alcotest.(check bool) "within moves 1" true (Budget.within inst a (Budget.Moves 1));
+  Alcotest.(check bool) "not within moves 0" false (Budget.within inst a (Budget.Moves 0))
+
+let test_identity_assignment () =
+  let inst = simple () in
+  let a = Assignment.identity inst in
+  check_int "no moves" 0 (Assignment.moves inst a);
+  check_int "initial makespan" (Instance.initial_makespan inst) (Assignment.makespan inst a)
+
+let test_lower_bounds_sound () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 200 do
+    let n = Rng.int_range rng 1 9 in
+    let m = Rng.int_range rng 1 4 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 20) in
+    let initial = Array.init n (fun _ -> Rng.int rng m) in
+    let inst = Instance.create ~sizes ~m initial in
+    let k = Rng.int_range rng 0 n in
+    let opt = Exact.opt_makespan_exn inst ~budget:(Budget.Moves k) in
+    Alcotest.(check bool) "avg <= opt" true (Lower_bounds.average inst <= opt);
+    Alcotest.(check bool) "max <= opt" true (Lower_bounds.max_size inst <= opt);
+    Alcotest.(check bool) "g1 <= opt" true (Lower_bounds.g1 inst ~k <= opt);
+    Alcotest.(check bool) "best <= opt" true
+      (Lower_bounds.best inst ~budget:(Budget.Moves k) <= opt)
+  done
+
+let test_g1_known_value () =
+  (* Theorem 1's instance with m = 3: loads are (2,2,2) units + size-3 job
+     on processor 0 -> initial loads (5,2,2); with k = 2, removing the
+     size-3 job then a unit job leaves max load 2. *)
+  let t = Rebal_workloads.Tight.greedy_tight ~m:3 in
+  check_int "g1 on tight instance" 2 (Lower_bounds.g1 t.Rebal_workloads.Tight.instance ~k:2)
+
+let test_verify_reports () =
+  let inst = simple () in
+  let a = Assignment.of_array ~m:2 [| 1; 0; 1; 0 |] in
+  (match Verify.check inst a ~budget:(Budget.Moves 1) with
+  | Error e -> Alcotest.failf "unexpected error %s" e
+  | Ok r ->
+    check_int "makespan" 7 r.Verify.makespan;
+    Alcotest.(check bool) "budget ok" true r.Verify.budget_ok);
+  (match Verify.check inst a ~budget:(Budget.Moves 0) with
+  | Error e -> Alcotest.failf "unexpected error %s" e
+  | Ok r -> Alcotest.(check bool) "budget blown" false r.Verify.budget_ok);
+  let wrong = Assignment.of_array ~m:2 [| 0; 0; 0 |] in
+  match Verify.check inst wrong ~budget:(Budget.Moves 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected shape error"
+
+let test_io_roundtrip () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 100 do
+    let n = Rng.int_range rng 1 12 in
+    let m = Rng.int_range rng 1 5 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 1000) in
+    let costs = Array.init n (fun _ -> Rng.int_range rng 0 50) in
+    let initial = Array.init n (fun _ -> Rng.int rng m) in
+    let inst = Instance.create ~costs ~sizes ~m initial in
+    match Io.instance_of_string (Io.instance_to_string inst) with
+    | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+    | Ok inst' ->
+      check (Alcotest.array Alcotest.int) "sizes" (Instance.sizes inst) (Instance.sizes inst');
+      check (Alcotest.array Alcotest.int) "costs" (Instance.costs inst) (Instance.costs inst');
+      check (Alcotest.array Alcotest.int) "initial" (Instance.initial_assignment inst)
+        (Instance.initial_assignment inst');
+      check_int "m" (Instance.m inst) (Instance.m inst')
+  done
+
+let test_io_errors_and_comments () =
+  (match Io.instance_of_string "# comment\nprocessors 2\njob 5 1 0 # trailing\n\njob 3 1 1\n" with
+  | Ok inst ->
+    check_int "n" 2 (Instance.n inst);
+    check_int "m" 2 (Instance.m inst)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Io.instance_of_string bad with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" bad
+      | Error _ -> ())
+    [ "job 1 1 0\n"; "processors x\n"; "processors 2\njob 1 1 5\n"; "processors 2\njob a 1 0\n"; "processors 2\nnoise\n" ]
+
+let test_assignment_io_roundtrip () =
+  let a = Assignment.of_array ~m:3 [| 0; 2; 1; 1 |] in
+  match Io.assignment_of_string ~m:3 (Io.assignment_to_string a) with
+  | Ok a' -> Alcotest.(check bool) "equal" true (Assignment.equal a a')
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+
+let test_pretty_printers () =
+  check Alcotest.string "budget moves" "moves<=3"
+    (Format.asprintf "%a" Budget.pp (Budget.Moves 3));
+  check Alcotest.string "budget cost" "cost<=9"
+    (Format.asprintf "%a" Budget.pp (Budget.Cost 9));
+  let inst = simple () in
+  let a = Assignment.of_array ~m:2 [| 1; 0; 1; 0 |] in
+  match Verify.check inst a ~budget:(Budget.Moves 1) with
+  | Ok r ->
+    let s = Format.asprintf "%a" Verify.pp_report r in
+    Alcotest.(check bool) "report mentions makespan" true
+      (String.length s > 0 && String.sub s 0 9 = "makespan=")
+  | Error e -> Alcotest.failf "unexpected error %s" e
+
+let test_check_exn_raises_on_blown_budget () =
+  let inst = simple () in
+  let a = Assignment.of_array ~m:2 [| 1; 0; 1; 0 |] in
+  match Verify.check_exn inst a ~budget:(Budget.Moves 0) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on blown budget"
+
+let () =
+  Alcotest.run "rebal_core"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "accessors" `Quick test_instance_accessors;
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "defensive copies" `Quick test_instance_copies_are_fresh;
+        ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "accounting" `Quick test_assignment_accounting;
+          Alcotest.test_case "identity" `Quick test_identity_assignment;
+        ] );
+      ( "lower_bounds",
+        [
+          Alcotest.test_case "sound vs exact" `Quick test_lower_bounds_sound;
+          Alcotest.test_case "g1 known value" `Quick test_g1_known_value;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "reports" `Quick test_verify_reports;
+          Alcotest.test_case "pretty printers" `Quick test_pretty_printers;
+          Alcotest.test_case "check_exn on blown budget" `Quick test_check_exn_raises_on_blown_budget;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "instance roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "errors and comments" `Quick test_io_errors_and_comments;
+          Alcotest.test_case "assignment roundtrip" `Quick test_assignment_io_roundtrip;
+        ] );
+    ]

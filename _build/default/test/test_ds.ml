@@ -1,0 +1,186 @@
+(* Data-structure tests: heap ordering against List.sort, indexed-heap
+   decrease-key behaviour, and the Sorted_jobs binary searches against a
+   brute-force reference. *)
+
+module Heap = Rebal_ds.Heap
+module Indexed_heap = Rebal_ds.Indexed_heap
+module Sorted_jobs = Rebal_ds.Sorted_jobs
+module Rng = Rebal_workloads.Rng
+
+module Int_heap = Heap.Make (Int)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+
+let test_heap_sorts () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 200 do
+    let n = Rng.int_range rng 0 50 in
+    let xs = List.init n (fun _ -> Rng.int_range rng (-100) 100) in
+    let h = Int_heap.of_list xs in
+    check (Alcotest.list Alcotest.int) "heap drains sorted"
+      (List.sort compare xs)
+      (Int_heap.to_sorted_list h);
+    Alcotest.(check bool) "empty after drain" true (Int_heap.is_empty h)
+  done
+
+let test_heap_interleaved () =
+  let rng = Rng.create 2 in
+  let h = Int_heap.create () in
+  let reference = ref [] in
+  for _ = 1 to 2000 do
+    if Rng.bool rng || !reference = [] then begin
+      let x = Rng.int_range rng 0 1000 in
+      Int_heap.add h x;
+      reference := x :: !reference
+    end
+    else begin
+      let expected = List.fold_left min max_int !reference in
+      let got = Int_heap.pop_exn h in
+      check_int "interleaved min" expected got;
+      let removed = ref false in
+      reference :=
+        List.filter
+          (fun v ->
+            if v = expected && not !removed then begin
+              removed := true;
+              false
+            end
+            else true)
+          !reference
+    end
+  done;
+  check_int "sizes agree" (List.length !reference) (Int_heap.length h)
+
+let test_heap_empty_ops () =
+  let h = Int_heap.create () in
+  Alcotest.(check (option int)) "pop empty" None (Int_heap.pop h);
+  Alcotest.(check (option int)) "min empty" None (Int_heap.min h);
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Int_heap.pop_exn h))
+
+let test_indexed_heap_updates () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let n = Rng.int_range rng 1 30 in
+    let h = Indexed_heap.create n in
+    let prio = Array.make n None in
+    for _ = 1 to 300 do
+      let key = Rng.int rng n in
+      match Rng.int rng 3 with
+      | 0 ->
+        let p = Rng.int_range rng (-50) 50 in
+        Indexed_heap.set h key p;
+        prio.(key) <- Some p
+      | 1 ->
+        Indexed_heap.remove h key;
+        prio.(key) <- None
+      | _ -> begin
+        (* Check the minimum against the model. *)
+        let expected = ref None in
+        for k = 0 to n - 1 do
+          match (prio.(k), !expected) with
+          | Some p, None -> expected := Some (k, p)
+          | Some p, Some (_, bp) when p < bp -> expected := Some (k, p)
+          | _ -> ()
+        done;
+        Alcotest.(check (option (pair int int))) "indexed min" !expected (Indexed_heap.min h)
+      end
+    done
+  done
+
+let test_indexed_heap_pop_order () =
+  let h = Indexed_heap.create 5 in
+  List.iteri (fun i p -> Indexed_heap.set h i p) [ 7; 3; 9; 3; 1 ];
+  let order = ref [] in
+  let rec drain () =
+    match Indexed_heap.pop_min h with
+    | Some (k, _) ->
+      order := k :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  (* Priorities 1 < 3 = 3 < 7 < 9, ties by key: 4, 1, 3, 0, 2. *)
+  check (Alcotest.list Alcotest.int) "deterministic tie-break" [ 4; 1; 3; 0; 2 ]
+    (List.rev !order)
+
+let test_sorted_jobs_structure () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 200 do
+    let q = Rng.int_range rng 0 30 in
+    let jobs = Array.init q (fun i -> (i, Rng.int_range rng 1 50)) in
+    let v = Sorted_jobs.of_assoc jobs in
+    check_int "length" q (Sorted_jobs.length v);
+    let total = Array.fold_left (fun acc (_, s) -> acc + s) 0 jobs in
+    check_int "total" total (Sorted_jobs.total v);
+    for i = 1 to q - 1 do
+      Alcotest.(check bool) "descending" true (Sorted_jobs.size v (i - 1) >= Sorted_jobs.size v i)
+    done;
+    for l = 0 to q do
+      let expected = ref 0 in
+      for i = 0 to l - 1 do
+        expected := !expected + Sorted_jobs.size v i
+      done;
+      check_int "prefix" !expected (Sorted_jobs.prefix v l);
+      check_int "suffix" (total - !expected) (Sorted_jobs.suffix v l)
+    done
+  done
+
+let test_sorted_jobs_large_count () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 200 do
+    let q = Rng.int_range rng 0 25 in
+    let jobs = Array.init q (fun i -> (i, Rng.int_range rng 1 40)) in
+    let v = Sorted_jobs.of_assoc jobs in
+    for t = 0 to 90 do
+      let expected =
+        Array.fold_left (fun acc (_, s) -> if 2 * s > t then acc + 1 else acc) 0 jobs
+      in
+      check_int "large_count" expected (Sorted_jobs.large_count v ~threshold:t)
+    done
+  done
+
+let test_sorted_jobs_min_removals () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 200 do
+    let q = Rng.int_range rng 0 20 in
+    let jobs = Array.init q (fun i -> (i, Rng.int_range rng 1 30)) in
+    let v = Sorted_jobs.of_assoc jobs in
+    let from_ = if q = 0 then 0 else Rng.int rng (q + 1) in
+    let cap = Rng.int_range rng 0 200 in
+    let r = Sorted_jobs.min_removals_to_cap v ~from_ ~cap in
+    (* Brute-force reference: remaining after removing the r largest of
+       the suffix must be <= cap, and r-1 removals must not suffice. *)
+    let remaining r =
+      let total = ref 0 in
+      for i = from_ + r to q - 1 do
+        total := !total + Sorted_jobs.size v i
+      done;
+      !total
+    in
+    Alcotest.(check bool) "feasible" true (remaining r <= cap);
+    if r > 0 then Alcotest.(check bool) "minimal" true (remaining (r - 1) > cap)
+  done
+
+let () =
+  Alcotest.run "rebal_ds"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "drains sorted" `Quick test_heap_sorts;
+          Alcotest.test_case "interleaved ops vs model" `Quick test_heap_interleaved;
+          Alcotest.test_case "empty-heap operations" `Quick test_heap_empty_ops;
+        ] );
+      ( "indexed_heap",
+        [
+          Alcotest.test_case "set/remove/min vs model" `Quick test_indexed_heap_updates;
+          Alcotest.test_case "deterministic pop order" `Quick test_indexed_heap_pop_order;
+        ] );
+      ( "sorted_jobs",
+        [
+          Alcotest.test_case "prefix/suffix structure" `Quick test_sorted_jobs_structure;
+          Alcotest.test_case "large_count" `Quick test_sorted_jobs_large_count;
+          Alcotest.test_case "min_removals_to_cap" `Quick test_sorted_jobs_min_removals;
+        ] );
+    ]

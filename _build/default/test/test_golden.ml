@@ -1,0 +1,123 @@
+(* Golden regression tests: fixed instances under data/ solved with fixed
+   budgets must keep producing byte-identical results. Every algorithm in
+   the library is deterministic, so any diff here means an intentional
+   behaviour change (update the constants) or a regression (fix the bug).
+
+   The constants were produced by the same code they pin; their role is
+   change *detection*, while correctness is covered by the ratio and
+   invariant suites. *)
+
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Budget = Rebal_core.Budget
+module Lower_bounds = Rebal_core.Lower_bounds
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match Rebal_core.Io.read_instance ic with
+      | Ok inst -> inst
+      | Error msg -> Alcotest.failf "fixture %s unreadable: %s" path msg)
+
+type golden = {
+  path : string;
+  k : int;
+  initial : int;
+  lower_bound : int;
+  greedy_makespan : int;
+  greedy_moves : int;
+  mp_makespan : int;
+  mp_moves : int;
+  mp_threshold : int;
+  local_search_makespan : int;
+  lpt_makespan : int;
+  bp_makespan : int;
+  bp_cost : int;
+  bp_threshold : int;
+}
+
+let goldens =
+  [
+    {
+      path = "../data/skewed_zipf_40x5.txt";
+      k = 6;
+      initial = 3205;
+      lower_bound = 1079;
+      greedy_makespan = 1205;
+      greedy_moves = 5;
+      mp_makespan = 1205;
+      mp_moves = 4;
+      mp_threshold = 1079;
+      local_search_makespan = 1104;
+      lpt_makespan = 1079;
+      bp_makespan = 1205;
+      bp_cost = 4;
+      bp_threshold = 1079;
+    };
+    {
+      path = "../data/drifted_uniform_60x8.txt";
+      k = 10;
+      initial = 558;
+      lower_bound = 364;
+      greedy_makespan = 387;
+      greedy_moves = 9;
+      mp_makespan = 387;
+      mp_moves = 5;
+      mp_threshold = 364;
+      local_search_makespan = 371;
+      lpt_makespan = 366;
+      bp_makespan = 476;
+      bp_cost = 9;
+      bp_threshold = 487;
+    };
+    {
+      (* M-PARTITION legitimately moves nothing here: the initial
+         makespan 321 is already within 1.5x of the bound 262. *)
+      path = "../data/random_bimodal_25x4.txt";
+      k = 5;
+      initial = 321;
+      lower_bound = 262;
+      greedy_makespan = 300;
+      greedy_moves = 5;
+      mp_makespan = 321;
+      mp_moves = 0;
+      mp_threshold = 262;
+      local_search_makespan = 262;
+      lpt_makespan = 262;
+      bp_makespan = 321;
+      bp_cost = 0;
+      bp_threshold = 262;
+    };
+  ]
+
+let check_one g () =
+  let inst = load g.path in
+  let ci = Alcotest.(check int) in
+  ci "initial makespan" g.initial (Instance.initial_makespan inst);
+  ci "lower bound" g.lower_bound (Lower_bounds.best inst ~budget:(Budget.Moves g.k));
+  let greedy = Rebal_algo.Greedy.solve inst ~k:g.k in
+  ci "greedy makespan" g.greedy_makespan (Assignment.makespan inst greedy);
+  ci "greedy moves" g.greedy_moves (Assignment.moves inst greedy);
+  let mp, t = Rebal_algo.M_partition.solve_with_threshold inst ~k:g.k in
+  ci "m-partition makespan" g.mp_makespan (Assignment.makespan inst mp);
+  ci "m-partition moves" g.mp_moves (Assignment.moves inst mp);
+  ci "m-partition threshold" g.mp_threshold t;
+  let ls = Rebal_algo.Local_search.solve inst ~k:g.k in
+  ci "local-search makespan" g.local_search_makespan (Assignment.makespan inst ls);
+  let lpt = Rebal_algo.Lpt.solve inst in
+  ci "lpt makespan" g.lpt_makespan (Assignment.makespan inst lpt);
+  let bp, bt = Rebal_algo.Budgeted_partition.solve inst ~budget:g.k in
+  ci "budgeted makespan" g.bp_makespan (Assignment.makespan inst bp);
+  ci "budgeted cost" g.bp_cost (Assignment.relocation_cost inst bp);
+  ci "budgeted threshold" g.bp_threshold bt
+
+let () =
+  Alcotest.run "rebal_golden"
+    [
+      ( "fixtures",
+        List.map
+          (fun g -> Alcotest.test_case (Filename.basename g.path) `Quick (check_one g))
+          goldens );
+    ]

