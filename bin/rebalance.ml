@@ -275,6 +275,107 @@ let simulate_cmd =
     Term.(const run $ csv $ sites $ servers $ horizon $ period $ k $ seed_arg)
 
 
+(* ----- chaos ----- *)
+
+let chaos_cmd =
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  let sites = Arg.(value & opt int 200 & info [ "sites" ] ~docv:"N" ~doc:"Number of websites.") in
+  let servers = Arg.(value & opt int 10 & info [ "servers" ] ~docv:"M" ~doc:"Number of servers.") in
+  let horizon = Arg.(value & opt int 336 & info [ "horizon" ] ~docv:"T" ~doc:"Simulated steps.") in
+  let period = Arg.(value & opt int 6 & info [ "period" ] ~docv:"P" ~doc:"Steps between rebalances.") in
+  let k = Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Per-round move budget.") in
+  let crash_rate =
+    Arg.(value & opt float 0.002 & info [ "crash-rate" ] ~docv:"P" ~doc:"Per-server per-step crash probability.")
+  in
+  let mttr =
+    Arg.(value & opt int 12 & info [ "mttr" ] ~docv:"STEPS" ~doc:"Mean steps a crashed server stays down.")
+  in
+  let migration_fail =
+    Arg.(value & opt float 0.1 & info [ "migration-fail" ] ~docv:"P" ~doc:"Probability a policy move fails (budget is still spent).")
+  in
+  let lag =
+    Arg.(value & opt int 1 & info [ "lag" ] ~docv:"STEPS" ~doc:"Staleness of the loads policies observe.")
+  in
+  let noise =
+    Arg.(value & opt float 0.1 & info [ "noise" ] ~docv:"X" ~doc:"Multiplicative jitter on observed loads.")
+  in
+  let recover_below =
+    Arg.(value & opt float 1.5 & info [ "recover-below" ] ~docv:"X" ~doc:"Imbalance threshold below which the cluster counts as recovered.")
+  in
+  let run csv sites servers horizon period k crash_rate mttr migration_fail lag noise
+      recover_below seed =
+    (* Heavy-tailed popularity: the regime where a crashed server can be
+       holding a disproportionate share of the load. *)
+    let traffic =
+      Rebal_sim.Traffic.create (Rng.create seed) ~sites ~horizon ~zipf_alpha:0.8 ~scale:1000
+        ~diurnal_depth:0.6 ~noise:0.15 ~flash_prob:0.003 ~flash_mult:5 ~flash_len:8 ()
+    in
+    let fault =
+      Rebal_sim.Fault.create ~seed:(seed + 1) ~servers ~horizon ~crash_rate ~mttr
+        ~migration_fail ~lag ~noise ()
+    in
+    let crashes = List.length (Rebal_sim.Fault.crash_events fault) in
+    Printf.printf
+      "chaos: %d sites on %d servers over %d steps; %d crash(es), mttr=%d, \
+       migration-fail=%.0f%%, lag=%d, noise=%.0f%%\n\n"
+      sites servers horizon crashes mttr (100.0 *. migration_fail) lag (100.0 *. noise);
+    let table =
+      Rebal_harness.Table.create ~title:"rebalancing under faults"
+        ~columns:
+          [ "policy"; "mean imb"; "p95 imb"; "dw mksp"; "moves"; "failed"; "emerg"; "fallbk"; "mean recov" ]
+    in
+    List.iter
+      (fun policy ->
+        let r =
+          Rebal_sim.Simulation.run ~fault ~recovery_threshold:recover_below traffic
+            { Rebal_sim.Simulation.servers; period; policy }
+        in
+        let recovered =
+          List.filter_map (fun rc -> rc.Rebal_sim.Simulation.steps_to_recover)
+            r.Rebal_sim.Simulation.recoveries
+        in
+        let mean_recovery =
+          match recovered with
+          | [] -> "-"
+          | xs ->
+            Printf.sprintf "%.1f"
+              (float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs))
+        in
+        Rebal_harness.Table.add_row table
+          [
+            Rebal_sim.Policy.name policy;
+            Printf.sprintf "%.3f" r.Rebal_sim.Simulation.mean_imbalance;
+            Printf.sprintf "%.3f" r.Rebal_sim.Simulation.p95_imbalance;
+            Printf.sprintf "%.0f" r.Rebal_sim.Simulation.downtime_weighted_makespan;
+            string_of_int r.Rebal_sim.Simulation.total_moves;
+            string_of_int r.Rebal_sim.Simulation.failed_migrations;
+            string_of_int r.Rebal_sim.Simulation.emergency_moves;
+            string_of_int r.Rebal_sim.Simulation.fallbacks;
+            mean_recovery;
+          ])
+      [
+        Rebal_sim.Policy.No_rebalance;
+        Rebal_sim.Policy.Greedy k;
+        Rebal_sim.Policy.M_partition k;
+        Rebal_sim.Policy.Triggered { k; threshold = 1.3 };
+        Rebal_sim.Policy.Full_lpt;
+        Rebal_sim.Policy.Failover
+          { primary = Rebal_sim.Policy.M_partition k;
+            fallback = Rebal_sim.Policy.Greedy k;
+            deadline = 0.05 };
+      ];
+    Rebal_harness.Table.print table;
+    Option.iter (fun path -> Rebal_harness.Table.save_csv table ~path) csv
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the web-server simulation under injected faults: crashes, failed migrations, stale load signals.")
+    Term.(
+      const run $ csv $ sites $ servers $ horizon $ period $ k $ crash_rate $ mttr
+      $ migration_fail $ lag $ noise $ recover_below $ seed_arg)
+
 (* ----- sweep ----- *)
 
 let sweep_cmd =
@@ -368,4 +469,7 @@ let () =
     Cmd.info "rebalance" ~version:"1.0.0"
       ~doc:"Load rebalancing: bounded-migration makespan minimization (SPAA 2003)."
   in
-  exit (Cmd.eval (Cmd.group ~default info [ gen_cmd; solve_cmd; bounds_cmd; simulate_cmd; sweep_cmd; process_sim_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ gen_cmd; solve_cmd; bounds_cmd; simulate_cmd; chaos_cmd; sweep_cmd; process_sim_cmd ]))

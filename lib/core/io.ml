@@ -26,9 +26,12 @@ let tokens line =
   |> List.filter (fun s -> s <> "")
 
 let parse_lines lines =
+  (* Jobs carry their line number so every semantic error — not just a
+     token that fails to parse — points at the offending line. *)
   let m = ref None in
   let jobs = ref [] in
   let error = ref None in
+  let fail lineno fmt = Printf.ksprintf (fun msg -> error := Some (Printf.sprintf "line %d: %s" lineno msg)) fmt in
   List.iteri
     (fun idx line ->
       if !error = None then begin
@@ -36,28 +39,53 @@ let parse_lines lines =
         match tokens line with
         | [] -> ()
         | [ "processors"; v ] -> begin
-          match int_of_string_opt v with
-          | Some v when v >= 1 -> m := Some v
-          | _ -> error := Some (Printf.sprintf "line %d: bad processor count" lineno)
+          match (int_of_string_opt v, !m) with
+          | Some _, Some _ -> fail lineno "duplicate 'processors' line"
+          | Some v, None when v >= 1 -> m := Some v
+          | Some v, None -> fail lineno "processor count must be >= 1, got %d" v
+          | None, _ -> fail lineno "bad processor count %S" v
         end
+        | "processors" :: _ -> fail lineno "'processors' line wants exactly one count"
         | [ "job"; s; c; p ] -> begin
           match (int_of_string_opt s, int_of_string_opt c, int_of_string_opt p) with
-          | Some s, Some c, Some p -> jobs := (s, c, p) :: !jobs
-          | _ -> error := Some (Printf.sprintf "line %d: bad job line" lineno)
+          | Some s, _, _ when s <= 0 -> fail lineno "job size must be positive, got %d" s
+          | _, Some c, _ when c < 0 -> fail lineno "relocation cost must be non-negative, got %d" c
+          | Some s, Some c, Some p -> jobs := (lineno, s, c, p) :: !jobs
+          | None, _, _ -> fail lineno "bad job size %S" s
+          | _, None, _ -> fail lineno "bad relocation cost %S" c
+          | _, _, None -> fail lineno "bad initial processor %S" p
         end
-        | _ -> error := Some (Printf.sprintf "line %d: unrecognized line" lineno)
+        | "job" :: rest ->
+          fail lineno "'job' line wants <size> <cost> <initial>, got %d fields" (List.length rest)
+        | tok :: _ -> fail lineno "unrecognized directive %S" tok
       end)
     lines;
   match (!error, !m) with
   | Some msg, _ -> Error msg
-  | None, None -> Error "missing 'processors' line"
-  | None, Some m ->
+  | None, None -> Error (if !jobs = [] then "empty instance: missing 'processors' line" else "missing 'processors' line")
+  | None, Some m -> begin
     let jobs = Array.of_list (List.rev !jobs) in
-    let sizes = Array.map (fun (s, _, _) -> s) jobs in
-    let costs = Array.map (fun (_, c, _) -> c) jobs in
-    let initial = Array.map (fun (_, _, p) -> p) jobs in
-    (try Ok (Instance.create ~costs ~sizes ~m initial)
-     with Invalid_argument msg -> Error msg)
+    match
+      Array.fold_left
+        (fun acc (lineno, _, _, p) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if p < 0 || p >= m then
+              Some
+                (Printf.sprintf
+                   "line %d: initial processor %d out of range for %d processors" lineno p m)
+            else None)
+        None jobs
+    with
+    | Some msg -> Error msg
+    | None ->
+      let sizes = Array.map (fun (_, s, _, _) -> s) jobs in
+      let costs = Array.map (fun (_, _, c, _) -> c) jobs in
+      let initial = Array.map (fun (_, _, _, p) -> p) jobs in
+      (try Ok (Instance.create ~costs ~sizes ~m initial)
+       with Invalid_argument msg -> Error msg)
+  end
 
 let lines_of_channel ic =
   let rec loop acc =

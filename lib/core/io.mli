@@ -14,6 +14,11 @@ val write_instance : out_channel -> Instance.t -> unit
 val instance_to_string : Instance.t -> string
 
 val read_instance : in_channel -> (Instance.t, string) result
+(** Never raises on malformed input: empty files, non-integer tokens,
+    non-positive sizes, negative costs, duplicate or missing
+    [processors] lines and out-of-range initial processors all produce
+    [Error "line N: ..."] naming the first offending line. *)
+
 val instance_of_string : string -> (Instance.t, string) result
 
 val write_assignment : out_channel -> Assignment.t -> unit

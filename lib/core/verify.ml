@@ -39,6 +39,32 @@ let check_exn inst assignment ~budget =
            Budget.pp budget report.moves report.relocation_cost);
     report
 
+let check_live_placement ~m ~live ~placement ~round_moves ~budget =
+  if Array.length live <> m then
+    Error (Printf.sprintf "live mask covers %d servers but m=%d" (Array.length live) m)
+  else if not (Array.exists Fun.id live) then Error "no live server"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun j p ->
+        if !bad = None then
+          if p < 0 || p >= m then
+            bad := Some (Printf.sprintf "job %d on out-of-range server %d (m=%d)" j p m)
+          else if not live.(p) then
+            bad := Some (Printf.sprintf "job %d on dead server %d" j p))
+      placement;
+    match !bad with
+    | Some msg -> Error msg
+    | None -> begin
+      match budget with
+      | Some k when round_moves > k ->
+        Error (Printf.sprintf "round used %d policy moves but budget is %d" round_moves k)
+      | _ ->
+        if round_moves < 0 then Error "negative move count"
+        else Ok ()
+    end
+  end
+
 let pp_report ppf r =
   Format.fprintf ppf
     "makespan=%d moves=%d cost=%d budget_ok=%b lb=%d ratio=%.4f" r.makespan

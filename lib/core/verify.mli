@@ -21,4 +21,18 @@ val check_exn : Instance.t -> Assignment.t -> budget:Budget.t -> report
 (** Like [check] but also fails if the budget is exceeded.
     @raise Failure on any violation. *)
 
+val check_live_placement :
+  m:int ->
+  live:bool array ->
+  placement:int array ->
+  round_moves:int ->
+  budget:int option ->
+  (unit, string) result
+(** Per-step invariant for the fault-injected simulators: every job is
+    assigned to exactly one server index in [0 .. m-1] whose [live]
+    entry is true, at least one server is live, and the number of
+    policy moves consumed this round is within the policy's budget
+    ([None] = unbounded). Emergency evacuations are not policy moves
+    and must not be included in [round_moves]. *)
+
 val pp_report : Format.formatter -> report -> unit

@@ -6,13 +6,16 @@ let maximum xs = Array.fold_left max neg_infinity xs
 let minimum xs = Array.fold_left min infinity xs
 
 let percentile xs p =
+  (* Nearest-rank: the smallest value with at least a [p] fraction of
+     the sample at or below it, i.e. index ceil(p*n) of the sorted
+     sample (1-based). *)
   let n = Array.length xs in
   if n = 0 then 0.0
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
-    let idx = int_of_float (p *. float_of_int (n - 1)) in
-    sorted.(max 0 (min (n - 1) idx))
+    Array.sort Float.compare sorted;
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
 let stddev xs =

@@ -5,32 +5,55 @@ type t =
   | Local_search of int
   | Full_lpt
   | Triggered of { k : int; threshold : float }
+  | Failover of { primary : t; fallback : t; deadline : float }
 
-let name = function
+let rec name = function
   | No_rebalance -> "none"
   | Greedy k -> Printf.sprintf "greedy(k=%d)" k
   | M_partition k -> Printf.sprintf "m-partition(k=%d)" k
   | Local_search k -> Printf.sprintf "local-search(k=%d)" k
   | Full_lpt -> "full-lpt"
   | Triggered { k; threshold } -> Printf.sprintf "triggered(k=%d,t=%.2f)" k threshold
+  | Failover { primary; fallback; deadline } ->
+    Printf.sprintf "failover(%s->%s,%.0fms)" (name primary) (name fallback)
+      (deadline *. 1000.0)
 
-let budget = function
+let rec budget = function
   | No_rebalance -> Some 0
   | Greedy k | M_partition k | Local_search k | Triggered { k; _ } -> Some k
   | Full_lpt -> None
+  | Failover { primary; fallback; _ } -> begin
+    (* Either branch may run, so the binding budget is the looser one. *)
+    match (budget primary, budget fallback) with
+    | Some a, Some b -> Some (max a b)
+    | _ -> None
+  end
 
-let apply policy inst =
+let rec apply_count policy inst =
   match policy with
-  | No_rebalance -> Rebal_core.Assignment.identity inst
-  | Greedy k -> Rebal_algo.Greedy.solve inst ~k
-  | M_partition k -> Rebal_algo.M_partition.solve inst ~k
-  | Local_search k -> Rebal_algo.Local_search.solve inst ~k
-  | Full_lpt -> Rebal_algo.Lpt.solve inst
+  | No_rebalance -> (Rebal_core.Assignment.identity inst, 0)
+  | Greedy k -> (Rebal_algo.Greedy.solve inst ~k, 0)
+  | M_partition k -> (Rebal_algo.M_partition.solve inst ~k, 0)
+  | Local_search k -> (Rebal_algo.Local_search.solve inst ~k, 0)
+  | Full_lpt -> (Rebal_algo.Lpt.solve inst, 0)
   | Triggered { k; threshold } ->
     let m = Rebal_core.Instance.m inst in
     let total = Rebal_core.Instance.total_size inst in
     let average = float_of_int total /. float_of_int m in
     let makespan = float_of_int (Rebal_core.Instance.initial_makespan inst) in
     if average > 0.0 && makespan /. average > threshold then
-      Rebal_algo.M_partition.solve inst ~k
-    else Rebal_core.Assignment.identity inst
+      (Rebal_algo.M_partition.solve inst ~k, 0)
+    else (Rebal_core.Assignment.identity inst, 0)
+  | Failover { primary; fallback; deadline } -> begin
+    let outcome, elapsed =
+      Rebal_harness.Timer.time (fun () ->
+          try Ok (apply_count primary inst) with e -> Error e)
+    in
+    match outcome with
+    | Ok result when elapsed <= deadline -> result
+    | Ok _ | Error _ ->
+      let a, fallbacks = apply_count fallback inst in
+      (a, fallbacks + 1)
+  end
+
+let apply policy inst = fst (apply_count policy inst)

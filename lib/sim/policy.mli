@@ -13,14 +13,25 @@ type t =
       (** run M-PARTITION with budget [k], but only when the measured
           imbalance (makespan / average) exceeds [threshold] — the
           hysteresis pattern real operators use to avoid churn *)
+  | Failover of { primary : t; fallback : t; deadline : float }
+      (** run [primary]; if it raises or takes longer than [deadline]
+          wall-clock seconds ([Rebal_harness.Timer]), discard its answer
+          and run [fallback] instead — the degraded-mode pattern a
+          production rebalancer needs when its good algorithm cannot be
+          trusted to answer in time under failure *)
 
 val name : t -> string
 
 val budget : t -> int option
-(** The per-round move budget, when the policy has one. *)
+(** The per-round move budget, when the policy has one. [Failover] may
+    run either branch, so its budget is the looser of the two. *)
 
 val apply : t -> Rebal_core.Instance.t -> Rebal_core.Assignment.t
 (** Run one rebalancing round. The result moves at most the policy's
     budget (unbounded for [Full_lpt], zero for [No_rebalance]).
     [Triggered] compares the instance's initial imbalance against its
     threshold and returns the identity assignment when below it. *)
+
+val apply_count : t -> Rebal_core.Instance.t -> Rebal_core.Assignment.t * int
+(** Like [apply], also returning how many [Failover] fallbacks fired
+    while producing the assignment (0 for every other policy). *)

@@ -22,6 +22,9 @@ type result = {
   mean_backlog_imbalance : float;
   migrations : int;
   residual : int;
+  failed_migrations : int;
+  emergency_moves : int;
+  fallbacks : int;
 }
 
 (* One service unit = [scale] micro-units of work; integer arithmetic
@@ -68,39 +71,117 @@ let sample_work rng = function
     let capped = Float.min w 10_000.0 in
     max 1 (int_of_float (capped *. float_of_int scale))
 
-let run rng cfg =
+let run ?(fault = Fault.none) rng cfg =
   validate cfg;
   let alive = ref [] in
   let slowdowns = ref [] in
   let completed = ref 0 in
   let migrations = ref 0 in
+  let failed_migrations = ref 0 in
+  let emergency_moves = ref 0 in
+  let fallbacks = ref 0 in
   let imbalance_sum = ref 0.0 in
   let imbalance_samples = ref 0 in
   let backlog = Array.make cfg.cpus 0 in
   let count = Array.make cfg.cpus 0 in
   for t = 0 to cfg.horizon - 1 do
-    (* Arrivals land on a uniformly random CPU. *)
+    let live = Array.init cfg.cpus (fun s -> Fault.is_live fault ~server:s ~time:t) in
+    let all_live = Array.for_all Fun.id live in
+    (* Work in flight before this step's migrations; migrating a process
+       must never create or destroy work. *)
+    let work_before = List.fold_left (fun acc p -> acc + p.remaining) 0 !alive in
+    (* Crashed CPUs are forcibly drained: their processes restart on the
+       live CPU with the least backlog (emergency moves, not policy
+       moves). *)
+    if not all_live then begin
+      Array.fill backlog 0 cfg.cpus 0;
+      List.iter (fun p -> backlog.(p.cpu) <- backlog.(p.cpu) + p.remaining) !alive;
+      List.iter
+        (fun p ->
+          if not live.(p.cpu) then begin
+            let target = ref (-1) in
+            for s = 0 to cfg.cpus - 1 do
+              if live.(s) && (!target < 0 || backlog.(s) < backlog.(!target)) then
+                target := s
+            done;
+            backlog.(p.cpu) <- backlog.(p.cpu) - p.remaining;
+            backlog.(!target) <- backlog.(!target) + p.remaining;
+            p.cpu <- !target;
+            incr emergency_moves
+          end)
+        !alive
+    end;
+    (* Arrivals land on a uniformly random live CPU. *)
     let arrivals = poisson rng cfg.arrival_rate in
+    let live_ids =
+      if all_live then [||]
+      else begin
+        let ids = ref [] in
+        for s = cfg.cpus - 1 downto 0 do
+          if live.(s) then ids := s :: !ids
+        done;
+        Array.of_list !ids
+      end
+    in
     for _ = 1 to arrivals do
       let work = sample_work rng cfg.lifetime in
-      alive := { remaining = work; work; arrival = t; cpu = Rng.int rng cfg.cpus } :: !alive
+      let cpu =
+        if all_live then Rng.int rng cfg.cpus
+        else live_ids.(Rng.int rng (Array.length live_ids))
+      in
+      alive := { remaining = work; work; arrival = t; cpu } :: !alive
     done;
-    (* Rebalancing round: remaining work is the job size. *)
+    (* Rebalancing round: remaining work is the job size, and the policy
+       only sees (and only targets) live CPUs. A failed migration leaves
+       the process in place but still consumed budget. *)
+    let round_moves = ref 0 in
     if t > 0 && t mod cfg.period = 0 && !alive <> [] then begin
+      let live_n = ref 0 in
+      let inv = Array.make cfg.cpus (-1) in
+      let map = ref [] in
+      for s = 0 to cfg.cpus - 1 do
+        if live.(s) then begin
+          inv.(s) <- !live_n;
+          map := s :: !map;
+          incr live_n
+        end
+      done;
+      let map = Array.of_list (List.rev !map) in
       let procs = Array.of_list !alive in
       let sizes = Array.map (fun p -> max 1 p.remaining) procs in
-      let initial = Array.map (fun p -> p.cpu) procs in
-      let inst = Instance.create ~sizes ~m:cfg.cpus initial in
-      let next = Policy.apply cfg.policy inst in
+      let initial = Array.map (fun p -> inv.(p.cpu)) procs in
+      let inst = Instance.create ~sizes ~m:!live_n initial in
+      let next, fb = Policy.apply_count cfg.policy inst in
+      fallbacks := !fallbacks + fb;
       Array.iteri
         (fun i p ->
-          let dst = Assignment.processor next i in
+          let dst = map.(Assignment.processor next i) in
           if dst <> p.cpu then begin
             incr migrations;
-            p.cpu <- dst
+            incr round_moves;
+            if Fault.migration_fails fault ~time:t ~job:i then incr failed_migrations
+            else p.cpu <- dst
           end)
         procs
     end;
+    (* Step invariants: every process on exactly one live CPU, the round
+       within the policy budget, and no work created or lost by moves. *)
+    let placement = Array.of_list (List.map (fun p -> p.cpu) !alive) in
+    (match
+       Rebal_core.Verify.check_live_placement ~m:cfg.cpus ~live ~placement
+         ~round_moves:!round_moves ~budget:(Policy.budget cfg.policy)
+     with
+    | Ok () -> ()
+    | Error msg -> failwith ("Process_sim.run: step invariant violated: " ^ msg));
+    let work_after = List.fold_left (fun acc p -> acc + p.remaining) 0 !alive in
+    let arrived_work =
+      (* Arrivals this step are the only legitimate source of new work. *)
+      List.fold_left
+        (fun acc p -> if p.arrival = t then acc + p.remaining else acc)
+        0 !alive
+    in
+    if work_after <> work_before + arrived_work then
+      failwith "Process_sim.run: step invariant violated: work not conserved";
     (* Processor sharing: each CPU spreads [scale] micro-units across its
        residents. *)
     Array.fill count 0 cfg.cpus 0;
@@ -148,4 +229,7 @@ let run rng cfg =
        else !imbalance_sum /. float_of_int !imbalance_samples);
     migrations = !migrations;
     residual = List.length !alive;
+    failed_migrations = !failed_migrations;
+    emergency_moves = !emergency_moves;
+    fallbacks = !fallbacks;
   }

@@ -42,12 +42,24 @@ type result = {
       (** time-average of (max CPU backlog / mean CPU backlog), sampled
           on steps where the system is non-empty *)
   migrations : int;
+      (** policy migrations attempted (failed ones consume budget too) *)
   residual : int;  (** processes still running at the horizon *)
+  failed_migrations : int;  (** of [migrations], how many failed *)
+  emergency_moves : int;
+      (** processes forcibly drained off crashed CPUs *)
+  fallbacks : int;  (** times a [Policy.Failover] fell back *)
 }
 
-val run : Rebal_workloads.Rng.t -> config -> result
+val run : ?fault:Fault.t -> Rebal_workloads.Rng.t -> config -> result
 (** Simulate. Work quantities are tracked in integer micro-units
     internally, so results are exactly reproducible for a given seed.
+    [fault] (default [Fault.none], under which the run is identical to
+    a fault-free simulation) injects CPU crashes — crashed CPUs are
+    drained onto the least-backlogged live CPU and receive no arrivals
+    or placements while down — and per-migration failures. Every step
+    asserts the [Rebal_core.Verify.check_live_placement] invariant plus
+    work conservation: migrations never create or destroy work.
     @raise Invalid_argument on non-positive [cpus], [horizon] or
     [period], a non-positive arrival rate, or nonsense lifetime
-    parameters. *)
+    parameters.
+    @raise Failure if a step violates an invariant. *)

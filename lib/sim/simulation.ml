@@ -1,5 +1,7 @@
 module Instance = Rebal_core.Instance
 module Assignment = Rebal_core.Assignment
+module Verify = Rebal_core.Verify
+module Stats = Rebal_harness.Stats
 
 type step = {
   time : int;
@@ -7,7 +9,12 @@ type step = {
   average : float;
   imbalance : float;
   moves : int;
+  failed_moves : int;
+  emergency_moves : int;
+  live_servers : int;
 }
+
+type recovery = { crash_time : int; steps_to_recover : int option }
 
 type result = {
   steps : step array;
@@ -16,6 +23,11 @@ type result = {
   mean_imbalance : float;
   p95_imbalance : float;
   final_placement : int array;
+  failed_migrations : int;
+  emergency_moves : int;
+  fallbacks : int;
+  downtime_weighted_makespan : float;
+  recoveries : recovery list;
 }
 
 type config = {
@@ -24,59 +36,191 @@ type config = {
   policy : Policy.t;
 }
 
-let percentile values p =
-  let sorted = Array.copy values in
-  Array.sort compare sorted;
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else begin
-    let idx = int_of_float (p *. float_of_int (n - 1)) in
-    sorted.(idx)
-  end
+(* Map the live servers onto a dense [0 .. live-1] range so policies see
+   an ordinary instance: [map] takes compact index -> server id, [inv]
+   takes server id -> compact index (-1 when dead). *)
+let compact live =
+  let m = Array.length live in
+  let inv = Array.make m (-1) in
+  let map = ref [] in
+  let count = ref 0 in
+  for s = 0 to m - 1 do
+    if live.(s) then begin
+      inv.(s) <- !count;
+      map := s :: !map;
+      incr count
+    end
+  done;
+  (!count, Array.of_list (List.rev !map), inv)
 
-let run traffic { servers; period; policy } =
+let check_invariant ~servers ~live ~placement ~round_moves ~policy =
+  match
+    Verify.check_live_placement ~m:servers ~live ~placement ~round_moves
+      ~budget:(Policy.budget policy)
+  with
+  | Ok () -> ()
+  | Error msg -> failwith ("Simulation.run: step invariant violated: " ^ msg)
+
+let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
+    { servers; period; policy } =
   if servers <= 0 then invalid_arg "Simulation.run: servers must be positive";
   if period <= 0 then invalid_arg "Simulation.run: period must be positive";
   let sites = Traffic.sites traffic in
   let horizon = Traffic.horizon traffic in
-  (* Initial placement: LPT on the rates at time 0. *)
+  let live_at time = Array.init servers (fun s -> Fault.is_live fault ~server:s ~time) in
+  (* Initial placement: LPT on the rates at time 0, over the servers
+     live at time 0. *)
   let placement =
+    let live0 = live_at 0 in
+    let live_n, map, _ = compact live0 in
     let rates0 = Traffic.rates_at traffic ~time:0 in
-    let inst0 = Instance.create ~sizes:rates0 ~m:servers (Array.make sites 0) in
-    Assignment.to_array (Rebal_algo.Lpt.solve inst0)
+    let inst0 = Instance.create ~sizes:rates0 ~m:live_n (Array.make sites 0) in
+    let lpt = Assignment.to_array (Rebal_algo.Lpt.solve inst0) in
+    Array.map (fun p -> map.(p)) lpt
   in
-  let steps = Array.make horizon { time = 0; makespan = 0; average = 0.0; imbalance = 1.0; moves = 0 } in
+  let steps =
+    Array.make horizon
+      {
+        time = 0;
+        makespan = 0;
+        average = 0.0;
+        imbalance = 1.0;
+        moves = 0;
+        failed_moves = 0;
+        emergency_moves = 0;
+        live_servers = servers;
+      }
+  in
   let total_moves = ref 0 in
+  let total_failed = ref 0 in
+  let total_emergency = ref 0 in
+  let total_fallbacks = ref 0 in
   for time = 0 to horizon - 1 do
+    let live = live_at time in
     let rates = Traffic.rates_at traffic ~time in
-    let moves =
+    (* Forced evacuation: sites on a crashed server go to the least
+       loaded live server. These are emergency moves, not policy moves. *)
+    let emergency = ref 0 in
+    let load = Array.make servers 0 in
+    Array.iteri (fun s p -> load.(p) <- load.(p) + rates.(s)) placement;
+    Array.iteri
+      (fun site p ->
+        if not live.(p) then begin
+          let target = ref (-1) in
+          for s = 0 to servers - 1 do
+            if live.(s) && (!target < 0 || load.(s) < load.(!target)) then target := s
+          done;
+          load.(p) <- load.(p) - rates.(site);
+          load.(!target) <- load.(!target) + rates.(site);
+          placement.(site) <- !target;
+          incr emergency
+        end)
+      placement;
+    (* Policy round, over live servers only and on observed (possibly
+       stale, noisy) rates. A failed migration leaves the site in place
+       but still consumed a move of the round's budget. *)
+    let moves, failed, fallbacks =
       if time > 0 && time mod period = 0 then begin
-        let inst = Instance.create ~sizes:rates ~m:servers placement in
-        let next = Policy.apply policy inst in
-        let moved = Assignment.moves inst next in
-        Array.blit (Assignment.to_array next) 0 placement 0 sites;
-        moved
+        let observed =
+          Fault.observe fault ~time (fun t -> Traffic.rates_at traffic ~time:t)
+        in
+        let live_n, map, inv = compact live in
+        let initial = Array.map (fun p -> inv.(p)) placement in
+        let inst = Instance.create ~sizes:observed ~m:live_n initial in
+        let next, fallbacks = Policy.apply_count policy inst in
+        let attempted = ref 0 and failed = ref 0 in
+        for site = 0 to sites - 1 do
+          let dst = map.(Assignment.processor next site) in
+          if dst <> placement.(site) then begin
+            incr attempted;
+            if Fault.migration_fails fault ~time ~job:site then incr failed
+            else placement.(site) <- dst
+          end
+        done;
+        (!attempted, !failed, fallbacks)
       end
-      else 0
+      else (0, 0, 0)
     in
+    check_invariant ~servers ~live ~placement ~round_moves:moves ~policy;
     total_moves := !total_moves + moves;
+    total_failed := !total_failed + failed;
+    total_emergency := !total_emergency + !emergency;
+    total_fallbacks := !total_fallbacks + fallbacks;
+    (* Metrics always use the true rates, never the observed ones. *)
     let load = Array.make servers 0 in
     Array.iteri (fun s p -> load.(p) <- load.(p) + rates.(s)) placement;
     let makespan = Array.fold_left max 0 load in
+    let live_n = ref 0 in
+    Array.iter (fun l -> if l then incr live_n) live;
     let total = Array.fold_left ( + ) 0 rates in
-    let average = float_of_int total /. float_of_int servers in
+    let average = float_of_int total /. float_of_int !live_n in
     let imbalance = if average > 0.0 then float_of_int makespan /. average else 1.0 in
-    steps.(time) <- { time; makespan; average; imbalance; moves }
+    steps.(time) <-
+      {
+        time;
+        makespan;
+        average;
+        imbalance;
+        moves;
+        failed_moves = failed;
+        emergency_moves = !emergency;
+        live_servers = !live_n;
+      }
   done;
-  let imbalances = Array.map (fun s -> s.imbalance) steps in
+  (* Idle steps (zero offered load) report imbalance 1.0 by convention;
+     they carry no information, so the aggregates skip them. *)
+  let active =
+    Array.of_list
+      (List.filter_map
+         (fun s -> if s.average > 0.0 then Some s.imbalance else None)
+         (Array.to_list steps))
+  in
   let mean_imbalance =
-    Array.fold_left ( +. ) 0.0 imbalances /. float_of_int horizon
+    if Array.length active = 0 then 1.0
+    else Array.fold_left ( +. ) 0.0 active /. float_of_int (Array.length active)
+  in
+  let downtime_weighted_makespan =
+    (* Steps weighted by 1 + number of crashed servers: survival while
+       degraded counts for more. Equals the plain mean when nothing
+       crashes. *)
+    let num = ref 0.0 and den = ref 0.0 in
+    Array.iter
+      (fun s ->
+        let w = float_of_int (1 + servers - s.live_servers) in
+        num := !num +. (w *. float_of_int s.makespan);
+        den := !den +. w)
+      steps;
+    if !den = 0.0 then 0.0 else !num /. !den
+  in
+  let recoveries =
+    let crash_times =
+      List.sort_uniq compare (List.map fst (Fault.crash_events fault))
+    in
+    List.filter_map
+      (fun crash_time ->
+        if crash_time < 0 || crash_time >= horizon then None
+        else begin
+          let rec scan t =
+            if t >= horizon then None
+            else if steps.(t).imbalance <= recovery_threshold then
+              Some (t - crash_time)
+            else scan (t + 1)
+          in
+          Some { crash_time; steps_to_recover = scan crash_time }
+        end)
+      crash_times
   in
   {
     steps;
     total_moves = !total_moves;
     peak_makespan = Array.fold_left (fun acc s -> max acc s.makespan) 0 steps;
     mean_imbalance;
-    p95_imbalance = percentile imbalances 0.95;
+    p95_imbalance =
+      (if Array.length active = 0 then 1.0 else Stats.percentile active 0.95);
     final_placement = placement;
+    failed_migrations = !total_failed;
+    emergency_moves = !total_emergency;
+    fallbacks = !total_fallbacks;
+    downtime_weighted_makespan;
+    recoveries;
   }

@@ -4,25 +4,61 @@
     one move per migrated site; between rounds the placement is frozen
     while the rates keep drifting.
 
+    An optional [Fault.t] plan injects server crashes (crashed servers
+    are forcibly evacuated — emergency moves, metered separately — and
+    policies only place sites on live servers), migration failures (a
+    failed move leaves the site in place but still consumes the round's
+    budget), and measurement staleness/noise (policies decide on the
+    observed rates; all reported metrics use the true rates).
+
     The per-step metrics captured are the ones the rebalancing problem is
-    about: the makespan (hottest server), the load average (the ideal),
-    their ratio (imbalance), and the cumulative number of migrations. *)
+    about: the makespan (hottest server), the load average over the live
+    servers (the ideal), their ratio (imbalance), and the cumulative
+    number of migrations — plus, under faults, the emergency/failed move
+    counts and recovery times.
+
+    Every simulated step is checked against
+    [Rebal_core.Verify.check_live_placement]: each site on exactly one
+    live server, policy moves within the per-round budget. A violation
+    is a simulator bug and raises [Failure]. *)
 
 type step = {
   time : int;
   makespan : int;
-  average : float;
+  average : float;  (** total load / live servers *)
   imbalance : float;  (** makespan / average *)
-  moves : int;  (** migrations performed at this step (0 between rounds) *)
+  moves : int;
+      (** policy migrations attempted this step, including failed ones
+          (they consume budget); 0 between rounds *)
+  failed_moves : int;  (** of [moves], how many failed *)
+  emergency_moves : int;  (** forced evacuations off crashed servers *)
+  live_servers : int;
+}
+
+type recovery = {
+  crash_time : int;
+  steps_to_recover : int option;
+      (** steps until imbalance first returned below the recovery
+          threshold, [None] if it never did within the horizon *)
 }
 
 type result = {
   steps : step array;
-  total_moves : int;
+  total_moves : int;  (** cumulative policy moves (attempted) *)
   peak_makespan : int;
   mean_imbalance : float;
-  p95_imbalance : float;
+      (** over steps with non-zero offered load; idle steps are
+          excluded from the aggregates *)
+  p95_imbalance : float;  (** nearest-rank, same exclusion *)
   final_placement : int array;
+  failed_migrations : int;
+  emergency_moves : int;
+  fallbacks : int;  (** times a [Policy.Failover] fell back *)
+  downtime_weighted_makespan : float;
+      (** mean makespan with each step weighted by [1 + crashed
+          servers]: degraded steps count for more; equals the plain
+          mean makespan on a fault-free run *)
+  recoveries : recovery list;  (** one entry per distinct crash time *)
 }
 
 type config = {
@@ -31,8 +67,13 @@ type config = {
   policy : Policy.t;
 }
 
-val run : Traffic.t -> config -> result
+val run : ?fault:Fault.t -> ?recovery_threshold:float -> Traffic.t -> config -> result
 (** Simulate the whole trace horizon. The initial placement is an LPT
-    balance of the rates at time 0 (the cluster starts well-balanced and
-    then drifts — the situation the paper's introduction describes).
-    @raise Invalid_argument on non-positive [servers] or [period]. *)
+    balance of the rates at time 0 across the servers live at time 0
+    (the cluster starts well-balanced and then drifts — the situation
+    the paper's introduction describes). [fault] defaults to
+    [Fault.none], under which the run is identical to a fault-free
+    simulation. [recovery_threshold] (default 1.5) is the imbalance
+    level below which the cluster counts as recovered after a crash.
+    @raise Invalid_argument on non-positive [servers] or [period].
+    @raise Failure if a step violates the placement/budget invariant. *)

@@ -142,6 +142,59 @@ let test_io_errors_and_comments () =
       | Error _ -> ())
     [ "job 1 1 0\n"; "processors x\n"; "processors 2\njob 1 1 5\n"; "processors 2\njob a 1 0\n"; "processors 2\nnoise\n" ]
 
+let test_io_descriptive_errors () =
+  (* Malformed files must come back as [Error "line N: ..."] naming the
+     offending line — never an exception, never a bare message. *)
+  let expect_error ~contains input =
+    match Io.instance_of_string input with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" input
+    | Error msg ->
+      let present =
+        let lm = String.length msg and lc = String.length contains in
+        let found = ref false in
+        for i = 0 to lm - lc do
+          if String.sub msg i lc = contains then found := true
+        done;
+        !found
+      in
+      if not present then
+        Alcotest.failf "error %S for %S does not mention %S" msg input contains
+  in
+  expect_error ~contains:"missing 'processors'" "";
+  expect_error ~contains:"missing 'processors'" "# only a comment\n\n";
+  expect_error ~contains:"missing 'processors'" "job 4 1 0\n";
+  expect_error ~contains:"line 2: job size must be positive, got -5" "processors 2\njob -5 1 0\n";
+  expect_error ~contains:"line 2: job size must be positive, got 0" "processors 2\njob 0 1 0\n";
+  expect_error ~contains:"line 3: relocation cost must be non-negative" "processors 2\njob 1 1 0\njob 1 -2 0\n";
+  expect_error ~contains:"line 2: initial processor 5 out of range for 2 processors"
+    "processors 2\njob 1 1 5\n";
+  expect_error ~contains:"line 4: initial processor 2 out of range for 2 processors"
+    "processors 2\njob 1 1 0\njob 1 1 1\njob 1 1 2\n";
+  expect_error ~contains:"line 1: processor count must be >= 1, got 0" "processors 0\n";
+  expect_error ~contains:"line 1: bad processor count" "processors x\n";
+  expect_error ~contains:"line 2: duplicate 'processors'" "processors 2\nprocessors 3\n";
+  expect_error ~contains:"line 1: 'job' line wants" "job 1 1\nprocessors 2\n";
+  expect_error ~contains:"line 2: bad job size \"abc\"" "processors 2\njob abc 1 0\n";
+  expect_error ~contains:"line 1: unrecognized directive" "frobnicate 2\n";
+  (* Truncated mid-line: the tail of a 'job' record is missing. *)
+  expect_error ~contains:"line 2: 'job' line wants" "processors 2\njob 7\n"
+
+let test_check_live_placement () =
+  let live = [| true; false; true |] in
+  let ok = Verify.check_live_placement ~m:3 ~live ~placement:[| 0; 2; 2 |] ~round_moves:1 ~budget:(Some 2) in
+  Alcotest.(check bool) "valid step accepted" true (ok = Ok ());
+  let expect_err ~live ~placement ~round_moves ~budget =
+    match Verify.check_live_placement ~m:3 ~live ~placement ~round_moves ~budget with
+    | Ok () -> Alcotest.fail "expected invariant violation"
+    | Error _ -> ()
+  in
+  expect_err ~live ~placement:[| 0; 1 |] ~round_moves:0 ~budget:None;
+  expect_err ~live ~placement:[| 0; 3 |] ~round_moves:0 ~budget:None;
+  expect_err ~live ~placement:[| -1 |] ~round_moves:0 ~budget:None;
+  expect_err ~live ~placement:[| 0 |] ~round_moves:3 ~budget:(Some 2);
+  expect_err ~live:[| false; false; false |] ~placement:[||] ~round_moves:0 ~budget:None;
+  expect_err ~live:[| true |] ~placement:[||] ~round_moves:0 ~budget:None
+
 let test_assignment_io_roundtrip () =
   let a = Assignment.of_array ~m:3 [| 0; 2; 1; 1 |] in
   match Io.assignment_of_string ~m:3 (Io.assignment_to_string a) with
@@ -194,11 +247,13 @@ let () =
           Alcotest.test_case "reports" `Quick test_verify_reports;
           Alcotest.test_case "pretty printers" `Quick test_pretty_printers;
           Alcotest.test_case "check_exn on blown budget" `Quick test_check_exn_raises_on_blown_budget;
+          Alcotest.test_case "live placement invariant" `Quick test_check_live_placement;
         ] );
       ( "io",
         [
           Alcotest.test_case "instance roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "errors and comments" `Quick test_io_errors_and_comments;
+          Alcotest.test_case "descriptive line errors" `Quick test_io_descriptive_errors;
           Alcotest.test_case "assignment roundtrip" `Quick test_assignment_io_roundtrip;
         ] );
     ]

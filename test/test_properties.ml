@@ -172,6 +172,67 @@ let prop_makespan_monotone_in_k_for_exact =
       Exact.opt_makespan_exn inst ~budget:(Budget.Moves k)
       >= Exact.opt_makespan_exn inst ~budget:(Budget.Moves (k + 1)))
 
+(* --- simulator policy invariants ------------------------------------------ *)
+
+module Policy = Rebal_sim.Policy
+
+(* Unit-cost instances with every job initially placed, the shape the
+   simulators feed policies each round. *)
+let sim_instance_with_k_gen ~max_n ~max_m ~max_size =
+  Gen.(
+    let* n = int_range 1 max_n in
+    let* m = int_range 1 max_m in
+    let* sizes = array_size (return n) (int_range 1 max_size) in
+    let* initial = array_size (return n) (int_range 0 (m - 1)) in
+    let* k = int_range 0 n in
+    return (Instance.create ~sizes ~m initial, k))
+
+let policies_under_test k =
+  [
+    Policy.No_rebalance;
+    Policy.Greedy k;
+    Policy.M_partition k;
+    Policy.Local_search k;
+    Policy.Full_lpt;
+    Policy.Triggered { k; threshold = 1.2 };
+    Policy.Failover
+      { primary = Policy.M_partition k; fallback = Policy.Greedy k; deadline = 60.0 };
+    Policy.Failover
+      { primary = Policy.M_partition k; fallback = Policy.Greedy k; deadline = -1.0 };
+  ]
+
+let prop_policy_preserves_jobs_and_budget =
+  Test.make ~name:"every policy: jobs preserved, in range, within budget" ~count:150
+    (sim_instance_with_k_gen ~max_n:50 ~max_m:8 ~max_size:200)
+    (fun (inst, k) ->
+      let n = Instance.n inst and m = Instance.m inst in
+      List.for_all
+        (fun policy ->
+          let a = Policy.apply policy inst in
+          let arr = Assignment.to_array a in
+          Array.length arr = n
+          && Array.for_all (fun p -> p >= 0 && p < m) arr
+          && Array.fold_left ( + ) 0 (Assignment.loads inst a) = Instance.total_size inst
+          && (match Policy.budget policy with
+             | None -> true
+             | Some b -> Assignment.moves inst a <= b))
+        (policies_under_test k))
+
+let prop_triggered_is_identity_below_threshold =
+  Test.make ~name:"triggered: identity at or below its threshold" ~count:200
+    (sim_instance_with_k_gen ~max_n:40 ~max_m:6 ~max_size:100)
+    (fun (inst, k) ->
+      let m = Instance.m inst in
+      let average = float_of_int (Instance.total_size inst) /. float_of_int m in
+      let imbalance =
+        if average > 0.0 then float_of_int (Instance.initial_makespan inst) /. average
+        else 1.0
+      in
+      (* A threshold exactly at the measured imbalance must not fire
+         (strict comparison), hence zero moves. *)
+      let a = Policy.apply (Policy.Triggered { k; threshold = imbalance }) inst in
+      Assignment.moves inst a = 0)
+
 let () =
   Alcotest.run "rebal_properties"
     [
@@ -200,5 +261,11 @@ let () =
             prop_greedy_opt_ratio_tiny;
             prop_exact_within_bounds_tiny;
             prop_makespan_monotone_in_k_for_exact;
+          ] );
+      ( "policies",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_policy_preserves_jobs_and_budget;
+            prop_triggered_is_identity_below_threshold;
           ] );
     ]

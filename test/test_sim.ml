@@ -120,6 +120,185 @@ let test_invalid_config () =
     ]
 
 
+(* --- policies ------------------------------------------------------------ *)
+
+let test_triggered_threshold_boundary () =
+  (* Everything on processor 0: loads [12; 0], imbalance exactly 2.0.
+     The trigger condition is a strict >, so a threshold of exactly 2.0
+     must not fire; just below it must, and then the answer is exactly
+     M-PARTITION's. *)
+  let inst =
+    Rebal_core.Instance.create ~sizes:[| 5; 5; 1; 1 |] ~m:2 [| 0; 0; 0; 0 |]
+  in
+  let at threshold = Policy.apply (Policy.Triggered { k = 2; threshold }) inst in
+  let moves a = Rebal_core.Assignment.moves inst a in
+  Alcotest.(check int) "at the threshold: no rebalance" 0 (moves (at 2.0));
+  Alcotest.(check int) "above the threshold: no rebalance" 0 (moves (at 2.01));
+  Alcotest.(check bool) "below the threshold: fires" true (moves (at 1.99) > 0);
+  Alcotest.(check bool) "fired answer is m-partition's" true
+    (Rebal_core.Assignment.equal (at 1.99) (Rebal_algo.M_partition.solve inst ~k:2))
+
+let test_failover_policy () =
+  let inst =
+    Rebal_core.Instance.create ~sizes:[| 9; 3; 3; 3 |] ~m:3 [| 0; 0; 0; 0 |]
+  in
+  (* A deadline in the past: the primary always "times out" and the
+     fallback answers, counted once per application. *)
+  let hair_trigger =
+    Policy.Failover { primary = Policy.M_partition 2; fallback = Policy.Greedy 2; deadline = -1.0 }
+  in
+  let a, fallbacks = Policy.apply_count hair_trigger inst in
+  Alcotest.(check int) "fell back" 1 fallbacks;
+  Alcotest.(check bool) "fallback answer is greedy's" true
+    (Rebal_core.Assignment.equal a (Rebal_algo.Greedy.solve inst ~k:2));
+  (* A generous deadline: the primary answers and no fallback fires. *)
+  let relaxed =
+    Policy.Failover { primary = Policy.M_partition 2; fallback = Policy.Greedy 2; deadline = 60.0 }
+  in
+  let a, fallbacks = Policy.apply_count relaxed inst in
+  Alcotest.(check int) "no fallback" 0 fallbacks;
+  Alcotest.(check bool) "primary answer is m-partition's" true
+    (Rebal_core.Assignment.equal a (Rebal_algo.M_partition.solve inst ~k:2));
+  Alcotest.(check bool) "budget is the looser branch" true
+    (Policy.budget hair_trigger = Some 2);
+  Alcotest.(check bool) "unbounded branch makes it unbounded" true
+    (Policy.budget (Policy.Failover { primary = Policy.Full_lpt; fallback = Policy.Greedy 1; deadline = 1.0 })
+     = None)
+
+(* --- fault injection ----------------------------------------------------- *)
+
+module Fault = Rebal_sim.Fault
+
+let heavy_trace ?(sites = 120) ?(horizon = 144) ?(seed = 31) () =
+  Traffic.create (Rng.create seed) ~sites ~horizon ~zipf_alpha:1.0 ~scale:800
+    ~diurnal_depth:0.6 ~noise:0.15 ~flash_prob:0.003 ~flash_mult:5 ~flash_len:8 ()
+
+let chaos_fault ?(seed = 42) ?(servers = 8) ?(horizon = 144) () =
+  Fault.create ~seed ~servers ~horizon ~crash_rate:0.01 ~mttr:10
+    ~migration_fail:0.15 ~lag:1 ~noise:0.1 ()
+
+let test_fault_plan_deterministic () =
+  let f1 = chaos_fault () and f2 = chaos_fault () in
+  Alcotest.(check bool) "same crash events" true
+    (Fault.crash_events f1 = Fault.crash_events f2);
+  for time = 0 to 143 do
+    for server = 0 to 7 do
+      Alcotest.(check bool) "same liveness" (Fault.is_live f1 ~server ~time)
+        (Fault.is_live f2 ~server ~time)
+    done
+  done;
+  (* Migration-failure draws are pure in (time, job): query order must
+     not matter. *)
+  let forward = List.init 50 (fun j -> Fault.migration_fails f1 ~time:12 ~job:j) in
+  let backward =
+    List.rev (List.init 50 (fun j -> Fault.migration_fails f2 ~time:12 ~job:(49 - j)))
+  in
+  Alcotest.(check (list bool)) "order-independent draws" forward backward
+
+let test_fault_plan_always_a_live_server () =
+  let f = Fault.create ~seed:9 ~servers:3 ~horizon:400 ~crash_rate:0.3 ~mttr:50 () in
+  for time = 0 to 399 do
+    Alcotest.(check bool) "at least one live" true (Fault.live_count f ~m:3 ~time >= 1)
+  done;
+  Alcotest.(check bool) "crashes actually happen" true (Fault.crash_events f <> [])
+
+let test_zero_fault_plan_reproduces_baseline () =
+  let t = trace () in
+  let zero = Fault.create ~seed:5 ~servers:6 ~horizon:96 () in
+  Alcotest.(check bool) "all-zero knobs is a none plan" true (Fault.is_none zero);
+  List.iter
+    (fun policy ->
+      let cfg = { Simulation.servers = 6; period = 8; policy } in
+      let plain = Simulation.run t cfg in
+      let faulted = Simulation.run ~fault:zero t cfg in
+      Alcotest.(check (float 1e-12)) "mean imbalance equal"
+        plain.Simulation.mean_imbalance faulted.Simulation.mean_imbalance;
+      Alcotest.(check (float 1e-12)) "p95 equal"
+        plain.Simulation.p95_imbalance faulted.Simulation.p95_imbalance;
+      Alcotest.(check int) "moves equal" plain.Simulation.total_moves
+        faulted.Simulation.total_moves;
+      Alcotest.(check int) "peak equal" plain.Simulation.peak_makespan
+        faulted.Simulation.peak_makespan;
+      Alcotest.(check (array int)) "placement equal" plain.Simulation.final_placement
+        faulted.Simulation.final_placement;
+      Alcotest.(check int) "no emergency moves" 0 faulted.Simulation.emergency_moves;
+      Alcotest.(check int) "no failed migrations" 0 faulted.Simulation.failed_migrations)
+    [ Policy.No_rebalance; Policy.Greedy 5; Policy.M_partition 5; Policy.Full_lpt ]
+
+let test_chaos_sweep_invariants () =
+  (* The acceptance sweep: five policies on heavy-tailed traffic with
+     crashes, failed migrations and stale noisy signals. Simulation.run
+     raises Failure if any step breaks the live-placement/budget
+     invariant, so completing the run is the assertion; on top we check
+     the fault accounting is active and the final placement is live. *)
+  let t = heavy_trace () in
+  let fault = chaos_fault () in
+  Alcotest.(check bool) "plan has crashes" true (Fault.crash_events fault <> []);
+  List.iter
+    (fun policy ->
+      let r = Simulation.run ~fault t { Simulation.servers = 8; period = 6; policy } in
+      Alcotest.(check bool) "emergency evacuations happened" true
+        (r.Simulation.emergency_moves > 0);
+      Array.iteri
+        (fun site server ->
+          ignore site;
+          Alcotest.(check bool) "final placement on a live server" true
+            (Fault.is_live fault ~server ~time:143))
+        r.Simulation.final_placement;
+      Alcotest.(check bool) "one recovery entry per crash time" true
+        (List.length r.Simulation.recoveries
+        = List.length
+            (List.sort_uniq compare (List.map fst (Fault.crash_events fault)))))
+    [
+      Policy.No_rebalance;
+      Policy.Greedy 6;
+      Policy.M_partition 6;
+      Policy.Triggered { k = 6; threshold = 1.3 };
+      Policy.Full_lpt;
+    ]
+
+let test_all_migrations_fail () =
+  let t = trace () in
+  let fault =
+    Fault.create ~seed:4 ~servers:6 ~horizon:96 ~migration_fail:1.0 ()
+  in
+  let r = Simulation.run ~fault t { Simulation.servers = 6; period = 8; policy = Policy.Greedy 5 } in
+  Alcotest.(check bool) "moves were attempted" true (r.Simulation.total_moves > 0);
+  Alcotest.(check int) "every attempt failed" r.Simulation.total_moves
+    r.Simulation.failed_migrations;
+  (* Nothing ever actually moved, so the placement is the initial LPT. *)
+  let none = Simulation.run t { Simulation.servers = 6; period = 8; policy = Policy.No_rebalance } in
+  Alcotest.(check (array int)) "placement pinned" none.Simulation.final_placement
+    r.Simulation.final_placement
+
+let test_stale_noisy_signals_only () =
+  let t = trace () in
+  let fault = Fault.create ~seed:6 ~servers:6 ~horizon:96 ~lag:4 ~noise:0.3 () in
+  let r = Simulation.run ~fault t { Simulation.servers = 6; period = 8; policy = Policy.M_partition 5 } in
+  Alcotest.(check int) "no crashes, no evacuations" 0 r.Simulation.emergency_moves;
+  Alcotest.(check int) "no migration failures" 0 r.Simulation.failed_migrations;
+  Alcotest.(check bool) "still rebalances" true (r.Simulation.total_moves > 0);
+  (* Stale decisions are still budget-bounded per round (the run would
+     have raised otherwise) and the run differs from the exact-signal
+     one: the policy acted on different numbers. *)
+  let exact = Simulation.run t { Simulation.servers = 6; period = 8; policy = Policy.M_partition 5 } in
+  Alcotest.(check bool) "noise changes decisions" true
+    (exact.Simulation.final_placement <> r.Simulation.final_placement
+    || exact.Simulation.total_moves <> r.Simulation.total_moves
+    || exact.Simulation.mean_imbalance <> r.Simulation.mean_imbalance)
+
+let test_failover_in_simulation () =
+  let t = trace ~horizon:64 () in
+  let policy =
+    Policy.Failover { primary = Policy.M_partition 5; fallback = Policy.Greedy 5; deadline = -1.0 }
+  in
+  let r = Simulation.run t { Simulation.servers = 6; period = 8; policy } in
+  (* One fallback per rebalancing round: rounds at t = 8, 16, ..., 56. *)
+  Alcotest.(check int) "fell back every round" 7 r.Simulation.fallbacks;
+  let greedy = Simulation.run t { Simulation.servers = 6; period = 8; policy = Policy.Greedy 5 } in
+  Alcotest.(check (array int)) "behaves as the fallback" greedy.Simulation.final_placement
+    r.Simulation.final_placement
+
 (* --- process simulator --------------------------------------------------- *)
 
 module PS = Rebal_sim.Process_sim
@@ -185,6 +364,60 @@ let test_process_sim_validation () =
       { (ps_config ()) with PS.lifetime = PS.Pareto_work { alpha = 0.0; xmin = 1.0 } };
     ]
 
+let test_process_sim_zero_fault_reproduces_baseline () =
+  let zero = Fault.create ~seed:3 ~servers:4 ~horizon:800 () in
+  let plain = PS.run (Rng.create 25) (ps_config ~policy:(Policy.Greedy 2) ()) in
+  let faulted = PS.run ~fault:zero (Rng.create 25) (ps_config ~policy:(Policy.Greedy 2) ()) in
+  Alcotest.(check int) "completed equal" plain.PS.completed faulted.PS.completed;
+  Alcotest.(check int) "migrations equal" plain.PS.migrations faulted.PS.migrations;
+  Alcotest.(check int) "residual equal" plain.PS.residual faulted.PS.residual;
+  Alcotest.(check (float 1e-12)) "slowdown equal" plain.PS.mean_slowdown
+    faulted.PS.mean_slowdown;
+  Alcotest.(check int) "no emergency moves" 0 faulted.PS.emergency_moves;
+  Alcotest.(check int) "no failed migrations" 0 faulted.PS.failed_migrations
+
+let test_process_sim_chaos () =
+  (* Crashes plus failed migrations on a heavy-tailed population: the
+     per-step invariants (live placement, budget, work conservation)
+     raise Failure if broken, and the fault accounting must light up. *)
+  let fault =
+    Fault.create ~seed:12 ~servers:6 ~horizon:2000 ~crash_rate:0.005 ~mttr:25
+      ~migration_fail:0.2 ()
+  in
+  Alcotest.(check bool) "plan has crashes" true (Fault.crash_events fault <> []);
+  let cfg policy =
+    {
+      PS.cpus = 6;
+      arrival_rate = 0.6;
+      lifetime = PS.Pareto_work { alpha = 1.1; xmin = 1.0 };
+      horizon = 2000;
+      period = 10;
+      policy;
+    }
+  in
+  List.iter
+    (fun policy ->
+      let r = PS.run ~fault (Rng.create 26) (cfg policy) in
+      Alcotest.(check bool) "processes drained off crashed CPUs" true
+        (r.PS.emergency_moves > 0);
+      Alcotest.(check bool) "work still completes" true (r.PS.completed > 100);
+      if policy <> Policy.No_rebalance then
+        Alcotest.(check bool) "some migrations failed" true (r.PS.failed_migrations > 0))
+    [ Policy.No_rebalance; Policy.Greedy 3; Policy.M_partition 3; Policy.Full_lpt ]
+
+let test_process_sim_chaos_deterministic () =
+  let fault () =
+    Fault.create ~seed:13 ~servers:4 ~horizon:800 ~crash_rate:0.01 ~mttr:15
+      ~migration_fail:0.3 ()
+  in
+  let run () = PS.run ~fault:(fault ()) (Rng.create 27) (ps_config ~policy:(Policy.Greedy 2) ()) in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check int) "completed equal" r1.PS.completed r2.PS.completed;
+  Alcotest.(check int) "migrations equal" r1.PS.migrations r2.PS.migrations;
+  Alcotest.(check int) "failed equal" r1.PS.failed_migrations r2.PS.failed_migrations;
+  Alcotest.(check int) "emergency equal" r1.PS.emergency_moves r2.PS.emergency_moves;
+  Alcotest.(check (float 1e-12)) "slowdown equal" r1.PS.mean_slowdown r2.PS.mean_slowdown
+
 let () =
   Alcotest.run "rebal_sim"
     [
@@ -203,6 +436,24 @@ let () =
           Alcotest.test_case "period one" `Quick test_period_one_rebalances_every_step;
           Alcotest.test_case "invalid configs" `Quick test_invalid_config;
         ] );
+      ( "policies",
+        [
+          Alcotest.test_case "triggered threshold boundary" `Quick
+            test_triggered_threshold_boundary;
+          Alcotest.test_case "failover combinator" `Quick test_failover_policy;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "plan deterministic" `Quick test_fault_plan_deterministic;
+          Alcotest.test_case "always a live server" `Quick
+            test_fault_plan_always_a_live_server;
+          Alcotest.test_case "zero-fault plan = baseline" `Quick
+            test_zero_fault_plan_reproduces_baseline;
+          Alcotest.test_case "chaos sweep invariants" `Quick test_chaos_sweep_invariants;
+          Alcotest.test_case "all migrations fail" `Quick test_all_migrations_fail;
+          Alcotest.test_case "stale noisy signals" `Quick test_stale_noisy_signals_only;
+          Alcotest.test_case "failover in simulation" `Quick test_failover_in_simulation;
+        ] );
       ( "process_sim",
         [
           Alcotest.test_case "basic run" `Quick test_process_sim_basic;
@@ -210,5 +461,10 @@ let () =
           Alcotest.test_case "migration helps (heavy tails)" `Quick test_process_sim_migration_helps;
           Alcotest.test_case "work conservation" `Quick test_process_sim_work_conservation;
           Alcotest.test_case "validation" `Quick test_process_sim_validation;
+          Alcotest.test_case "zero-fault plan = baseline" `Quick
+            test_process_sim_zero_fault_reproduces_baseline;
+          Alcotest.test_case "chaos run" `Quick test_process_sim_chaos;
+          Alcotest.test_case "chaos deterministic" `Quick
+            test_process_sim_chaos_deterministic;
         ] );
     ]
