@@ -4,7 +4,10 @@
    and the motivating application; EXPERIMENTS.md records expected vs
    measured for every table printed here).
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Options:  --only E1,E5   run a subset of the experiments
+             --json [FILE]  also emit machine-readable results
+                            (name, headline ratio, wall seconds) *)
 
 module Instance = Rebal_core.Instance
 module Assignment = Rebal_core.Assignment
@@ -78,7 +81,8 @@ let e1 () =
     "random instances vs exact optimum (150 runs): mean ratio %.4f, max %.4f\n\
      (guarantee 2 - 1/m = 1.75 at m=4; the adversarial family above is what\n\
      makes the bound tight)\n"
-    s.Stats.mean s.Stats.max
+    s.Stats.mean s.Stats.max;
+  Some s.Stats.mean
 
 (* ---------------------------------------------------------------------- *)
 (* E2 — Theorems 2/3: M-PARTITION is a tight 1.5-approximation.           *)
@@ -124,7 +128,8 @@ let e2 () =
   in
   Table.add_row t2 [ "m-partition"; pf "%.4f" mp.Stats.mean; pf "%.4f" mp.Stats.p95; pf "%.4f" mp.Stats.max; "1.5" ];
   Table.add_row t2 [ "greedy"; pf "%.4f" g.Stats.mean; pf "%.4f" g.Stats.p95; pf "%.4f" g.Stats.max; "2 - 1/m" ];
-  Table.print t2
+  Table.print t2;
+  Some mp.Stats.mean
 
 (* ---------------------------------------------------------------------- *)
 (* E3 — running time: O(n log n) scaling (Theorems 1 and 3).              *)
@@ -185,7 +190,8 @@ let e3 () =
   Table.print t;
   print_endline
     "the last column is flat when the running time is Theta(n log n); greedy\n\
-     and m-partition track lpt's constant within a small factor."
+     and m-partition track lpt's constant within a small factor.";
+  None
 
 (* ---------------------------------------------------------------------- *)
 (* E4 — solution quality across workloads at scale (vs lower bound).      *)
@@ -215,6 +221,7 @@ let e4 () =
   let t = Table.create ~title:"makespan / lower bound (and wall time, ms)"
       ~columns:[ "workload"; "initial"; "greedy"; "m-partition"; "local-search"; "lpt(k=inf)"; "mp ms" ]
   in
+  let mp_acc = ref [] in
   List.iter
     (fun (name, build) ->
       let inst = build (Rng.create 103) in
@@ -224,6 +231,7 @@ let e4 () =
       let lb_free = max (Lower_bounds.average inst) (Lower_bounds.max_size inst) in
       let cell a = pf "%.3f" (ratio (Assignment.makespan inst a) lb) in
       let mp, mp_time = Timer.time (fun () -> M_partition.solve inst ~k) in
+      mp_acc := ratio (Assignment.makespan inst mp) lb :: !mp_acc;
       Table.add_row t
         [
           name;
@@ -239,7 +247,8 @@ let e4 () =
   print_endline
     "m-partition stays within its 1.5 guarantee of the *lower bound* (hence\n\
      of OPT) everywhere; lpt ignores the move budget entirely and is the\n\
-     what-if-moves-were-free reference."
+     what-if-moves-were-free reference.";
+  Some (Stats.mean (Array.of_list !mp_acc))
 
 (* ---------------------------------------------------------------------- *)
 (* E5 — the moves/makespan tradeoff curve.                                *)
@@ -266,7 +275,8 @@ let e5 () =
           string_of_int (Lower_bounds.best inst ~budget:(Budget.Moves k));
         ])
     [ 0; 1; 2; 4; 8; 16; 32; 64; 128; 256; 1000 ];
-  Table.print t
+  Table.print t;
+  None
 
 (* ---------------------------------------------------------------------- *)
 (* E6 — §3.2: arbitrary relocation costs within a budget.                 *)
@@ -323,7 +333,8 @@ let e6 () =
   Table.print t;
   print_endline
     "makespan decreases monotonically with the budget under every cost model;\n\
-     inverse-size costs (sticky small jobs) are the hardest to exploit."
+     inverse-size costs (sticky small jobs) are the hardest to exploit.";
+  Some s.Stats.mean
 
 (* ---------------------------------------------------------------------- *)
 (* E7 — §4: the PTAS reaches (1 + eps) OPT on toy instances.              *)
@@ -334,6 +345,7 @@ let e7 () =
   let t = Table.create ~title:"30 toy instances per delta, vs exact optimum"
       ~columns:[ "delta"; "mean ratio"; "max ratio"; "mean DP states"; "mean ms"; "m-partition ratio" ]
   in
+  let headline = ref None in
   List.iter
     (fun delta ->
       let rng = Rng.create 107 in
@@ -357,13 +369,15 @@ let e7 () =
       let st = Stats.mean (Array.of_list !states) in
       let tm = Stats.mean (Array.of_list !times) in
       let mp = Stats.mean (Array.of_list !mp_ratios) in
+      headline := Some r.Stats.mean;
       Table.add_row t
         [ pf "%.2f" delta; pf "%.4f" r.Stats.mean; pf "%.4f" r.Stats.max; pf "%.0f" st; pf "%.2f" tm; pf "%.4f" mp ])
     [ 0.5; 0.3; 0.2; 0.1 ];
   Table.print t;
   print_endline
     "smaller delta buys quality at a steep state-space price — the paper's\n\
-     point that M-PARTITION, not the PTAS, is the practical algorithm."
+     point that M-PARTITION, not the PTAS, is the practical algorithm.";
+  !headline
 
 (* ---------------------------------------------------------------------- *)
 (* E8 — §5: the hardness reductions, executed.                            *)
@@ -412,7 +426,8 @@ let e8 () =
   Table.print t;
   print_endline
     "every row must show agreements = instances: the gadgets decide the\n\
-     source problem exactly, which is the content of the hardness theorems."
+     source problem exactly, which is the content of the hardness theorems.";
+  Some (float_of_int (!conflict_ok + !restricted_ok + !mm_ok) /. 90.0)
 
 (* ---------------------------------------------------------------------- *)
 (* E9 — §1: the web-server migration case study.                          *)
@@ -453,7 +468,8 @@ let e9 () =
   Table.print t;
   print_endline
     "bounded-move policies recover most of full rebalancing's imbalance\n\
-     reduction with around 2% of its migrations — the Linder-Shah claim."
+     reduction with around 2% of its migrations — the Linder-Shah claim.";
+  None
 
 (* ---------------------------------------------------------------------- *)
 (* E10 — the Shmoys-Tardos GAP baseline.                                  *)
@@ -493,7 +509,8 @@ let e10 () =
   print_endline
     "the paper's combinatorial algorithm matches or beats the LP baseline in\n\
      quality and is far cheaper — its stated motivation for bettering the\n\
-     generalized-assignment route."
+     generalized-assignment route.";
+  Some (Stats.mean (Array.of_list !bp_r))
 
 
 (* ---------------------------------------------------------------------- *)
@@ -537,7 +554,8 @@ let e11 () =
      LP target lower-bounded the optimum in %d/%d runs.\n\
      Corollary 1 says no polynomial algorithm can guarantee < 1.5 here;\n\
      factor 2 remains the best known upper bound (open problem in §5).\n"
-    !runs s.Stats.mean s.Stats.p95 s.Stats.max !targets_ok !runs
+    !runs s.Stats.mean s.Stats.p95 s.Stats.max !targets_ok !runs;
+  Some s.Stats.mean
 
 (* ---------------------------------------------------------------------- *)
 (* E12 — ablation: how much of the threshold set does the scan visit?     *)
@@ -596,7 +614,8 @@ let e12 () =
   print_endline
     "starting the scan at Lemma 1's G1 bound collapses it to a single plan\n\
      evaluation at small k, where the average-load bound alone can be far\n\
-     below the reachable makespan and costs thousands of evaluations."
+     below the reachable makespan and costs thousands of evaluations.";
+  None
 
 
 (* ---------------------------------------------------------------------- *)
@@ -642,21 +661,180 @@ let e13 () =
      fewer actual migrations for the same benefit: the gain concentrates in\n\
      relocating a few marathon processes (Harchol-Balter & Downey's point),\n\
      while light-tailed workloads must churn many processes to profit\n\
-     (Lazowska et al's cost concern)."
+     (Lazowska et al's cost concern).";
+  None
+
+(* ---------------------------------------------------------------------- *)
+(* E15 — the online engine: incremental events vs from-scratch re-solve.  *)
+(* ---------------------------------------------------------------------- *)
+
+let e15 () =
+  header "E15: online engine throughput (incremental vs from-scratch)";
+  let module Engine = Rebal_online.Engine in
+  let n = 10_000 and m = 64 in
+  let rng = Rng.create 115 in
+  let eng = Engine.create ~m () in
+  (* A growable pool of live job ids so REMOVE/RESIZE hit uniformly. *)
+  let live = ref (Array.make (2 * n) "") in
+  let count = ref 0 in
+  let push id =
+    if !count = Array.length !live then begin
+      let bigger = Array.make (2 * Array.length !live) "" in
+      Array.blit !live 0 bigger 0 !count;
+      live := bigger
+    end;
+    !live.(!count) <- id;
+    incr count
+  in
+  let next = ref 0 in
+  let fresh_size () = Rng.int_range rng 1 1000 in
+  let add () =
+    let id = pf "j%d" !next in
+    incr next;
+    (match Engine.add_job eng ~id ~size:(fresh_size ()) with
+    | Ok _ -> ()
+    | Error e -> failwith e);
+    push id
+  in
+  for _ = 1 to n do
+    add ()
+  done;
+  ignore (Engine.rebalance eng ~k:(n / 20));
+  let apply_event () =
+    match Rng.int rng 3 with
+    | 0 -> add ()
+    | 1 when !count > 1 ->
+      let i = Rng.int rng !count in
+      let id = !live.(i) in
+      (match Engine.remove_job eng ~id with Ok _ -> () | Error e -> failwith e);
+      decr count;
+      !live.(i) <- !live.(!count)
+    | _ ->
+      let id = !live.(Rng.int rng !count) in
+      (match Engine.resize_job eng ~id ~size:(fresh_size ()) with
+      | Ok _ -> ()
+      | Error e -> failwith e)
+  in
+  let events = 50_000 in
+  let (), dt_inc = Timer.time (fun () -> for _ = 1 to events do apply_event () done) in
+  let per_event = dt_inc /. float_of_int events in
+  (* The from-scratch alternative per event: materialize the instance and
+     run batch GREEDY over all n jobs. *)
+  let solves = 20 in
+  let k = Engine.job_count eng / 20 in
+  let (), dt_scratch =
+    Timer.time (fun () ->
+        for _ = 1 to solves do
+          let inst, _ = Engine.to_instance eng in
+          ignore (Greedy.solve inst ~k)
+        done)
+  in
+  let per_solve = dt_scratch /. float_of_int solves in
+  let speedup = per_solve /. per_event in
+  let t = Table.create ~title:(pf "n≈%d jobs on m=%d, %d-event stream" n m events)
+      ~columns:[ "path"; "per event"; "events/sec" ]
+  in
+  Table.add_row t
+    [ "incremental (O(log m))"; pf "%.2f us" (per_event *. 1e6); pf "%.0f" (1.0 /. per_event) ];
+  Table.add_row t
+    [ "from-scratch greedy"; pf "%.2f ms" (per_solve *. 1e3); pf "%.1f" (1.0 /. per_solve) ];
+  Table.print t;
+  let consistent = Engine.check_consistency eng ~k:max_int in
+  let s = Engine.stats eng in
+  Printf.printf
+    "speedup: %.0fx per event (acceptance floor: 10x)\n\
+     consistency with batch greedy at k=inf: %s (%d check(s), %d failure(s))\n"
+    speedup
+    (if consistent then "bit-match" else "MISMATCH")
+    s.Engine.consistency_checks s.Engine.consistency_failures;
+  if not consistent then failwith "E15: online engine diverged from batch greedy";
+  Some speedup
+
+(* ---------------------------------------------------------------------- *)
+(* Runner: --only to subset, --json for machine-readable results.         *)
+(* ---------------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("E1", e1);
+    ("E2", e2);
+    ("E3", e3);
+    ("E4", e4);
+    ("E5", e5);
+    ("E6", e6);
+    ("E7", e7);
+    ("E8", e8);
+    ("E9", e9);
+    ("E10", e10);
+    ("E11", e11);
+    ("E12", e12);
+    ("E13", e13);
+    ("E15", e15);
+  ]
+
+let write_json path results =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length results - 1 in
+  List.iteri
+    (fun i (name, ratio, secs) ->
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ratio\": %s, \"seconds\": %.3f}%s\n" name
+        (match ratio with
+        | None -> "null"
+        | Some r -> pf "%.4f" r)
+        secs
+        (if i < last then "," else ""))
+    results;
+  output_string oc "]\n";
+  close_out oc
 
 let () =
+  let only = ref [] in
+  let json = ref None in
+  let usage () =
+    prerr_endline "usage: main.exe [--only E1,E5,...] [--json [FILE]]";
+    exit 2
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--only" :: spec :: rest ->
+      only := !only @ String.split_on_char ',' spec;
+      parse_args rest
+    | [ "--json" ] -> json := Some "bench.json"
+    | "--json" :: v :: rest when String.length v > 0 && v.[0] <> '-' ->
+      json := Some v;
+      parse_args rest
+    | "--json" :: rest ->
+      json := Some "bench.json";
+      parse_args rest
+    | _ -> usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let selected =
+    match !only with
+    | [] -> experiments
+    | names ->
+      List.iter
+        (fun name ->
+          if not (List.mem_assoc name experiments) then begin
+            Printf.eprintf "unknown experiment %s (have %s)\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 2
+          end)
+        names;
+      List.filter (fun (name, _) -> List.mem name names) experiments
+  in
   let t0 = Unix.gettimeofday () in
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  Printf.printf "\nall experiments done in %.1f s\n" (Unix.gettimeofday () -. t0)
+  let results =
+    List.map
+      (fun (name, f) ->
+        let ratio, secs = Timer.time f in
+        (name, ratio, secs))
+      selected
+  in
+  Printf.printf "\nall experiments done in %.1f s\n" (Unix.gettimeofday () -. t0);
+  match !json with
+  | None -> ()
+  | Some path ->
+    write_json path results;
+    Printf.printf "wrote %s\n" path

@@ -142,7 +142,13 @@ let solve_cmd =
   let show_assignment =
     Arg.(value & flag & info [ "assignment" ] ~doc:"Print the resulting assignment.")
   in
-  let run file algo k budget show_assignment =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let run file algo k budget show_assignment format =
     match read_instance_file file with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -191,21 +197,33 @@ let solve_cmd =
       | Error msg ->
         Printf.eprintf "internal error: invalid assignment: %s\n" msg;
         exit 1
-      | Ok report ->
-        Printf.printf "initial makespan:  %d\n" (Instance.initial_makespan inst);
-        Printf.printf "final makespan:    %d\n" report.Verify.makespan;
-        Printf.printf "moves:             %d\n" report.Verify.moves;
-        Printf.printf "relocation cost:   %d\n" report.Verify.relocation_cost;
-        Printf.printf "budget:            %s ok=%b\n"
-          (Format.asprintf "%a" Budget.pp budget_t)
-          report.Verify.budget_ok;
-        Printf.printf "lower bound:       %d\n" report.Verify.lower_bound;
-        Printf.printf "ratio vs bound:    %.4f\n" report.Verify.ratio);
+      | Ok report -> begin
+        match format with
+        | `Text ->
+          Printf.printf "initial makespan:  %d\n" (Instance.initial_makespan inst);
+          Printf.printf "final makespan:    %d\n" report.Verify.makespan;
+          Printf.printf "moves:             %d\n" report.Verify.moves;
+          Printf.printf "relocation cost:   %d\n" report.Verify.relocation_cost;
+          Printf.printf "budget:            %s ok=%b\n"
+            (Format.asprintf "%a" Budget.pp budget_t)
+            report.Verify.budget_ok;
+          Printf.printf "lower bound:       %d\n" report.Verify.lower_bound;
+          Printf.printf "ratio vs bound:    %.4f\n" report.Verify.ratio
+        | `Json ->
+          Printf.printf
+            "{\"initial_makespan\": %d, \"makespan\": %d, \"moves\": %d, \
+             \"relocation_cost\": %d, \"budget\": \"%s\", \"budget_ok\": %b, \
+             \"lower_bound\": %d, \"ratio\": %.4f}\n"
+            (Instance.initial_makespan inst)
+            report.Verify.makespan report.Verify.moves report.Verify.relocation_cost
+            (Format.asprintf "%a" Budget.pp budget_t)
+            report.Verify.budget_ok report.Verify.lower_bound report.Verify.ratio
+      end);
       if show_assignment then Io.write_assignment stdout assignment
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an instance with a chosen algorithm.")
-    Term.(const run $ file $ algo $ k $ budget $ show_assignment)
+    Term.(const run $ file $ algo $ k $ budget $ show_assignment $ format)
 
 (* ----- bounds ----- *)
 
@@ -376,6 +394,116 @@ let chaos_cmd =
       const run $ csv $ sites $ servers $ horizon $ period $ k $ crash_rate $ mttr
       $ migration_fail $ lag $ noise $ recover_below $ seed_arg)
 
+(* ----- serve ----- *)
+
+let serve_cmd =
+  let module Engine = Rebal_online.Engine in
+  let module Protocol = Rebal_online.Protocol in
+  let procs =
+    Arg.(value & opt int 8 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix domain socket instead of stdin/stdout.")
+  in
+  let auto_events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "auto-events" ] ~docv:"N" ~doc:"Auto-rebalance every N events.")
+  in
+  let auto_imbalance =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "auto-imbalance" ] ~docv:"X"
+          ~doc:"Auto-rebalance when makespan / average load exceeds X.")
+  in
+  let auto_seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "auto-seconds" ] ~docv:"S" ~doc:"Auto-rebalance every S seconds of wall time.")
+  in
+  let auto_k =
+    Arg.(
+      value & opt int 16
+      & info [ "auto-k" ] ~docv:"K" ~doc:"Move budget for each automatic rebalance.")
+  in
+  (* One client session: read commands line by line, stream responses. *)
+  let session engine ic oc =
+    output_string oc (Protocol.greeting engine);
+    output_char oc '\n';
+    flush oc;
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> Protocol.Close
+      | line ->
+        let lines, verdict = Protocol.handle_line engine line in
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          lines;
+        flush oc;
+        (match verdict with Protocol.Continue -> loop () | v -> v)
+    in
+    loop ()
+  in
+  let run procs socket auto_events auto_imbalance auto_seconds auto_k =
+    let trigger =
+      match (auto_events, auto_imbalance, auto_seconds) with
+      | Some events, None, None -> Engine.Every_events { events; k = auto_k }
+      | None, Some threshold, None -> Engine.Imbalance_above { threshold; k = auto_k }
+      | None, None, Some seconds -> Engine.Every_seconds { seconds; k = auto_k }
+      | None, None, None -> Engine.Manual
+      | _ ->
+        Printf.eprintf
+          "error: give at most one of --auto-events, --auto-imbalance, --auto-seconds\n";
+        exit 1
+    in
+    let engine = Engine.create ~trigger ~m:procs () in
+    match socket with
+    | None -> ignore (session engine stdin stdout)
+    | Some path ->
+      (* A client that hangs up mid-response must not kill the daemon:
+         with SIGPIPE ignored the write fails as a Sys_error, which ends
+         just that session. *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      Printf.printf "rebalance serve: listening on %s (procs=%d)\n%!" path procs;
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let verdict = try session engine ic oc with Sys_error _ -> Protocol.Close in
+        (try close_in ic with Sys_error _ -> ());
+        (* The engine (and its placement) outlives the connection: clients
+           come and go, the daemon keeps serving the same cluster state. *)
+        match verdict with
+        | Protocol.Stop -> ()
+        | Protocol.Close | Protocol.Continue -> accept_loop ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+        accept_loop
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online rebalancing engine as a long-running service speaking a \
+          line-delimited protocol (ADD/REMOVE/RESIZE/REBALANCE/STATS) on stdin or a Unix \
+          domain socket.")
+    Term.(const run $ procs $ socket $ auto_events $ auto_imbalance $ auto_seconds $ auto_k)
+
 (* ----- sweep ----- *)
 
 let sweep_cmd =
@@ -472,4 +600,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ gen_cmd; solve_cmd; bounds_cmd; simulate_cmd; chaos_cmd; sweep_cmd; process_sim_cmd ]))
+          [
+            gen_cmd;
+            solve_cmd;
+            bounds_cmd;
+            simulate_cmd;
+            chaos_cmd;
+            sweep_cmd;
+            process_sim_cmd;
+            serve_cmd;
+          ]))

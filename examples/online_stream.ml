@@ -1,0 +1,57 @@
+(* The online engine driven by a synthetic job stream: a cluster of 16
+   processors watches jobs arrive, finish and resize for 5000 events,
+   with an imbalance-threshold trigger paying for bounded repair passes
+   only when the placement has actually degraded. Run with:
+
+     dune exec examples/online_stream.exe *)
+
+module Engine = Rebal_online.Engine
+module Rng = Rebal_workloads.Rng
+
+let () =
+  let m = 16 in
+  let rng = Rng.create 7 in
+  let eng =
+    Engine.create ~trigger:(Engine.Imbalance_above { threshold = 1.25; k = 24 }) ~m ()
+  in
+  let live = ref [] in
+  let next = ref 0 in
+  let fresh () =
+    (* Heavy-tailed sizes: mostly small services, a few monsters. *)
+    if Rng.int rng 20 = 0 then Rng.int_range rng 400 900 else Rng.int_range rng 5 60
+  in
+  let events = 5000 in
+  Printf.printf "streaming %d events through %d processors (trigger: imbalance > 1.25, k = 24)\n\n"
+    events m;
+  Printf.printf "%8s %6s %9s %11s %8s %7s\n" "event" "jobs" "makespan" "imbalance" "repairs" "moved";
+  for e = 1 to events do
+    (match (Rng.int rng 10, !live) with
+    | (0 | 1 | 2 | 3), _ | _, [] ->
+      let id = Printf.sprintf "svc-%d" !next in
+      incr next;
+      (match Engine.add_job eng ~id ~size:(fresh ()) with
+      | Ok _ -> live := id :: !live
+      | Error e -> failwith e)
+    | (4 | 5 | 6), ids ->
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      ignore (Engine.resize_job eng ~id ~size:(fresh ()))
+    | _, ids ->
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      (match Engine.remove_job eng ~id with
+      | Ok _ -> live := List.filter (fun x -> x <> id) !live
+      | Error e -> failwith e));
+    if e mod 500 = 0 then begin
+      let s = Engine.stats eng in
+      Printf.printf "%8d %6d %9d %11.3f %8d %7d\n" e s.Engine.jobs s.Engine.makespan
+        s.Engine.imbalance s.Engine.auto_rebalances s.Engine.moved
+    end
+  done;
+  let consistent = Engine.check_consistency eng ~k:max_int in
+  let s = Engine.stats eng in
+  Printf.printf
+    "\nfinal: %d jobs, makespan %d, imbalance %.3f after %d events\n\
+     repairs: %d (all trigger-fired), %d jobs moved in total\n\
+     consistency with batch greedy: %s\n"
+    s.Engine.jobs s.Engine.makespan s.Engine.imbalance s.Engine.events s.Engine.rebalances
+    s.Engine.moved
+    (if consistent then "bit-match" else "MISMATCH")

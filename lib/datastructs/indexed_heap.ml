@@ -107,6 +107,14 @@ let pop_min h =
     remove h key;
     entry
 
+let entries h =
+  let out = ref [] in
+  for i = h.size - 1 downto 0 do
+    let key = h.heap.(i) in
+    out := (key, h.prio.(key)) :: !out
+  done;
+  !out
+
 let clear h =
   for i = 0 to h.size - 1 do
     h.pos.(h.heap.(i)) <- -1

@@ -45,4 +45,9 @@ val min_exn : t -> int * int
 val pop_min : t -> (int * int) option
 (** Remove and return the minimum entry. *)
 
+val entries : t -> (int * int) list
+(** All present [(key, priority)] pairs, in heap-array order (the first
+    entry is the minimum; the rest are unordered). Non-destructive:
+    intended for snapshots, debugging and model-based tests. *)
+
 val clear : t -> unit

@@ -1,0 +1,341 @@
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Indexed_heap = Rebal_ds.Indexed_heap
+
+(* Per-processor job set ordered by (size ascending, sequence number
+   descending), so [max_elt] yields the largest job, smallest sequence
+   number on ties — a deterministic extraction order mirroring the
+   descending sorted views the batch GREEDY consumes. *)
+module Job_set = Set.Make (struct
+  type t = int * int (* size, seq *)
+
+  let compare (s1, q1) (s2, q2) = if s1 <> s2 then compare s1 s2 else compare q2 q1
+end)
+
+type job = {
+  ext : string;
+  seq : int;
+  mutable size : int;
+  mutable proc : int;
+}
+
+type trigger =
+  | Manual
+  | Every_events of { events : int; k : int }
+  | Imbalance_above of { threshold : float; k : int }
+  | Every_seconds of { seconds : float; k : int }
+
+type move = {
+  id : string;
+  src : int;
+  dst : int;
+}
+
+type counters = {
+  mutable events : int;
+  mutable adds : int;
+  mutable removes : int;
+  mutable resizes : int;
+  mutable rebalances : int;
+  mutable auto_rebalances : int;
+  mutable moved : int;
+  mutable consistency_checks : int;
+  mutable consistency_failures : int;
+}
+
+type stats = {
+  jobs : int;
+  procs : int;
+  makespan : int;
+  total_size : int;
+  imbalance : float;
+  events : int;
+  adds : int;
+  removes : int;
+  resizes : int;
+  rebalances : int;
+  auto_rebalances : int;
+  moved : int;
+  consistency_checks : int;
+  consistency_failures : int;
+}
+
+type t = {
+  m : int;
+  trigger : trigger;
+  clock : unit -> float;
+  jobs : (string, job) Hashtbl.t;
+  by_seq : (int, job) Hashtbl.t;
+  per_proc : Job_set.t array;
+  load : int array;
+  (* Two views of the same load vector: [min_heap] keyed by load answers
+     "least-loaded processor" for greedy placement, [max_heap] keyed by
+     negated load answers "most-loaded processor" for the repair pass and
+     makes [makespan] O(1). Both are updated on every load change. *)
+  min_heap : Indexed_heap.t;
+  max_heap : Indexed_heap.t;
+  mutable next_seq : int;
+  mutable total_size : int;
+  (* Global size multiset so the largest live job — hence the batch lower
+     bound max(avg, max size) — is maintained under removals and resizes. *)
+  mutable size_set : Job_set.t;
+  mutable events_since_repair : int;
+  mutable last_repair : float;
+  c : counters;
+}
+
+let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ~m () =
+  if m < 1 then invalid_arg "Engine.create: need at least one processor";
+  let min_heap = Indexed_heap.create m in
+  let max_heap = Indexed_heap.create m in
+  for p = 0 to m - 1 do
+    Indexed_heap.set min_heap p 0;
+    Indexed_heap.set max_heap p 0
+  done;
+  {
+    m;
+    trigger;
+    clock;
+    jobs = Hashtbl.create 64;
+    by_seq = Hashtbl.create 64;
+    per_proc = Array.make m Job_set.empty;
+    load = Array.make m 0;
+    min_heap;
+    max_heap;
+    next_seq = 0;
+    total_size = 0;
+    size_set = Job_set.empty;
+    events_since_repair = 0;
+    last_repair = clock ();
+    c =
+      {
+        events = 0;
+        adds = 0;
+        removes = 0;
+        resizes = 0;
+        rebalances = 0;
+        auto_rebalances = 0;
+        moved = 0;
+        consistency_checks = 0;
+        consistency_failures = 0;
+      };
+  }
+
+let m t = t.m
+let job_count t = Hashtbl.length t.jobs
+
+let makespan t =
+  let _, neg = Indexed_heap.min_exn t.max_heap in
+  -neg
+
+let loads t = Array.copy t.load
+
+let max_job_size t =
+  match Job_set.max_elt_opt t.size_set with
+  | None -> 0
+  | Some (size, _) -> size
+
+(* Makespan over the batch lower bound max(average load, largest job) —
+   the same ratio Verify reports. Using the average alone would make a
+   single oversized job read as permanent imbalance no repair can fix,
+   and an imbalance trigger would thrash on it. *)
+let imbalance t =
+  if t.total_size = 0 then 1.0
+  else begin
+    let bound =
+      Float.max
+        (float_of_int t.total_size /. float_of_int t.m)
+        (float_of_int (max_job_size t))
+    in
+    float_of_int (makespan t) /. bound
+  end
+
+let mem t id = Hashtbl.mem t.jobs id
+
+let find t id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> None
+  | Some j -> Some (j.size, j.proc)
+
+let set_load t p l =
+  t.load.(p) <- l;
+  Indexed_heap.set t.min_heap p l;
+  Indexed_heap.set t.max_heap p (-l)
+
+(* ----- the bounded-move repair pass ----- *)
+
+let repair ~auto t ~k =
+  if k < 0 then invalid_arg "Engine.rebalance: negative k";
+  (* Removal phase = GREEDY step 1 on the live state: k times, take the
+     largest job off the most-loaded processor (ties: smaller index). *)
+  let removed = ref [] in
+  (try
+     for _ = 1 to min k (Hashtbl.length t.jobs) do
+       let p, neg = Indexed_heap.min_exn t.max_heap in
+       if neg = 0 then raise Exit;
+       let ((size, seq) as elt) = Job_set.max_elt t.per_proc.(p) in
+       t.per_proc.(p) <- Job_set.remove elt t.per_proc.(p);
+       set_load t p (t.load.(p) - size);
+       removed := (seq, size) :: !removed
+     done
+   with Exit -> ());
+  (* Reinsertion phase = GREEDY step 2: descending size (stable in
+     removal order) onto the least-loaded processor. *)
+  let removed =
+    List.stable_sort (fun (_, s1) (_, s2) -> compare s2 s1) (List.rev !removed)
+  in
+  let moves = ref [] in
+  List.iter
+    (fun (seq, size) ->
+      let job = Hashtbl.find t.by_seq seq in
+      let p, l = Indexed_heap.min_exn t.min_heap in
+      t.per_proc.(p) <- Job_set.add (size, seq) t.per_proc.(p);
+      set_load t p (l + size);
+      if p <> job.proc then begin
+        moves := { id = job.ext; src = job.proc; dst = p } :: !moves;
+        job.proc <- p
+      end)
+    removed;
+  let moves = List.rev !moves in
+  t.c.rebalances <- t.c.rebalances + 1;
+  if auto then t.c.auto_rebalances <- t.c.auto_rebalances + 1;
+  t.c.moved <- t.c.moved + List.length moves;
+  t.events_since_repair <- 0;
+  t.last_repair <- t.clock ();
+  moves
+
+let rebalance t ~k = repair ~auto:false t ~k
+
+(* ----- trigger policy ----- *)
+
+let trigger_budget t =
+  match t.trigger with
+  | Manual -> None
+  | Every_events { events; k } ->
+    if t.events_since_repair >= events then Some k else None
+  | Imbalance_above { threshold; k } -> if imbalance t > threshold then Some k else None
+  | Every_seconds { seconds; k } ->
+    if t.clock () -. t.last_repair >= seconds then Some k else None
+
+let after_event t =
+  t.c.events <- t.c.events + 1;
+  t.events_since_repair <- t.events_since_repair + 1;
+  match trigger_budget t with
+  | None -> []
+  | Some k -> repair ~auto:true t ~k
+
+(* ----- single-event updates, all O(log m) ----- *)
+
+let add_job t ~id ~size =
+  if size <= 0 then Error (Printf.sprintf "job %s: size must be positive" id)
+  else if Hashtbl.mem t.jobs id then Error (Printf.sprintf "job %s already present" id)
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let p, l = Indexed_heap.min_exn t.min_heap in
+    let job = { ext = id; seq; size; proc = p } in
+    Hashtbl.replace t.jobs id job;
+    Hashtbl.replace t.by_seq seq job;
+    t.per_proc.(p) <- Job_set.add (size, seq) t.per_proc.(p);
+    t.size_set <- Job_set.add (size, seq) t.size_set;
+    set_load t p (l + size);
+    t.total_size <- t.total_size + size;
+    t.c.adds <- t.c.adds + 1;
+    Ok (p, after_event t)
+  end
+
+let remove_job t ~id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> Error (Printf.sprintf "job %s not found" id)
+  | Some job ->
+    let p = job.proc in
+    t.per_proc.(p) <- Job_set.remove (job.size, job.seq) t.per_proc.(p);
+    t.size_set <- Job_set.remove (job.size, job.seq) t.size_set;
+    set_load t p (t.load.(p) - job.size);
+    t.total_size <- t.total_size - job.size;
+    Hashtbl.remove t.jobs id;
+    Hashtbl.remove t.by_seq job.seq;
+    t.c.removes <- t.c.removes + 1;
+    Ok (p, after_event t)
+
+let resize_job t ~id ~size =
+  if size <= 0 then Error (Printf.sprintf "job %s: size must be positive" id)
+  else
+    match Hashtbl.find_opt t.jobs id with
+    | None -> Error (Printf.sprintf "job %s not found" id)
+    | Some job ->
+      let p = job.proc in
+      t.per_proc.(p) <-
+        Job_set.add (size, job.seq) (Job_set.remove (job.size, job.seq) t.per_proc.(p));
+      t.size_set <- Job_set.add (size, job.seq) (Job_set.remove (job.size, job.seq) t.size_set);
+      set_load t p (t.load.(p) - job.size + size);
+      t.total_size <- t.total_size - job.size + size;
+      job.size <- size;
+      t.c.resizes <- t.c.resizes + 1;
+      Ok (p, after_event t)
+
+(* ----- snapshots and the consistency-with-batch invariant ----- *)
+
+let stats t =
+  {
+    jobs = Hashtbl.length t.jobs;
+    procs = t.m;
+    makespan = makespan t;
+    total_size = t.total_size;
+    imbalance = imbalance t;
+    events = t.c.events;
+    adds = t.c.adds;
+    removes = t.c.removes;
+    resizes = t.c.resizes;
+    rebalances = t.c.rebalances;
+    auto_rebalances = t.c.auto_rebalances;
+    moved = t.c.moved;
+    consistency_checks = t.c.consistency_checks;
+    consistency_failures = t.c.consistency_failures;
+  }
+
+let to_instance t =
+  let jobs = Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs [] in
+  let jobs = List.sort (fun a b -> compare a.ext b.ext) jobs in
+  let ids = Array.of_list (List.map (fun j -> j.ext) jobs) in
+  let sizes = Array.of_list (List.map (fun j -> j.size) jobs) in
+  let initial = Array.of_list (List.map (fun j -> j.proc) jobs) in
+  (Instance.create ~sizes ~m:t.m initial, ids)
+
+let copy t =
+  let jobs = Hashtbl.create (max 64 (Hashtbl.length t.jobs)) in
+  let by_seq = Hashtbl.create (max 64 (Hashtbl.length t.jobs)) in
+  Hashtbl.iter
+    (fun id j ->
+      let j' = { j with size = j.size } in
+      Hashtbl.replace jobs id j';
+      Hashtbl.replace by_seq j'.seq j')
+    t.jobs;
+  let min_heap = Indexed_heap.create t.m in
+  let max_heap = Indexed_heap.create t.m in
+  for p = 0 to t.m - 1 do
+    Indexed_heap.set min_heap p t.load.(p);
+    Indexed_heap.set max_heap p (-t.load.(p))
+  done;
+  (* size_set and per_proc hold immutable sets, so sharing the values is
+     fine; only the containers are copied. *)
+  {
+    t with
+    jobs;
+    by_seq;
+    per_proc = Array.copy t.per_proc;
+    load = Array.copy t.load;
+    min_heap;
+    max_heap;
+    c = { t.c with events = t.c.events };
+  }
+
+let check_consistency t ~k =
+  let inst, _ = to_instance t in
+  let batch = Assignment.makespan inst (Rebal_algo.Greedy.solve inst ~k) in
+  let probe = copy t in
+  ignore (repair ~auto:false probe ~k);
+  let ok = makespan probe = batch in
+  t.c.consistency_checks <- t.c.consistency_checks + 1;
+  if not ok then t.c.consistency_failures <- t.c.consistency_failures + 1;
+  ok

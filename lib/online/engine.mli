@@ -1,0 +1,127 @@
+(** The online rebalancing engine: the batch problem of the paper turned
+    into a stream of decisions. Jobs arrive, depart and resize
+    continuously; the engine keeps the current placement in mutable
+    indexed-heap-backed state so that every single-event update is an
+    [O(log m)] greedy placement, and [rebalance ~k] is a bounded-move
+    repair pass — the k-move GREEDY of Theorem 1 run over the live state
+    instead of a from-scratch solve.
+
+    Consistency with the batch solver is a checked invariant, not a hope:
+    the repair pass uses exactly the removal order (most-loaded processor
+    first, largest job first, ties by smallest index) and reinsertion
+    order (descending size into the least-loaded processor) of
+    [Rebal_algo.Greedy.solve ~order:Descending], so after [rebalance ~k]
+    the engine's makespan equals the batch makespan on the materialized
+    instance. [check_consistency] verifies this bit-match on demand and
+    keeps counters that [stats] exposes. *)
+
+type t
+
+(** When the engine pays for a repair pass on its own. [Manual] never
+    repairs; the caller invokes {!rebalance}. The other policies fire
+    after a mutating event: when enough events have accumulated since the
+    last repair, when the imbalance (makespan / average load) exceeds a
+    threshold, or when enough wall-clock time has passed. Each carries the
+    move budget [k] spent per automatic repair. *)
+type trigger =
+  | Manual
+  | Every_events of { events : int; k : int }
+  | Imbalance_above of { threshold : float; k : int }
+  | Every_seconds of { seconds : float; k : int }
+
+type move = {
+  id : string;
+  src : int;
+  dst : int;
+}
+
+type stats = {
+  jobs : int;
+  procs : int;
+  makespan : int;
+  total_size : int;
+  imbalance : float;
+      (** makespan / max (average load, largest job); 1.0 when empty *)
+  events : int;  (** adds + removes + resizes processed *)
+  adds : int;
+  removes : int;
+  resizes : int;
+  rebalances : int;  (** repair passes run (manual + automatic) *)
+  auto_rebalances : int;  (** repair passes fired by the trigger policy *)
+  moved : int;  (** jobs relocated by repair passes, cumulative *)
+  consistency_checks : int;
+  consistency_failures : int;
+}
+
+val create : ?trigger:trigger -> ?clock:(unit -> float) -> m:int -> unit -> t
+(** An empty engine over [m] processors. [trigger] defaults to [Manual];
+    [clock] (used only by [Every_seconds]) defaults to
+    [Unix.gettimeofday].
+    @raise Invalid_argument if [m < 1]. *)
+
+val m : t -> int
+val job_count : t -> int
+
+val makespan : t -> int
+(** Maximum processor load, maintained incrementally — [O(1)]. *)
+
+val loads : t -> int array
+(** Fresh copy of the per-processor load vector. *)
+
+val max_job_size : t -> int
+(** Largest live job size (0 when empty), maintained incrementally. *)
+
+val imbalance : t -> float
+(** The trigger metric: makespan divided by the batch lower bound
+    [max (average load, largest job)] — the same ratio [Verify] reports.
+    Dividing by the average alone would make one oversized job read as
+    permanent imbalance no repair can fix, and a threshold trigger would
+    thrash on it. 1.0 when no jobs. *)
+
+val mem : t -> string -> bool
+
+val find : t -> string -> (int * int) option
+(** [(size, processor)] of a job, if present. *)
+
+val add_job : t -> id:string -> size:int -> (int * move list, string) result
+(** Place a new job on the least-loaded processor ([O(log m)] placement
+    plus [O(log n)] size-multiset bookkeeping). Returns
+    the chosen processor and any moves performed by an automatic repair
+    the event triggered. [Error] if the id is already present or the size
+    is not positive. *)
+
+val remove_job : t -> id:string -> (int * move list, string) result
+(** Remove a job, freeing its processor's load. Returns the processor it
+    was on, plus automatic-repair moves. [Error] if absent. *)
+
+val resize_job : t -> id:string -> size:int -> (int * move list, string) result
+(** Change a job's size in place (it stays on its processor until a
+    repair pass decides otherwise). Returns its processor, plus
+    automatic-repair moves. [Error] if absent or the size is not
+    positive. *)
+
+val rebalance : t -> k:int -> move list
+(** The bounded-move repair pass: remove (up to) the [k] largest jobs
+    from the most-loaded processors exactly as GREEDY's removal phase
+    does, then reinsert them in descending size order onto the
+    least-loaded processors. [O((k + m) log m + k log k)] — no
+    from-scratch solve. Returns the jobs that actually changed processor.
+    Resets the trigger epoch.
+    @raise Invalid_argument if [k < 0]. *)
+
+val stats : t -> stats
+
+val to_instance : t -> Rebal_core.Instance.t * string array
+(** Materialize the current state as a batch instance whose initial
+    assignment is the live placement, with jobs in ascending id order.
+    The array maps the instance's job indices back to engine ids. *)
+
+val copy : t -> t
+(** Deep, independent copy (used by {!check_consistency}; also handy for
+    what-if probes). *)
+
+val check_consistency : t -> k:int -> bool
+(** Does a repair pass with budget [k] reach exactly the makespan of
+    [Rebal_algo.Greedy.solve ~k] on the materialized instance? Runs on a
+    copy — the engine itself is not perturbed — and records the outcome
+    in the [consistency_checks] / [consistency_failures] counters. *)

@@ -1,0 +1,131 @@
+type command =
+  | Add of { id : string; size : int }
+  | Remove of string
+  | Resize of { id : string; size : int }
+  | Rebalance of int
+  | Stats
+  | Help
+  | Quit
+  | Shutdown
+
+type verdict =
+  | Continue
+  | Close
+  | Stop
+
+let pf = Printf.sprintf
+
+let tokens line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.filter (fun s -> s <> "")
+
+let int_arg what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (pf "%s must be an integer, got %S" what s)
+
+let parse line =
+  match tokens line with
+  | [] -> Ok None
+  | word :: _ when String.length word > 0 && word.[0] = '#' -> Ok None
+  | verb :: args -> begin
+    match (String.uppercase_ascii verb, args) with
+    | "ADD", [ id; size ] ->
+      Result.map (fun size -> Some (Add { id; size })) (int_arg "size" size)
+    | "ADD", _ -> Error "usage: ADD <id> <size>"
+    | "REMOVE", [ id ] -> Ok (Some (Remove id))
+    | "REMOVE", _ -> Error "usage: REMOVE <id>"
+    | "RESIZE", [ id; size ] ->
+      Result.map (fun size -> Some (Resize { id; size })) (int_arg "size" size)
+    | "RESIZE", _ -> Error "usage: RESIZE <id> <size>"
+    | "REBALANCE", [ k ] -> Result.map (fun k -> Some (Rebalance k)) (int_arg "k" k)
+    | "REBALANCE", [] -> Ok (Some (Rebalance max_int))
+    | "REBALANCE", _ -> Error "usage: REBALANCE [<k>]"
+    | "STATS", [] -> Ok (Some Stats)
+    | "HELP", [] -> Ok (Some Help)
+    | "QUIT", [] | "EXIT", [] -> Ok (Some Quit)
+    | "SHUTDOWN", [] -> Ok (Some Shutdown)
+    | v, _ -> Error (pf "unknown command %S (try HELP)" v)
+  end
+
+let move_lines moves =
+  List.map (fun mv -> pf "MOVE %s %d %d" mv.Engine.id mv.Engine.src mv.Engine.dst) moves
+
+(* Automatic repairs fired by the engine's trigger policy ride along with
+   the event acknowledgement that caused them. *)
+let auto_lines t = function
+  | [] -> []
+  | moves ->
+    move_lines moves
+    @ [ pf "REBALANCED auto moves=%d makespan=%d" (List.length moves) (Engine.makespan t) ]
+
+let help_lines =
+  [
+    "OK commands:";
+    "OK   ADD <id> <size>      place a new job";
+    "OK   REMOVE <id>          retire a job";
+    "OK   RESIZE <id> <size>   change a job's size";
+    "OK   REBALANCE [<k>]      repair pass with move budget k (default: unbounded)";
+    "OK   STATS                engine telemetry";
+    "OK   HELP                 this text";
+    "OK   QUIT                 end this session";
+    "OK   SHUTDOWN             stop the daemon";
+  ]
+
+let stats_line t =
+  let s = Engine.stats t in
+  pf
+    "STATS jobs=%d procs=%d makespan=%d total=%d imbalance=%.3f events=%d adds=%d \
+     removes=%d resizes=%d rebalances=%d auto=%d moved=%d checks=%d failures=%d"
+    s.Engine.jobs s.Engine.procs s.Engine.makespan s.Engine.total_size s.Engine.imbalance
+    s.Engine.events s.Engine.adds s.Engine.removes s.Engine.resizes s.Engine.rebalances
+    s.Engine.auto_rebalances s.Engine.moved s.Engine.consistency_checks
+    s.Engine.consistency_failures
+
+let execute t = function
+  | Add { id; size } -> begin
+    match Engine.add_job t ~id ~size with
+    | Error e -> [ "ERR " ^ e ]
+    | Ok (p, auto) ->
+      pf "PLACED %s %d makespan=%d" id p (Engine.makespan t) :: auto_lines t auto
+  end
+  | Remove id -> begin
+    match Engine.remove_job t ~id with
+    | Error e -> [ "ERR " ^ e ]
+    | Ok (p, auto) ->
+      pf "REMOVED %s %d makespan=%d" id p (Engine.makespan t) :: auto_lines t auto
+  end
+  | Resize { id; size } -> begin
+    match Engine.resize_job t ~id ~size with
+    | Error e -> [ "ERR " ^ e ]
+    | Ok (p, auto) ->
+      pf "RESIZED %s %d makespan=%d" id p (Engine.makespan t) :: auto_lines t auto
+  end
+  | Rebalance k ->
+    if k < 0 then [ "ERR k must be non-negative" ]
+    else begin
+      let moves = Engine.rebalance t ~k in
+      move_lines moves
+      @ [ pf "REBALANCED moves=%d makespan=%d" (List.length moves) (Engine.makespan t) ]
+    end
+  | Stats -> [ stats_line t ]
+  | Help -> help_lines
+  | Quit -> [ "BYE" ]
+  | Shutdown -> [ "BYE" ]
+
+let handle_line t line =
+  match parse line with
+  | Error e -> ([ "ERR " ^ e ], Continue)
+  | Ok None -> ([], Continue)
+  | Ok (Some cmd) ->
+    let verdict =
+      match cmd with
+      | Quit -> Close
+      | Shutdown -> Stop
+      | _ -> Continue
+    in
+    (execute t cmd, verdict)
+
+let greeting t =
+  pf "READY rebalance-serve procs=%d jobs=%d makespan=%d" (Engine.m t) (Engine.job_count t)
+    (Engine.makespan t)

@@ -1,0 +1,50 @@
+(** The line-delimited command protocol spoken by [rebalance serve].
+
+    Requests, one per line, case-insensitive verbs:
+    {v
+    ADD <id> <size>      place a new job
+    REMOVE <id>          retire a job
+    RESIZE <id> <size>   change a job's size
+    REBALANCE <k>        run a bounded-move repair pass
+    STATS                one-line engine telemetry
+    HELP                 list the commands
+    QUIT                 end this client session
+    SHUTDOWN             end this client session and stop the daemon
+    v}
+
+    Responses stream back one event per line: [PLACED]/[REMOVED]/[RESIZED]
+    acknowledge single-job events and carry the current makespan; each
+    relocation performed by a repair pass (manual or trigger-fired) is a
+    [MOVE <id> <src> <dst>] line followed by a [REBALANCED] summary;
+    malformed or inapplicable requests get [ERR <reason>] without
+    disturbing the engine. Blank lines and lines starting with [#] are
+    ignored. The module is pure string-in/strings-out so the daemon loop
+    and the tests share one implementation. *)
+
+type command =
+  | Add of { id : string; size : int }
+  | Remove of string
+  | Resize of { id : string; size : int }
+  | Rebalance of int
+  | Stats
+  | Help
+  | Quit
+  | Shutdown
+
+type verdict =
+  | Continue  (** keep reading commands *)
+  | Close  (** end this client session *)
+  | Stop  (** end the session and shut the daemon down *)
+
+val parse : string -> (command option, string) result
+(** [Ok None] for blank/comment lines; [Error] explains a malformed
+    request. *)
+
+val execute : Engine.t -> command -> string list
+(** Response lines for one command (never raises on user input). *)
+
+val handle_line : Engine.t -> string -> string list * verdict
+(** [parse] + [execute], turning parse errors into [ERR] lines. *)
+
+val greeting : Engine.t -> string
+(** The [READY ...] banner sent when a session opens. *)

@@ -105,6 +105,66 @@ let test_indexed_heap_pop_order () =
   check (Alcotest.list Alcotest.int) "deterministic tie-break" [ 4; 1; 3; 0; 2 ]
     (List.rev !order)
 
+(* Model-based qcheck property: arbitrary set/remove/pop_min sequences
+   against a naive association-list model. The online engine leans on
+   this structure for every placement decision, so the whole observable
+   state (min, length, membership, entries) is compared after every
+   operation, not just the extraction order. *)
+let prop_indexed_heap_model =
+  let open QCheck2 in
+  let ops_gen =
+    Gen.(
+      let* n = int_range 1 20 in
+      let* ops =
+        list_size (int_range 0 150)
+          (oneof
+             [
+               map2 (fun k p -> `Set (k, p)) (int_range 0 (n - 1)) (int_range (-50) 50);
+               map (fun k -> `Remove k) (int_range 0 (n - 1));
+               return `Pop_min;
+             ])
+      in
+      return (n, ops))
+  in
+  Test.make ~name:"indexed heap vs assoc-list model" ~count:300 ops_gen
+    (fun (n, ops) ->
+      let h = Indexed_heap.create n in
+      let model = ref [] in
+      let model_min () =
+        List.fold_left
+          (fun best (k, p) ->
+            match best with
+            | None -> Some (k, p)
+            | Some (bk, bp) -> if p < bp || (p = bp && k < bk) then Some (k, p) else best)
+          None !model
+      in
+      List.for_all
+        (fun op ->
+          let step_ok =
+            match op with
+            | `Set (k, p) ->
+              Indexed_heap.set h k p;
+              model := (k, p) :: List.remove_assoc k !model;
+              true
+            | `Remove k ->
+              Indexed_heap.remove h k;
+              model := List.remove_assoc k !model;
+              true
+            | `Pop_min ->
+              let got = Indexed_heap.pop_min h in
+              let expected = model_min () in
+              (match expected with
+              | Some (k, _) -> model := List.remove_assoc k !model
+              | None -> ());
+              got = expected
+          in
+          step_ok
+          && Indexed_heap.min h = model_min ()
+          && Indexed_heap.length h = List.length !model
+          && List.for_all (fun (k, p) -> Indexed_heap.priority h k = Some p) !model
+          && List.sort compare (Indexed_heap.entries h) = List.sort compare !model)
+        ops)
+
 let test_sorted_jobs_structure () =
   let rng = Rng.create 4 in
   for _ = 1 to 200 do
@@ -176,6 +236,7 @@ let () =
         [
           Alcotest.test_case "set/remove/min vs model" `Quick test_indexed_heap_updates;
           Alcotest.test_case "deterministic pop order" `Quick test_indexed_heap_pop_order;
+          QCheck_alcotest.to_alcotest prop_indexed_heap_model;
         ] );
       ( "sorted_jobs",
         [

@@ -1,0 +1,302 @@
+(* Online engine tests: single-event placement against brute force, the
+   consistency-with-batch invariant (the engine's bounded-move repair pass
+   must reach exactly the makespan of the batch GREEDY on the materialized
+   instance), trigger policies, and a protocol round-trip. *)
+
+module Engine = Rebal_online.Engine
+module Protocol = Rebal_online.Protocol
+module Instance = Rebal_core.Instance
+module Assignment = Rebal_core.Assignment
+module Greedy = Rebal_algo.Greedy
+module Rng = Rebal_workloads.Rng
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected engine error: %s" e
+
+let add eng id size = ok (Engine.add_job eng ~id ~size)
+
+(* --- single-event updates ------------------------------------------------ *)
+
+let test_greedy_placement () =
+  let rng = Rng.create 42 in
+  for _ = 1 to 50 do
+    let m = Rng.int_range rng 1 8 in
+    let eng = Engine.create ~m () in
+    let loads = Array.make m 0 in
+    for j = 0 to 40 do
+      let size = Rng.int_range rng 1 50 in
+      let p, _ = add eng (string_of_int j) size in
+      (* Brute-force argmin with smallest-index tie-break. *)
+      let best = ref 0 in
+      for q = 1 to m - 1 do
+        if loads.(q) < loads.(!best) then best := q
+      done;
+      check_int "least-loaded placement" !best p;
+      loads.(p) <- loads.(p) + size;
+      check Alcotest.(array int) "loads tracked" loads (Engine.loads eng);
+      check_int "makespan = max load" (Array.fold_left max 0 loads) (Engine.makespan eng)
+    done
+  done
+
+let test_remove_resize () =
+  let eng = Engine.create ~m:2 () in
+  ignore (add eng "a" 10);
+  ignore (add eng "b" 20);
+  ignore (add eng "c" 5);
+  (* a -> 0, b -> 1, c -> 0. *)
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "find c" (Some (5, 0))
+    (Engine.find eng "c");
+  let p, _ = ok (Engine.remove_job eng ~id:"a") in
+  check_int "a was on 0" 0 p;
+  check_int "jobs" 2 (Engine.job_count eng);
+  ignore (ok (Engine.resize_job eng ~id:"b" ~size:3));
+  check Alcotest.(array int) "loads after remove+resize" [| 5; 3 |] (Engine.loads eng);
+  check_int "makespan" 5 (Engine.makespan eng)
+
+let test_errors () =
+  let eng = Engine.create ~m:2 () in
+  ignore (add eng "a" 10);
+  let is_err = function Error _ -> true | Ok _ -> false in
+  check_bool "duplicate add" true (is_err (Engine.add_job eng ~id:"a" ~size:5));
+  check_bool "non-positive size" true (is_err (Engine.add_job eng ~id:"b" ~size:0));
+  check_bool "remove missing" true (is_err (Engine.remove_job eng ~id:"zz"));
+  check_bool "resize missing" true (is_err (Engine.resize_job eng ~id:"zz" ~size:4));
+  check_bool "resize to zero" true (is_err (Engine.resize_job eng ~id:"a" ~size:0));
+  check_int "errors left no trace" 1 (Engine.job_count eng);
+  Alcotest.check_raises "negative m" (Invalid_argument "Engine.create: need at least one processor")
+    (fun () -> ignore (Engine.create ~m:0 ()))
+
+(* --- the consistency-with-batch invariant -------------------------------- *)
+
+let test_rebalance_matches_batch () =
+  let eng = Engine.create ~m:4 () in
+  List.iteri (fun i size -> ignore (add eng (Printf.sprintf "j%d" i) size))
+    [ 60; 50; 10; 5; 40; 8; 3; 70 ];
+  let inst, _ = Engine.to_instance eng in
+  let moves = Engine.rebalance eng ~k:max_int in
+  let batch = Assignment.makespan inst (Greedy.solve inst ~k:max_int) in
+  check_int "makespan bit-matches batch greedy" batch (Engine.makespan eng);
+  check_bool "repair reported some moves" true (List.length moves > 0)
+
+let test_check_consistency_is_pure () =
+  let eng = Engine.create ~m:3 () in
+  List.iteri (fun i size -> ignore (add eng (Printf.sprintf "j%d" i) size))
+    [ 9; 14; 3; 3; 21; 7 ];
+  let before_loads = Engine.loads eng in
+  let before_span = Engine.makespan eng in
+  for k = 0 to 7 do
+    check_bool "consistent at every k" true (Engine.check_consistency eng ~k)
+  done;
+  check Alcotest.(array int) "probe did not perturb loads" before_loads (Engine.loads eng);
+  check_int "probe did not perturb makespan" before_span (Engine.makespan eng);
+  let s = Engine.stats eng in
+  check_int "checks counted" 8 s.Engine.consistency_checks;
+  check_int "no failures" 0 s.Engine.consistency_failures
+
+(* qcheck: arbitrary event sequences, then a full repair pass, must land
+   exactly on the batch GREEDY makespan of the materialized instance. *)
+let event_sequence_gen =
+  let open QCheck2 in
+  Gen.(
+    let* m = int_range 1 6 in
+    let id = map (fun i -> Printf.sprintf "j%d" i) (int_range 0 14) in
+    let* events =
+      list_size (int_range 0 60)
+        (oneof
+           [
+             map2 (fun id size -> `Add (id, size)) id (int_range 1 60);
+             map (fun id -> `Remove id) id;
+             map2 (fun id size -> `Resize (id, size)) id (int_range 1 60);
+             map (fun k -> `Rebalance k) (int_range 0 8);
+           ])
+    in
+    let* k = int_range 0 20 in
+    return (m, events, k))
+
+let apply_events eng events =
+  List.iter
+    (fun ev ->
+      (* Errors (duplicate adds, missing removes) are part of the stream:
+         the engine must reject them without corrupting state. *)
+      match ev with
+      | `Add (id, size) -> ignore (Engine.add_job eng ~id ~size)
+      | `Remove id -> ignore (Engine.remove_job eng ~id)
+      | `Resize (id, size) -> ignore (Engine.resize_job eng ~id ~size)
+      | `Rebalance k -> ignore (Engine.rebalance eng ~k))
+    events
+
+let prop_full_repair_matches_batch =
+  QCheck2.Test.make ~name:"after any events, rebalance k=inf bit-matches batch greedy"
+    ~count:400 event_sequence_gen
+    (fun (m, events, _) ->
+      let eng = Engine.create ~m () in
+      apply_events eng events;
+      let inst, _ = Engine.to_instance eng in
+      ignore (Engine.rebalance eng ~k:max_int);
+      Engine.makespan eng = Assignment.makespan inst (Greedy.solve inst ~k:max_int))
+
+let prop_bounded_repair_matches_batch =
+  QCheck2.Test.make ~name:"bounded repair (any k) bit-matches batch greedy" ~count:400
+    event_sequence_gen
+    (fun (m, events, k) ->
+      let eng = Engine.create ~m () in
+      apply_events eng events;
+      Engine.check_consistency eng ~k)
+
+let prop_state_matches_materialization =
+  QCheck2.Test.make ~name:"engine loads/makespan agree with materialized instance"
+    ~count:400 event_sequence_gen
+    (fun (m, events, _) ->
+      let eng = Engine.create ~m () in
+      apply_events eng events;
+      let inst, ids = Engine.to_instance eng in
+      Instance.n inst = Engine.job_count eng
+      && Instance.initial_loads inst = Engine.loads eng
+      && Instance.initial_makespan inst = Engine.makespan eng
+      && Array.for_all (fun id -> Engine.mem eng id) ids)
+
+(* --- trigger policies ---------------------------------------------------- *)
+
+let test_trigger_event_count () =
+  let eng = Engine.create ~trigger:(Engine.Every_events { events = 3; k = 8 }) ~m:2 () in
+  let _, auto1 = add eng "a" 10 in
+  let _, auto2 = add eng "b" 20 in
+  check_bool "no repair before the epoch fills" true (auto1 = [] && auto2 = []);
+  check_int "nothing yet" 0 (Engine.stats eng).Engine.auto_rebalances;
+  ignore (add eng "c" 30);
+  check_int "fires on the third event" 1 (Engine.stats eng).Engine.auto_rebalances;
+  ignore (add eng "d" 5);
+  ignore (add eng "e" 5);
+  check_int "epoch was reset" 1 (Engine.stats eng).Engine.auto_rebalances;
+  ignore (add eng "f" 5);
+  check_int "fires again" 2 (Engine.stats eng).Engine.auto_rebalances
+
+let test_trigger_imbalance () =
+  let eng =
+    Engine.create ~trigger:(Engine.Imbalance_above { threshold = 1.4; k = 10 }) ~m:2 ()
+  in
+  (* One job alone is NOT imbalance: the lower bound is the job itself,
+     so the trigger must not thrash on an unfixable placement. *)
+  let _, moves0 = add eng "a" 5 in
+  check_int "single job: no repair" 0 (Engine.stats eng).Engine.auto_rebalances;
+  check_bool "no moves" true (moves0 = []);
+  ignore (add eng "b" 5);
+  check_int "balanced: no repair" 0 (Engine.stats eng).Engine.auto_rebalances;
+  let _, moves = add eng "c" 10 in
+  (* Loads (15, 5), bound max(10, 10) = 10: imbalance 1.5 > 1.4 fires;
+     repair levels to (10, 10). *)
+  check_int "imbalance fired" 1 (Engine.stats eng).Engine.auto_rebalances;
+  check_bool "repair moved something" true (moves <> []);
+  check_int "levelled" 10 (Engine.makespan eng)
+
+let test_trigger_wall_clock () =
+  let now = ref 0.0 in
+  let eng =
+    Engine.create
+      ~trigger:(Engine.Every_seconds { seconds = 10.0; k = 4 })
+      ~clock:(fun () -> !now)
+      ~m:2 ()
+  in
+  ignore (add eng "a" 10);
+  check_int "too early" 0 (Engine.stats eng).Engine.auto_rebalances;
+  now := 11.0;
+  ignore (add eng "b" 10);
+  check_int "fires after the interval" 1 (Engine.stats eng).Engine.auto_rebalances;
+  now := 12.0;
+  ignore (add eng "c" 10);
+  check_int "interval restarts at the repair" 1 (Engine.stats eng).Engine.auto_rebalances
+
+(* --- the serve protocol -------------------------------------------------- *)
+
+let run_session eng lines = List.concat_map (fun l -> fst (Protocol.handle_line eng l)) lines
+
+let test_protocol_round_trip () =
+  let eng = Engine.create ~m:2 () in
+  let out =
+    run_session eng
+      [ "ADD a 10"; ""; "# comment"; "add b 20"; "REBALANCE 1"; "REMOVE a"; "RESIZE b 7" ]
+  in
+  check (Alcotest.list Alcotest.string) "session transcript"
+    [
+      "PLACED a 0 makespan=10";
+      "PLACED b 1 makespan=20";
+      "REBALANCED moves=0 makespan=20";
+      "REMOVED a 0 makespan=20";
+      "RESIZED b 1 makespan=7";
+    ]
+    out;
+  let stats_out = run_session eng [ "STATS" ] in
+  check_int "one stats line" 1 (List.length stats_out);
+  check_bool "stats line shape" true
+    (String.length (List.hd stats_out) > 5
+    && String.sub (List.hd stats_out) 0 5 = "STATS")
+
+let test_protocol_errors_and_verdicts () =
+  let eng = Engine.create ~m:2 () in
+  let starts_with p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  let err line =
+    match Protocol.handle_line eng line with
+    | [ msg ], Protocol.Continue -> starts_with "ERR " msg
+    | _ -> false
+  in
+  check_bool "unknown verb" true (err "FROB x");
+  check_bool "bad arity" true (err "ADD x");
+  check_bool "bad integer" true (err "ADD x lots");
+  check_bool "negative k" true (err "REBALANCE -1");
+  check_bool "missing job" true (err "REMOVE ghost");
+  check_bool "engine untouched by errors" true (Engine.job_count eng = 0);
+  (match Protocol.handle_line eng "QUIT" with
+  | [ "BYE" ], Protocol.Close -> ()
+  | _ -> Alcotest.fail "QUIT must close the session");
+  (match Protocol.handle_line eng "SHUTDOWN" with
+  | [ "BYE" ], Protocol.Stop -> ()
+  | _ -> Alcotest.fail "SHUTDOWN must stop the daemon");
+  (* REBALANCE with no argument means an unbounded repair. *)
+  match Protocol.parse "rebalance" with
+  | Ok (Some (Protocol.Rebalance k)) -> check_bool "default k unbounded" true (k = max_int)
+  | _ -> Alcotest.fail "bare REBALANCE must parse"
+
+let test_protocol_auto_moves_stream () =
+  let eng = Engine.create ~trigger:(Engine.Every_events { events = 3; k = 8 }) ~m:4 () in
+  let out = run_session eng [ "ADD x 50"; "ADD y 10"; "ADD z 60" ] in
+  (* The third ADD fires the trigger: its acknowledgement is followed by
+     MOVE lines and an auto REBALANCED summary. *)
+  let has_prefix p = List.exists (fun l -> String.length l >= String.length p && String.sub l 0 (String.length p) = p) out in
+  check_bool "auto repair streamed MOVE lines" true (has_prefix "MOVE ");
+  check_bool "auto repair summarised" true (has_prefix "REBALANCED auto ")
+
+let () =
+  Alcotest.run "rebal_online"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "greedy placement vs brute force" `Quick test_greedy_placement;
+          Alcotest.test_case "remove and resize" `Quick test_remove_resize;
+          Alcotest.test_case "error cases" `Quick test_errors;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "full repair = batch greedy" `Quick test_rebalance_matches_batch;
+          Alcotest.test_case "check_consistency is pure" `Quick test_check_consistency_is_pure;
+          QCheck_alcotest.to_alcotest prop_full_repair_matches_batch;
+          QCheck_alcotest.to_alcotest prop_bounded_repair_matches_batch;
+          QCheck_alcotest.to_alcotest prop_state_matches_materialization;
+        ] );
+      ( "triggers",
+        [
+          Alcotest.test_case "event count epoch" `Quick test_trigger_event_count;
+          Alcotest.test_case "imbalance threshold" `Quick test_trigger_imbalance;
+          Alcotest.test_case "wall clock" `Quick test_trigger_wall_clock;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "round trip" `Quick test_protocol_round_trip;
+          Alcotest.test_case "errors and verdicts" `Quick test_protocol_errors_and_verdicts;
+          Alcotest.test_case "auto repair streams moves" `Quick test_protocol_auto_moves_stream;
+        ] );
+    ]
