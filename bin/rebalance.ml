@@ -11,6 +11,10 @@ module Lower_bounds = Rebal_core.Lower_bounds
 module Dist = Rebal_workloads.Dist
 module Gen = Rebal_workloads.Gen
 module Rng = Rebal_workloads.Rng
+module Metrics = Rebal_obs.Metrics
+module Trace = Rebal_obs.Trace
+module Expo = Rebal_obs.Expo
+module Indexed_heap = Rebal_ds.Indexed_heap
 open Cmdliner
 
 (* ----- shared argument parsing ----- *)
@@ -394,6 +398,116 @@ let chaos_cmd =
       const run $ csv $ sites $ servers $ horizon $ period $ k $ crash_rate $ mttr
       $ migration_fail $ lag $ noise $ recover_below $ seed_arg)
 
+(* ----- profile ----- *)
+
+(* Flush the process-global heap counters into the current registry
+   under stable metric names, so heap work shows up next to the solver
+   counters that caused it. *)
+let flush_heap_counters (hc : Indexed_heap.counters) =
+  let count name help v = Metrics.Counter.set (Metrics.counter ~help name) v in
+  let sift dir v =
+    Metrics.Counter.set
+      (Metrics.counter
+         ~labels:[ ("dir", dir) ]
+         ~help:"Heap sift swaps by direction" "rebal_heap_sift_steps_total")
+      v
+  in
+  count "rebal_heap_sets_total" "Indexed-heap inserts and priority updates" hc.Indexed_heap.sets;
+  count "rebal_heap_removes_total" "Indexed-heap removals" hc.Indexed_heap.removes;
+  count "rebal_heap_pops_total" "Indexed-heap pop-min operations" hc.Indexed_heap.pops;
+  sift "up" hc.Indexed_heap.sift_up_steps;
+  sift "down" hc.Indexed_heap.sift_down_steps
+
+let metric_value_cell (m : Metrics.metric) =
+  match m.Metrics.kind with
+  | Metrics.Counter c -> string_of_int (Metrics.Counter.value c)
+  | Metrics.Gauge g -> Printf.sprintf "%g" (Metrics.Gauge.value g)
+  | Metrics.Histogram h ->
+    Printf.sprintf "count=%d sum=%g" (Metrics.Histogram.observations h)
+      (Metrics.Histogram.sum h)
+
+let counter_table reg =
+  let table =
+    Rebal_harness.Table.create ~title:"metrics" ~columns:[ "metric"; "labels"; "value" ]
+  in
+  List.iter
+    (fun (m : Metrics.metric) ->
+      let labels =
+        match m.Metrics.labels with
+        | [] -> "-"
+        | ls -> String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+      in
+      Rebal_harness.Table.add_row table [ m.Metrics.name; labels; metric_value_cell m ])
+    (Metrics.Registry.metrics reg);
+  table
+
+let profile_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("greedy", `Greedy); ("m-partition", `M_partition) ]) `Greedy
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"Algorithm to profile: greedy or m-partition.")
+  in
+  let n = Arg.(value & opt int 2000 & info [ "n"; "jobs" ] ~docv:"N" ~doc:"Number of jobs.") in
+  let m =
+    Arg.(value & opt int 16 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.")
+  in
+  let k =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k"; "moves" ] ~docv:"K" ~doc:"Move budget (default: n / 10).")
+  in
+  let dist =
+    Arg.(
+      value
+      & opt dist_conv (Dist.Uniform { lo = 1; hi = 100 })
+      & info [ "dist" ] ~docv:"DIST" ~doc:"Job size distribution.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("prom", `Prom); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output: text (span tree + counter table), prom, or json.")
+  in
+  let run algo n m k dist format seed =
+    let k = match k with Some k -> k | None -> max 1 (n / 10) in
+    Rebal_obs.Control.set_enabled true;
+    let reg = Metrics.Registry.create () in
+    Metrics.Registry.with_registry reg @@ fun () ->
+    Trace.reset ();
+    let hc = Indexed_heap.fresh_counters () in
+    Indexed_heap.install_counters hc;
+    Fun.protect ~finally:Indexed_heap.remove_counters @@ fun () ->
+    let rng = Rng.create seed in
+    let dist = Dist.prepare dist in
+    let inst = Gen.random rng ~n ~m ~dist ~cost:Gen.Unit () in
+    let assignment =
+      match algo with
+      | `Greedy -> Rebal_algo.Greedy.solve inst ~k
+      | `M_partition -> Rebal_algo.M_partition.solve inst ~k
+    in
+    flush_heap_counters hc;
+    (match format with
+    | `Text ->
+      let algo_name = match algo with `Greedy -> "greedy" | `M_partition -> "m-partition" in
+      Printf.printf "profile: %s n=%d m=%d k=%d makespan=%d (initial %d)\n\n" algo_name n m k
+        (Assignment.makespan inst assignment)
+        (Instance.initial_makespan inst);
+      List.iter (fun sp -> print_string (Trace.render_tree sp)) (Trace.finished ());
+      print_newline ();
+      Rebal_harness.Table.print (counter_table reg)
+    | `Prom -> print_string (Expo.prometheus reg)
+    | `Json -> print_endline (Expo.json reg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Solve a generated instance with tracing enabled and print the span tree plus the \
+          metric counters the solve produced.")
+    Term.(const run $ algo $ n $ m $ k $ dist $ format $ seed_arg)
+
 (* ----- serve ----- *)
 
 let serve_cmd =
@@ -433,6 +547,15 @@ let serve_cmd =
       value & opt int 16
       & info [ "auto-k" ] ~docv:"K" ~doc:"Move budget for each automatic rebalance.")
   in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the Prometheus metrics snapshot to $(docv) on exit and whenever the \
+             daemon receives SIGUSR1.")
+  in
   (* One client session: read commands line by line, stream responses. *)
   let session engine ic oc =
     output_string oc (Protocol.greeting engine);
@@ -453,7 +576,7 @@ let serve_cmd =
     in
     loop ()
   in
-  let run procs socket auto_events auto_imbalance auto_seconds auto_k =
+  let run procs socket auto_events auto_imbalance auto_seconds auto_k metrics_file =
     let trigger =
       match (auto_events, auto_imbalance, auto_seconds) with
       | Some events, None, None -> Engine.Every_events { events; k = auto_k }
@@ -465,7 +588,31 @@ let serve_cmd =
           "error: give at most one of --auto-events, --auto-imbalance, --auto-seconds\n";
         exit 1
     in
+    (* The daemon is the observed artifact: spans and latency histograms
+       are on for its whole lifetime. *)
+    Rebal_obs.Control.set_enabled true;
     let engine = Engine.create ~trigger ~m:procs () in
+    let dump_metrics () =
+      match metrics_file with
+      | None -> ()
+      | Some path ->
+        (try
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               List.iter
+                 (fun l ->
+                   output_string oc l;
+                   output_char oc '\n')
+                 (Protocol.metrics_lines engine))
+         with Sys_error e -> Printf.eprintf "rebalance serve: metrics dump failed: %s\n%!" e)
+    in
+    if metrics_file <> None then begin
+      try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_metrics ()))
+      with Invalid_argument _ -> ()
+    end;
+    Fun.protect ~finally:dump_metrics @@ fun () ->
     match socket with
     | None -> ignore (session engine stdin stdout)
     | Some path ->
@@ -500,9 +647,11 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the online rebalancing engine as a long-running service speaking a \
-          line-delimited protocol (ADD/REMOVE/RESIZE/REBALANCE/STATS) on stdin or a Unix \
-          domain socket.")
-    Term.(const run $ procs $ socket $ auto_events $ auto_imbalance $ auto_seconds $ auto_k)
+          line-delimited protocol (ADD/REMOVE/RESIZE/REBALANCE/STATS/METRICS) on stdin or a \
+          Unix domain socket.")
+    Term.(
+      const run $ procs $ socket $ auto_events $ auto_imbalance $ auto_seconds $ auto_k
+      $ metrics_file)
 
 (* ----- sweep ----- *)
 
@@ -608,5 +757,6 @@ let () =
             chaos_cmd;
             sweep_cmd;
             process_sim_cmd;
+            profile_cmd;
             serve_cmd;
           ]))

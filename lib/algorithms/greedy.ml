@@ -2,11 +2,33 @@ module Instance = Rebal_core.Instance
 module Assignment = Rebal_core.Assignment
 module Sorted_jobs = Rebal_ds.Sorted_jobs
 module Indexed_heap = Rebal_ds.Indexed_heap
+module Metrics = Rebal_obs.Metrics
+module Trace = Rebal_obs.Trace
 
 type insertion_order =
   | As_removed
   | Ascending
   | Descending
+
+(* Metric handles are fetched once per solve (a registry lookup each, so
+   [with_registry] scoping works); the loops below bump plain local ints
+   and flush them in one [Counter.add] — nothing allocates per heap op. *)
+let algo_labels = [ ("algo", "greedy") ]
+
+let metric_solves () =
+  Metrics.counter ~labels:algo_labels ~help:"Solver invocations" "rebal_solver_solves_total"
+
+let metric_heap_pops () =
+  Metrics.counter ~labels:algo_labels ~help:"Heap minimum extractions/reads"
+    "rebal_solver_heap_pops_total"
+
+let metric_heap_pushes () =
+  Metrics.counter ~labels:algo_labels ~help:"Heap inserts and priority updates"
+    "rebal_solver_heap_pushes_total"
+
+let metric_comparisons () =
+  Metrics.counter ~labels:algo_labels ~help:"Job comparisons in ordering phases"
+    "rebal_solver_comparisons_total"
 
 (* Step 1: remove, k times, the largest job from the most-loaded
    processor. Each processor consumes its descending-sorted job view in
@@ -20,14 +42,17 @@ let removal_phase inst ~k =
   let cursor = Array.make m 0 in
   let load = Array.make m 0 in
   let heap = Indexed_heap.create m in
+  let pops = ref 0 and pushes = ref 0 in
   for p = 0 to m - 1 do
     load.(p) <- Sorted_jobs.total views.(p);
-    Indexed_heap.set heap p (-load.(p))
+    Indexed_heap.set heap p (-load.(p));
+    incr pushes
   done;
   let removed = ref [] in
   (try
      for _ = 1 to min k (Instance.n inst) do
        let p, neg = Indexed_heap.min_exn heap in
+       incr pops;
        if neg = 0 then raise Exit;
        let v = views.(p) in
        let job = Sorted_jobs.id v cursor.(p) in
@@ -35,9 +60,12 @@ let removal_phase inst ~k =
        cursor.(p) <- cursor.(p) + 1;
        load.(p) <- load.(p) - size;
        Indexed_heap.set heap p (-load.(p));
+       incr pushes;
        removed := (job, size) :: !removed
      done
    with Exit -> ());
+  Metrics.Counter.add (metric_heap_pops ()) !pops;
+  Metrics.Counter.add (metric_heap_pushes ()) !pushes;
   (List.rev !removed, load)
 
 let removal_phase_makespan inst ~k =
@@ -45,23 +73,57 @@ let removal_phase_makespan inst ~k =
   Array.fold_left max 0 load
 
 let solve ?(order = Descending) inst ~k =
-  let removed, load = removal_phase inst ~k in
-  let removed =
-    match order with
-    | As_removed -> removed
-    | Ascending ->
-      List.stable_sort (fun (_, s1) (_, s2) -> compare s1 s2) removed
-    | Descending ->
-      List.stable_sort (fun (_, s1) (_, s2) -> compare s2 s1) removed
-  in
-  let m = Instance.m inst in
-  let heap = Indexed_heap.create m in
-  Array.iteri (fun p l -> Indexed_heap.set heap p l) load;
-  let assign = Instance.initial_assignment inst in
-  List.iter
-    (fun (job, size) ->
-      let p, l = Indexed_heap.min_exn heap in
-      assign.(job) <- p;
-      Indexed_heap.set heap p (l + size))
-    removed;
-  Assignment.of_array ~m assign
+  Metrics.Counter.inc (metric_solves ());
+  Trace.with_span "greedy.solve"
+    ~attrs:
+      [
+        ("n", Trace.Int (Instance.n inst));
+        ("m", Trace.Int (Instance.m inst));
+        ("k", Trace.Int (min k (Instance.n inst)));
+      ]
+    (fun () ->
+      let removed, load =
+        Trace.with_span "greedy.removal" (fun () ->
+            let removed, load = removal_phase inst ~k in
+            Trace.add_attr "removed" (Trace.Int (List.length removed));
+            (removed, load))
+      in
+      Trace.with_span "greedy.reinsert" (fun () ->
+          let comparisons = ref 0 in
+          let removed =
+            match order with
+            | As_removed -> removed
+            | Ascending ->
+              List.stable_sort
+                (fun (_, s1) (_, s2) ->
+                  incr comparisons;
+                  compare s1 s2)
+                removed
+            | Descending ->
+              List.stable_sort
+                (fun (_, s1) (_, s2) ->
+                  incr comparisons;
+                  compare s2 s1)
+                removed
+          in
+          let m = Instance.m inst in
+          let heap = Indexed_heap.create m in
+          let pops = ref 0 and pushes = ref 0 in
+          Array.iteri
+            (fun p l ->
+              Indexed_heap.set heap p l;
+              incr pushes)
+            load;
+          let assign = Instance.initial_assignment inst in
+          List.iter
+            (fun (job, size) ->
+              let p, l = Indexed_heap.min_exn heap in
+              incr pops;
+              assign.(job) <- p;
+              Indexed_heap.set heap p (l + size);
+              incr pushes)
+            removed;
+          Metrics.Counter.add (metric_comparisons ()) !comparisons;
+          Metrics.Counter.add (metric_heap_pops ()) !pops;
+          Metrics.Counter.add (metric_heap_pushes ()) !pushes;
+          Assignment.of_array ~m assign))

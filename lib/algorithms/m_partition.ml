@@ -2,6 +2,26 @@ module Instance = Rebal_core.Instance
 module Budget = Rebal_core.Budget
 module Lower_bounds = Rebal_core.Lower_bounds
 module Sorted_jobs = Rebal_ds.Sorted_jobs
+module Metrics = Rebal_obs.Metrics
+module Trace = Rebal_obs.Trace
+
+let algo_labels = [ ("algo", "m-partition") ]
+
+let metric_solves () =
+  Metrics.counter ~labels:algo_labels ~help:"Solver invocations" "rebal_solver_solves_total"
+
+let metric_candidates () =
+  Metrics.counter ~labels:algo_labels ~help:"Candidate thresholds enumerated"
+    "rebal_mpartition_candidates_total"
+
+let metric_tried () =
+  Metrics.counter ~labels:algo_labels ~help:"Thresholds for which a plan was evaluated"
+    "rebal_mpartition_thresholds_tried_total"
+
+let metric_scan_steps () =
+  Metrics.counter ~labels:algo_labels
+    ~help:"Threshold-scan iterations (evaluated plus skipped below the lower bound)"
+    "rebal_mpartition_scan_iterations_total"
 
 let candidate_thresholds inst =
   let views = Instance.sorted_views inst in
@@ -37,10 +57,25 @@ type scan_stats = {
 
 let solve_with_stats inst ~k =
   if k < 0 then invalid_arg "M_partition: negative k";
+  Metrics.Counter.inc (metric_solves ());
+  Trace.with_span "m_partition.solve"
+    ~attrs:
+      [
+        ("n", Trace.Int (Instance.n inst));
+        ("m", Trace.Int (Instance.m inst));
+        ("k", Trace.Int (min k (Instance.n inst)));
+      ]
+  @@ fun () ->
   let views = Instance.sorted_views inst in
   let lb = Lower_bounds.best inst ~budget:(Budget.Moves k) in
-  let candidates = candidate_thresholds inst in
-  let tried = ref 0 in
+  let candidates =
+    Trace.with_span "m_partition.candidates" (fun () ->
+        let cs = candidate_thresholds inst in
+        Trace.add_attr "candidates" (Trace.Int (Array.length cs));
+        cs)
+  in
+  Metrics.Counter.add (metric_candidates ()) (Array.length candidates);
+  let tried = ref 0 and scan_steps = ref 0 in
   let feasible t =
     incr tried;
     match Partition.plan inst ~views ~threshold:t with
@@ -48,9 +83,14 @@ let solve_with_stats inst ~k =
     | Some _ | None -> None
   in
   let finish plan t =
+    Metrics.Counter.add (metric_tried ()) !tried;
+    Metrics.Counter.add (metric_scan_steps ()) !scan_steps;
+    Trace.add_attr "tried" (Trace.Int !tried);
+    Trace.add_attr "accepted" (Trace.Int t);
     ( Partition.build inst ~views plan,
       { candidates = Array.length candidates; tried = !tried; accepted = t; lower_bound = lb } )
   in
+  Trace.with_span "m_partition.scan" @@ fun () ->
   (* Try the lower bound itself first (it need not be a candidate value),
      then every candidate above it in increasing order. The scan always
      terminates: at the initial makespan — which is a suffix sum, hence a
@@ -60,6 +100,7 @@ let solve_with_stats inst ~k =
       failwith "M_partition: no feasible threshold (impossible)"
     else begin
       let t = candidates.(i) in
+      incr scan_steps;
       if t < lb then scan (i + 1)
       else begin
         match feasible t with

@@ -1,3 +1,23 @@
+(* Optional operation counters, shared by every heap in the process.
+   [None] (the default) costs one ref load and branch per sift step;
+   installing a record lets the observability layer attribute heap work
+   to the solver that caused it without this library depending on it. *)
+type counters = {
+  mutable sets : int;
+  mutable removes : int;
+  mutable pops : int;
+  mutable sift_up_steps : int;
+  mutable sift_down_steps : int;
+}
+
+let fresh_counters () =
+  { sets = 0; removes = 0; pops = 0; sift_up_steps = 0; sift_down_steps = 0 }
+
+let hook : counters option ref = ref None
+let install_counters c = hook := Some c
+let installed_counters () = !hook
+let remove_counters () = hook := None
+
 type t = {
   n : int;
   heap : int array; (* heap.(i) = key at heap slot i *)
@@ -41,6 +61,7 @@ let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
     if before h h.heap.(i) h.heap.(parent) then begin
+      (match !hook with Some c -> c.sift_up_steps <- c.sift_up_steps + 1 | None -> ());
       swap h i parent;
       sift_up h parent
     end
@@ -53,12 +74,14 @@ let rec sift_down h i =
   if l < h.size && before h h.heap.(l) h.heap.(!best) then best := l;
   if r < h.size && before h h.heap.(r) h.heap.(!best) then best := r;
   if !best <> i then begin
+    (match !hook with Some c -> c.sift_down_steps <- c.sift_down_steps + 1 | None -> ());
     swap h i !best;
     sift_down h !best
   end
 
 let set h key prio =
   check_key h key;
+  (match !hook with Some c -> c.sets <- c.sets + 1 | None -> ());
   if h.pos.(key) >= 0 then begin
     let old = h.prio.(key) in
     h.prio.(key) <- prio;
@@ -75,6 +98,7 @@ let set h key prio =
 
 let remove h key =
   check_key h key;
+  (match !hook with Some c -> c.removes <- c.removes + 1 | None -> ());
   let i = h.pos.(key) in
   if i >= 0 then begin
     h.size <- h.size - 1;
@@ -104,6 +128,7 @@ let pop_min h =
   match min h with
   | None -> None
   | Some (key, _) as entry ->
+    (match !hook with Some c -> c.pops <- c.pops + 1 | None -> ());
     remove h key;
     entry
 

@@ -10,6 +10,27 @@
 
 type t
 
+(** {2 Optional operation counters}
+
+    A process-global hook for observability: when installed, every heap
+    in the process attributes its operations and sift steps to the
+    record, which the profiler flushes into the metrics registry. When
+    absent (the default) each counting site is one ref load and branch —
+    the heap stays dependency-free and effectively uninstrumented. *)
+
+type counters = {
+  mutable sets : int;  (** {!set} calls (inserts and priority updates) *)
+  mutable removes : int;  (** {!remove} calls (including via {!pop_min}) *)
+  mutable pops : int;  (** {!pop_min} calls that removed an entry *)
+  mutable sift_up_steps : int;  (** swaps performed sifting up *)
+  mutable sift_down_steps : int;  (** swaps performed sifting down *)
+}
+
+val fresh_counters : unit -> counters
+val install_counters : counters -> unit
+val installed_counters : unit -> counters option
+val remove_counters : unit -> unit
+
 val create : int -> t
 (** [create n] is an empty heap over keys [0 .. n-1].
     @raise Invalid_argument if [n < 0]. *)

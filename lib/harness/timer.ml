@@ -1,7 +1,14 @@
+(* Monotonic clock (CLOCK_MONOTONIC via bechamel's stubs): timestamps
+   survive NTP slews and wall-clock steps, which matters now that spans
+   and latency histograms are built from differences of [now_ns]. *)
+let now_ns () = Monotonic_clock.now ()
+
+let ns_to_s ns = Int64.to_float ns *. 1e-9
+
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = now_ns () in
   let result = f () in
-  (result, Unix.gettimeofday () -. start)
+  (result, ns_to_s (Int64.sub (now_ns ()) start))
 
 let time_median ?(repeats = 5) f =
   let repeats = max 1 repeats in

@@ -1,0 +1,17 @@
+(** The master switch for clock-reading observability.
+
+    Metric counters are plain field increments and always count; what
+    this flag gates is everything that must read a clock per operation —
+    span creation in {!Trace} and the per-event latency histograms in the
+    online engine and simulators. Disabled (the default), those paths
+    cost one ref load and a branch, which is what keeps the instrumented
+    hot loops within the < 5% overhead budget; the profile subcommand,
+    the serve daemon and the bench experiments that need timings switch
+    it on at startup. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run with the switch forced to the given value, restoring the
+    previous value afterwards (exception-safe). *)

@@ -1,0 +1,156 @@
+(* Exposition: render a registry in the Prometheus text format or as
+   JSON. Pure string building against the public Metrics API. *)
+
+let fmt_value f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let fmt_le u = if u = infinity then "+Inf" else Printf.sprintf "%.9g" u
+
+(* Label values: escape backslash, double quote and newline (the
+   Prometheus text-format rules). *)
+let escape_label s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* HELP text: escape backslash and newline only. *)
+let escape_help s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let label_set labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+    ^ "}"
+
+let kind_name = function
+  | Metrics.Counter _ -> "counter"
+  | Metrics.Gauge _ -> "gauge"
+  | Metrics.Histogram _ -> "histogram"
+
+(* Group samples by metric name, preserving registration order of first
+   appearance, so families with several label sets share one HELP/TYPE
+   header. *)
+let families reg =
+  let ms = Metrics.Registry.metrics reg in
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (m : Metrics.metric) ->
+      match Hashtbl.find_opt seen m.Metrics.name with
+      | Some rev -> rev := m :: !rev
+      | None ->
+        let rev = ref [ m ] in
+        Hashtbl.replace seen m.Metrics.name rev;
+        order := m.Metrics.name :: !order)
+    ms;
+  List.rev_map (fun name -> (name, List.rev !(Hashtbl.find seen name))) !order
+
+let prometheus reg =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, ms) ->
+      let first = List.hd ms in
+      if first.Metrics.help <> "" then
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n" name (escape_help first.Metrics.help));
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name (kind_name first.Metrics.kind));
+      List.iter
+        (fun (m : Metrics.metric) ->
+          let ls = label_set m.Metrics.labels in
+          match m.Metrics.kind with
+          | Metrics.Counter c ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %d\n" name ls (Metrics.Counter.value c))
+          | Metrics.Gauge g ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" name ls (fmt_value (Metrics.Gauge.value g)))
+          | Metrics.Histogram h ->
+            (* Prometheus buckets are cumulative. *)
+            let cum = ref 0 in
+            List.iter
+              (fun (upper, count) ->
+                cum := !cum + count;
+                let labels = m.Metrics.labels @ [ ("le", fmt_le upper) ] in
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" name (label_set labels) !cum))
+              (Metrics.Histogram.buckets h);
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum%s %s\n" name ls (fmt_value (Metrics.Histogram.sum h)));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count%s %d\n" name ls (Metrics.Histogram.observations h)))
+        ms)
+    (families reg);
+  Buffer.contents b
+
+(* ----- JSON ----- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         labels)
+  ^ "}"
+
+let json_of_metric (m : Metrics.metric) =
+  let common =
+    Printf.sprintf "\"name\":\"%s\",\"type\":\"%s\",\"help\":\"%s\",\"labels\":%s"
+      (json_escape m.Metrics.name) (kind_name m.Metrics.kind) (json_escape m.Metrics.help)
+      (json_labels m.Metrics.labels)
+  in
+  match m.Metrics.kind with
+  | Metrics.Counter c -> Printf.sprintf "{%s,\"value\":%d}" common (Metrics.Counter.value c)
+  | Metrics.Gauge g ->
+    Printf.sprintf "{%s,\"value\":%s}" common (fmt_value (Metrics.Gauge.value g))
+  | Metrics.Histogram h ->
+    let buckets =
+      String.concat ","
+        (List.map
+           (fun (upper, count) ->
+             Printf.sprintf "{\"le\":\"%s\",\"count\":%d}" (fmt_le upper) count)
+           (Metrics.Histogram.buckets h))
+    in
+    Printf.sprintf "{%s,\"sum\":%s,\"count\":%d,\"buckets\":[%s]}" common
+      (fmt_value (Metrics.Histogram.sum h))
+      (Metrics.Histogram.observations h)
+      buckets
+
+let json reg =
+  "{\"metrics\":["
+  ^ String.concat "," (List.map json_of_metric (Metrics.Registry.metrics reg))
+  ^ "]}"

@@ -1,0 +1,16 @@
+(** Exposition formats for a metrics registry. Both snapshots run the
+    registry's collectors first (via [Metrics.Registry.metrics]). *)
+
+val prometheus : Metrics.Registry.t -> string
+(** Prometheus text exposition: [# HELP] / [# TYPE] headers per metric
+    family, one sample line per label set; histograms expose cumulative
+    [_bucket{le=...}] series plus [_sum] and [_count]. *)
+
+val json : Metrics.Registry.t -> string
+(** One JSON object [{"metrics": [...]}]; histogram buckets are
+    non-cumulative with ["le"] rendered as a string (["+Inf"] for the
+    overflow bucket). *)
+
+val fmt_le : float -> string
+(** A bucket upper bound as Prometheus renders it (["+Inf"] for
+    [infinity]) — exposed for tests and custom renderers. *)

@@ -1,0 +1,131 @@
+module Timer = Rebal_harness.Timer
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type span = {
+  name : string;
+  mutable attrs : (string * value) list;
+  start_ns : int64;
+  mutable stop_ns : int64;
+  mutable rev_children : span list;
+}
+
+let string_of_value = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+(* The stack of open spans (innermost first) and a bounded queue of
+   completed root spans, so a long-running daemon cannot grow without
+   bound. *)
+let stack : span list ref = ref []
+let roots : span Queue.t = Queue.create ()
+let max_roots = ref 256
+
+let set_max_roots n =
+  if n < 1 then invalid_arg "Trace.set_max_roots: need a positive capacity";
+  max_roots := n;
+  while Queue.length roots > n do
+    ignore (Queue.pop roots)
+  done
+
+let finish sp =
+  sp.stop_ns <- Timer.now_ns ();
+  (match !stack with
+  | top :: rest when top == sp -> stack := rest
+  | _ -> stack := List.filter (fun s -> s != sp) !stack);
+  match !stack with
+  | parent :: _ -> parent.rev_children <- sp :: parent.rev_children
+  | [] ->
+    Queue.push sp roots;
+    while Queue.length roots > !max_roots do
+      ignore (Queue.pop roots)
+    done
+
+let with_span ?(attrs = []) name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let sp =
+      { name; attrs; start_ns = Timer.now_ns (); stop_ns = 0L; rev_children = [] }
+    in
+    stack := sp :: !stack;
+    Fun.protect ~finally:(fun () -> finish sp) f
+  end
+
+let add_attr key v =
+  if Control.enabled () then
+    match !stack with
+    | sp :: _ -> sp.attrs <- sp.attrs @ [ (key, v) ]
+    | [] -> ()
+
+let finished () = List.of_seq (Queue.to_seq roots)
+
+let reset () =
+  Queue.clear roots;
+  stack := []
+
+let name sp = sp.name
+let attrs sp = sp.attrs
+let children sp = List.rev sp.rev_children
+let duration_ns sp = Int64.sub sp.stop_ns sp.start_ns
+
+(* ----- the ring-buffer event log ----- *)
+
+type event = {
+  ts_ns : int64;
+  event_name : string;
+  event_attrs : (string * value) list;
+}
+
+let ring : event option array ref = ref (Array.make 1024 None)
+let ring_written = ref 0
+
+let set_ring_capacity n =
+  if n < 1 then invalid_arg "Trace.set_ring_capacity: need a positive capacity";
+  ring := Array.make n None;
+  ring_written := 0
+
+let event ?(attrs = []) name =
+  if Control.enabled () then begin
+    let buf = !ring in
+    buf.(!ring_written mod Array.length buf) <-
+      Some { ts_ns = Timer.now_ns (); event_name = name; event_attrs = attrs };
+    incr ring_written
+  end
+
+let events () =
+  let buf = !ring in
+  let cap = Array.length buf in
+  let total = !ring_written in
+  let start = max 0 (total - cap) in
+  List.filter_map (fun i -> buf.(i mod cap)) (List.init (total - start) (fun j -> start + j))
+
+(* ----- rendering ----- *)
+
+let pp_duration ppf ns =
+  let ns = Int64.to_float ns in
+  if ns < 1e3 then Format.fprintf ppf "%.0fns" ns
+  else if ns < 1e6 then Format.fprintf ppf "%.2fus" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf ppf "%.2fms" (ns /. 1e6)
+  else Format.fprintf ppf "%.3fs" (ns /. 1e9)
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+    Format.fprintf ppf " {%s}"
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (string_of_value v)) attrs))
+
+let rec pp_node ppf ~indent sp =
+  Format.fprintf ppf "%s%s%a  %a\n" indent sp.name pp_attrs sp.attrs pp_duration
+    (duration_ns sp);
+  List.iter (fun c -> pp_node ppf ~indent:(indent ^ "  ") c) (children sp)
+
+let pp_tree ppf sp = pp_node ppf ~indent:"" sp
+
+let render_tree sp = Format.asprintf "%a" pp_tree sp

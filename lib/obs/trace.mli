@@ -1,0 +1,73 @@
+(** Span tracing: a tree of timed spans with attached attributes, plus a
+    fixed-capacity ring-buffer event log.
+
+    [with_span name f] times [f] on the monotonic clock and records the
+    span under the innermost open span (or as a new root). When
+    {!Control} is disabled — the default — [with_span] is [f ()] behind
+    one ref load and branch, so instrumented hot paths cost effectively
+    nothing. Completed root spans are kept in a bounded queue (default
+    256, oldest dropped) so a long-running daemon cannot leak.
+
+    The tracer is process-global single-stack state, matching the
+    single-threaded solvers and daemon it instruments. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type span
+
+val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** Run [f] inside a span. Exception-safe: the span is closed (and
+    recorded) even if [f] raises. A no-op wrapper when disabled. *)
+
+val add_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span; no-op when disabled
+    or when no span is open. *)
+
+val finished : unit -> span list
+(** Completed root spans, oldest first (bounded; see {!set_max_roots}). *)
+
+val reset : unit -> unit
+(** Drop all completed roots and any open-span stack. *)
+
+val set_max_roots : int -> unit
+(** Capacity of the completed-roots queue.
+    @raise Invalid_argument if not positive. *)
+
+val name : span -> string
+val attrs : span -> (string * value) list
+val children : span -> span list
+(** Child spans in start order. *)
+
+val duration_ns : span -> int64
+
+val string_of_value : value -> string
+
+(** {2 Ring-buffer event log} *)
+
+type event = {
+  ts_ns : int64;
+  event_name : string;
+  event_attrs : (string * value) list;
+}
+
+val event : ?attrs:(string * value) list -> string -> unit
+(** Append to the ring (no-op when disabled); overwrites the oldest
+    entry when full. *)
+
+val events : unit -> event list
+(** Buffered events, oldest first. *)
+
+val set_ring_capacity : int -> unit
+(** Resize (and clear) the ring. Default capacity 1024.
+    @raise Invalid_argument if not positive. *)
+
+(** {2 Rendering} *)
+
+val pp_tree : Format.formatter -> span -> unit
+(** Indented tree: one line per span with attributes and duration. *)
+
+val render_tree : span -> string

@@ -1,6 +1,10 @@
 module Instance = Rebal_core.Instance
 module Assignment = Rebal_core.Assignment
 module Indexed_heap = Rebal_ds.Indexed_heap
+module Metrics = Rebal_obs.Metrics
+module Trace = Rebal_obs.Trace
+module Control = Rebal_obs.Control
+module Timer = Rebal_harness.Timer
 
 (* Per-processor job set ordered by (size ascending, sequence number
    descending), so [max_elt] yields the largest job, smallest sequence
@@ -38,10 +42,51 @@ type counters = {
   mutable resizes : int;
   mutable rebalances : int;
   mutable auto_rebalances : int;
+  mutable trigger_firings : int;
   mutable moved : int;
+  mutable last_rebalance_moves : int;
   mutable consistency_checks : int;
   mutable consistency_failures : int;
 }
+
+(* Histogram handles bound to the registry current at [create] time, so
+   a serve daemon's engine and a test's [with_registry]-scoped engine
+   never share series. Observing when disabled would still be cheap, but
+   latency observations need two clock reads — those are gated on
+   [Control.enabled] so the engine stays on the fast path by default. *)
+type obs = {
+  lat_add : Metrics.histogram;
+  lat_remove : Metrics.histogram;
+  lat_resize : Metrics.histogram;
+  lat_rebalance : Metrics.histogram;
+  moves_per_rebalance : Metrics.histogram;
+}
+
+let make_obs () =
+  let lat op =
+    Metrics.histogram
+      ~labels:[ ("op", op) ]
+      ~help:"Engine operation latency in seconds" "rebal_engine_op_latency_seconds"
+  in
+  {
+    lat_add = lat "add";
+    lat_remove = lat "remove";
+    lat_resize = lat "resize";
+    lat_rebalance = lat "rebalance";
+    moves_per_rebalance =
+      Metrics.histogram ~help:"Jobs relocated per repair pass"
+        ~buckets:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+        "rebal_engine_moves_per_rebalance";
+  }
+
+let timed hist f =
+  if Control.enabled () then begin
+    let start = Timer.now_ns () in
+    let r = f () in
+    Metrics.Histogram.observe_ns hist (Int64.sub (Timer.now_ns ()) start);
+    r
+  end
+  else f ()
 
 type stats = {
   jobs : int;
@@ -55,7 +100,9 @@ type stats = {
   resizes : int;
   rebalances : int;
   auto_rebalances : int;
+  trigger_firings : int;
   moved : int;
+  last_rebalance_moves : int;
   consistency_checks : int;
   consistency_failures : int;
 }
@@ -82,6 +129,7 @@ type t = {
   mutable events_since_repair : int;
   mutable last_repair : float;
   c : counters;
+  obs : obs;
 }
 
 let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ~m () =
@@ -115,10 +163,13 @@ let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ~m () =
         resizes = 0;
         rebalances = 0;
         auto_rebalances = 0;
+        trigger_firings = 0;
         moved = 0;
+        last_rebalance_moves = 0;
         consistency_checks = 0;
         consistency_failures = 0;
       };
+    obs = make_obs ();
   }
 
 let m t = t.m
@@ -166,6 +217,9 @@ let set_load t p l =
 
 let repair ~auto t ~k =
   if k < 0 then invalid_arg "Engine.rebalance: negative k";
+  Trace.with_span "engine.repair"
+    ~attrs:[ ("k", Trace.Int k); ("auto", Trace.Bool auto) ]
+  @@ fun () ->
   (* Removal phase = GREEDY step 1 on the live state: k times, take the
      largest job off the most-loaded processor (ties: smaller index). *)
   let removed = ref [] in
@@ -197,14 +251,18 @@ let repair ~auto t ~k =
       end)
     removed;
   let moves = List.rev !moves in
+  let n_moves = List.length moves in
   t.c.rebalances <- t.c.rebalances + 1;
   if auto then t.c.auto_rebalances <- t.c.auto_rebalances + 1;
-  t.c.moved <- t.c.moved + List.length moves;
+  t.c.moved <- t.c.moved + n_moves;
+  t.c.last_rebalance_moves <- n_moves;
+  Metrics.Histogram.observe t.obs.moves_per_rebalance (float_of_int n_moves);
+  Trace.add_attr "moves" (Trace.Int n_moves);
   t.events_since_repair <- 0;
   t.last_repair <- t.clock ();
   moves
 
-let rebalance t ~k = repair ~auto:false t ~k
+let rebalance t ~k = timed t.obs.lat_rebalance (fun () -> repair ~auto:false t ~k)
 
 (* ----- trigger policy ----- *)
 
@@ -222,11 +280,14 @@ let after_event t =
   t.events_since_repair <- t.events_since_repair + 1;
   match trigger_budget t with
   | None -> []
-  | Some k -> repair ~auto:true t ~k
+  | Some k ->
+    t.c.trigger_firings <- t.c.trigger_firings + 1;
+    timed t.obs.lat_rebalance (fun () -> repair ~auto:true t ~k)
 
 (* ----- single-event updates, all O(log m) ----- *)
 
 let add_job t ~id ~size =
+  timed t.obs.lat_add @@ fun () ->
   if size <= 0 then Error (Printf.sprintf "job %s: size must be positive" id)
   else if Hashtbl.mem t.jobs id then Error (Printf.sprintf "job %s already present" id)
   else begin
@@ -245,6 +306,7 @@ let add_job t ~id ~size =
   end
 
 let remove_job t ~id =
+  timed t.obs.lat_remove @@ fun () ->
   match Hashtbl.find_opt t.jobs id with
   | None -> Error (Printf.sprintf "job %s not found" id)
   | Some job ->
@@ -259,6 +321,7 @@ let remove_job t ~id =
     Ok (p, after_event t)
 
 let resize_job t ~id ~size =
+  timed t.obs.lat_resize @@ fun () ->
   if size <= 0 then Error (Printf.sprintf "job %s: size must be positive" id)
   else
     match Hashtbl.find_opt t.jobs id with
@@ -289,7 +352,9 @@ let stats t =
     resizes = t.c.resizes;
     rebalances = t.c.rebalances;
     auto_rebalances = t.c.auto_rebalances;
+    trigger_firings = t.c.trigger_firings;
     moved = t.c.moved;
+    last_rebalance_moves = t.c.last_rebalance_moves;
     consistency_checks = t.c.consistency_checks;
     consistency_failures = t.c.consistency_failures;
   }

@@ -13,7 +13,14 @@
     [Rebal_algo.Greedy.solve ~order:Descending], so after [rebalance ~k]
     the engine's makespan equals the batch makespan on the materialized
     instance. [check_consistency] verifies this bit-match on demand and
-    keeps counters that [stats] exposes. *)
+    keeps counters that [stats] exposes.
+
+    Observability: every engine binds histogram handles
+    ([rebal_engine_op_latency_seconds{op=...}],
+    [rebal_engine_moves_per_rebalance]) in the registry current at
+    {!create} time. Moves-per-rebalance is always observed (no clock
+    involved); per-op latency needs two monotonic clock reads and is
+    recorded only while [Rebal_obs.Control.enabled ()] is true. *)
 
 type t
 
@@ -48,7 +55,12 @@ type stats = {
   resizes : int;
   rebalances : int;  (** repair passes run (manual + automatic) *)
   auto_rebalances : int;  (** repair passes fired by the trigger policy *)
+  trigger_firings : int;
+      (** times the trigger policy asked for a repair (currently equal to
+          [auto_rebalances]; kept separate so a future policy may decline
+          or coalesce firings without changing the counter's meaning) *)
   moved : int;  (** jobs relocated by repair passes, cumulative *)
+  last_rebalance_moves : int;  (** jobs relocated by the most recent repair pass *)
   consistency_checks : int;
   consistency_failures : int;
 }

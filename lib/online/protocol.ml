@@ -1,9 +1,13 @@
+module Metrics = Rebal_obs.Metrics
+module Expo = Rebal_obs.Expo
+
 type command =
   | Add of { id : string; size : int }
   | Remove of string
   | Resize of { id : string; size : int }
   | Rebalance of int
   | Stats
+  | Metrics_dump
   | Help
   | Quit
   | Shutdown
@@ -42,6 +46,8 @@ let parse line =
     | "REBALANCE", [] -> Ok (Some (Rebalance max_int))
     | "REBALANCE", _ -> Error "usage: REBALANCE [<k>]"
     | "STATS", [] -> Ok (Some Stats)
+    | "METRICS", [] -> Ok (Some Metrics_dump)
+    | "METRICS", _ -> Error "usage: METRICS"
     | "HELP", [] -> Ok (Some Help)
     | "QUIT", [] | "EXIT", [] -> Ok (Some Quit)
     | "SHUTDOWN", [] -> Ok (Some Shutdown)
@@ -67,6 +73,7 @@ let help_lines =
     "OK   RESIZE <id> <size>   change a job's size";
     "OK   REBALANCE [<k>]      repair pass with move budget k (default: unbounded)";
     "OK   STATS                engine telemetry";
+    "OK   METRICS              Prometheus text exposition, ends with '# EOF'";
     "OK   HELP                 this text";
     "OK   QUIT                 end this session";
     "OK   SHUTDOWN             stop the daemon";
@@ -76,11 +83,48 @@ let stats_line t =
   let s = Engine.stats t in
   pf
     "STATS jobs=%d procs=%d makespan=%d total=%d imbalance=%.3f events=%d adds=%d \
-     removes=%d resizes=%d rebalances=%d auto=%d moved=%d checks=%d failures=%d"
+     removes=%d resizes=%d rebalances=%d auto=%d auto_triggers=%d moved=%d \
+     last_rebalance_moves=%d checks=%d failures=%d"
     s.Engine.jobs s.Engine.procs s.Engine.makespan s.Engine.total_size s.Engine.imbalance
     s.Engine.events s.Engine.adds s.Engine.removes s.Engine.resizes s.Engine.rebalances
-    s.Engine.auto_rebalances s.Engine.moved s.Engine.consistency_checks
+    s.Engine.auto_rebalances s.Engine.trigger_firings s.Engine.moved
+    s.Engine.last_rebalance_moves s.Engine.consistency_checks s.Engine.consistency_failures
+
+(* Engine counters live in the engine record, not the registry; METRICS
+   exports them into the current registry right before rendering — the
+   collector pattern, inlined, so replies always reflect live state. *)
+let export_engine_metrics t =
+  let s = Engine.stats t in
+  let gauge name help v = Metrics.Gauge.set (Metrics.gauge ~help name) v in
+  let count name help v = Metrics.Counter.set (Metrics.counter ~help name) v in
+  gauge "rebal_engine_jobs" "Live jobs" (float_of_int s.Engine.jobs);
+  gauge "rebal_engine_procs" "Processors" (float_of_int s.Engine.procs);
+  gauge "rebal_engine_makespan" "Current maximum processor load"
+    (float_of_int s.Engine.makespan);
+  gauge "rebal_engine_total_size" "Sum of live job sizes" (float_of_int s.Engine.total_size);
+  gauge "rebal_engine_imbalance" "Makespan over the batch lower bound" s.Engine.imbalance;
+  gauge "rebal_engine_last_rebalance_moves" "Jobs relocated by the most recent repair pass"
+    (float_of_int s.Engine.last_rebalance_moves);
+  count "rebal_engine_events_total" "Mutating events processed" s.Engine.events;
+  count "rebal_engine_adds_total" "ADD events" s.Engine.adds;
+  count "rebal_engine_removes_total" "REMOVE events" s.Engine.removes;
+  count "rebal_engine_resizes_total" "RESIZE events" s.Engine.resizes;
+  count "rebal_engine_rebalances_total" "Repair passes run" s.Engine.rebalances;
+  count "rebal_engine_auto_rebalances_total" "Repair passes fired by the trigger"
+    s.Engine.auto_rebalances;
+  count "rebal_engine_trigger_firings_total" "Trigger policy firings" s.Engine.trigger_firings;
+  count "rebal_engine_moved_total" "Jobs relocated by repair passes" s.Engine.moved;
+  count "rebal_engine_consistency_checks_total" "Batch-consistency checks run"
+    s.Engine.consistency_checks;
+  count "rebal_engine_consistency_failures_total" "Batch-consistency checks that failed"
     s.Engine.consistency_failures
+
+let metrics_lines t =
+  export_engine_metrics t;
+  let text = Expo.prometheus (Metrics.Registry.current ()) in
+  let lines = String.split_on_char '\n' text in
+  let lines = List.filter (fun l -> l <> "") lines in
+  lines @ [ "# EOF" ]
 
 let execute t = function
   | Add { id; size } -> begin
@@ -109,6 +153,7 @@ let execute t = function
       @ [ pf "REBALANCED moves=%d makespan=%d" (List.length moves) (Engine.makespan t) ]
     end
   | Stats -> [ stats_line t ]
+  | Metrics_dump -> metrics_lines t
   | Help -> help_lines
   | Quit -> [ "BYE" ]
   | Shutdown -> [ "BYE" ]

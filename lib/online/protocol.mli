@@ -7,6 +7,7 @@
     RESIZE <id> <size>   change a job's size
     REBALANCE <k>        run a bounded-move repair pass
     STATS                one-line engine telemetry
+    METRICS              Prometheus text exposition of the metrics registry
     HELP                 list the commands
     QUIT                 end this client session
     SHUTDOWN             end this client session and stop the daemon
@@ -17,9 +18,12 @@
     relocation performed by a repair pass (manual or trigger-fired) is a
     [MOVE <id> <src> <dst>] line followed by a [REBALANCED] summary;
     malformed or inapplicable requests get [ERR <reason>] without
-    disturbing the engine. Blank lines and lines starting with [#] are
-    ignored. The module is pure string-in/strings-out so the daemon loop
-    and the tests share one implementation. *)
+    disturbing the engine. [METRICS] exports the engine's live counters
+    into the current metrics registry and streams the Prometheus text
+    exposition, terminated by a literal [# EOF] line so clients know
+    where the multi-line reply ends. Blank lines and lines starting with
+    [#] are ignored. The module is pure string-in/strings-out so the
+    daemon loop and the tests share one implementation. *)
 
 type command =
   | Add of { id : string; size : int }
@@ -27,6 +31,7 @@ type command =
   | Resize of { id : string; size : int }
   | Rebalance of int
   | Stats
+  | Metrics_dump
   | Help
   | Quit
   | Shutdown
@@ -45,6 +50,12 @@ val execute : Engine.t -> command -> string list
 
 val handle_line : Engine.t -> string -> string list * verdict
 (** [parse] + [execute], turning parse errors into [ERR] lines. *)
+
+val metrics_lines : Engine.t -> string list
+(** The [METRICS] reply: the engine's live stats exported into the
+    current registry, then the Prometheus text exposition line by line,
+    terminated by ["# EOF"]. Also used by the daemon's [--metrics-file]
+    dump. *)
 
 val greeting : Engine.t -> string
 (** The [READY ...] banner sent when a session opens. *)

@@ -1,4 +1,9 @@
 module Rng = Rebal_workloads.Rng
+module Metrics = Rebal_obs.Metrics
+
+let metric_planned_crashes () =
+  Metrics.counter ~help:"Server crashes planned by fault schedules"
+    "rebal_fault_planned_crashes_total"
 
 type t = {
   seed : int;
@@ -79,6 +84,7 @@ let create ~seed ~servers ~horizon ?(crash_rate = 0.0) ?(mttr = 10)
       (down, List.rev !events)
     end
   in
+  Metrics.Counter.add (metric_planned_crashes ()) (List.length events);
   { seed; servers; horizon; migration_fail; lag; noise; down; events }
 
 let is_live t ~server ~time =

@@ -2,6 +2,27 @@ module Instance = Rebal_core.Instance
 module Assignment = Rebal_core.Assignment
 module Verify = Rebal_core.Verify
 module Stats = Rebal_harness.Stats
+module Metrics = Rebal_obs.Metrics
+module Trace = Rebal_obs.Trace
+module Control = Rebal_obs.Control
+module Timer = Rebal_harness.Timer
+
+(* Move counters are labeled by the policy that drove the run, so a
+   sweep over policies in one registry stays separable. *)
+let policy_labels policy = [ ("policy", Policy.name policy) ]
+
+let metric_steps policy =
+  Metrics.counter ~labels:(policy_labels policy) ~help:"Simulation steps executed"
+    "rebal_sim_steps_total"
+
+let metric_moves policy kind =
+  Metrics.counter
+    ~labels:(("kind", kind) :: policy_labels policy)
+    ~help:"Site migrations by kind: policy, failed, emergency" "rebal_sim_moves_total"
+
+let metric_policy_latency policy =
+  Metrics.histogram ~labels:(policy_labels policy)
+    ~help:"Latency of one policy round in seconds" "rebal_sim_policy_latency_seconds"
 
 type step = {
   time : int;
@@ -67,6 +88,20 @@ let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
   if period <= 0 then invalid_arg "Simulation.run: period must be positive";
   let sites = Traffic.sites traffic in
   let horizon = Traffic.horizon traffic in
+  let m_steps = metric_steps policy in
+  let m_policy_moves = metric_moves policy "policy" in
+  let m_failed_moves = metric_moves policy "failed" in
+  let m_emergency_moves = metric_moves policy "emergency" in
+  let m_latency = metric_policy_latency policy in
+  Trace.with_span "simulation.run"
+    ~attrs:
+      [
+        ("policy", Trace.Str (Policy.name policy));
+        ("servers", Trace.Int servers);
+        ("sites", Trace.Int sites);
+        ("horizon", Trace.Int horizon);
+      ]
+  @@ fun () ->
   let live_at time = Array.init servers (fun s -> Fault.is_live fault ~server:s ~time) in
   (* Initial placement: LPT on the rates at time 0, over the servers
      live at time 0. *)
@@ -127,7 +162,15 @@ let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
         let live_n, map, inv = compact live in
         let initial = Array.map (fun p -> inv.(p)) placement in
         let inst = Instance.create ~sizes:observed ~m:live_n initial in
-        let next, fallbacks = Policy.apply_count policy inst in
+        let next, fallbacks =
+          if Control.enabled () then begin
+            let start = Timer.now_ns () in
+            let r = Policy.apply_count policy inst in
+            Metrics.Histogram.observe_ns m_latency (Int64.sub (Timer.now_ns ()) start);
+            r
+          end
+          else Policy.apply_count policy inst
+        in
         let attempted = ref 0 and failed = ref 0 in
         for site = 0 to sites - 1 do
           let dst = map.(Assignment.processor next site) in
@@ -142,6 +185,10 @@ let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
       else (0, 0, 0)
     in
     check_invariant ~servers ~live ~placement ~round_moves:moves ~policy;
+    Metrics.Counter.inc m_steps;
+    Metrics.Counter.add m_policy_moves moves;
+    Metrics.Counter.add m_failed_moves failed;
+    Metrics.Counter.add m_emergency_moves !emergency;
     total_moves := !total_moves + moves;
     total_failed := !total_failed + failed;
     total_emergency := !total_emergency + !emergency;
@@ -210,6 +257,8 @@ let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
         end)
       crash_times
   in
+  Trace.add_attr "moves" (Trace.Int !total_moves);
+  Trace.add_attr "emergency" (Trace.Int !total_emergency);
   {
     steps;
     total_moves = !total_moves;

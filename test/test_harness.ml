@@ -53,6 +53,22 @@ let test_stats_empty () =
   Alcotest.(check (float 1e-9)) "ratio by zero" 1.0 (Stats.ratio 5 0);
   Alcotest.(check (float 1e-9)) "ratio" 2.5 (Stats.ratio 5 2)
 
+let test_percentile_small () =
+  (* Nearest-rank on degenerate inputs: empty is 0 by convention, a
+     singleton is its own value at every p, p=0/p=1 are min/max. *)
+  Alcotest.(check (float 1e-9)) "empty p0" 0.0 (Stats.percentile [||] 0.0);
+  Alcotest.(check (float 1e-9)) "empty p1" 0.0 (Stats.percentile [||] 1.0);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "singleton p=%.1f" p)
+        7.5
+        (Stats.percentile [| 7.5 |] p))
+    [ 0.0; 0.5; 1.0 ];
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "p0 is the minimum" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p1 is the maximum" 3.0 (Stats.percentile xs 1.0)
+
 let test_timer () =
   let value, elapsed = Timer.time (fun () -> 42) in
   Alcotest.(check int) "result" 42 value;
@@ -60,6 +76,12 @@ let test_timer () =
   let value, median = Timer.time_median ~repeats:3 (fun () -> "x") in
   Alcotest.(check string) "median result" "x" value;
   Alcotest.(check bool) "median non-negative" true (median >= 0.0)
+
+let test_now_ns () =
+  let a = Timer.now_ns () in
+  let b = Timer.now_ns () in
+  Alcotest.(check bool) "monotonic" true (Int64.compare b a >= 0);
+  Alcotest.(check (float 1e-12)) "ns_to_s" 1.5 (Timer.ns_to_s 1_500_000_000L)
 
 let () =
   Alcotest.run "rebal_harness"
@@ -74,6 +96,11 @@ let () =
         [
           Alcotest.test_case "values" `Quick test_stats_values;
           Alcotest.test_case "edge cases" `Quick test_stats_empty;
+          Alcotest.test_case "percentile small arrays" `Quick test_percentile_small;
         ] );
-      ( "timer", [ Alcotest.test_case "basic" `Quick test_timer ] );
+      ( "timer",
+        [
+          Alcotest.test_case "basic" `Quick test_timer;
+          Alcotest.test_case "now_ns" `Quick test_now_ns;
+        ] );
     ]

@@ -1,0 +1,345 @@
+(* Tests for the observability layer: metric identity and registry
+   scoping, histogram bucketing (property-based), registry merging,
+   Prometheus exposition round-tripped through a line parser, span-tree
+   nesting, and the ring-buffer event log. *)
+
+module Metrics = Rebal_obs.Metrics
+module Trace = Rebal_obs.Trace
+module Control = Rebal_obs.Control
+module Expo = Rebal_obs.Expo
+open QCheck2
+
+(* ----- metric identity and registry scoping ----- *)
+
+let test_counter_identity () =
+  let reg = Metrics.Registry.create () in
+  Metrics.Registry.with_registry reg @@ fun () ->
+  let c1 = Metrics.counter ~labels:[ ("a", "1"); ("b", "2") ] "id_total" in
+  let c2 = Metrics.counter ~labels:[ ("b", "2"); ("a", "1") ] "id_total" in
+  Metrics.Counter.inc c1;
+  Metrics.Counter.inc c2;
+  (* Label order is canonicalized, so both handles are the same metric. *)
+  Alcotest.(check int) "one series, two increments" 2 (Metrics.Counter.value c1);
+  Alcotest.(check int) "series count" 1 (List.length (Metrics.Registry.metrics reg));
+  let c3 = Metrics.counter ~labels:[ ("a", "1") ] "id_total" in
+  Metrics.Counter.inc c3;
+  Alcotest.(check int) "different labels, new series" 2
+    (List.length (Metrics.Registry.metrics reg))
+
+let test_kind_mismatch () =
+  let reg = Metrics.Registry.create () in
+  Metrics.Registry.with_registry reg @@ fun () ->
+  ignore (Metrics.counter "clash");
+  let raised =
+    try
+      ignore (Metrics.gauge "clash");
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "kind mismatch rejected" true raised
+
+let test_invalid_name () =
+  let raised =
+    try
+      ignore (Metrics.counter ~registry:(Metrics.Registry.create ()) "9starts_with_digit");
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "invalid name rejected" true raised
+
+let test_with_registry_scoping () =
+  let scoped = Metrics.Registry.create () in
+  Metrics.Registry.with_registry scoped (fun () ->
+      Metrics.Counter.inc (Metrics.counter "scoped_only_total"));
+  let names reg =
+    List.map (fun (m : Metrics.metric) -> m.Metrics.name) (Metrics.Registry.metrics reg)
+  in
+  Alcotest.(check bool) "present in scoped registry" true
+    (List.mem "scoped_only_total" (names scoped));
+  Alcotest.(check bool) "absent from default registry" false
+    (List.mem "scoped_only_total" (names Metrics.Registry.default))
+
+let test_negative_counter_add () =
+  let reg = Metrics.Registry.create () in
+  Metrics.Registry.with_registry reg @@ fun () ->
+  let c = Metrics.counter "neg_total" in
+  let raised = try Metrics.Counter.add c (-1); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative add rejected" true raised
+
+(* ----- histogram properties (qcheck) ----- *)
+
+(* Integer-valued observations keep float sums exact, so the merge
+   property below can compare sums with (=). *)
+let obs_gen = Gen.list_size (Gen.int_range 0 200) (Gen.map float_of_int (Gen.int_range 0 40))
+
+let prop_histogram_buckets_sum_to_total =
+  Test.make ~count:200 ~name:"histogram bucket counts sum to observations" obs_gen
+    (fun xs ->
+      let reg = Metrics.Registry.create () in
+      Metrics.Registry.with_registry reg @@ fun () ->
+      let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0 |] "h_sum" in
+      List.iter (Metrics.Histogram.observe h) xs;
+      let bucket_total =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 (Metrics.Histogram.buckets h)
+      in
+      bucket_total = List.length xs
+      && Metrics.Histogram.observations h = List.length xs
+      && Metrics.Histogram.sum h = List.fold_left ( +. ) 0.0 xs)
+
+let prop_merge_equals_sequential =
+  Test.make ~count:200 ~name:"merged registries equal sequential observation"
+    (Gen.pair obs_gen obs_gen) (fun (xs, ys) ->
+      let buckets = [| 1.0; 2.0; 4.0; 8.0; 16.0 |] in
+      let observe reg stream =
+        Metrics.Registry.with_registry reg (fun () ->
+            let h = Metrics.histogram ~buckets "m_hist" in
+            let c = Metrics.counter "m_total" in
+            List.iter
+              (fun x ->
+                Metrics.Histogram.observe h x;
+                Metrics.Counter.inc c)
+              stream)
+      in
+      let r1 = Metrics.Registry.create () and r2 = Metrics.Registry.create () in
+      observe r1 xs;
+      observe r2 ys;
+      let merged = Metrics.Registry.create () in
+      Metrics.merge ~into:merged r1;
+      Metrics.merge ~into:merged r2;
+      let seq = Metrics.Registry.create () in
+      observe seq xs;
+      observe seq ys;
+      let snapshot reg =
+        Metrics.Registry.with_registry reg (fun () ->
+            let h = Metrics.histogram ~buckets "m_hist" in
+            let c = Metrics.counter "m_total" in
+            ( Metrics.Histogram.buckets h,
+              Metrics.Histogram.sum h,
+              Metrics.Histogram.observations h,
+              Metrics.Counter.value c ))
+      in
+      snapshot merged = snapshot seq)
+
+let prop_merge_bucket_mismatch_rejected =
+  Test.make ~count:50 ~name:"merge rejects differing buckets" Gen.unit (fun () ->
+      let mk buckets =
+        let reg = Metrics.Registry.create () in
+        Metrics.Registry.with_registry reg (fun () ->
+            ignore (Metrics.histogram ~buckets "mm_hist"));
+        reg
+      in
+      let a = mk [| 1.0; 2.0 |] and b = mk [| 1.0; 3.0 |] in
+      try
+        Metrics.merge ~into:a b;
+        false
+      with Invalid_argument _ -> true)
+
+(* ----- Prometheus exposition round trip ----- *)
+
+(* A small parser for the text format: one (name, labels, value) per
+   sample line. Label values may contain spaces, so the value starts
+   after the last space; escapes are backslash, quote and newline as in
+   the Prometheus spec. *)
+let parse_label_body s =
+  let n = String.length s in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let i = ref 0 in
+  while !i < n do
+    let eq = String.index_from s !i '=' in
+    let key = String.sub s !i (eq - !i) in
+    if s.[eq + 1] <> '"' then failwith "expected opening quote";
+    Buffer.clear buf;
+    let p = ref (eq + 2) in
+    let closed = ref false in
+    while not !closed do
+      (match s.[!p] with
+      | '\\' ->
+        (match s.[!p + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        p := !p + 2
+      | '"' ->
+        closed := true;
+        incr p
+      | c ->
+        Buffer.add_char buf c;
+        incr p);
+      if (not !closed) && !p >= n then failwith "unterminated label value"
+    done;
+    out := (key, Buffer.contents buf) :: !out;
+    i := (if !p < n && s.[!p] = ',' then !p + 1 else !p)
+  done;
+  List.rev !out
+
+let parse_sample line =
+  let sp = String.rindex line ' ' in
+  let value = float_of_string (String.sub line (sp + 1) (String.length line - sp - 1)) in
+  let series = String.sub line 0 sp in
+  match String.index_opt series '{' with
+  | None -> (series, [], value)
+  | Some b ->
+    let e = String.rindex series '}' in
+    (String.sub series 0 b, parse_label_body (String.sub series (b + 1) (e - b - 1)), value)
+
+let parse_exposition text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.map parse_sample
+
+let find_sample samples name labels =
+  match
+    List.find_opt (fun (n, ls, _) -> n = name && ls = labels) samples
+  with
+  | Some (_, _, v) -> v
+  | None ->
+    Alcotest.failf "sample %s{%s} not found" name
+      (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+
+let test_prometheus_round_trip () =
+  let reg = Metrics.Registry.create () in
+  Metrics.Registry.with_registry reg @@ fun () ->
+  (* Label values exercising every escape: backslash, quote, newline,
+     and an embedded space. *)
+  let awkward = [ ("path", "/a b"); ("q", "say \"hi\"\\now\nnext") ] in
+  let c = Metrics.counter ~labels:awkward ~help:"round trip" "rt_total" in
+  Metrics.Counter.add c 7;
+  Metrics.Gauge.set (Metrics.gauge "rt_gauge") 2.5;
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 5.0 |] "rt_hist" in
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 1.5; 9.0 ];
+  let samples = parse_exposition (Expo.prometheus reg) in
+  let sorted_awkward = List.sort compare awkward in
+  Alcotest.(check (float 0.0)) "counter" 7.0 (find_sample samples "rt_total" sorted_awkward);
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (find_sample samples "rt_gauge" []);
+  let bucket le = find_sample samples "rt_hist_bucket" [ ("le", le) ] in
+  Alcotest.(check (float 0.0)) "le=1 cumulative" 1.0 (bucket "1");
+  Alcotest.(check (float 0.0)) "le=2 cumulative" 2.0 (bucket "2");
+  Alcotest.(check (float 0.0)) "le=5 cumulative" 2.0 (bucket "5");
+  Alcotest.(check (float 0.0)) "le=+Inf cumulative" 3.0 (bucket "+Inf");
+  Alcotest.(check (float 0.0)) "sum" 11.0 (find_sample samples "rt_hist_sum" []);
+  Alcotest.(check (float 0.0)) "count" 3.0 (find_sample samples "rt_hist_count" []);
+  Alcotest.(check string) "+Inf formatting" "+Inf" (Expo.fmt_le infinity)
+
+let test_json_renders () =
+  let reg = Metrics.Registry.create () in
+  Metrics.Registry.with_registry reg @@ fun () ->
+  Metrics.Counter.inc (Metrics.counter ~labels:[ ("k", "v\"q") ] "j_total");
+  ignore (Metrics.histogram "j_hist");
+  let out = Expo.json reg in
+  Alcotest.(check bool) "object shape" true
+    (String.length out > 0 && out.[0] = '{');
+  (* The quote in the label value must be escaped, or the output is not
+     JSON at all. *)
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "escaped quote" true (contains "v\\\"q" out)
+
+(* ----- span tracing ----- *)
+
+let test_span_nesting () =
+  Control.with_enabled true @@ fun () ->
+  Trace.reset ();
+  let result =
+    Trace.with_span "root" ~attrs:[ ("n", Trace.Int 3) ] (fun () ->
+        Trace.with_span "first" (fun () -> Trace.add_attr "hit" (Trace.Bool true));
+        Trace.with_span "second" (fun () -> ());
+        17)
+  in
+  Alcotest.(check int) "with_span returns f's value" 17 result;
+  match Trace.finished () with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "root" (Trace.name root);
+    Alcotest.(check (list string)) "children in start order" [ "first"; "second" ]
+      (List.map Trace.name (Trace.children root));
+    Alcotest.(check bool) "root attr kept" true
+      (List.mem_assoc "n" (Trace.attrs root));
+    let first = List.hd (Trace.children root) in
+    Alcotest.(check bool) "child attr attached to child" true
+      (List.mem_assoc "hit" (Trace.attrs first));
+    Alcotest.(check bool) "durations non-negative" true
+      (Trace.duration_ns root >= 0L);
+    Alcotest.(check bool) "root at least as long as children" true
+      (Trace.duration_ns root
+      >= List.fold_left (fun acc sp -> Int64.add acc (Trace.duration_ns sp)) 0L
+           (Trace.children root))
+  | spans -> Alcotest.failf "expected exactly one root, got %d" (List.length spans)
+
+let test_span_disabled_is_noop () =
+  Control.with_enabled false @@ fun () ->
+  Trace.reset ();
+  let r = Trace.with_span "invisible" (fun () -> 5) in
+  Alcotest.(check int) "value passes through" 5 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.finished ()))
+
+let test_span_survives_exception () =
+  Control.with_enabled true @@ fun () ->
+  Trace.reset ();
+  (try Trace.with_span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  match Trace.finished () with
+  | [ sp ] -> Alcotest.(check string) "span closed on raise" "boom" (Trace.name sp)
+  | _ -> Alcotest.fail "span not recorded after exception"
+
+let test_ring_buffer_wrap () =
+  Control.with_enabled true @@ fun () ->
+  Trace.set_ring_capacity 4;
+  Fun.protect ~finally:(fun () -> Trace.set_ring_capacity 1024) @@ fun () ->
+  for i = 0 to 5 do
+    Trace.event (Printf.sprintf "e%d" i)
+  done;
+  let names = List.map (fun e -> e.Trace.event_name) (Trace.events ()) in
+  Alcotest.(check (list string)) "keeps newest, oldest first" [ "e2"; "e3"; "e4"; "e5" ]
+    names
+
+(* ----- render tree ----- *)
+
+let test_render_tree () =
+  Control.with_enabled true @@ fun () ->
+  Trace.reset ();
+  Trace.with_span "outer" (fun () -> Trace.with_span "inner" (fun () -> ()));
+  match Trace.finished () with
+  | [ root ] ->
+    let out = Trace.render_tree root in
+    let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+    (match lines with
+    | [ l1; l2 ] ->
+      Alcotest.(check bool) "outer first" true (String.length l1 >= 5 && String.sub l1 0 5 = "outer");
+      Alcotest.(check bool) "inner indented" true
+        (String.length l2 >= 7 && String.sub l2 0 7 = "  inner")
+    | _ -> Alcotest.failf "expected two lines, got %d" (List.length lines))
+  | _ -> Alcotest.fail "expected one root"
+
+let () =
+  Alcotest.run "rebal_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter identity" `Quick test_counter_identity;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "invalid name" `Quick test_invalid_name;
+          Alcotest.test_case "with_registry scoping" `Quick test_with_registry_scoping;
+          Alcotest.test_case "negative add" `Quick test_negative_counter_add;
+        ] );
+      ( "histograms",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_histogram_buckets_sum_to_total;
+            prop_merge_equals_sequential;
+            prop_merge_bucket_mismatch_rejected;
+          ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "prometheus round trip" `Quick test_prometheus_round_trip;
+          Alcotest.test_case "json escaping" `Quick test_json_renders;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "disabled is a no-op" `Quick test_span_disabled_is_noop;
+          Alcotest.test_case "exception safety" `Quick test_span_survives_exception;
+          Alcotest.test_case "ring buffer wrap" `Quick test_ring_buffer_wrap;
+          Alcotest.test_case "render tree" `Quick test_render_tree;
+        ] );
+    ]

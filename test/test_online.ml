@@ -234,7 +234,40 @@ let test_protocol_round_trip () =
   check_int "one stats line" 1 (List.length stats_out);
   check_bool "stats line shape" true
     (String.length (List.hd stats_out) > 5
-    && String.sub (List.hd stats_out) 0 5 = "STATS")
+    && String.sub (List.hd stats_out) 0 5 = "STATS");
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let stats = List.hd stats_out in
+  check_bool "stats has auto_triggers" true (contains " auto_triggers=0" stats);
+  check_bool "stats has last_rebalance_moves" true (contains " last_rebalance_moves=0" stats)
+
+let test_protocol_metrics () =
+  (* A scoped registry so the engine's histogram handles, and the gauges
+     METRICS exports, do not leak into other tests. *)
+  let module Metrics = Rebal_obs.Metrics in
+  let reg = Metrics.Registry.create () in
+  Metrics.Registry.with_registry reg @@ fun () ->
+  let eng = Engine.create ~m:2 () in
+  ignore (run_session eng [ "ADD a 10"; "ADD b 20"; "REBALANCE 1" ]);
+  let out = run_session eng [ "METRICS" ] in
+  check_bool "non-empty reply" true (List.length out > 1);
+  check (Alcotest.string) "terminated by # EOF" "# EOF" (List.nth out (List.length out - 1));
+  let has_line p =
+    List.exists
+      (fun l -> String.length l >= String.length p && String.sub l 0 (String.length p) = p)
+      out
+  in
+  check_bool "engine gauge exported" true (has_line "rebal_engine_jobs 2");
+  check_bool "engine counter exported" true (has_line "rebal_engine_rebalances_total 1");
+  check_bool "moves histogram exported" true (has_line "rebal_engine_moves_per_rebalance_count");
+  check_bool "type headers present" true (has_line "# TYPE rebal_engine_jobs gauge");
+  (* A second METRICS must re-export, not double-count. *)
+  let again = run_session eng [ "METRICS" ] in
+  check_bool "idempotent export" true
+    (List.exists (fun l -> l = "rebal_engine_rebalances_total 1") again)
 
 let test_protocol_errors_and_verdicts () =
   let eng = Engine.create ~m:2 () in
@@ -298,5 +331,6 @@ let () =
           Alcotest.test_case "round trip" `Quick test_protocol_round_trip;
           Alcotest.test_case "errors and verdicts" `Quick test_protocol_errors_and_verdicts;
           Alcotest.test_case "auto repair streams moves" `Quick test_protocol_auto_moves_stream;
+          Alcotest.test_case "metrics exposition" `Quick test_protocol_metrics;
         ] );
     ]
