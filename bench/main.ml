@@ -5,9 +5,12 @@
    measured for every table printed here).
 
    Run with: dune exec bench/main.exe
-   Options:  --only E1,E5   run a subset of the experiments
-             --json [FILE]  also emit machine-readable results
-                            (name, headline ratio, wall seconds) *)
+   Options:  --only E1,E5      run a subset of the experiments
+             --json [FILE]     also emit machine-readable results
+                               (name, headline ratio, wall seconds)
+             --baseline FILE   compare wall seconds against a previous
+                               --json dump; exit nonzero if any selected
+                               experiment regressed more than 2x *)
 
 module Instance = Rebal_core.Instance
 module Assignment = Rebal_core.Assignment
@@ -29,6 +32,7 @@ module Table = Rebal_harness.Table
 module Stats = Rebal_harness.Stats
 module Timer = Rebal_harness.Timer
 module Metrics = Rebal_obs.Metrics
+module Journal = Rebal_obs.Journal
 module Indexed_heap = Rebal_ds.Indexed_heap
 
 let ratio = Stats.ratio
@@ -824,6 +828,107 @@ let e16 () =
   !headline
 
 (* ---------------------------------------------------------------------- *)
+(* E17 — flight-recorder overhead on the E15 event stream.                *)
+(* ---------------------------------------------------------------------- *)
+
+let e17 () =
+  header "E17: flight-recorder journal overhead (E15's event mix, buffer sink)";
+  let module Engine = Rebal_online.Engine in
+  let n = 10_000 and m = 64 in
+  let events = 50_000 in
+  (* The same workload as E15 — load n jobs, one repair pass, then a
+     50k-event add/remove/resize stream — run twice: once bare, once
+     with a journal sink writing into a Buffer (so the measured cost is
+     event rendering, not disk I/O, matching the serve daemon's
+     buffered-channel sink). *)
+  let run ?journal () =
+    (* Start every repetition from a compacted heap: by this point a full
+       bench run has left enough major-heap pressure behind to swing a
+       single sample by 30%, which would drown the ratio being measured. *)
+    Gc.compact ();
+    let rng = Rng.create 117 in
+    let eng = Engine.create ?journal ~m () in
+    let live = ref (Array.make (2 * n) "") in
+    let count = ref 0 in
+    let push id =
+      if !count = Array.length !live then begin
+        let bigger = Array.make (2 * Array.length !live) "" in
+        Array.blit !live 0 bigger 0 !count;
+        live := bigger
+      end;
+      !live.(!count) <- id;
+      incr count
+    in
+    let next = ref 0 in
+    let fresh_size () = Rng.int_range rng 1 1000 in
+    let add () =
+      let id = pf "j%d" !next in
+      incr next;
+      (match Engine.add_job eng ~id ~size:(fresh_size ()) with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      push id
+    in
+    for _ = 1 to n do
+      add ()
+    done;
+    ignore (Engine.rebalance eng ~k:(n / 20));
+    let apply_event () =
+      match Rng.int rng 3 with
+      | 0 -> add ()
+      | 1 when !count > 1 ->
+        let i = Rng.int rng !count in
+        let id = !live.(i) in
+        (match Engine.remove_job eng ~id with Ok _ -> () | Error e -> failwith e);
+        decr count;
+        !live.(i) <- !live.(!count)
+      | _ ->
+        let id = !live.(Rng.int rng !count) in
+        (match Engine.resize_job eng ~id ~size:(fresh_size ()) with
+        | Ok _ -> ()
+        | Error e -> failwith e)
+    in
+    let (), dt = Timer.time (fun () -> for _ = 1 to events do apply_event () done) in
+    dt /. float_of_int events
+  in
+  (* Absolute per-event times swing 2x between runs on a shared machine,
+     but the off/on *ratio* is stable when the two configurations run
+     back-to-back. So: three (off, on) pairs, report the median pair by
+     ratio. *)
+  let pair () =
+    let off = run () in
+    let buf = Buffer.create (1 lsl 23) in
+    let sink = Journal.create ~write:(Buffer.add_string buf) () in
+    let on = run ~journal:sink () in
+    (off, on, sink, buf)
+  in
+  let pairs = List.init 3 (fun _ -> pair ()) in
+  let sorted =
+    List.sort
+      (fun (o1, n1, _, _) (o2, n2, _, _) -> compare (n1 /. o1) (n2 /. o2))
+      pairs
+  in
+  let per_off, per_on, sink, buf = List.nth sorted 1 in
+  let overhead = per_on /. per_off in
+  let t = Table.create ~title:(pf "n≈%d jobs on m=%d, %d-event stream" n m events)
+      ~columns:[ "journal"; "per event"; "events/sec" ]
+  in
+  Table.add_row t [ "off"; pf "%.2f us" (per_off *. 1e6); pf "%.0f" (1.0 /. per_off) ];
+  Table.add_row t
+    [ "on (buffer sink)"; pf "%.2f us" (per_on *. 1e6); pf "%.0f" (1.0 /. per_on) ];
+  Table.print t;
+  Printf.printf
+    "journal captured %d events, %.1f MB of JSONL; overhead %.2fx per event\n\
+     (acceptance ceiling 2.0x: with no sink attached every emission site is a\n\
+     single None branch, so the cost only exists when a recording is wanted)\n"
+    (Journal.events_written sink)
+    (float_of_int (Buffer.length buf) /. 1e6)
+    overhead;
+  if overhead > 2.0 then
+    print_endline "WARNING: journal overhead above the 2.0x acceptance ceiling";
+  Some overhead
+
+(* ---------------------------------------------------------------------- *)
 (* Runner: --only to subset, --json for machine-readable results.         *)
 (* ---------------------------------------------------------------------- *)
 
@@ -844,7 +949,58 @@ let experiments =
     ("E13", e13);
     ("E15", e15);
     ("E16", e16);
+    ("E17", e17);
   ]
+
+(* Baseline regression guard: --baseline FILE compares each selected
+   experiment's wall seconds against a previous --json dump and fails
+   the run when one slowed down more than 2x (plus 50ms of absolute
+   slack, so microsecond-scale experiments don't trip on scheduler
+   noise). CI runs the smoke subset against the committed
+   BENCH_online.json. *)
+
+let read_baseline path =
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  match Journal.json_of_string contents with
+  | Error e -> Error (pf "%s: %s" path e)
+  | Ok (Journal.List entries) ->
+    Ok
+      (List.filter_map
+         (function
+           | Journal.Obj fields -> begin
+             match (List.assoc_opt "name" fields, List.assoc_opt "seconds" fields) with
+             | Some (Journal.Str name), Some (Journal.Float s) -> Some (name, s)
+             | Some (Journal.Str name), Some (Journal.Int s) -> Some (name, float_of_int s)
+             | _ -> None
+           end
+           | _ -> None)
+         entries)
+  | Ok _ -> Error (pf "%s: expected a JSON array of experiment results" path)
+
+let check_baseline path results =
+  match read_baseline path with
+  | Error e ->
+    Printf.eprintf "baseline error: %s\n" e;
+    exit 2
+  | Ok base ->
+    let regressions =
+      List.filter_map
+        (fun (name, _, secs, _) ->
+          match List.assoc_opt name base with
+          | Some b when secs > (2.0 *. b) +. 0.05 -> Some (name, b, secs)
+          | _ -> None)
+        results
+    in
+    (match regressions with
+    | [] ->
+      Printf.printf "baseline %s: no regressions (threshold 2x + 50ms slack)\n" path
+    | rs ->
+      List.iter
+        (fun (name, b, s) ->
+          Printf.eprintf "REGRESSION %s: %.3fs vs baseline %.3fs (limit %.3fs)\n" name s b
+            ((2.0 *. b) +. 0.05))
+        rs;
+      exit 1)
 
 (* One "name{labels}": value pair per metric the experiment produced;
    histograms are summarized as count/sum. *)
@@ -891,8 +1047,10 @@ let write_json path results =
 let () =
   let only = ref [] in
   let json = ref None in
+  let baseline = ref None in
   let usage () =
-    prerr_endline "usage: main.exe [--only E1,E5,...] [--json [FILE]]";
+    prerr_endline
+      "usage: main.exe [--only E1,E5,...] [--json [FILE]] [--baseline FILE]";
     exit 2
   in
   let rec parse_args = function
@@ -906,6 +1064,9 @@ let () =
       parse_args rest
     | "--json" :: rest ->
       json := Some "bench.json";
+      parse_args rest
+    | "--baseline" :: file :: rest ->
+      baseline := Some file;
       parse_args rest
     | _ -> usage ()
   in
@@ -937,8 +1098,11 @@ let () =
       selected
   in
   Printf.printf "\nall experiments done in %.1f s\n" (Unix.gettimeofday () -. t0);
-  match !json with
+  (match !json with
   | None -> ()
   | Some path ->
     write_json path results;
-    Printf.printf "wrote %s\n" path
+    Printf.printf "wrote %s\n" path);
+  match !baseline with
+  | None -> ()
+  | Some path -> check_baseline path results

@@ -14,6 +14,8 @@ module Rng = Rebal_workloads.Rng
 module Metrics = Rebal_obs.Metrics
 module Trace = Rebal_obs.Trace
 module Expo = Rebal_obs.Expo
+module Journal = Rebal_obs.Journal
+module Replay = Rebal_online.Replay
 module Indexed_heap = Rebal_ds.Indexed_heap
 open Cmdliner
 
@@ -326,8 +328,17 @@ let chaos_cmd =
   let recover_below =
     Arg.(value & opt float 1.5 & info [ "recover-below" ] ~docv:"X" ~doc:"Imbalance threshold below which the cluster counts as recovered.")
   in
+  let journal_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Record every run as a JSONL flight-recorder journal: crash/recovery \
+             transitions, forced evacuations, policy rounds and per-step state.")
+  in
   let run csv sites servers horizon period k crash_rate mttr migration_fail lag noise
-      recover_below seed =
+      recover_below journal_file seed =
     (* Heavy-tailed popularity: the regime where a crashed server can be
        holding a disproportionate share of the load. *)
     let traffic =
@@ -343,6 +354,29 @@ let chaos_cmd =
       "chaos: %d sites on %d servers over %d steps; %d crash(es), mttr=%d, \
        migration-fail=%.0f%%, lag=%d, noise=%.0f%%\n\n"
       sites servers horizon crashes mttr (100.0 *. migration_fail) lag (100.0 *. noise);
+    let journal_oc = Option.map open_out journal_file in
+    let journal =
+      Option.map
+        (fun oc ->
+          let sink = Journal.to_channel oc in
+          (* One journal for the whole sweep; the header records the chaos
+             configuration and a sim_policy event bounds each run. *)
+          Journal.write_header sink ~journal:"rebal-sim"
+            [
+              ("sites", Journal.Int sites);
+              ("servers", Journal.Int servers);
+              ("horizon", Journal.Int horizon);
+              ("period", Journal.Int period);
+              ("seed", Journal.Int seed);
+              ("crash_rate", Journal.Float crash_rate);
+              ("mttr", Journal.Int mttr);
+              ("migration_fail", Journal.Float migration_fail);
+              ("lag", Journal.Int lag);
+              ("noise", Journal.Float noise);
+            ];
+          sink)
+        journal_oc
+    in
     let table =
       Rebal_harness.Table.create ~title:"rebalancing under faults"
         ~columns:
@@ -350,8 +384,13 @@ let chaos_cmd =
     in
     List.iter
       (fun policy ->
+        Option.iter
+          (fun sink ->
+            Journal.emit sink ~kind:"sim_policy"
+              [ ("policy", Journal.Str (Rebal_sim.Policy.name policy)) ])
+          journal;
         let r =
-          Rebal_sim.Simulation.run ~fault ~recovery_threshold:recover_below traffic
+          Rebal_sim.Simulation.run ~fault ~recovery_threshold:recover_below ?journal traffic
             { Rebal_sim.Simulation.servers; period; policy }
         in
         let recovered =
@@ -389,14 +428,18 @@ let chaos_cmd =
             deadline = 0.05 };
       ];
     Rebal_harness.Table.print table;
-    Option.iter (fun path -> Rebal_harness.Table.save_csv table ~path) csv
+    Option.iter (fun path -> Rebal_harness.Table.save_csv table ~path) csv;
+    Option.iter close_out journal_oc;
+    Option.iter
+      (fun path -> Printf.printf "wrote fault-plan journal to %s\n" path)
+      journal_file
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run the web-server simulation under injected faults: crashes, failed migrations, stale load signals.")
     Term.(
       const run $ csv $ sites $ servers $ horizon $ period $ k $ crash_rate $ mttr
-      $ migration_fail $ lag $ noise $ recover_below $ seed_arg)
+      $ migration_fail $ lag $ noise $ recover_below $ journal_file $ seed_arg)
 
 (* ----- profile ----- *)
 
@@ -471,7 +514,13 @@ let profile_cmd =
       & info [ "format" ] ~docv:"FMT"
           ~doc:"Output: text (span tree + counter table), prom, or json.")
   in
-  let run algo n m k dist format seed =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the output to $(docv) instead of stdout.")
+  in
+  let run algo n m k dist format out seed =
     let k = match k with Some k -> k | None -> max 1 (n / 10) in
     Rebal_obs.Control.set_enabled true;
     let reg = Metrics.Registry.create () in
@@ -489,24 +538,47 @@ let profile_cmd =
       | `M_partition -> Rebal_algo.M_partition.solve inst ~k
     in
     flush_heap_counters hc;
-    (match format with
+    match format with
     | `Text ->
       let algo_name = match algo with `Greedy -> "greedy" | `M_partition -> "m-partition" in
-      Printf.printf "profile: %s n=%d m=%d k=%d makespan=%d (initial %d)\n\n" algo_name n m k
-        (Assignment.makespan inst assignment)
-        (Instance.initial_makespan inst);
-      List.iter (fun sp -> print_string (Trace.render_tree sp)) (Trace.finished ());
-      print_newline ();
-      Rebal_harness.Table.print (counter_table reg)
-    | `Prom -> print_string (Expo.prometheus reg)
-    | `Json -> print_endline (Expo.json reg))
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Printf.sprintf "profile: %s n=%d m=%d k=%d makespan=%d (initial %d)\n\n" algo_name n
+           m k
+           (Assignment.makespan inst assignment)
+           (Instance.initial_makespan inst));
+      List.iter (fun sp -> Buffer.add_string b (Trace.render_tree sp)) (Trace.finished ());
+      Buffer.add_char b '\n';
+      Buffer.add_string b (Rebal_harness.Table.render (counter_table reg));
+      (match out with
+      | None -> print_string (Buffer.contents b)
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Buffer.contents b));
+        Printf.printf "wrote profile to %s\n" path)
+    | (`Prom | `Json) as f -> begin
+      (* Machine formats share the Expo dump entry point with the serve
+         daemon's --metrics-file. *)
+      let fmt = match f with `Prom -> Expo.Prometheus | `Json -> Expo.Json in
+      match out with
+      | None -> Expo.write fmt stdout reg
+      | Some path -> begin
+        match Expo.to_file fmt ~path reg with
+        | Ok () -> Printf.printf "wrote metrics to %s\n" path
+        | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1
+      end
+    end
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Solve a generated instance with tracing enabled and print the span tree plus the \
           metric counters the solve produced.")
-    Term.(const run $ algo $ n $ m $ k $ dist $ format $ seed_arg)
+    Term.(const run $ algo $ n $ m $ k $ dist $ format $ out $ seed_arg)
 
 (* ----- serve ----- *)
 
@@ -556,6 +628,16 @@ let serve_cmd =
             "Write the Prometheus metrics snapshot to $(docv) on exit and whenever the \
              daemon receives SIGUSR1.")
   in
+  let journal_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Flight recorder: append every engine event to $(docv) as JSONL (flushed per \
+             line). Replay it with 'rebalance replay', inspect it with 'rebalance explain' \
+             or the JOURNAL protocol verb.")
+  in
   (* One client session: read commands line by line, stream responses. *)
   let session engine ic oc =
     output_string oc (Protocol.greeting engine);
@@ -576,7 +658,8 @@ let serve_cmd =
     in
     loop ()
   in
-  let run procs socket auto_events auto_imbalance auto_seconds auto_k metrics_file =
+  let run procs socket auto_events auto_imbalance auto_seconds auto_k metrics_file
+      journal_file =
     let trigger =
       match (auto_events, auto_imbalance, auto_seconds) with
       | Some events, None, None -> Engine.Every_events { events; k = auto_k }
@@ -591,28 +674,32 @@ let serve_cmd =
     (* The daemon is the observed artifact: spans and latency histograms
        are on for its whole lifetime. *)
     Rebal_obs.Control.set_enabled true;
-    let engine = Engine.create ~trigger ~m:procs () in
+    (* Line-flushed so a crash loses at most the event being written —
+       the journal is the record that outlives the daemon. *)
+    let journal_oc = Option.map open_out journal_file in
+    let journal = Option.map (Journal.to_channel ~line_flush:true) journal_oc in
+    let engine = Engine.create ~trigger ?journal ~m:procs () in
     let dump_metrics () =
       match metrics_file with
       | None -> ()
       | Some path ->
-        (try
-           let oc = open_out path in
-           Fun.protect
-             ~finally:(fun () -> close_out oc)
-             (fun () ->
-               List.iter
-                 (fun l ->
-                   output_string oc l;
-                   output_char oc '\n')
-                 (Protocol.metrics_lines engine))
-         with Sys_error e -> Printf.eprintf "rebalance serve: metrics dump failed: %s\n%!" e)
+        Protocol.export_metrics engine;
+        (match
+           Expo.to_file ~trailer:"# EOF" Expo.Prometheus ~path
+             (Metrics.Registry.current ())
+         with
+        | Ok () -> ()
+        | Error e -> Printf.eprintf "rebalance serve: metrics dump failed: %s\n%!" e)
     in
     if metrics_file <> None then begin
       try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_metrics ()))
       with Invalid_argument _ -> ()
     end;
-    Fun.protect ~finally:dump_metrics @@ fun () ->
+    Fun.protect
+      ~finally:(fun () ->
+        dump_metrics ();
+        Option.iter close_out journal_oc)
+    @@ fun () ->
     match socket with
     | None -> ignore (session engine stdin stdout)
     | Some path ->
@@ -651,7 +738,80 @@ let serve_cmd =
           Unix domain socket.")
     Term.(
       const run $ procs $ socket $ auto_events $ auto_imbalance $ auto_seconds $ auto_k
-      $ metrics_file)
+      $ metrics_file $ journal_file)
+
+(* ----- replay / explain ----- *)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL).")
+  in
+  let run file =
+    match Replay.run_file file with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Ok outcome -> print_endline (Replay.summary outcome)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute an engine flight-recorder journal against a fresh engine and verify \
+          bit-exact state reconstruction (per-event makespans, every recorded move, and a \
+          final batch consistency check). Nonzero exit on any divergence.")
+    Term.(const run $ file)
+
+let explain_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL).")
+  in
+  let job =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "job" ] ~docv:"ID" ~doc:"Show the decision history of one job.")
+  in
+  let reb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rebalance" ] ~docv:"SEQ"
+          ~doc:"Show one rebalance decision (by its journal sequence number) in full.")
+  in
+  let run file job reb =
+    match Journal.parse_file file with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Ok parsed -> begin
+      let show = function
+        | Ok text -> print_string text
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      in
+      match (job, reb) with
+      | Some _, Some _ ->
+        Printf.eprintf "error: give either --job or --rebalance, not both\n";
+        exit 1
+      | Some id, None -> show (Replay.explain_job parsed ~id)
+      | None, Some seq -> show (Replay.explain_rebalance parsed ~seq)
+      | None, None -> print_string (Replay.explain_summary parsed)
+    end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Render the decision history recorded in a flight-recorder journal: the whole \
+          event stream, one job's life ($(b,--job)), or one rebalance with its per-move \
+          provenance ($(b,--rebalance)).")
+    Term.(const run $ file $ job $ reb)
 
 (* ----- sweep ----- *)
 
@@ -759,4 +919,6 @@ let () =
             process_sim_cmd;
             profile_cmd;
             serve_cmd;
+            replay_cmd;
+            explain_cmd;
           ]))

@@ -154,3 +154,34 @@ let json reg =
   "{\"metrics\":["
   ^ String.concat "," (List.map json_of_metric (Metrics.Registry.metrics reg))
   ^ "]}"
+
+(* ----- the single dump entry point ----- *)
+
+type format = Prometheus | Json
+
+let format_of_string = function
+  | "prom" | "prometheus" -> Some Prometheus
+  | "json" -> Some Json
+  | _ -> None
+
+let render format reg =
+  match format with Prometheus -> prometheus reg | Json -> json reg
+
+let write ?trailer format oc reg =
+  let body = render format reg in
+  output_string oc body;
+  if body <> "" && body.[String.length body - 1] <> '\n' then output_char oc '\n';
+  (match trailer with
+  | Some t ->
+    output_string oc t;
+    output_char oc '\n'
+  | None -> ());
+  flush oc
+
+let to_file ?trailer format ~path reg =
+  match open_out path with
+  | exception Sys_error msg -> Error msg
+  | oc -> (
+    match Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write ?trailer format oc reg) with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error msg)

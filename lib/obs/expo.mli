@@ -14,3 +14,23 @@ val json : Metrics.Registry.t -> string
 val fmt_le : float -> string
 (** A bucket upper bound as Prometheus renders it (["+Inf"] for
     [infinity]) — exposed for tests and custom renderers. *)
+
+(** {2 The single dump entry point}
+
+    [rebalance profile --out], the serve daemon's [--metrics-file] dump
+    and any other metric snapshot all route through {!write} /
+    {!to_file} instead of hand-rolling channel plumbing. *)
+
+type format = Prometheus | Json
+
+val format_of_string : string -> format option
+(** Recognizes ["prom"], ["prometheus"] and ["json"]. *)
+
+val render : format -> Metrics.Registry.t -> string
+
+val write : ?trailer:string -> format -> out_channel -> Metrics.Registry.t -> unit
+(** Render, terminate with a newline if missing, append [trailer] on its
+    own line if given (the serve dump uses ["# EOF"]), and flush. *)
+
+val to_file : ?trailer:string -> format -> path:string -> Metrics.Registry.t -> (unit, string) result
+(** {!write} to a fresh file, mapping [Sys_error] to [Error]. *)

@@ -1,0 +1,443 @@
+module Timer = Rebal_harness.Timer
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let current_version = 1
+
+(* ----- rendering ----- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec render_into b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then begin
+      (* %.17g round-trips every finite binary64 through
+         [float_of_string] exactly. *)
+      let s = Printf.sprintf "%.17g" f in
+      Buffer.add_string b s;
+      (* "2" would parse back as Int; force a float marker. *)
+      if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
+        Buffer.add_string b ".0"
+    end
+    else Buffer.add_string b "null"
+  | Str s -> escape_string b s
+  | List xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        render_into b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_string b k;
+        Buffer.add_char b ':';
+        render_into b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let render_json v =
+  let b = Buffer.create 128 in
+  render_into b v;
+  Buffer.contents b
+
+(* ----- parsing ----- *)
+
+exception Parse_error of string
+
+let parse_json_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos >= n || s.[!pos] <> c then fail "expected %C at offset %d" c !pos;
+    advance ()
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "bad literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then fail "unterminated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          let code =
+            match int_of_string_opt ("0x" ^ hex) with
+            | Some c -> c
+            | None -> fail "bad \\u escape %S" hex
+          in
+          (* The journal only ever escapes control characters this way;
+             decode the BMP code point as UTF-8 so foreign journals with
+             plain \uXXXX escapes still parse. *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end;
+          pos := !pos + 4
+        | c -> fail "bad escape \\%c" c);
+        advance ();
+        loop ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_float = ref false in
+    let digits () =
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "bad number %S" text
+    else begin
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number %S" text)
+    end
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected ',' or '}' at offset %d" !pos
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']' at offset %d" !pos
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character %C at offset %d" c !pos
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage at offset %d" !pos;
+  v
+
+let json_of_string s =
+  match parse_json_exn s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ----- headers and events ----- *)
+
+type header = {
+  journal : string;
+  version : int;
+  meta : (string * json) list;
+}
+
+type event = {
+  seq : int;
+  ts_ns : int;
+  kind : string;
+  fields : (string * json) list;
+  line : int;
+}
+
+let reserved = [ "seq"; "ts_ns"; "ev" ]
+
+let render_header h =
+  render_json
+    (Obj (("journal", Str h.journal) :: ("version", Int h.version) :: h.meta))
+
+let render_event e =
+  let fields = List.filter (fun (k, _) -> not (List.mem k reserved)) e.fields in
+  render_json
+    (Obj (("seq", Int e.seq) :: ("ts_ns", Int e.ts_ns) :: ("ev", Str e.kind) :: fields))
+
+(* ----- sinks ----- *)
+
+type sink = {
+  write : string -> unit;
+  clock_ns : unit -> int64;
+  mutable next_seq : int;
+  mutable header_written : bool;
+  ring : string array;
+  mutable ring_written : int;
+}
+
+let create ?(tail_capacity = 512) ?clock_ns ~write () =
+  if tail_capacity < 1 then invalid_arg "Journal.create: need a positive tail capacity";
+  let clock_ns = match clock_ns with Some c -> c | None -> Timer.now_ns in
+  {
+    write;
+    clock_ns;
+    next_seq = 0;
+    header_written = false;
+    ring = Array.make tail_capacity "";
+    ring_written = 0;
+  }
+
+let to_channel ?tail_capacity ?(line_flush = false) oc =
+  create ?tail_capacity
+    ~write:(fun line ->
+      output_string oc line;
+      if line_flush then flush oc)
+    ()
+
+let push_line sink line =
+  sink.ring.(sink.ring_written mod Array.length sink.ring) <- line;
+  sink.ring_written <- sink.ring_written + 1;
+  sink.write (line ^ "\n")
+
+let write_header sink ~journal meta =
+  if not sink.header_written then begin
+    sink.header_written <- true;
+    push_line sink (render_header { journal; version = current_version; meta })
+  end
+
+let emit sink ~kind fields =
+  let seq = sink.next_seq in
+  sink.next_seq <- seq + 1;
+  let ts_ns = Int64.to_int (sink.clock_ns ()) in
+  push_line sink (render_event { seq; ts_ns; kind; fields; line = 0 })
+
+let events_written sink = sink.next_seq
+
+let tail sink n =
+  let cap = Array.length sink.ring in
+  let total = sink.ring_written in
+  let avail = min total cap in
+  let take = max 0 (min n avail) in
+  List.init take (fun j -> sink.ring.((total - take + j) mod cap))
+
+(* ----- whole-journal parsing ----- *)
+
+let err lineno fmt = Printf.ksprintf (fun msg -> Error (Printf.sprintf "line %d: %s" lineno msg)) fmt
+
+let parse_header_obj lineno kvs =
+  match (List.assoc_opt "journal" kvs, List.assoc_opt "version" kvs) with
+  | Some (Str journal), Some (Int version) ->
+    let meta = List.filter (fun (k, _) -> k <> "journal" && k <> "version") kvs in
+    Ok { journal; version; meta }
+  | None, _ -> err lineno "header is missing the \"journal\" field"
+  | _, None -> err lineno "header is missing the \"version\" field"
+  | _ -> err lineno "header \"journal\"/\"version\" fields have the wrong type"
+
+let parse_event_obj lineno ~expect_seq kvs =
+  match
+    ( List.assoc_opt "seq" kvs,
+      List.assoc_opt "ts_ns" kvs,
+      List.assoc_opt "ev" kvs )
+  with
+  | Some (Int seq), Some (Int ts_ns), Some (Str kind) ->
+    if seq <> expect_seq then
+      err lineno "sequence number %d, expected %d (truncated or tampered journal)" seq
+        expect_seq
+    else begin
+      let fields = List.filter (fun (k, _) -> not (List.mem k reserved)) kvs in
+      Ok { seq; ts_ns; kind; fields; line = lineno }
+    end
+  | None, _, _ -> err lineno "event is missing the \"seq\" field"
+  | _, None, _ -> err lineno "event is missing the \"ts_ns\" field"
+  | _, _, None -> err lineno "event is missing the \"ev\" field"
+  | _ -> err lineno "event \"seq\"/\"ts_ns\"/\"ev\" fields have the wrong type"
+
+let parse_lines lines =
+  let rec go lineno ~header ~expect_seq acc = function
+    | [] -> (
+      match header with
+      | None -> Error "empty journal: missing header line"
+      | Some h -> Ok (h, List.rev acc))
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) ~header ~expect_seq acc rest
+      else begin
+        match json_of_string line with
+        | Error msg -> err lineno "%s" msg
+        | Ok (Obj kvs) -> (
+          match header with
+          | None -> (
+            match parse_header_obj lineno kvs with
+            | Error _ as e -> e
+            | Ok h -> go (lineno + 1) ~header:(Some h) ~expect_seq acc rest)
+          | Some _ -> (
+            match parse_event_obj lineno ~expect_seq kvs with
+            | Error _ as e -> e
+            | Ok ev -> go (lineno + 1) ~header ~expect_seq:(expect_seq + 1) (ev :: acc) rest))
+        | Ok _ -> err lineno "expected a JSON object"
+      end
+  in
+  go 1 ~header:None ~expect_seq:0 [] lines
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec loop acc =
+          match input_line ic with
+          | line -> loop (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        parse_lines (loop []))
+
+(* ----- typed field access ----- *)
+
+let field e key = List.assoc_opt key e.fields
+
+let field_err e key what =
+  Error (Printf.sprintf "line %d: %s event: field %S missing or not %s" e.line e.kind key what)
+
+let int_field e key =
+  match field e key with
+  | Some (Int v) -> Ok v
+  | _ -> field_err e key "an integer"
+
+let str_field e key =
+  match field e key with
+  | Some (Str v) -> Ok v
+  | _ -> field_err e key "a string"
+
+let float_field e key =
+  match field e key with
+  | Some (Float v) -> Ok v
+  | Some (Int v) -> Ok (float_of_int v)
+  | _ -> field_err e key "a number"
+
+let bool_field e key =
+  match field e key with
+  | Some (Bool v) -> Ok v
+  | _ -> field_err e key "a boolean"
+
+let list_field e key =
+  match field e key with
+  | Some (List v) -> Ok v
+  | _ -> field_err e key "a list"

@@ -1,0 +1,117 @@
+(** The flight recorder: a structured, versioned JSONL event journal.
+
+    A journal is one JSON object per line. The first line is a header
+    ([{"journal": <producer>, "version": 1, ...metadata}]); every later
+    line is an event carrying a monotonically increasing sequence
+    number, a monotonic nanosecond timestamp and a producer-defined
+    kind plus fields ([{"seq": 0, "ts_ns": ..., "ev": "add", ...}]).
+    Producers append through a {!sink}; consumers parse whole journals
+    back with line-numbered errors in the [Rebal_core.Io] style, so a
+    corrupted or truncated recording points at the offending line.
+
+    The module is deliberately generic — it knows nothing about engines
+    or simulations. [Rebal_online.Engine] emits its operation stream
+    here and [Rebal_online.Replay] re-executes it; [Rebal_sim] journals
+    fault-plan runs through the same codec. *)
+
+(** A minimal JSON value. Integers and floats are kept distinct so
+    sequence numbers, loads and budgets survive a round trip exactly;
+    floats are rendered with 17 significant digits, which round-trips
+    every finite [float]. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val render_json : json -> string
+(** Compact (single-line) JSON. Strings are escaped per RFC 8259.
+    Non-finite floats render as [null] — the journal never needs them
+    and ["nan"] is not JSON. *)
+
+val json_of_string : string -> (json, string) result
+(** Strict parser for the subset {!render_json} emits (which is plain
+    JSON: objects, arrays, strings with escapes, numbers, booleans,
+    null). Rejects trailing garbage. *)
+
+val current_version : int
+(** The journal format version this library writes (1). *)
+
+type header = {
+  journal : string;  (** producer tag, e.g. ["rebal-engine"] *)
+  version : int;
+  meta : (string * json) list;  (** every other header field *)
+}
+
+type event = {
+  seq : int;
+  ts_ns : int;
+  kind : string;
+  fields : (string * json) list;  (** every non-reserved field *)
+  line : int;  (** 1-based journal line (0 on hand-built events) *)
+}
+
+(** {2 Writing} *)
+
+type sink
+
+val create :
+  ?tail_capacity:int -> ?clock_ns:(unit -> int64) -> write:(string -> unit) -> unit -> sink
+(** A sink calling [write] with each rendered line (trailing newline
+    included). [clock_ns] defaults to the monotonic
+    [Rebal_harness.Timer.now_ns]; inject a fake for deterministic
+    tests. The sink keeps the last [tail_capacity] (default 512)
+    rendered lines in a ring for {!tail}.
+    @raise Invalid_argument if [tail_capacity < 1]. *)
+
+val to_channel : ?tail_capacity:int -> ?line_flush:bool -> out_channel -> sink
+(** A sink appending to a channel. [line_flush] (default [false])
+    flushes after every line — what a crash-safe flight recorder wants;
+    leave it off when journaling for throughput measurements. *)
+
+val write_header : sink -> journal:string -> (string * json) list -> unit
+(** Write the header line. Idempotent: only the first call writes, so
+    an engine and the code that attached the sink cannot double-header
+    a journal. *)
+
+val emit : sink -> kind:string -> (string * json) list -> unit
+(** Append one event: the sink assigns the next sequence number and
+    stamps the clock. Reserved keys ([seq], [ts_ns], [ev]) in [fields]
+    are skipped. *)
+
+val events_written : sink -> int
+
+val tail : sink -> int -> string list
+(** The last [min n tail_capacity] rendered lines (header included if
+    still in the ring), oldest first. *)
+
+(** {2 Rendering and parsing} *)
+
+val render_header : header -> string
+val render_event : event -> string
+
+val parse_lines : string list -> (header * event list, string) result
+(** Parse a whole journal. Errors are ["line %d: ..."]: malformed JSON,
+    a missing or malformed header, non-contiguous sequence numbers
+    (evidence of truncation or tampering) and wrong-type reserved
+    fields are all rejected. Blank lines are ignored. *)
+
+val parse_string : string -> (header * event list, string) result
+val parse_file : string -> (header * event list, string) result
+(** [parse_file path] also turns [Sys_error] into [Error]. *)
+
+(** {2 Typed field access} *)
+
+val field : event -> string -> json option
+
+val int_field : event -> string -> (int, string) result
+val str_field : event -> string -> (string, string) result
+val float_field : event -> string -> (float, string) result
+(** Accepts [Int] too — JSON does not distinguish [2] from [2.0]. *)
+
+val bool_field : event -> string -> (bool, string) result
+val list_field : event -> string -> (json list, string) result
+(** All errors are ["line %d: %s event: ..."] naming the field. *)

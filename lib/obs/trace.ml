@@ -27,11 +27,21 @@ let stack : span list ref = ref []
 let roots : span Queue.t = Queue.create ()
 let max_roots = ref 256
 
+(* Overwriting a buffered span or event used to be silent; count drops
+   so truncated traces are visible in the exposition. Fetched per drop —
+   drops are rare and this respects [Registry.with_registry] scoping. *)
+let count_dropped kind =
+  Metrics.Counter.inc
+    (Metrics.counter
+       ~help:"Trace entries overwritten because a buffer wrapped"
+       ~labels:[ ("kind", kind) ] "rebal_trace_dropped_total")
+
 let set_max_roots n =
   if n < 1 then invalid_arg "Trace.set_max_roots: need a positive capacity";
   max_roots := n;
   while Queue.length roots > n do
-    ignore (Queue.pop roots)
+    ignore (Queue.pop roots);
+    count_dropped "span"
   done
 
 let finish sp =
@@ -44,7 +54,8 @@ let finish sp =
   | [] ->
     Queue.push sp roots;
     while Queue.length roots > !max_roots do
-      ignore (Queue.pop roots)
+      ignore (Queue.pop roots);
+      count_dropped "span"
     done
 
 let with_span ?(attrs = []) name f =
@@ -93,7 +104,9 @@ let set_ring_capacity n =
 let event ?(attrs = []) name =
   if Control.enabled () then begin
     let buf = !ring in
-    buf.(!ring_written mod Array.length buf) <-
+    let slot = !ring_written mod Array.length buf in
+    if buf.(slot) <> None then count_dropped "event";
+    buf.(slot) <-
       Some { ts_ns = Timer.now_ns (); event_name = name; event_attrs = attrs };
     incr ring_written
   end

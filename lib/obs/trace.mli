@@ -56,7 +56,10 @@ type event = {
 
 val event : ?attrs:(string * value) list -> string -> unit
 (** Append to the ring (no-op when disabled); overwrites the oldest
-    entry when full. *)
+    entry when full, counting each overwrite in the
+    [rebal_trace_dropped_total{kind="event"}] counter of the current
+    registry (spans evicted from the roots queue count under
+    [kind="span"]). *)
 
 val events : unit -> event list
 (** Buffered events, oldest first. *)

@@ -4,6 +4,7 @@ module Indexed_heap = Rebal_ds.Indexed_heap
 module Metrics = Rebal_obs.Metrics
 module Trace = Rebal_obs.Trace
 module Control = Rebal_obs.Control
+module Journal = Rebal_obs.Journal
 module Timer = Rebal_harness.Timer
 
 (* Per-processor job set ordered by (size ascending, sequence number
@@ -130,9 +131,23 @@ type t = {
   mutable last_repair : float;
   c : counters;
   obs : obs;
+  (* The flight recorder. Gating is sink presence: every emission site is
+     one [match] on [journal] when off, and field lists are only built in
+     the [Some] branch. *)
+  mutable journal : Journal.sink option;
 }
 
-let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ~m () =
+let trigger_name = function
+  | Manual -> "manual"
+  | Every_events _ -> "every_events"
+  | Imbalance_above _ -> "imbalance_above"
+  | Every_seconds _ -> "every_seconds"
+
+let journal_header t sink =
+  Journal.write_header sink ~journal:"rebal-engine"
+    [ ("m", Journal.Int t.m); ("trigger", Journal.Str (trigger_name t.trigger)) ]
+
+let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ?journal ~m () =
   if m < 1 then invalid_arg "Engine.create: need at least one processor";
   let min_heap = Indexed_heap.create m in
   let max_heap = Indexed_heap.create m in
@@ -170,9 +185,18 @@ let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ~m () =
         consistency_failures = 0;
       };
     obs = make_obs ();
+    journal;
   }
+  |> fun t ->
+  (match journal with Some sink -> journal_header t sink | None -> ());
+  t
 
 let m t = t.m
+let journal t = t.journal
+
+let set_journal t sink =
+  t.journal <- sink;
+  match sink with Some s -> journal_header t s | None -> ()
 let job_count t = Hashtbl.length t.jobs
 
 let makespan t =
@@ -220,8 +244,17 @@ let repair ~auto t ~k =
   Trace.with_span "engine.repair"
     ~attrs:[ ("k", Trace.Int k); ("auto", Trace.Bool auto) ]
   @@ fun () ->
+  (* Decision-time context for the journal, captured before any load
+     changes. Both reads are O(1); skipped entirely when not journaling. *)
+  let decision =
+    match t.journal with
+    | None -> None
+    | Some sink -> Some (sink, makespan t, imbalance t)
+  in
   (* Removal phase = GREEDY step 1 on the live state: k times, take the
-     largest job off the most-loaded processor (ties: smaller index). *)
+     largest job off the most-loaded processor (ties: smaller index).
+     Each lift records where the job came from and the source load
+     before/after — the "why this job" half of the provenance. *)
   let removed = ref [] in
   (try
      for _ = 1 to min k (Hashtbl.length t.jobs) do
@@ -229,24 +262,43 @@ let repair ~auto t ~k =
        if neg = 0 then raise Exit;
        let ((size, seq) as elt) = Job_set.max_elt t.per_proc.(p) in
        t.per_proc.(p) <- Job_set.remove elt t.per_proc.(p);
-       set_load t p (t.load.(p) - size);
-       removed := (seq, size) :: !removed
+       let src_before = t.load.(p) in
+       set_load t p (src_before - size);
+       removed := (seq, size, p, src_before) :: !removed
      done
    with Exit -> ());
+  let lifted = List.length !removed in
   (* Reinsertion phase = GREEDY step 2: descending size (stable in
      removal order) onto the least-loaded processor. *)
   let removed =
-    List.stable_sort (fun (_, s1) (_, s2) -> compare s2 s1) (List.rev !removed)
+    List.stable_sort
+      (fun (_, s1, _, _) (_, s2, _, _) -> compare s2 s1)
+      (List.rev !removed)
   in
   let moves = ref [] in
+  let provenance = ref [] in
   List.iter
-    (fun (seq, size) ->
+    (fun (seq, size, src, src_before) ->
       let job = Hashtbl.find t.by_seq seq in
       let p, l = Indexed_heap.min_exn t.min_heap in
       t.per_proc.(p) <- Job_set.add (size, seq) t.per_proc.(p);
       set_load t p (l + size);
       if p <> job.proc then begin
         moves := { id = job.ext; src = job.proc; dst = p } :: !moves;
+        if decision <> None then
+          provenance :=
+            Journal.Obj
+              [
+                ("id", Journal.Str job.ext);
+                ("size", Journal.Int size);
+                ("src", Journal.Int src);
+                ("dst", Journal.Int p);
+                ("src_load_before", Journal.Int src_before);
+                ("src_load_after", Journal.Int (src_before - size));
+                ("dst_load_before", Journal.Int l);
+                ("dst_load_after", Journal.Int (l + size));
+              ]
+            :: !provenance;
         job.proc <- p
       end)
     removed;
@@ -260,6 +312,21 @@ let repair ~auto t ~k =
   Trace.add_attr "moves" (Trace.Int n_moves);
   t.events_since_repair <- 0;
   t.last_repair <- t.clock ();
+  (match decision with
+  | None -> ()
+  | Some (sink, makespan_before, imbalance_before) ->
+    Journal.emit sink ~kind:"rebalance"
+      [
+        ("k", Journal.Int k);
+        ("auto", Journal.Bool auto);
+        ("trigger", Journal.Str (trigger_name t.trigger));
+        ("imbalance_before", Journal.Float imbalance_before);
+        ("makespan_before", Journal.Int makespan_before);
+        ("makespan_after", Journal.Int (makespan t));
+        ("lifted", Journal.Int lifted);
+        ("n_moves", Journal.Int n_moves);
+        ("moves", Journal.List (List.rev !provenance));
+      ]);
   moves
 
 let rebalance t ~k = timed t.obs.lat_rebalance (fun () -> repair ~auto:false t ~k)
@@ -282,6 +349,16 @@ let after_event t =
   | None -> []
   | Some k ->
     t.c.trigger_firings <- t.c.trigger_firings + 1;
+    (match t.journal with
+    | None -> ()
+    | Some sink ->
+      Journal.emit sink ~kind:"trigger"
+        [
+          ("trigger", Journal.Str (trigger_name t.trigger));
+          ("k", Journal.Int k);
+          ("imbalance", Journal.Float (imbalance t));
+          ("events_since_repair", Journal.Int t.events_since_repair);
+        ]);
     timed t.obs.lat_rebalance (fun () -> repair ~auto:true t ~k)
 
 (* ----- single-event updates, all O(log m) ----- *)
@@ -302,6 +379,17 @@ let add_job t ~id ~size =
     set_load t p (l + size);
     t.total_size <- t.total_size + size;
     t.c.adds <- t.c.adds + 1;
+    (match t.journal with
+    | None -> ()
+    | Some sink ->
+      Journal.emit sink ~kind:"add"
+        [
+          ("id", Journal.Str id);
+          ("size", Journal.Int size);
+          ("proc", Journal.Int p);
+          ("load_after", Journal.Int t.load.(p));
+          ("makespan", Journal.Int (makespan t));
+        ]);
     Ok (p, after_event t)
   end
 
@@ -318,6 +406,17 @@ let remove_job t ~id =
     Hashtbl.remove t.jobs id;
     Hashtbl.remove t.by_seq job.seq;
     t.c.removes <- t.c.removes + 1;
+    (match t.journal with
+    | None -> ()
+    | Some sink ->
+      Journal.emit sink ~kind:"remove"
+        [
+          ("id", Journal.Str id);
+          ("size", Journal.Int job.size);
+          ("proc", Journal.Int p);
+          ("load_after", Journal.Int t.load.(p));
+          ("makespan", Journal.Int (makespan t));
+        ]);
     Ok (p, after_event t)
 
 let resize_job t ~id ~size =
@@ -333,8 +432,21 @@ let resize_job t ~id ~size =
       t.size_set <- Job_set.add (size, job.seq) (Job_set.remove (job.size, job.seq) t.size_set);
       set_load t p (t.load.(p) - job.size + size);
       t.total_size <- t.total_size - job.size + size;
+      let old_size = job.size in
       job.size <- size;
       t.c.resizes <- t.c.resizes + 1;
+      (match t.journal with
+      | None -> ()
+      | Some sink ->
+        Journal.emit sink ~kind:"resize"
+          [
+            ("id", Journal.Str id);
+            ("size", Journal.Int size);
+            ("old_size", Journal.Int old_size);
+            ("proc", Journal.Int p);
+            ("load_after", Journal.Int t.load.(p));
+            ("makespan", Journal.Int (makespan t));
+          ]);
       Ok (p, after_event t)
 
 (* ----- snapshots and the consistency-with-batch invariant ----- *)
@@ -383,7 +495,10 @@ let copy t =
     Indexed_heap.set max_heap p (-t.load.(p))
   done;
   (* size_set and per_proc hold immutable sets, so sharing the values is
-     fine; only the containers are copied. *)
+     fine; only the containers are copied. The copy never journals: a
+     probe repair (check_consistency) writing into the original's journal
+     would record a rebalance that never happened to the live engine and
+     break replay. *)
   {
     t with
     jobs;
@@ -393,6 +508,7 @@ let copy t =
     min_heap;
     max_heap;
     c = { t.c with events = t.c.events };
+    journal = None;
   }
 
 let check_consistency t ~k =
@@ -403,4 +519,14 @@ let check_consistency t ~k =
   let ok = makespan probe = batch in
   t.c.consistency_checks <- t.c.consistency_checks + 1;
   if not ok then t.c.consistency_failures <- t.c.consistency_failures + 1;
+  (match t.journal with
+  | None -> ()
+  | Some sink ->
+    Journal.emit sink ~kind:"check"
+      [
+        ("k", Journal.Int k);
+        ("ok", Journal.Bool ok);
+        ("batch_makespan", Journal.Int batch);
+        ("repair_makespan", Journal.Int (makespan probe));
+      ]);
   ok

@@ -20,7 +20,19 @@
     [rebal_engine_moves_per_rebalance]) in the registry current at
     {!create} time. Moves-per-rebalance is always observed (no clock
     involved); per-op latency needs two monotonic clock reads and is
-    recorded only while [Rebal_obs.Control.enabled ()] is true. *)
+    recorded only while [Rebal_obs.Control.enabled ()] is true.
+
+    The flight recorder: attach a [Rebal_obs.Journal] sink (at {!create}
+    or with {!set_journal}) and the engine writes a ["rebal-engine"]
+    header plus one event per operation — [add] / [remove] / [resize]
+    (id, size, chosen processor, load after, makespan), [trigger] (which
+    policy fired, budget, imbalance at decision time), [rebalance]
+    (budget, lifted count, makespan and imbalance before/after, and
+    per-move provenance: id, size, source/destination and their loads
+    before/after) and [check] (batch vs repair makespan). With no sink
+    attached every site is a single [None] branch — near-zero cost.
+    [Rebal_online.Replay] re-executes these journals and verifies
+    bit-exact reconstruction. *)
 
 type t
 
@@ -65,11 +77,28 @@ type stats = {
   consistency_failures : int;
 }
 
-val create : ?trigger:trigger -> ?clock:(unit -> float) -> m:int -> unit -> t
+val create :
+  ?trigger:trigger ->
+  ?clock:(unit -> float) ->
+  ?journal:Rebal_obs.Journal.sink ->
+  m:int ->
+  unit ->
+  t
 (** An empty engine over [m] processors. [trigger] defaults to [Manual];
     [clock] (used only by [Every_seconds]) defaults to
-    [Unix.gettimeofday].
+    [Unix.gettimeofday]. [journal] attaches a flight-recorder sink (the
+    header line is written immediately).
     @raise Invalid_argument if [m < 1]. *)
+
+val trigger_name : trigger -> string
+(** The journal/exposition tag: ["manual"], ["every_events"],
+    ["imbalance_above"] or ["every_seconds"]. *)
+
+val journal : t -> Rebal_obs.Journal.sink option
+
+val set_journal : t -> Rebal_obs.Journal.sink option -> unit
+(** Attach (writing the header if the sink has none yet) or detach the
+    flight recorder. *)
 
 val m : t -> int
 val job_count : t -> int

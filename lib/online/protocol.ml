@@ -8,6 +8,7 @@ type command =
   | Rebalance of int
   | Stats
   | Metrics_dump
+  | Journal_tail of int
   | Help
   | Quit
   | Shutdown
@@ -48,6 +49,9 @@ let parse line =
     | "STATS", [] -> Ok (Some Stats)
     | "METRICS", [] -> Ok (Some Metrics_dump)
     | "METRICS", _ -> Error "usage: METRICS"
+    | "JOURNAL", [] -> Ok (Some (Journal_tail 10))
+    | "JOURNAL", [ n ] -> Result.map (fun n -> Some (Journal_tail n)) (int_arg "n" n)
+    | "JOURNAL", _ -> Error "usage: JOURNAL [<n>]"
     | "HELP", [] -> Ok (Some Help)
     | "QUIT", [] | "EXIT", [] -> Ok (Some Quit)
     | "SHUTDOWN", [] -> Ok (Some Shutdown)
@@ -74,6 +78,7 @@ let help_lines =
     "OK   REBALANCE [<k>]      repair pass with move budget k (default: unbounded)";
     "OK   STATS                engine telemetry";
     "OK   METRICS              Prometheus text exposition, ends with '# EOF'";
+    "OK   JOURNAL [<n>]        last n flight-recorder events (default 10), ends with '# EOF'";
     "OK   HELP                 this text";
     "OK   QUIT                 end this session";
     "OK   SHUTDOWN             stop the daemon";
@@ -93,7 +98,7 @@ let stats_line t =
 (* Engine counters live in the engine record, not the registry; METRICS
    exports them into the current registry right before rendering — the
    collector pattern, inlined, so replies always reflect live state. *)
-let export_engine_metrics t =
+let export_metrics t =
   let s = Engine.stats t in
   let gauge name help v = Metrics.Gauge.set (Metrics.gauge ~help name) v in
   let count name help v = Metrics.Counter.set (Metrics.counter ~help name) v in
@@ -120,11 +125,18 @@ let export_engine_metrics t =
     s.Engine.consistency_failures
 
 let metrics_lines t =
-  export_engine_metrics t;
+  export_metrics t;
   let text = Expo.prometheus (Metrics.Registry.current ()) in
   let lines = String.split_on_char '\n' text in
   let lines = List.filter (fun l -> l <> "") lines in
   lines @ [ "# EOF" ]
+
+let journal_lines t n =
+  match Engine.journal t with
+  | None -> [ "ERR no journal attached (start serve with --journal FILE)" ]
+  | Some sink ->
+    if n < 0 then [ "ERR n must be non-negative" ]
+    else Rebal_obs.Journal.tail sink n @ [ "# EOF" ]
 
 let execute t = function
   | Add { id; size } -> begin
@@ -154,6 +166,7 @@ let execute t = function
     end
   | Stats -> [ stats_line t ]
   | Metrics_dump -> metrics_lines t
+  | Journal_tail n -> journal_lines t n
   | Help -> help_lines
   | Quit -> [ "BYE" ]
   | Shutdown -> [ "BYE" ]

@@ -8,6 +8,7 @@
     REBALANCE <k>        run a bounded-move repair pass
     STATS                one-line engine telemetry
     METRICS              Prometheus text exposition of the metrics registry
+    JOURNAL [<n>]        tail of the flight-recorder journal (default 10)
     HELP                 list the commands
     QUIT                 end this client session
     SHUTDOWN             end this client session and stop the daemon
@@ -21,7 +22,10 @@
     disturbing the engine. [METRICS] exports the engine's live counters
     into the current metrics registry and streams the Prometheus text
     exposition, terminated by a literal [# EOF] line so clients know
-    where the multi-line reply ends. Blank lines and lines starting with
+    where the multi-line reply ends. [JOURNAL n] streams the last [n]
+    flight-recorder lines from the engine's attached journal sink (an
+    [ERR] when serve was started without [--journal]), framed by the
+    same [# EOF]. Blank lines and lines starting with
     [#] are ignored. The module is pure string-in/strings-out so the
     daemon loop and the tests share one implementation. *)
 
@@ -32,6 +36,7 @@ type command =
   | Rebalance of int
   | Stats
   | Metrics_dump
+  | Journal_tail of int
   | Help
   | Quit
   | Shutdown
@@ -50,6 +55,12 @@ val execute : Engine.t -> command -> string list
 
 val handle_line : Engine.t -> string -> string list * verdict
 (** [parse] + [execute], turning parse errors into [ERR] lines. *)
+
+val export_metrics : Engine.t -> unit
+(** Export the engine's live stats into the current metrics registry as
+    gauges and counters (idempotent — uses set, not add). [METRICS]
+    replies and the daemon's [--metrics-file] dump both run this before
+    rendering through [Rebal_obs.Expo]. *)
 
 val metrics_lines : Engine.t -> string list
 (** The [METRICS] reply: the engine's live stats exported into the

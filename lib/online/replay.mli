@@ -1,0 +1,62 @@
+(** Deterministic re-execution of engine flight-recorder journals.
+
+    {!run} replays a parsed ["rebal-engine"] journal against a fresh
+    [Manual]-trigger engine: every recorded [add] / [remove] / [resize]
+    is re-applied and its recorded placement and makespan verified;
+    every recorded [rebalance] — including the automatic ones a live
+    trigger fired — is re-applied as an explicit repair with the
+    recorded budget and its recorded makespan and move count verified;
+    recorded [trigger] events are informational (replay never consults a
+    wall clock, which is what makes [Every_seconds] sessions
+    replayable); recorded [check] events re-run [check_consistency] and
+    compare verdicts. A divergence is an [Error] naming the journal
+    line, in the [Rebal_core.Io] style. After the last event the replay
+    runs a full-budget [Engine.check_consistency], so a clean [run]
+    certifies that the journal reconstructs a state whose makespan,
+    loads and placement are bit-identical to what the recorder saw.
+
+    The [explain_*] functions are the other consumer: they render
+    decision provenance straight from the parsed journal, no engine
+    needed. *)
+
+module Journal = Rebal_obs.Journal
+
+type outcome = {
+  header : Journal.header;
+  m : int;
+  events : int;  (** journal events applied (triggers included) *)
+  final_jobs : int;
+  final_makespan : int;
+  rebalances : int;  (** repair passes re-executed *)
+  moves : int;  (** relocations across all re-executed repairs *)
+  checks : int;  (** recorded [check] events re-verified *)
+  consistency_ok : bool;  (** the final full-budget [check_consistency] *)
+}
+
+val run : Journal.header * Journal.event list -> (outcome, string) result
+(** Replay an already-parsed journal. [Error] on a wrong producer tag or
+    version, malformed fields, or any divergence from the recording —
+    all ["line %d: ..."]. *)
+
+val run_file : string -> (outcome, string) result
+(** [Journal.parse_file] then {!run}. *)
+
+val summary : outcome -> string
+(** One human-readable paragraph for the CLI. *)
+
+(** {2 Decision provenance views} *)
+
+val explain_summary : Journal.header * Journal.event list -> string
+(** The whole journal as a table: one row per event with its makespan
+    trail. *)
+
+val explain_job : Journal.header * Journal.event list -> id:string -> (string, string) result
+(** Life of one job: its add/remove/resize events and every rebalance
+    move that relocated it, with source/destination loads.
+    [Error] if the id never appears. *)
+
+val explain_rebalance :
+  Journal.header * Journal.event list -> seq:int -> (string, string) result
+(** One rebalance decision in full: which trigger fired, imbalance at
+    decision time, budget spent, and the per-move provenance table.
+    [Error] if [seq] is not a rebalance event. *)

@@ -5,6 +5,7 @@ module Stats = Rebal_harness.Stats
 module Metrics = Rebal_obs.Metrics
 module Trace = Rebal_obs.Trace
 module Control = Rebal_obs.Control
+module Journal = Rebal_obs.Journal
 module Timer = Rebal_harness.Timer
 
 (* Move counters are labeled by the policy that drove the run, so a
@@ -82,12 +83,26 @@ let check_invariant ~servers ~live ~placement ~round_moves ~policy =
   | Ok () -> ()
   | Error msg -> failwith ("Simulation.run: step invariant violated: " ^ msg)
 
-let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
+let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) ?journal traffic
     { servers; period; policy } =
   if servers <= 0 then invalid_arg "Simulation.run: servers must be positive";
   if period <= 0 then invalid_arg "Simulation.run: period must be positive";
   let sites = Traffic.sites traffic in
   let horizon = Traffic.horizon traffic in
+  let jemit kind fields =
+    match journal with None -> () | Some sink -> Journal.emit sink ~kind fields
+  in
+  (match journal with
+  | None -> ()
+  | Some sink ->
+    Journal.write_header sink ~journal:"rebal-sim"
+      [
+        ("servers", Journal.Int servers);
+        ("period", Journal.Int period);
+        ("policy", Journal.Str (Policy.name policy));
+        ("sites", Journal.Int sites);
+        ("horizon", Journal.Int horizon);
+      ]);
   let m_steps = metric_steps policy in
   let m_policy_moves = metric_moves policy "policy" in
   let m_failed_moves = metric_moves policy "failed" in
@@ -130,8 +145,19 @@ let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
   let total_failed = ref 0 in
   let total_emergency = ref 0 in
   let total_fallbacks = ref 0 in
+  let prev_live = Array.make servers true in
   for time = 0 to horizon - 1 do
     let live = live_at time in
+    (* Crash/recovery transitions, for replayable fault timelines. *)
+    if journal <> None then
+      Array.iteri
+        (fun s now ->
+          if now <> prev_live.(s) then
+            jemit
+              (if now then "sim_recover" else "sim_crash")
+              [ ("time", Journal.Int time); ("server", Journal.Int s) ])
+        live;
+    Array.blit live 0 prev_live 0 servers;
     let rates = Traffic.rates_at traffic ~time in
     (* Forced evacuation: sites on a crashed server go to the least
        loaded live server. These are emergency moves, not policy moves. *)
@@ -147,6 +173,14 @@ let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
           done;
           load.(p) <- load.(p) - rates.(site);
           load.(!target) <- load.(!target) + rates.(site);
+          jemit "sim_evacuate"
+            [
+              ("time", Journal.Int time);
+              ("site", Journal.Int site);
+              ("src", Journal.Int p);
+              ("dst", Journal.Int !target);
+              ("rate", Journal.Int rates.(site));
+            ];
           placement.(site) <- !target;
           incr emergency
         end)
@@ -184,6 +218,15 @@ let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
       end
       else (0, 0, 0)
     in
+    if moves > 0 || fallbacks > 0 then
+      jemit "sim_round"
+        [
+          ("time", Journal.Int time);
+          ("policy", Journal.Str (Policy.name policy));
+          ("moves", Journal.Int moves);
+          ("failed", Journal.Int failed);
+          ("fallbacks", Journal.Int fallbacks);
+        ];
     check_invariant ~servers ~live ~placement ~round_moves:moves ~policy;
     Metrics.Counter.inc m_steps;
     Metrics.Counter.add m_policy_moves moves;
@@ -202,6 +245,16 @@ let run ?(fault = Fault.none) ?(recovery_threshold = 1.5) traffic
     let total = Array.fold_left ( + ) 0 rates in
     let average = float_of_int total /. float_of_int !live_n in
     let imbalance = if average > 0.0 then float_of_int makespan /. average else 1.0 in
+    jemit "sim_step"
+      [
+        ("time", Journal.Int time);
+        ("makespan", Journal.Int makespan);
+        ("imbalance", Journal.Float imbalance);
+        ("moves", Journal.Int moves);
+        ("failed", Journal.Int failed);
+        ("emergency", Journal.Int !emergency);
+        ("live", Journal.Int !live_n);
+      ];
     steps.(time) <-
       {
         time;

@@ -67,7 +67,13 @@ type config = {
   policy : Policy.t;
 }
 
-val run : ?fault:Fault.t -> ?recovery_threshold:float -> Traffic.t -> config -> result
+val run :
+  ?fault:Fault.t ->
+  ?recovery_threshold:float ->
+  ?journal:Rebal_obs.Journal.sink ->
+  Traffic.t ->
+  config ->
+  result
 (** Simulate the whole trace horizon. The initial placement is an LPT
     balance of the rates at time 0 across the servers live at time 0
     (the cluster starts well-balanced and then drifts — the situation
@@ -75,5 +81,11 @@ val run : ?fault:Fault.t -> ?recovery_threshold:float -> Traffic.t -> config -> 
     [Fault.none], under which the run is identical to a fault-free
     simulation. [recovery_threshold] (default 1.5) is the imbalance
     level below which the cluster counts as recovered after a crash.
+    [journal] attaches a flight recorder (header ["rebal-sim"]): the run
+    emits [sim_crash]/[sim_recover] on server transitions,
+    [sim_evacuate] per forced evacuation, [sim_round] per policy round
+    that moved or fell back, and [sim_step] per step — so a chaos run's
+    crash-recovery timeline is a readable record (simulations replay via
+    their seed; engine journals are the re-executable kind).
     @raise Invalid_argument on non-positive [servers] or [period].
     @raise Failure if a step violates the placement/budget invariant. *)

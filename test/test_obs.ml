@@ -1,12 +1,14 @@
 (* Tests for the observability layer: metric identity and registry
    scoping, histogram bucketing (property-based), registry merging,
    Prometheus exposition round-tripped through a line parser, span-tree
-   nesting, and the ring-buffer event log. *)
+   nesting, the ring-buffer event log, and the flight-recorder journal
+   codec (render/parse round trip, corruption rejection, tail ring). *)
 
 module Metrics = Rebal_obs.Metrics
 module Trace = Rebal_obs.Trace
 module Control = Rebal_obs.Control
 module Expo = Rebal_obs.Expo
+module Journal = Rebal_obs.Journal
 open QCheck2
 
 (* ----- metric identity and registry scoping ----- *)
@@ -293,6 +295,154 @@ let test_ring_buffer_wrap () =
   Alcotest.(check (list string)) "keeps newest, oldest first" [ "e2"; "e3"; "e4"; "e5" ]
     names
 
+let test_trace_dropped_counter () =
+  (* Scoped registry: the wrap counter increments into whatever registry
+     is current at overwrite time. *)
+  let reg = Metrics.Registry.create () in
+  Metrics.Registry.with_registry reg @@ fun () ->
+  Control.with_enabled true @@ fun () ->
+  Trace.set_ring_capacity 4;
+  Fun.protect ~finally:(fun () -> Trace.set_ring_capacity 1024) @@ fun () ->
+  for i = 0 to 9 do
+    Trace.event (Printf.sprintf "d%d" i)
+  done;
+  let dropped =
+    match
+      List.find_opt
+        (fun (m : Metrics.metric) ->
+          m.Metrics.name = "rebal_trace_dropped_total"
+          && m.Metrics.labels = [ ("kind", "event") ])
+        (Metrics.Registry.metrics reg)
+    with
+    | Some { Metrics.kind = Metrics.Counter c; _ } -> Metrics.Counter.value c
+    | _ -> 0
+  in
+  (* 10 events into a 4-slot ring: 6 overwrites. *)
+  Alcotest.(check int) "overwrites counted" 6 dropped
+
+(* ----- the flight-recorder journal codec ----- *)
+
+(* Field names must dodge the reserved keys (seq/ts_ns/ev), which emit
+   silently skips. *)
+let field_name_gen =
+  Gen.map (fun s -> "f_" ^ s) (Gen.string_size ~gen:(Gen.char_range 'a' 'z') (Gen.int_range 1 6))
+
+let json_gen =
+  let scalar =
+    Gen.oneof
+      [
+        Gen.return Journal.Null;
+        Gen.map (fun b -> Journal.Bool b) Gen.bool;
+        Gen.map (fun i -> Journal.Int i) (Gen.int_range (-1_000_000) 1_000_000);
+        (* Finite floats only: the renderer maps nan/inf to null by design,
+           which would not round-trip. Ratios of ints are always finite. *)
+        Gen.map
+          (fun (a, b) -> Journal.Float (float_of_int a /. float_of_int b))
+          (Gen.pair (Gen.int_range (-100_000) 100_000) (Gen.int_range 1 999));
+        Gen.map (fun s -> Journal.Str s) (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 12));
+      ]
+  in
+  Gen.oneof
+    [
+      scalar;
+      Gen.map (fun l -> Journal.List l) (Gen.list_size (Gen.int_range 0 4) scalar);
+      Gen.map
+        (fun ps -> Journal.Obj ps)
+        (Gen.list_size (Gen.int_range 0 4) (Gen.pair field_name_gen scalar));
+    ]
+
+let journal_events_gen =
+  Gen.list_size (Gen.int_range 0 25)
+    (Gen.pair
+       (Gen.string_size ~gen:(Gen.char_range 'a' 'z') (Gen.int_range 1 8))
+       (Gen.list_size (Gen.int_range 0 5) (Gen.pair field_name_gen json_gen)))
+
+let prop_journal_round_trip =
+  Test.make ~count:300 ~name:"journal render/parse round trip" journal_events_gen
+    (fun events ->
+      let buf = Buffer.create 512 in
+      let tick = ref 0 in
+      let sink =
+        Journal.create
+          ~clock_ns:(fun () ->
+            incr tick;
+            Int64.of_int (!tick * 17))
+          ~write:(Buffer.add_string buf) ()
+      in
+      Journal.write_header sink ~journal:"qcheck" [ ("m", Journal.Int 4) ];
+      List.iter (fun (kind, fields) -> Journal.emit sink ~kind fields) events;
+      match Journal.parse_string (Buffer.contents buf) with
+      | Error _ -> false
+      | Ok (h, evs) ->
+        h.Journal.journal = "qcheck"
+        && h.Journal.version = Journal.current_version
+        && h.Journal.meta = [ ("m", Journal.Int 4) ]
+        && List.length evs = List.length events
+        && List.for_all2
+             (fun (kind, fields) (ev : Journal.event) ->
+               ev.Journal.kind = kind && ev.Journal.fields = fields)
+             events evs)
+
+let test_journal_rejects () =
+  let expect_err name lines fragment =
+    match Journal.parse_lines lines with
+    | Ok _ -> Alcotest.failf "%s: expected an error mentioning %S" name fragment
+    | Error e ->
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (name ^ ": error is " ^ e) true (contains fragment e)
+  in
+  let header = {|{"journal":"t","version":1}|} in
+  let ev seq = Printf.sprintf {|{"seq":%d,"ts_ns":%d,"ev":"x"}|} seq (seq + 1) in
+  expect_err "event before header" [ ev 0 ] "line 1";
+  expect_err "malformed JSON" [ header; "{\"seq\":0," ] "line 2";
+  expect_err "sequence gap" [ header; ev 0; ev 2 ] "line 3";
+  expect_err "wrong seq type"
+    [ header; {|{"seq":"zero","ts_ns":1,"ev":"x"}|} ]
+    "line 2";
+  match Journal.parse_lines [ header; ev 0; ev 1 ] with
+  | Ok (_, evs) -> Alcotest.(check int) "clean journal parses" 2 (List.length evs)
+  | Error e -> Alcotest.failf "clean journal rejected: %s" e
+
+let test_journal_tail () =
+  let sink = Journal.create ~tail_capacity:3 ~clock_ns:(fun () -> 0L) ~write:(fun _ -> ()) () in
+  Journal.write_header sink ~journal:"t" [];
+  for i = 0 to 5 do
+    Journal.emit sink ~kind:"e" [ ("i", Journal.Int i) ]
+  done;
+  Alcotest.(check int) "events counted" 6 (Journal.events_written sink);
+  let tl = Journal.tail sink 3 in
+  Alcotest.(check int) "ring keeps tail_capacity lines" 3 (List.length tl);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "oldest surviving line first" true
+    (contains "\"i\":3" (List.nth tl 0));
+  Alcotest.(check bool) "newest line last" true (contains "\"i\":5" (List.nth tl 2));
+  Alcotest.(check int) "asking for more than capacity" 3
+    (List.length (Journal.tail sink 100))
+
+let test_json_value_round_trip () =
+  (* The parser is strict: trailing garbage and bare values that are not
+     JSON must be rejected with a useful message. *)
+  (match Journal.json_of_string "{\"a\": [1, 2.5, \"x\"]} tail" with
+  | Error e -> Alcotest.(check bool) ("strict: " ^ e) true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  (match Journal.json_of_string "{\"a\": [1, 2.5, true, null, \"x\"]}" with
+  | Ok v ->
+    Alcotest.(check string) "reparse equals render"
+      "{\"a\":[1,2.5,true,null,\"x\"]}" (Journal.render_json v)
+  | Error e -> Alcotest.failf "valid JSON rejected: %s" e);
+  (* Int/float distinction survives: 2 and 2.0 are different values. *)
+  match (Journal.json_of_string "2", Journal.json_of_string "2.0") with
+  | Ok (Journal.Int 2), Ok (Journal.Float 2.0) -> ()
+  | _ -> Alcotest.fail "int/float distinction lost"
+
 (* ----- render tree ----- *)
 
 let test_render_tree () =
@@ -340,6 +490,14 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick test_span_disabled_is_noop;
           Alcotest.test_case "exception safety" `Quick test_span_survives_exception;
           Alcotest.test_case "ring buffer wrap" `Quick test_ring_buffer_wrap;
+          Alcotest.test_case "dropped counter on wrap" `Quick test_trace_dropped_counter;
           Alcotest.test_case "render tree" `Quick test_render_tree;
+        ] );
+      ( "journal",
+        [
+          QCheck_alcotest.to_alcotest prop_journal_round_trip;
+          Alcotest.test_case "rejects corrupted journals" `Quick test_journal_rejects;
+          Alcotest.test_case "tail ring" `Quick test_journal_tail;
+          Alcotest.test_case "strict JSON values" `Quick test_json_value_round_trip;
         ] );
     ]

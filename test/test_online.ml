@@ -5,6 +5,8 @@
 
 module Engine = Rebal_online.Engine
 module Protocol = Rebal_online.Protocol
+module Replay = Rebal_online.Replay
+module Journal = Rebal_obs.Journal
 module Instance = Rebal_core.Instance
 module Assignment = Rebal_core.Assignment
 module Greedy = Rebal_algo.Greedy
@@ -13,6 +15,13 @@ module Rng = Rebal_workloads.Rng
 let check = Alcotest.check
 let check_int = check Alcotest.int
 let check_bool = check Alcotest.bool
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let starts_with p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
 let ok = function
   | Ok v -> v
@@ -303,6 +312,148 @@ let test_protocol_auto_moves_stream () =
   check_bool "auto repair streamed MOVE lines" true (has_prefix "MOVE ");
   check_bool "auto repair summarised" true (has_prefix "REBALANCED auto ")
 
+(* --- the flight recorder and replay -------------------------------------- *)
+
+(* A deterministic in-memory journal: Buffer sink plus a fake monotonic
+   clock, so recordings are byte-stable across runs. *)
+let journaled_engine ?trigger m =
+  let buf = Buffer.create 512 in
+  let tick = ref 0 in
+  let sink =
+    Journal.create
+      ~clock_ns:(fun () ->
+        incr tick;
+        Int64.of_int (!tick * 1000))
+      ~write:(Buffer.add_string buf) ()
+  in
+  (Engine.create ?trigger ~journal:sink ~m (), buf)
+
+let prop_replay_reconstructs =
+  QCheck2.Test.make
+    ~name:"journaled session replays to bit-identical state (check_consistency)" ~count:300
+    event_sequence_gen
+    (fun (m, events, k) ->
+      let eng, buf = journaled_engine m in
+      apply_events eng events;
+      ignore (Engine.rebalance eng ~k);
+      ignore (Engine.check_consistency eng ~k:5);
+      match Journal.parse_string (Buffer.contents buf) with
+      | Error _ -> false
+      | Ok j -> begin
+        match Replay.run j with
+        | Error _ -> false
+        | Ok o ->
+          o.Replay.final_makespan = Engine.makespan eng
+          && o.Replay.final_jobs = Engine.job_count eng
+          && o.Replay.m = m
+          && o.Replay.consistency_ok
+      end)
+
+let prop_replay_deterministic =
+  QCheck2.Test.make ~name:"two replays of one journal agree" ~count:100 event_sequence_gen
+    (fun (m, events, k) ->
+      let eng, buf = journaled_engine m in
+      apply_events eng events;
+      ignore (Engine.rebalance eng ~k);
+      match Journal.parse_string (Buffer.contents buf) with
+      | Error _ -> false
+      | Ok j -> begin
+        match (Replay.run j, Replay.run j) with
+        | Ok a, Ok b ->
+          Replay.summary a = Replay.summary b
+          && a.Replay.final_makespan = b.Replay.final_makespan
+          && a.Replay.moves = b.Replay.moves
+          && a.Replay.rebalances = b.Replay.rebalances
+        | _ -> false
+      end)
+
+let test_auto_trigger_session_replays () =
+  (* Auto repairs are journaled as rebalance events with auto=true and
+     replayed as explicit passes on a Manual engine — the recording, not
+     the wall clock, drives the reconstruction. *)
+  let eng, buf = journaled_engine ~trigger:(Engine.Every_events { events = 3; k = 2 }) 4 in
+  List.iteri
+    (fun i size -> ignore (add eng (Printf.sprintf "j%d" i) size))
+    [ 60; 50; 10; 5; 40; 8 ];
+  (match Journal.parse_string (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (_, evs) ->
+    check_bool "trigger events recorded" true
+      (List.exists (fun (ev : Journal.event) -> ev.Journal.kind = "trigger") evs));
+  match Replay.run_file "/nonexistent/journal.jsonl" with
+  | Ok _ -> Alcotest.fail "missing file must be an error"
+  | Error _ -> begin
+    match Replay.run (Result.get_ok (Journal.parse_string (Buffer.contents buf))) with
+    | Error e -> Alcotest.failf "replay failed: %s" e
+    | Ok o ->
+      check_int "makespan reconstructed" (Engine.makespan eng) o.Replay.final_makespan;
+      check_int "job count reconstructed" (Engine.job_count eng) o.Replay.final_jobs;
+      check_bool "replayed the auto repairs" true (o.Replay.rebalances >= 2);
+      check_bool "summary says OK" true (starts_with "replay OK" (Replay.summary o))
+  end
+
+let replace_once ~sub ~by s =
+  let sl = String.length sub and n = String.length s in
+  let rec go i =
+    if i + sl > n then s
+    else if String.sub s i sl = sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + sl) (n - i - sl)
+    else go (i + 1)
+  in
+  go 0
+
+let test_replay_rejects_corruption () =
+  let eng, buf = journaled_engine 3 in
+  ignore (add eng "a" 10);
+  ignore (add eng "b" 20);
+  ignore (add eng "c" 5);
+  ignore (Engine.rebalance eng ~k:2);
+  let text = Buffer.contents buf in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  (* Truncation in the middle: the sequence gap names the first bad line. *)
+  let dropped = List.filteri (fun i _ -> i <> 2) lines in
+  (match Journal.parse_lines dropped with
+  | Ok _ -> Alcotest.fail "sequence gap accepted"
+  | Error e ->
+    check_bool ("gap names line 3: " ^ e) true (contains "line 3" e);
+    check_bool "gap mentions sequence" true (contains "sequence" e));
+  (* Malformed JSON on a specific line. *)
+  let mangled =
+    List.mapi (fun i l -> if i = 1 then String.sub l 0 (String.length l - 3) else l) lines
+  in
+  (match Journal.parse_lines mangled with
+  | Ok _ -> Alcotest.fail "malformed JSON accepted"
+  | Error e -> check_bool ("malformed names line 2: " ^ e) true (contains "line 2" e));
+  (* A value tamper that parses fine must still fail replay: the recorded
+     load_after no longer matches the re-executed engine. *)
+  let tampered = replace_once ~sub:{|"size":20|} ~by:{|"size":21|} text in
+  check_bool "tamper changed the text" true (tampered <> text);
+  match Journal.parse_string tampered with
+  | Error e -> Alcotest.failf "tampered journal should still parse: %s" e
+  | Ok j -> begin
+    match Replay.run j with
+    | Ok _ -> Alcotest.fail "tampered journal replayed clean"
+    | Error e -> check_bool ("tamper detected: " ^ e) true (contains "diverged" e)
+  end
+
+let test_protocol_journal_verb () =
+  let bare = Engine.create ~m:2 () in
+  (match Protocol.handle_line bare "JOURNAL" with
+  | [ msg ], Protocol.Continue ->
+    check_bool "ERR without a sink" true (starts_with "ERR no journal" msg)
+  | _ -> Alcotest.fail "JOURNAL without sink must ERR");
+  let eng, _buf = journaled_engine 2 in
+  ignore (run_session eng [ "ADD a 10"; "ADD b 20" ]);
+  (match run_session eng [ "JOURNAL 2" ] with
+  | [ l1; l2; eof ] ->
+    check Alcotest.string "framed by # EOF" "# EOF" eof;
+    check_bool "tail is the newest events" true
+      (contains {|"id":"a"|} l1 && contains {|"id":"b"|} l2)
+  | out -> Alcotest.failf "expected 2 lines + EOF, got %d lines" (List.length out));
+  match run_session eng [ "JOURNAL -1" ] with
+  | [ msg ] -> check_bool "negative n rejected" true (starts_with "ERR " msg)
+  | _ -> Alcotest.fail "JOURNAL -1 must ERR"
+
 let () =
   Alcotest.run "rebal_online"
     [
@@ -332,5 +483,15 @@ let () =
           Alcotest.test_case "errors and verdicts" `Quick test_protocol_errors_and_verdicts;
           Alcotest.test_case "auto repair streams moves" `Quick test_protocol_auto_moves_stream;
           Alcotest.test_case "metrics exposition" `Quick test_protocol_metrics;
+          Alcotest.test_case "journal tail verb" `Quick test_protocol_journal_verb;
+        ] );
+      ( "flight recorder",
+        [
+          QCheck_alcotest.to_alcotest prop_replay_reconstructs;
+          QCheck_alcotest.to_alcotest prop_replay_deterministic;
+          Alcotest.test_case "auto-trigger session replays" `Quick
+            test_auto_trigger_session_replays;
+          Alcotest.test_case "corruption rejected with line numbers" `Quick
+            test_replay_rejects_corruption;
         ] );
     ]
