@@ -584,9 +584,19 @@ let profile_cmd =
 
 let serve_cmd =
   let module Engine = Rebal_online.Engine in
+  let module Shard = Rebal_online.Shard in
   let module Protocol = Rebal_online.Protocol in
   let procs =
     Arg.(value & opt int 8 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Partition the processors into $(docv) shards, each backed by its own engine \
+             (consistent-hash job placement, cross-shard rebalancing). With --journal, \
+             shard $(i,i) records to FILE.$(i,i).")
   in
   let socket =
     Arg.(
@@ -635,55 +645,131 @@ let serve_cmd =
       & info [ "journal" ] ~docv:"FILE"
           ~doc:
             "Flight recorder: append every engine event to $(docv) as JSONL (flushed per \
-             line). Replay it with 'rebalance replay', inspect it with 'rebalance explain' \
-             or the JOURNAL protocol verb.")
+             line). If $(docv) already holds a journal, the engine state is rebuilt from \
+             it first — from the latest snapshot when one was recorded — and the file is \
+             appended to. Replay it with 'rebalance replay', compact it with 'rebalance \
+             compact', inspect it with 'rebalance explain' or the JOURNAL protocol verb.")
   in
-  (* One client session: read commands line by line, stream responses. *)
-  let session engine ic oc =
-    output_string oc (Protocol.greeting engine);
-    output_char oc '\n';
-    flush oc;
-    let rec loop () =
-      match input_line ic with
-      | exception End_of_file -> Protocol.Close
-      | line ->
-        let lines, verdict = Protocol.handle_line engine line in
-        List.iter
-          (fun l ->
-            output_string oc l;
-            output_char oc '\n')
-          lines;
-        flush oc;
-        (match verdict with Protocol.Continue -> loop () | v -> v)
-    in
-    loop ()
+  (* One client session: read commands line by line, stream responses.
+     A dropped connection — EOF (even mid-line) on the read side, a
+     closed pipe (Sys_error) on either side — ends the session, never
+     the daemon. *)
+  let session target ic oc =
+    try
+      output_string oc (Protocol.greeting target);
+      output_char oc '\n';
+      flush oc;
+      let rec loop lineno =
+        match input_line ic with
+        | exception End_of_file -> Protocol.Close
+        | exception Sys_error _ -> Protocol.Close
+        | line ->
+          let lines, verdict = Protocol.handle_line ~line:lineno target line in
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            lines;
+          flush oc;
+          (match verdict with Protocol.Continue -> loop (lineno + 1) | v -> v)
+      in
+      loop 1
+    with Sys_error _ -> Protocol.Close
   in
-  let run procs socket auto_events auto_imbalance auto_seconds auto_k metrics_file
+  let run procs shards socket auto_events auto_imbalance auto_seconds auto_k metrics_file
       journal_file =
-    let trigger =
+    let cli_trigger =
       match (auto_events, auto_imbalance, auto_seconds) with
-      | Some events, None, None -> Engine.Every_events { events; k = auto_k }
-      | None, Some threshold, None -> Engine.Imbalance_above { threshold; k = auto_k }
-      | None, None, Some seconds -> Engine.Every_seconds { seconds; k = auto_k }
-      | None, None, None -> Engine.Manual
+      | Some events, None, None -> Some (Engine.Every_events { events; k = auto_k })
+      | None, Some threshold, None -> Some (Engine.Imbalance_above { threshold; k = auto_k })
+      | None, None, Some seconds -> Some (Engine.Every_seconds { seconds; k = auto_k })
+      | None, None, None -> None
       | _ ->
         Printf.eprintf
           "error: give at most one of --auto-events, --auto-imbalance, --auto-seconds\n";
         exit 1
     in
+    if shards < 1 || procs < shards then begin
+      Printf.eprintf "error: need 1 <= --shards <= --procs (got %d shards, %d procs)\n"
+        shards procs;
+      exit 1
+    end;
     (* The daemon is the observed artifact: spans and latency histograms
        are on for its whole lifetime. *)
     Rebal_obs.Control.set_enabled true;
-    (* Line-flushed so a crash loses at most the event being written —
-       the journal is the record that outlives the daemon. *)
-    let journal_oc = Option.map open_out journal_file in
-    let journal = Option.map (Journal.to_channel ~line_flush:true) journal_oc in
-    let engine = Engine.create ~trigger ?journal ~m:procs () in
+    let opened = ref [] in
+    (* One engine bound to one journal file. An existing journal is the
+       record of a previous run: replay it (resuming from the latest
+       snapshot if compacted), verify it, re-arm its recorded trigger
+       (CLI --auto-* flags override), and append. Line-flushed so a
+       crash loses at most the event being written. *)
+    let journaled_engine ~m path =
+      let existing = Sys.file_exists path && (Unix.stat path).Unix.st_size > 0 in
+      if existing then begin
+        match Result.bind (Journal.parse_file path) Replay.resume with
+        | Error msg ->
+          Printf.eprintf "error: cannot resume journal %s: %s\n" path msg;
+          exit 1
+        | Ok (eng, outcome) ->
+          if Engine.m eng <> m then begin
+            Printf.eprintf
+              "error: journal %s was recorded over %d processors, this serve would give it \
+               %d\n"
+              path (Engine.m eng) m;
+            exit 1
+          end;
+          let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+          opened := oc :: !opened;
+          let sink =
+            Journal.to_channel ~line_flush:true
+              ~start_seq:(outcome.Replay.events) ~header_written:true oc
+          in
+          Engine.set_journal eng (Some sink);
+          (match cli_trigger with Some tr -> Engine.set_trigger eng tr | None -> ());
+          Printf.eprintf
+            "rebalance serve: resumed %s (%d events%s) -> %d jobs, makespan %d\n%!" path
+            outcome.Replay.events
+            (if outcome.Replay.resumed then ", from snapshot" else "")
+            outcome.Replay.final_jobs outcome.Replay.final_makespan;
+          eng
+      end
+      else begin
+        let oc = open_out path in
+        opened := oc :: !opened;
+        let sink = Journal.to_channel ~line_flush:true oc in
+        let trigger = Option.value cli_trigger ~default:Engine.Manual in
+        Engine.create ~trigger ~journal:sink ~m ()
+      end
+    in
+    let fresh_engine ~m () =
+      Engine.create ~trigger:(Option.value cli_trigger ~default:Engine.Manual) ~m ()
+    in
+    let target =
+      if shards = 1 then
+        Protocol.Single
+          (match journal_file with
+          | None -> fresh_engine ~m:procs ()
+          | Some path -> journaled_engine ~m:procs path)
+      else begin
+        let engines =
+          Array.init shards (fun i ->
+              let m_i = (procs / shards) + if i < procs mod shards then 1 else 0 in
+              match journal_file with
+              | None -> fresh_engine ~m:m_i ()
+              | Some base -> journaled_engine ~m:m_i (Printf.sprintf "%s.%d" base i))
+        in
+        match Shard.of_engines engines with
+        | Ok s -> Protocol.Cluster s
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      end
+    in
     let dump_metrics () =
       match metrics_file with
       | None -> ()
       | Some path ->
-        Protocol.export_metrics engine;
+        Protocol.export_target target;
         (match
            Expo.to_file ~trailer:"# EOF" Expo.Prometheus ~path
              (Metrics.Registry.current ())
@@ -698,10 +784,10 @@ let serve_cmd =
     Fun.protect
       ~finally:(fun () ->
         dump_metrics ();
-        Option.iter close_out journal_oc)
+        List.iter (fun oc -> try close_out oc with Sys_error _ -> ()) !opened)
     @@ fun () ->
     match socket with
-    | None -> ignore (session engine stdin stdout)
+    | None -> ignore (session target stdin stdout)
     | Some path ->
       (* A client that hangs up mid-response must not kill the daemon:
          with SIGPIPE ignored the write fails as a Sys_error, which ends
@@ -711,12 +797,13 @@ let serve_cmd =
       (try Unix.unlink path with Unix.Unix_error _ -> ());
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 8;
-      Printf.printf "rebalance serve: listening on %s (procs=%d)\n%!" path procs;
+      Printf.printf "rebalance serve: listening on %s (procs=%d, shards=%d)\n%!" path procs
+        shards;
       let rec accept_loop () =
         let fd, _ = Unix.accept sock in
         let ic = Unix.in_channel_of_descr fd in
         let oc = Unix.out_channel_of_descr fd in
-        let verdict = try session engine ic oc with Sys_error _ -> Protocol.Close in
+        let verdict = session target ic oc in
         (try close_in ic with Sys_error _ -> ());
         (* The engine (and its placement) outlives the connection: clients
            come and go, the daemon keeps serving the same cluster state. *)
@@ -735,10 +822,12 @@ let serve_cmd =
        ~doc:
          "Run the online rebalancing engine as a long-running service speaking a \
           line-delimited protocol (ADD/REMOVE/RESIZE/REBALANCE/STATS/METRICS) on stdin or a \
-          Unix domain socket.")
+          Unix domain socket. With --shards, processors are partitioned across that many \
+          independent engines behind a consistent-hash router; with --journal, restarts \
+          resume from the recorded state.")
     Term.(
-      const run $ procs $ socket $ auto_events $ auto_imbalance $ auto_seconds $ auto_k
-      $ metrics_file $ journal_file)
+      const run $ procs $ shards $ socket $ auto_events $ auto_imbalance $ auto_seconds
+      $ auto_k $ metrics_file $ journal_file)
 
 (* ----- replay / explain ----- *)
 
@@ -761,8 +850,92 @@ let replay_cmd =
        ~doc:
          "Re-execute an engine flight-recorder journal against a fresh engine and verify \
           bit-exact state reconstruction (per-event makespans, every recorded move, and a \
-          final batch consistency check). Nonzero exit on any divergence.")
+          final batch consistency check). Resumes from the latest snapshot when the \
+          journal was compacted. Nonzero exit on any divergence.")
     Term.(const run $ file)
+
+let snapshot_cmd =
+  let module Engine = Rebal_online.Engine in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the snapshot to $(docv) instead of stdout.")
+  in
+  let run file out =
+    match Result.bind (Journal.parse_file file) Replay.resume with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Ok (eng, outcome) ->
+      let line = Journal.render_json (Engine.snapshot eng) in
+      (match out with
+      | None -> print_endline line
+      | Some path ->
+        let oc = open_out path in
+        output_string oc line;
+        output_char oc '\n';
+        close_out oc);
+      Printf.eprintf "snapshot: %d jobs over m=%d, makespan %d (from %d journal events)\n%!"
+        outcome.Replay.final_jobs outcome.Replay.m outcome.Replay.final_makespan
+        outcome.Replay.events
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Replay a flight-recorder journal (verifying it) and emit the final engine state \
+          as one versioned JSON snapshot object.")
+    Term.(const run $ file $ out)
+
+let compact_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the compacted journal to $(docv) instead of rewriting in place.")
+  in
+  let run file out =
+    match Result.bind (Journal.parse_file file) Replay.compact with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Ok (lines, dropped, kept) ->
+      let dest = Option.value out ~default:file in
+      (* Write-then-rename so an interrupted compaction never destroys
+         the only copy of the journal. *)
+      let tmp = dest ^ ".tmp" in
+      let oc = open_out tmp in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      Sys.rename tmp dest;
+      Printf.printf "compacted %s: kept %d event(s), dropped %d\n" dest kept dropped
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Compact a flight-recorder journal: truncate history before the latest recorded \
+          snapshot (renumbering events), or — if none was recorded — verify-replay the \
+          journal and rewrite it as a single snapshot of the final state. 'rebalance serve \
+          --journal' and 'rebalance replay' then resume from the snapshot instead of \
+          genesis.")
+    Term.(const run $ file $ out)
 
 let explain_cmd =
   let file =
@@ -920,5 +1093,7 @@ let () =
             profile_cmd;
             serve_cmd;
             replay_cmd;
+            snapshot_cmd;
+            compact_cmd;
             explain_cmd;
           ]))

@@ -290,20 +290,25 @@ type sink = {
   mutable ring_written : int;
 }
 
-let create ?(tail_capacity = 512) ?clock_ns ~write () =
+let create ?(tail_capacity = 512) ?(start_seq = 0) ?header_written ?clock_ns ~write () =
   if tail_capacity < 1 then invalid_arg "Journal.create: need a positive tail capacity";
+  if start_seq < 0 then invalid_arg "Journal.create: negative start_seq";
   let clock_ns = match clock_ns with Some c -> c | None -> Timer.now_ns in
   {
     write;
     clock_ns;
-    next_seq = 0;
-    header_written = false;
+    next_seq = start_seq;
+    (* A sink resuming an existing journal appends to a file whose
+       header line is already on disk: writing a second one would
+       corrupt it. Resuming right after a header with no events yet
+       needs the explicit override, since start_seq is 0 there too. *)
+    header_written = (match header_written with Some b -> b | None -> start_seq > 0);
     ring = Array.make tail_capacity "";
     ring_written = 0;
   }
 
-let to_channel ?tail_capacity ?(line_flush = false) oc =
-  create ?tail_capacity
+let to_channel ?tail_capacity ?start_seq ?header_written ?(line_flush = false) oc =
+  create ?tail_capacity ?start_seq ?header_written
     ~write:(fun line ->
       output_string oc line;
       if line_flush then flush oc)

@@ -59,15 +59,33 @@ type event = {
 type sink
 
 val create :
-  ?tail_capacity:int -> ?clock_ns:(unit -> int64) -> write:(string -> unit) -> unit -> sink
+  ?tail_capacity:int ->
+  ?start_seq:int ->
+  ?header_written:bool ->
+  ?clock_ns:(unit -> int64) ->
+  write:(string -> unit) ->
+  unit ->
+  sink
 (** A sink calling [write] with each rendered line (trailing newline
     included). [clock_ns] defaults to the monotonic
     [Rebal_harness.Timer.now_ns]; inject a fake for deterministic
     tests. The sink keeps the last [tail_capacity] (default 512)
-    rendered lines in a ring for {!tail}.
-    @raise Invalid_argument if [tail_capacity < 1]. *)
+    rendered lines in a ring for {!tail}. [start_seq] (default 0)
+    resumes an existing journal: the first event gets that sequence
+    number, and when it is positive the sink considers the header
+    already written (it is on disk), so {!write_header} is a no-op;
+    [header_written] overrides that inference (resuming a journal that
+    has a header but no events yet needs [~header_written:true] with
+    [start_seq] 0).
+    @raise Invalid_argument if [tail_capacity < 1] or [start_seq < 0]. *)
 
-val to_channel : ?tail_capacity:int -> ?line_flush:bool -> out_channel -> sink
+val to_channel :
+  ?tail_capacity:int ->
+  ?start_seq:int ->
+  ?header_written:bool ->
+  ?line_flush:bool ->
+  out_channel ->
+  sink
 (** A sink appending to a channel. [line_flush] (default [false])
     flushes after every line — what a crash-safe flight recorder wants;
     leave it off when journaling for throughput measurements. *)

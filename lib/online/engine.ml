@@ -110,7 +110,7 @@ type stats = {
 
 type t = {
   m : int;
-  trigger : trigger;
+  mutable trigger : trigger;
   clock : unit -> float;
   jobs : (string, job) Hashtbl.t;
   by_seq : (int, job) Hashtbl.t;
@@ -143,9 +143,62 @@ let trigger_name = function
   | Imbalance_above _ -> "imbalance_above"
   | Every_seconds _ -> "every_seconds"
 
+let trigger_to_json trigger =
+  let kind = ("kind", Journal.Str (trigger_name trigger)) in
+  match trigger with
+  | Manual -> Journal.Obj [ kind ]
+  | Every_events { events; k } ->
+    Journal.Obj [ kind; ("events", Journal.Int events); ("k", Journal.Int k) ]
+  | Imbalance_above { threshold; k } ->
+    Journal.Obj [ kind; ("threshold", Journal.Float threshold); ("k", Journal.Int k) ]
+  | Every_seconds { seconds; k } ->
+    Journal.Obj [ kind; ("seconds", Journal.Float seconds); ("k", Journal.Int k) ]
+
+let trigger_of_json json =
+  let ( let* ) = Result.bind in
+  match json with
+  | Journal.Obj fields ->
+    let str name =
+      match List.assoc_opt name fields with
+      | Some (Journal.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "trigger: missing string field %S" name)
+    in
+    let int name =
+      match List.assoc_opt name fields with
+      | Some (Journal.Int i) -> Ok i
+      | _ -> Error (Printf.sprintf "trigger: missing integer field %S" name)
+    in
+    let num name =
+      match List.assoc_opt name fields with
+      | Some (Journal.Float f) -> Ok f
+      | Some (Journal.Int i) -> Ok (float_of_int i)
+      | _ -> Error (Printf.sprintf "trigger: missing numeric field %S" name)
+    in
+    let* kind = str "kind" in
+    (match kind with
+    | "manual" -> Ok Manual
+    | "every_events" ->
+      let* events = int "events" in
+      let* k = int "k" in
+      Ok (Every_events { events; k })
+    | "imbalance_above" ->
+      let* threshold = num "threshold" in
+      let* k = int "k" in
+      Ok (Imbalance_above { threshold; k })
+    | "every_seconds" ->
+      let* seconds = num "seconds" in
+      let* k = int "k" in
+      Ok (Every_seconds { seconds; k })
+    | other -> Error (Printf.sprintf "trigger: unknown kind %S" other))
+  | _ -> Error "trigger: expected an object"
+
 let journal_header t sink =
   Journal.write_header sink ~journal:"rebal-engine"
-    [ ("m", Journal.Int t.m); ("trigger", Journal.Str (trigger_name t.trigger)) ]
+    [
+      ("m", Journal.Int t.m);
+      ("trigger", Journal.Str (trigger_name t.trigger));
+      ("trigger_config", trigger_to_json t.trigger);
+    ]
 
 let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ?journal ~m () =
   if m < 1 then invalid_arg "Engine.create: need at least one processor";
@@ -193,6 +246,14 @@ let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ?journal ~m () =
 
 let m t = t.m
 let journal t = t.journal
+let trigger t = t.trigger
+
+let set_trigger t trigger =
+  t.trigger <- trigger;
+  (* A fresh policy should not fire off stale state: restart the
+     wall-clock epoch, but keep events_since_repair — an Every_events
+     policy armed mid-stream still owes a repair for the backlog. *)
+  t.last_repair <- t.clock ()
 
 let set_journal t sink =
   t.journal <- sink;
@@ -224,6 +285,20 @@ let imbalance t =
     in
     float_of_int (makespan t) /. bound
   end
+
+let min_load t = Indexed_heap.min_exn t.min_heap
+
+let peek_heaviest t =
+  let p, neg = Indexed_heap.min_exn t.max_heap in
+  if neg = 0 then None
+  else begin
+    let size, seq = Job_set.max_elt t.per_proc.(p) in
+    let job = Hashtbl.find t.by_seq seq in
+    Some (job.ext, size, p)
+  end
+
+let fold_jobs t f acc =
+  Hashtbl.fold (fun _ j acc -> f acc ~id:j.ext ~size:j.size ~proc:j.proc) t.jobs acc
 
 let mem t id = Hashtbl.mem t.jobs id
 
@@ -510,6 +585,157 @@ let copy t =
     c = { t.c with events = t.c.events };
     journal = None;
   }
+
+(* ----- versioned state snapshots ----- *)
+
+let snapshot_version = 1
+
+let snapshot t =
+  let jobs = Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs [] in
+  (* Canonical order: ascending sequence number. Job seqs are preserved
+     so the (size, seq) repair tie-breaks — hence future move lists —
+     survive the round trip bit-exactly. *)
+  let jobs = List.sort (fun a b -> compare a.seq b.seq) jobs in
+  Journal.Obj
+    [
+      ("snapshot", Journal.Str "rebal-engine");
+      ("version", Journal.Int snapshot_version);
+      ("m", Journal.Int t.m);
+      ("trigger", trigger_to_json t.trigger);
+      ("next_seq", Journal.Int t.next_seq);
+      ("events_since_repair", Journal.Int t.events_since_repair);
+      ( "jobs",
+        Journal.List
+          (List.map
+             (fun j ->
+               Journal.Obj
+                 [
+                   ("id", Journal.Str j.ext);
+                   ("seq", Journal.Int j.seq);
+                   ("size", Journal.Int j.size);
+                   ("proc", Journal.Int j.proc);
+                 ])
+             jobs) );
+      ( "counters",
+        Journal.Obj
+          [
+            ("events", Journal.Int t.c.events);
+            ("adds", Journal.Int t.c.adds);
+            ("removes", Journal.Int t.c.removes);
+            ("resizes", Journal.Int t.c.resizes);
+            ("rebalances", Journal.Int t.c.rebalances);
+            ("auto_rebalances", Journal.Int t.c.auto_rebalances);
+            ("trigger_firings", Journal.Int t.c.trigger_firings);
+            ("moved", Journal.Int t.c.moved);
+            ("last_rebalance_moves", Journal.Int t.c.last_rebalance_moves);
+            ("consistency_checks", Journal.Int t.c.consistency_checks);
+            ("consistency_failures", Journal.Int t.c.consistency_failures);
+          ] );
+    ]
+
+let of_snapshot ?trigger ?clock ?journal json =
+  let ( let* ) = Result.bind in
+  let fields = match json with Journal.Obj fields -> fields | _ -> [] in
+  let int name =
+    match List.assoc_opt name fields with
+    | Some (Journal.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "snapshot: missing integer field %S" name)
+  in
+  let* () =
+    match List.assoc_opt "snapshot" fields with
+    | Some (Journal.Str "rebal-engine") -> Ok ()
+    | Some (Journal.Str other) ->
+      Error (Printf.sprintf "snapshot: producer %S, wanted \"rebal-engine\"" other)
+    | _ -> Error "snapshot: not a rebal-engine snapshot object"
+  in
+  let* version = int "version" in
+  let* () =
+    if version = snapshot_version then Ok ()
+    else Error (Printf.sprintf "snapshot: version %d, this build reads %d" version snapshot_version)
+  in
+  let* m = int "m" in
+  let* () = if m >= 1 then Ok () else Error "snapshot: need at least one processor" in
+  let* recorded_trigger =
+    match List.assoc_opt "trigger" fields with
+    | Some json -> trigger_of_json json
+    | None -> Error "snapshot: missing trigger"
+  in
+  let* next_seq = int "next_seq" in
+  let* events_since_repair = int "events_since_repair" in
+  let* jobs =
+    match List.assoc_opt "jobs" fields with
+    | Some (Journal.List jobs) -> Ok jobs
+    | _ -> Error "snapshot: missing jobs list"
+  in
+  let trigger = match trigger with Some t -> t | None -> recorded_trigger in
+  let t = create ~trigger ?clock ?journal ~m () in
+  let* () =
+    List.fold_left
+      (fun acc job ->
+        let* () = acc in
+        let jf = match job with Journal.Obj jf -> jf | _ -> [] in
+        let jint name =
+          match List.assoc_opt name jf with
+          | Some (Journal.Int i) -> Ok i
+          | _ -> Error (Printf.sprintf "snapshot job: missing integer field %S" name)
+        in
+        let* id =
+          match List.assoc_opt "id" jf with
+          | Some (Journal.Str id) -> Ok id
+          | _ -> Error "snapshot job: missing id"
+        in
+        let* seq = jint "seq" in
+        let* size = jint "size" in
+        let* proc = jint "proc" in
+        if size <= 0 then Error (Printf.sprintf "snapshot job %s: size must be positive" id)
+        else if proc < 0 || proc >= m then
+          Error (Printf.sprintf "snapshot job %s: processor %d out of range" id proc)
+        else if seq < 0 || seq >= next_seq then
+          Error (Printf.sprintf "snapshot job %s: seq %d out of range" id seq)
+        else if Hashtbl.mem t.jobs id then
+          Error (Printf.sprintf "snapshot job %s: duplicate id" id)
+        else if Hashtbl.mem t.by_seq seq then
+          Error (Printf.sprintf "snapshot job %s: duplicate seq %d" id seq)
+        else begin
+          let job = { ext = id; seq; size; proc } in
+          Hashtbl.replace t.jobs id job;
+          Hashtbl.replace t.by_seq seq job;
+          t.per_proc.(proc) <- Job_set.add (size, seq) t.per_proc.(proc);
+          t.size_set <- Job_set.add (size, seq) t.size_set;
+          set_load t proc (t.load.(proc) + size);
+          t.total_size <- t.total_size + size;
+          Ok ()
+        end)
+      (Ok ()) jobs
+  in
+  t.next_seq <- next_seq;
+  t.events_since_repair <- events_since_repair;
+  (match List.assoc_opt "counters" fields with
+  | Some (Journal.Obj cf) ->
+    let get name dflt =
+      match List.assoc_opt name cf with Some (Journal.Int i) -> i | _ -> dflt
+    in
+    t.c.events <- get "events" 0;
+    t.c.adds <- get "adds" 0;
+    t.c.removes <- get "removes" 0;
+    t.c.resizes <- get "resizes" 0;
+    t.c.rebalances <- get "rebalances" 0;
+    t.c.auto_rebalances <- get "auto_rebalances" 0;
+    t.c.trigger_firings <- get "trigger_firings" 0;
+    t.c.moved <- get "moved" 0;
+    t.c.last_rebalance_moves <- get "last_rebalance_moves" 0;
+    t.c.consistency_checks <- get "consistency_checks" 0;
+    t.c.consistency_failures <- get "consistency_failures" 0
+  | _ -> ());
+  Ok t
+
+let journal_snapshot t =
+  match t.journal with
+  | None -> Error "no journal attached"
+  | Some sink ->
+    let seq = Journal.events_written sink in
+    Journal.emit sink ~kind:"snapshot" [ ("state", snapshot t) ];
+    Ok seq
 
 let check_consistency t ~k =
   let inst, _ = to_instance t in

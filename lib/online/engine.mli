@@ -94,6 +94,21 @@ val trigger_name : trigger -> string
 (** The journal/exposition tag: ["manual"], ["every_events"],
     ["imbalance_above"] or ["every_seconds"]. *)
 
+val trigger_to_json : trigger -> Rebal_obs.Journal.json
+(** The full trigger configuration (kind plus its parameters) as a JSON
+    object — what journal headers and snapshots record so a replay can
+    re-arm the same policy. *)
+
+val trigger_of_json : Rebal_obs.Journal.json -> (trigger, string) result
+
+val trigger : t -> trigger
+
+val set_trigger : t -> trigger -> unit
+(** Swap the trigger policy on a live engine (used when resuming a
+    journaled engine: the recorded config is re-armed after replay).
+    Restarts the wall-clock epoch; the events-since-repair backlog is
+    kept. *)
+
 val journal : t -> Rebal_obs.Journal.sink option
 
 val set_journal : t -> Rebal_obs.Journal.sink option -> unit
@@ -118,6 +133,18 @@ val imbalance : t -> float
     Dividing by the average alone would make one oversized job read as
     permanent imbalance no repair can fix, and a threshold trigger would
     thrash on it. 1.0 when no jobs. *)
+
+val min_load : t -> int * int
+(** [(processor, load)] of the least-loaded processor (ties: smallest
+    index) — [O(1)]. Where the next arrival would be placed. *)
+
+val peek_heaviest : t -> (string * int * int) option
+(** [(id, size, processor)] of the largest job on the most-loaded
+    processor — the job a repair pass would lift first. [None] when all
+    loads are zero. Used by the cross-shard move pass. *)
+
+val fold_jobs : t -> ('a -> id:string -> size:int -> proc:int -> 'a) -> 'a -> 'a
+(** Fold over live jobs in unspecified order. *)
 
 val mem : t -> string -> bool
 
@@ -166,3 +193,37 @@ val check_consistency : t -> k:int -> bool
     [Rebal_algo.Greedy.solve ~k] on the materialized instance? Runs on a
     copy — the engine itself is not perturbed — and records the outcome
     in the [consistency_checks] / [consistency_failures] counters. *)
+
+(** {2 State snapshots}
+
+    A snapshot is the engine's complete logical state as one versioned
+    JSON object: processors, trigger config, every live job with its
+    internal sequence number (so repair tie-breaks survive the round
+    trip), the next sequence number, and all stats counters.
+    [of_snapshot (snapshot t)] reconstructs an engine that bit-matches
+    [t]: same loads, makespan, stats and future repair decisions.
+    Snapshots are the compaction record of the flight recorder: a
+    ["snapshot"] journal event carries one in its ["state"] field, and
+    replay resumes from it instead of genesis. *)
+
+val snapshot_version : int
+(** The snapshot format version this build writes (1). *)
+
+val snapshot : t -> Rebal_obs.Journal.json
+
+val of_snapshot :
+  ?trigger:trigger ->
+  ?clock:(unit -> float) ->
+  ?journal:Rebal_obs.Journal.sink ->
+  Rebal_obs.Journal.json ->
+  (t, string) result
+(** Rebuild an engine from a snapshot. [trigger] overrides the recorded
+    trigger config (replay passes [Manual] so recorded auto-repairs are
+    re-applied explicitly rather than re-fired); by default the recorded
+    config is armed. Validates version, processor ranges, positive
+    sizes, and id/seq uniqueness. *)
+
+val journal_snapshot : t -> (int, string) result
+(** Emit a ["snapshot"] event carrying the current state into the
+    attached journal and return its sequence number — the compaction
+    point. [Error] if no journal is attached. *)

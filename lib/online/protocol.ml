@@ -7,6 +7,8 @@ type command =
   | Resize of { id : string; size : int }
   | Rebalance of int
   | Stats
+  | Shards_info
+  | Snapshot_now
   | Metrics_dump
   | Journal_tail of int
   | Help
@@ -17,6 +19,10 @@ type verdict =
   | Continue
   | Close
   | Stop
+
+type target =
+  | Single of Engine.t
+  | Cluster of Shard.t
 
 let pf = Printf.sprintf
 
@@ -29,6 +35,17 @@ let int_arg what s =
   | Some v -> Ok v
   | None -> Error (pf "%s must be an integer, got %S" what s)
 
+(* Validation is done here, at parse time, so an invalid request is a
+   protocol error naming the offending line — it never reaches an
+   engine. *)
+let positive_arg what s =
+  Result.bind (int_arg what s) (fun v ->
+      if v > 0 then Ok v else Error (pf "%s must be positive, got %d" what v))
+
+let non_negative_arg what s =
+  Result.bind (int_arg what s) (fun v ->
+      if v >= 0 then Ok v else Error (pf "%s must be non-negative, got %d" what v))
+
 let parse line =
   match tokens line with
   | [] -> Ok None
@@ -36,27 +53,51 @@ let parse line =
   | verb :: args -> begin
     match (String.uppercase_ascii verb, args) with
     | "ADD", [ id; size ] ->
-      Result.map (fun size -> Some (Add { id; size })) (int_arg "size" size)
+      Result.map (fun size -> Some (Add { id; size })) (positive_arg "size" size)
     | "ADD", _ -> Error "usage: ADD <id> <size>"
     | "REMOVE", [ id ] -> Ok (Some (Remove id))
     | "REMOVE", _ -> Error "usage: REMOVE <id>"
     | "RESIZE", [ id; size ] ->
-      Result.map (fun size -> Some (Resize { id; size })) (int_arg "size" size)
+      Result.map (fun size -> Some (Resize { id; size })) (positive_arg "size" size)
     | "RESIZE", _ -> Error "usage: RESIZE <id> <size>"
-    | "REBALANCE", [ k ] -> Result.map (fun k -> Some (Rebalance k)) (int_arg "k" k)
+    | "REBALANCE", [ k ] -> Result.map (fun k -> Some (Rebalance k)) (non_negative_arg "k" k)
     | "REBALANCE", [] -> Ok (Some (Rebalance max_int))
     | "REBALANCE", _ -> Error "usage: REBALANCE [<k>]"
     | "STATS", [] -> Ok (Some Stats)
+    | "SHARDS", [] -> Ok (Some Shards_info)
+    | "SHARDS", _ -> Error "usage: SHARDS"
+    | "SNAPSHOT", [] -> Ok (Some Snapshot_now)
+    | "SNAPSHOT", _ -> Error "usage: SNAPSHOT"
     | "METRICS", [] -> Ok (Some Metrics_dump)
     | "METRICS", _ -> Error "usage: METRICS"
     | "JOURNAL", [] -> Ok (Some (Journal_tail 10))
-    | "JOURNAL", [ n ] -> Result.map (fun n -> Some (Journal_tail n)) (int_arg "n" n)
+    | "JOURNAL", [ n ] -> Result.map (fun n -> Some (Journal_tail n)) (non_negative_arg "n" n)
     | "JOURNAL", _ -> Error "usage: JOURNAL [<n>]"
     | "HELP", [] -> Ok (Some Help)
     | "QUIT", [] | "EXIT", [] -> Ok (Some Quit)
     | "SHUTDOWN", [] -> Ok (Some Shutdown)
     | v, _ -> Error (pf "unknown command %S (try HELP)" v)
   end
+
+(* ----- dispatch over the two serving shapes ----- *)
+
+let makespan = function Single e -> Engine.makespan e | Cluster s -> Shard.makespan s
+
+let add_job t ~id ~size =
+  match t with
+  | Single e -> Engine.add_job e ~id ~size
+  | Cluster s -> Shard.add_job s ~id ~size
+
+let remove_job t ~id =
+  match t with Single e -> Engine.remove_job e ~id | Cluster s -> Shard.remove_job s ~id
+
+let resize_job t ~id ~size =
+  match t with
+  | Single e -> Engine.resize_job e ~id ~size
+  | Cluster s -> Shard.resize_job s ~id ~size
+
+let rebalance t ~k =
+  match t with Single e -> Engine.rebalance e ~k | Cluster s -> Shard.rebalance s ~k
 
 let move_lines moves =
   List.map (fun mv -> pf "MOVE %s %d %d" mv.Engine.id mv.Engine.src mv.Engine.dst) moves
@@ -67,7 +108,7 @@ let auto_lines t = function
   | [] -> []
   | moves ->
     move_lines moves
-    @ [ pf "REBALANCED auto moves=%d makespan=%d" (List.length moves) (Engine.makespan t) ]
+    @ [ pf "REBALANCED auto moves=%d makespan=%d" (List.length moves) (makespan t) ]
 
 let help_lines =
   [
@@ -77,6 +118,8 @@ let help_lines =
     "OK   RESIZE <id> <size>   change a job's size";
     "OK   REBALANCE [<k>]      repair pass with move budget k (default: unbounded)";
     "OK   STATS                engine telemetry";
+    "OK   SHARDS               per-shard telemetry (sharded serve only)";
+    "OK   SNAPSHOT             write a state snapshot into the journal (compaction point)";
     "OK   METRICS              Prometheus text exposition, ends with '# EOF'";
     "OK   JOURNAL [<n>]        last n flight-recorder events (default 10), ends with '# EOF'";
     "OK   HELP                 this text";
@@ -84,10 +127,9 @@ let help_lines =
     "OK   SHUTDOWN             stop the daemon";
   ]
 
-let stats_line t =
-  let s = Engine.stats t in
+let engine_stats_line s =
   pf
-    "STATS jobs=%d procs=%d makespan=%d total=%d imbalance=%.3f events=%d adds=%d \
+    "jobs=%d procs=%d makespan=%d total=%d imbalance=%.3f events=%d adds=%d \
      removes=%d resizes=%d rebalances=%d auto=%d auto_triggers=%d moved=%d \
      last_rebalance_moves=%d checks=%d failures=%d"
     s.Engine.jobs s.Engine.procs s.Engine.makespan s.Engine.total_size s.Engine.imbalance
@@ -95,13 +137,36 @@ let stats_line t =
     s.Engine.auto_rebalances s.Engine.trigger_firings s.Engine.moved
     s.Engine.last_rebalance_moves s.Engine.consistency_checks s.Engine.consistency_failures
 
+let stats_line = function
+  | Single e -> "STATS " ^ engine_stats_line (Engine.stats e)
+  | Cluster s ->
+    let st = Shard.stats s in
+    pf
+      "STATS shards=%d jobs=%d procs=%d makespan=%d total=%d imbalance=%.3f events=%d \
+       adds=%d removes=%d resizes=%d rebalances=%d auto=%d auto_triggers=%d moved=%d \
+       inter_moves=%d checks=%d failures=%d"
+      st.Shard.shards st.Shard.jobs st.Shard.procs st.Shard.makespan st.Shard.total_size
+      st.Shard.imbalance st.Shard.events st.Shard.adds st.Shard.removes st.Shard.resizes
+      st.Shard.rebalances st.Shard.auto_rebalances st.Shard.trigger_firings st.Shard.moved
+      st.Shard.inter_moves st.Shard.consistency_checks st.Shard.consistency_failures
+
+let shards_lines = function
+  | Single _ -> [ "ERR not sharded (serve started without --shards)" ]
+  | Cluster s ->
+    Array.to_list
+      (Array.mapi
+         (fun i (st : Engine.stats) ->
+           pf "SHARD %d offset=%d procs=%d jobs=%d makespan=%d imbalance=%.3f" i
+             (Shard.offset s i) st.Engine.procs st.Engine.jobs st.Engine.makespan
+             st.Engine.imbalance)
+         (Shard.shard_stats s))
+
 (* Engine counters live in the engine record, not the registry; METRICS
    exports them into the current registry right before rendering — the
    collector pattern, inlined, so replies always reflect live state. *)
-let export_metrics t =
-  let s = Engine.stats t in
-  let gauge name help v = Metrics.Gauge.set (Metrics.gauge ~help name) v in
-  let count name help v = Metrics.Counter.set (Metrics.counter ~help name) v in
+let export_engine_stats ?(labels = []) (s : Engine.stats) =
+  let gauge name help v = Metrics.Gauge.set (Metrics.gauge ~labels ~help name) v in
+  let count name help v = Metrics.Counter.set (Metrics.counter ~labels ~help name) v in
   gauge "rebal_engine_jobs" "Live jobs" (float_of_int s.Engine.jobs);
   gauge "rebal_engine_procs" "Processors" (float_of_int s.Engine.procs);
   gauge "rebal_engine_makespan" "Current maximum processor load"
@@ -124,56 +189,110 @@ let export_metrics t =
   count "rebal_engine_consistency_failures_total" "Batch-consistency checks that failed"
     s.Engine.consistency_failures
 
+let export_metrics e = export_engine_stats (Engine.stats e)
+
+let export_target = function
+  | Single e -> export_metrics e
+  | Cluster s ->
+    (* One labeled series per shard plus cluster-level aggregates; a
+       sum() over the shard label reproduces the additive aggregates. *)
+    Array.iteri
+      (fun i st -> export_engine_stats ~labels:[ ("shard", string_of_int i) ] st)
+      (Shard.shard_stats s);
+    let st = Shard.stats s in
+    let gauge name help v = Metrics.Gauge.set (Metrics.gauge ~help name) v in
+    gauge "rebal_cluster_shards" "Shards served" (float_of_int st.Shard.shards);
+    gauge "rebal_cluster_jobs" "Live jobs across all shards" (float_of_int st.Shard.jobs);
+    gauge "rebal_cluster_procs" "Processors across all shards" (float_of_int st.Shard.procs);
+    gauge "rebal_cluster_makespan" "Global maximum processor load"
+      (float_of_int st.Shard.makespan);
+    gauge "rebal_cluster_imbalance" "Global makespan over the global batch lower bound"
+      st.Shard.imbalance;
+    Metrics.Counter.set
+      (Metrics.counter ~help:"Cross-shard job transfers performed by rebalancing"
+         "rebal_cluster_inter_moves_total")
+      st.Shard.inter_moves
+
 let metrics_lines t =
-  export_metrics t;
+  export_target t;
   let text = Expo.prometheus (Metrics.Registry.current ()) in
   let lines = String.split_on_char '\n' text in
   let lines = List.filter (fun l -> l <> "") lines in
   lines @ [ "# EOF" ]
 
+let engine_journal_tail i e n =
+  match Engine.journal e with
+  | None -> Error i
+  | Some sink -> Ok (Rebal_obs.Journal.tail sink n)
+
 let journal_lines t n =
-  match Engine.journal t with
-  | None -> [ "ERR no journal attached (start serve with --journal FILE)" ]
-  | Some sink ->
-    if n < 0 then [ "ERR n must be non-negative" ]
-    else Rebal_obs.Journal.tail sink n @ [ "# EOF" ]
+  match t with
+  | Single e -> begin
+    match engine_journal_tail 0 e n with
+    | Error _ -> [ "ERR no journal attached (start serve with --journal FILE)" ]
+    | Ok lines -> lines @ [ "# EOF" ]
+  end
+  | Cluster s ->
+    let parts =
+      List.init (Shard.shard_count s) (fun i -> engine_journal_tail i (Shard.engine s i) n)
+    in
+    (match List.find_opt Result.is_error parts with
+    | Some (Error i) -> [ pf "ERR no journal attached to shard %d" i ]
+    | _ ->
+      List.concat
+        (List.mapi
+           (fun i part ->
+             (pf "# shard %d" i) :: (match part with Ok lines -> lines | Error _ -> []))
+           parts)
+      @ [ "# EOF" ])
+
+let snapshot_lines t =
+  match t with
+  | Single e -> begin
+    match Engine.journal_snapshot e with
+    | Error e -> [ "ERR " ^ e ^ " (start serve with --journal FILE)" ]
+    | Ok seq -> [ pf "SNAPSHOTTED seq=%d" seq ]
+  end
+  | Cluster s -> begin
+    match Shard.journal_snapshot s with
+    | Error e -> [ "ERR " ^ e ^ " (start serve with --journal FILE)" ]
+    | Ok seqs -> List.map (fun (i, seq) -> pf "SNAPSHOTTED shard=%d seq=%d" i seq) seqs
+  end
 
 let execute t = function
   | Add { id; size } -> begin
-    match Engine.add_job t ~id ~size with
+    match add_job t ~id ~size with
     | Error e -> [ "ERR " ^ e ]
-    | Ok (p, auto) ->
-      pf "PLACED %s %d makespan=%d" id p (Engine.makespan t) :: auto_lines t auto
+    | Ok (p, auto) -> pf "PLACED %s %d makespan=%d" id p (makespan t) :: auto_lines t auto
   end
   | Remove id -> begin
-    match Engine.remove_job t ~id with
+    match remove_job t ~id with
     | Error e -> [ "ERR " ^ e ]
-    | Ok (p, auto) ->
-      pf "REMOVED %s %d makespan=%d" id p (Engine.makespan t) :: auto_lines t auto
+    | Ok (p, auto) -> pf "REMOVED %s %d makespan=%d" id p (makespan t) :: auto_lines t auto
   end
   | Resize { id; size } -> begin
-    match Engine.resize_job t ~id ~size with
+    match resize_job t ~id ~size with
     | Error e -> [ "ERR " ^ e ]
-    | Ok (p, auto) ->
-      pf "RESIZED %s %d makespan=%d" id p (Engine.makespan t) :: auto_lines t auto
+    | Ok (p, auto) -> pf "RESIZED %s %d makespan=%d" id p (makespan t) :: auto_lines t auto
   end
   | Rebalance k ->
-    if k < 0 then [ "ERR k must be non-negative" ]
-    else begin
-      let moves = Engine.rebalance t ~k in
-      move_lines moves
-      @ [ pf "REBALANCED moves=%d makespan=%d" (List.length moves) (Engine.makespan t) ]
-    end
+    let moves = rebalance t ~k in
+    move_lines moves
+    @ [ pf "REBALANCED moves=%d makespan=%d" (List.length moves) (makespan t) ]
   | Stats -> [ stats_line t ]
+  | Shards_info -> shards_lines t
+  | Snapshot_now -> snapshot_lines t
   | Metrics_dump -> metrics_lines t
   | Journal_tail n -> journal_lines t n
   | Help -> help_lines
   | Quit -> [ "BYE" ]
   | Shutdown -> [ "BYE" ]
 
-let handle_line t line =
+let handle_line ?line:lineno t line =
   match parse line with
-  | Error e -> ([ "ERR " ^ e ], Continue)
+  | Error e ->
+    let where = match lineno with None -> "" | Some n -> pf "line %d: " n in
+    ([ "ERR " ^ where ^ e ], Continue)
   | Ok None -> ([], Continue)
   | Ok (Some cmd) ->
     let verdict =
@@ -184,6 +303,10 @@ let handle_line t line =
     in
     (execute t cmd, verdict)
 
-let greeting t =
-  pf "READY rebalance-serve procs=%d jobs=%d makespan=%d" (Engine.m t) (Engine.job_count t)
-    (Engine.makespan t)
+let greeting = function
+  | Single e ->
+    pf "READY rebalance-serve procs=%d jobs=%d makespan=%d" (Engine.m e)
+      (Engine.job_count e) (Engine.makespan e)
+  | Cluster s ->
+    pf "READY rebalance-serve shards=%d procs=%d jobs=%d makespan=%d" (Shard.shard_count s)
+      (Shard.m s) (Shard.job_count s) (Shard.makespan s)

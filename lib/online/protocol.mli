@@ -7,6 +7,8 @@
     RESIZE <id> <size>   change a job's size
     REBALANCE <k>        run a bounded-move repair pass
     STATS                one-line engine telemetry
+    SHARDS               per-shard telemetry (sharded serve only)
+    SNAPSHOT             write a state snapshot into the journal(s)
     METRICS              Prometheus text exposition of the metrics registry
     JOURNAL [<n>]        tail of the flight-recorder journal (default 10)
     HELP                 list the commands
@@ -19,15 +21,21 @@
     relocation performed by a repair pass (manual or trigger-fired) is a
     [MOVE <id> <src> <dst>] line followed by a [REBALANCED] summary;
     malformed or inapplicable requests get [ERR <reason>] without
-    disturbing the engine. [METRICS] exports the engine's live counters
-    into the current metrics registry and streams the Prometheus text
-    exposition, terminated by a literal [# EOF] line so clients know
-    where the multi-line reply ends. [JOURNAL n] streams the last [n]
-    flight-recorder lines from the engine's attached journal sink (an
-    [ERR] when serve was started without [--journal]), framed by the
-    same [# EOF]. Blank lines and lines starting with
-    [#] are ignored. The module is pure string-in/strings-out so the
-    daemon loop and the tests share one implementation. *)
+    disturbing the engine. Argument validation happens at parse time —
+    a non-positive [ADD]/[RESIZE] size or a negative [REBALANCE] budget
+    is a protocol error (prefixed ["line %d:"] when the daemon supplies
+    the session line number), not an engine error. [METRICS] exports the
+    live counters into the current metrics registry and streams the
+    Prometheus text exposition, terminated by a literal [# EOF] line so
+    clients know where the multi-line reply ends; a sharded serve
+    exports one series per shard carrying a [shard="<i>"] label plus
+    [rebal_cluster_*] aggregates. [SNAPSHOT] writes the current engine
+    state into the attached journal(s) — the compaction point [compact]
+    truncates to. [JOURNAL n] streams the last [n] flight-recorder lines
+    (per shard, under [# shard <i>] markers, when sharded), framed by
+    the same [# EOF]. Blank lines and lines starting with [#] are
+    ignored. The module is pure string-in/strings-out so the daemon loop
+    and the tests share one implementation. *)
 
 type command =
   | Add of { id : string; size : int }
@@ -35,6 +43,8 @@ type command =
   | Resize of { id : string; size : int }
   | Rebalance of int
   | Stats
+  | Shards_info
+  | Snapshot_now
   | Metrics_dump
   | Journal_tail of int
   | Help
@@ -46,27 +56,38 @@ type verdict =
   | Close  (** end this client session *)
   | Stop  (** end the session and shut the daemon down *)
 
+(** What the protocol operates: one engine, or a shard router. *)
+type target =
+  | Single of Engine.t
+  | Cluster of Shard.t
+
 val parse : string -> (command option, string) result
 (** [Ok None] for blank/comment lines; [Error] explains a malformed
-    request. *)
+    request. Sizes must be positive and budgets non-negative — rejected
+    here, before any engine is touched. *)
 
-val execute : Engine.t -> command -> string list
+val execute : target -> command -> string list
 (** Response lines for one command (never raises on user input). *)
 
-val handle_line : Engine.t -> string -> string list * verdict
-(** [parse] + [execute], turning parse errors into [ERR] lines. *)
+val handle_line : ?line:int -> target -> string -> string list * verdict
+(** [parse] + [execute], turning parse errors into [ERR] lines —
+    prefixed ["line %d:"] when [line] (the 1-based session line number)
+    is given. *)
 
 val export_metrics : Engine.t -> unit
-(** Export the engine's live stats into the current metrics registry as
-    gauges and counters (idempotent — uses set, not add). [METRICS]
-    replies and the daemon's [--metrics-file] dump both run this before
-    rendering through [Rebal_obs.Expo]. *)
+(** Export one engine's live stats into the current metrics registry as
+    gauges and counters (idempotent — uses set, not add). *)
 
-val metrics_lines : Engine.t -> string list
-(** The [METRICS] reply: the engine's live stats exported into the
-    current registry, then the Prometheus text exposition line by line,
-    terminated by ["# EOF"]. Also used by the daemon's [--metrics-file]
-    dump. *)
+val export_target : target -> unit
+(** {!export_metrics} for a whole target: a cluster exports per-shard
+    series labeled [shard="<i>"] plus [rebal_cluster_*] aggregates.
+    [METRICS] replies and the daemon's [--metrics-file] dump both run
+    this before rendering through [Rebal_obs.Expo]. *)
 
-val greeting : Engine.t -> string
+val metrics_lines : target -> string list
+(** The [METRICS] reply: {!export_target}, then the Prometheus text
+    exposition line by line, terminated by ["# EOF"]. Also used by the
+    daemon's [--metrics-file] dump. *)
+
+val greeting : target -> string
 (** The [READY ...] banner sent when a session opens. *)

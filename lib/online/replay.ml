@@ -10,6 +10,9 @@ type outcome = {
   rebalances : int;
   moves : int;
   checks : int;
+  snapshots : int;
+  resumed : bool;
+  trigger : Engine.trigger;
   consistency_ok : bool;
 }
 
@@ -47,6 +50,14 @@ let engine_of_header (header : Journal.header) =
   | Some (Journal.Int m) when m >= 1 -> Engine.create ~m ()
   | _ -> fail "header is missing a positive integer \"m\" field"
 
+(* The trigger config the journal was recorded under. Headers written
+   before the config was recorded (only the policy name) fall back to
+   Manual — there is nothing to re-arm. *)
+let trigger_of_header (header : Journal.header) =
+  match List.assoc_opt "trigger_config" header.meta with
+  | None -> Ok Engine.Manual
+  | Some json -> Engine.trigger_of_json json
+
 let verify_makespan eng (ev : Journal.event) key =
   let want = get (Journal.int_field ev key) in
   let got = Engine.makespan eng in
@@ -62,9 +73,50 @@ let verify_load eng (ev : Journal.event) p =
   if got <> want then
     faill ev.line "replay diverged: processor %d load %d, journal recorded %d" p got want
 
-let apply eng (ev : Journal.event) st =
-  let rebalances, moves, checks = st in
+(* A mid-journal snapshot must be a faithful picture of the replayed
+   state: compare the structural fields of a freshly taken snapshot
+   against the recorded one. Counters are skipped — a recording made
+   under a live trigger counts auto-rebalances that replay re-executes
+   as manual ones. *)
+let verify_snapshot eng (ev : Journal.event) state =
+  let live = Engine.snapshot eng in
+  let get json name =
+    match json with Journal.Obj kvs -> List.assoc_opt name kvs | _ -> None
+  in
+  List.iter
+    (fun key ->
+      if get live key <> get state key then
+        faill ev.line "replay diverged: snapshot field %S does not match the replayed state"
+          key)
+    [ "m"; "next_seq"; "events_since_repair"; "jobs" ]
+
+let apply eng_ref (ev : Journal.event) st =
+  let eng = !eng_ref in
+  let rebalances, moves, checks, snapshots, resumed = st in
   match ev.kind with
+  | "snapshot" ->
+    let state =
+      match Journal.field ev "state" with
+      | Some state -> state
+      | None -> faill ev.line "snapshot event: missing state"
+    in
+    if ev.seq = 0 then begin
+      (* A compacted journal: the snapshot replaces genesis. Replay on a
+         Manual engine — recorded auto-repairs are re-applied explicitly
+         below, never re-fired. *)
+      match Engine.of_snapshot ~trigger:Engine.Manual state with
+      | Error msg -> faill ev.line "snapshot event: %s" msg
+      | Ok resumed_eng ->
+        if Engine.m resumed_eng <> Engine.m eng then
+          faill ev.line "snapshot event: snapshot has m=%d, header recorded m=%d"
+            (Engine.m resumed_eng) (Engine.m eng);
+        eng_ref := resumed_eng;
+        (rebalances, moves, checks, snapshots + 1, true)
+    end
+    else begin
+      verify_snapshot eng ev state;
+      (rebalances, moves, checks, snapshots + 1, resumed)
+    end
   | "add" ->
     let id = get (Journal.str_field ev "id") in
     let size = get (Journal.int_field ev "size") in
@@ -124,7 +176,7 @@ let apply eng (ev : Journal.event) st =
             want.Engine.dst)
       (List.combine got_moves want_moves);
     verify_makespan eng ev "makespan_after";
-    (rebalances + 1, moves + List.length got_moves, checks)
+    (rebalances + 1, moves + List.length got_moves, checks, snapshots, resumed)
   | "check" ->
     let k = get (Journal.int_field ev "k") in
     let want_ok = get (Journal.bool_field ev "ok") in
@@ -132,34 +184,47 @@ let apply eng (ev : Journal.event) st =
     if got_ok <> want_ok then
       faill ev.line "replay diverged: consistency check %b, journal recorded %b" got_ok
         want_ok;
-    (rebalances, moves, checks + 1)
+    (rebalances, moves, checks + 1, snapshots, resumed)
   | kind -> faill ev.line "unknown event kind %S" kind
 
-let run (header, evs) =
+let run_engine (header, evs) =
   try
-    let eng = engine_of_header header in
-    let rebalances, moves, checks =
-      List.fold_left (fun st ev -> apply eng ev st) (0, 0, 0) evs
+    let eng = ref (engine_of_header header) in
+    let rebalances, moves, checks, snapshots, resumed =
+      List.fold_left (fun st ev -> apply eng ev st) (0, 0, 0, 0, false) evs
     in
+    let eng = !eng in
     let final_jobs = Engine.job_count eng in
     let consistency_ok =
       final_jobs = 0 || Engine.check_consistency eng ~k:final_jobs
     in
     if not consistency_ok then
       fail "replayed state fails check_consistency against the batch solver";
+    (* Re-arm the recorded trigger config: a journal recorded under
+       --auto-* must not silently come back as Manual when the replayed
+       engine is put back into service. *)
+    let trigger = get (trigger_of_header header) in
+    Engine.set_trigger eng trigger;
     Ok
-      {
-        header;
-        m = Engine.m eng;
-        events = List.length evs;
-        final_jobs;
-        final_makespan = Engine.makespan eng;
-        rebalances;
-        moves;
-        checks;
-        consistency_ok;
-      }
+      ( eng,
+        {
+          header;
+          m = Engine.m eng;
+          events = List.length evs;
+          final_jobs;
+          final_makespan = Engine.makespan eng;
+          rebalances;
+          moves;
+          checks;
+          snapshots;
+          resumed;
+          trigger;
+          consistency_ok;
+        } )
   with Fail msg -> Error msg
+
+let run parsed = Result.map snd (run_engine parsed)
+let resume = run_engine
 
 let run_file path =
   match Journal.parse_file path with
@@ -168,9 +233,56 @@ let run_file path =
 
 let summary o =
   Printf.sprintf
-    "replay OK: %d events over m=%d -> %d jobs, makespan %d; re-executed %d rebalances \
-     (%d moves), re-verified %d recorded checks, final check_consistency passed"
-    o.events o.m o.final_jobs o.final_makespan o.rebalances o.moves o.checks
+    "replay OK: %d events over m=%d%s -> %d jobs, makespan %d; re-executed %d rebalances \
+     (%d moves), re-verified %d recorded checks, final check_consistency passed%s"
+    o.events o.m
+    (if o.resumed then " (resumed from snapshot)" else "")
+    o.final_jobs o.final_makespan o.rebalances o.moves o.checks
+    (match o.trigger with
+    | Engine.Manual -> ""
+    | t -> Printf.sprintf "; re-armed %s trigger" (Engine.trigger_name t))
+
+(* ----- compaction ----- *)
+
+let compact (header, evs) =
+  let is_snapshot (ev : Journal.event) = ev.kind = "snapshot" in
+  let renumber evs =
+    List.mapi (fun i (ev : Journal.event) -> { ev with Journal.seq = i }) evs
+  in
+  let rendered header evs =
+    Journal.render_header header :: List.map Journal.render_event evs
+  in
+  if List.exists is_snapshot evs then begin
+    (* Keep the suffix from the latest snapshot on; everything before it
+       is reconstructible from the snapshot itself. *)
+    let rec split dropped = function
+      | [] -> assert false
+      | ev :: rest when is_snapshot ev && not (List.exists is_snapshot rest) ->
+        (dropped, ev :: rest)
+      | _ :: rest -> split (dropped + 1) rest
+    in
+    let dropped, kept = split 0 evs in
+    Ok (rendered header (renumber kept), dropped, List.length kept)
+  end
+  else
+    (* No snapshot recorded: replay (verifying the whole journal) and
+       compact to a single snapshot of the final state. *)
+    match run_engine (header, evs) with
+    | Error msg -> Error msg
+    | Ok (eng, _) ->
+      let ts_ns =
+        match List.rev evs with [] -> 0 | last :: _ -> last.Journal.ts_ns
+      in
+      let snap =
+        {
+          Journal.seq = 0;
+          ts_ns;
+          kind = "snapshot";
+          fields = [ ("state", Engine.snapshot eng) ];
+          line = 0;
+        }
+      in
+      Ok (rendered header [ snap ], List.length evs, 1)
 
 (* ----- provenance views ----- *)
 

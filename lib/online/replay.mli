@@ -9,11 +9,17 @@
     recorded [trigger] events are informational (replay never consults a
     wall clock, which is what makes [Every_seconds] sessions
     replayable); recorded [check] events re-run [check_consistency] and
-    compare verdicts. A divergence is an [Error] naming the journal
-    line, in the [Rebal_core.Io] style. After the last event the replay
-    runs a full-budget [Engine.check_consistency], so a clean [run]
-    certifies that the journal reconstructs a state whose makespan,
-    loads and placement are bit-identical to what the recorder saw.
+    compare verdicts. A recorded [snapshot] event at sequence 0 (a
+    compacted journal) replaces genesis — replay resumes from its state
+    instead of re-executing history; a mid-journal snapshot is verified
+    structurally against the replayed state. A divergence is an [Error]
+    naming the journal line, in the [Rebal_core.Io] style. After the
+    last event the replay runs a full-budget [Engine.check_consistency],
+    so a clean [run] certifies that the journal reconstructs a state
+    whose makespan, loads and placement are bit-identical to what the
+    recorder saw. Finally the trigger config recorded in the header is
+    re-armed on the replayed engine, so a journal recorded under
+    [--auto-*] does not silently come back as [Manual].
 
     The [explain_*] functions are the other consumer: they render
     decision provenance straight from the parsed journal, no engine
@@ -24,12 +30,15 @@ module Journal = Rebal_obs.Journal
 type outcome = {
   header : Journal.header;
   m : int;
-  events : int;  (** journal events applied (triggers included) *)
+  events : int;  (** journal events applied (triggers and snapshots included) *)
   final_jobs : int;
   final_makespan : int;
   rebalances : int;  (** repair passes re-executed *)
   moves : int;  (** relocations across all re-executed repairs *)
   checks : int;  (** recorded [check] events re-verified *)
+  snapshots : int;  (** [snapshot] events seen (resume point included) *)
+  resumed : bool;  (** true when the journal opened with a snapshot *)
+  trigger : Engine.trigger;  (** the re-armed recorded trigger config *)
   consistency_ok : bool;  (** the final full-budget [check_consistency] *)
 }
 
@@ -37,6 +46,24 @@ val run : Journal.header * Journal.event list -> (outcome, string) result
 (** Replay an already-parsed journal. [Error] on a wrong producer tag or
     version, malformed fields, or any divergence from the recording —
     all ["line %d: ..."]. *)
+
+val resume :
+  Journal.header * Journal.event list -> (Engine.t * outcome, string) result
+(** Like {!run}, but also hands back the replayed engine — verified,
+    trigger re-armed, journal-detached — ready to be put back into
+    service ([serve --journal] restarts through this). *)
+
+val trigger_of_header : Journal.header -> (Engine.trigger, string) result
+(** The trigger config recorded in the header's [trigger_config] field;
+    [Manual] for journals that predate it. *)
+
+val compact : Journal.header * Journal.event list -> (string list * int * int, string) result
+(** Compact a journal: drop every event before the latest recorded
+    [snapshot] (sequence numbers renumbered from 0), or — when none was
+    recorded — replay the whole journal (verifying it) and emit a single
+    snapshot of the final state. Returns the rendered lines of the
+    compacted journal (header first, no trailing newlines) plus the
+    number of events dropped and kept. *)
 
 val run_file : string -> (outcome, string) result
 (** [Journal.parse_file] then {!run}. *)

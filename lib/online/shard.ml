@@ -1,0 +1,336 @@
+module Journal = Rebal_obs.Journal
+
+type move = Engine.move = {
+  id : string;
+  src : int;
+  dst : int;
+}
+
+type stats = {
+  shards : int;
+  jobs : int;
+  procs : int;
+  makespan : int;
+  total_size : int;
+  imbalance : float;
+  events : int;
+  adds : int;
+  removes : int;
+  resizes : int;
+  rebalances : int;
+  auto_rebalances : int;
+  trigger_firings : int;
+  moved : int;
+  inter_moves : int;
+  consistency_checks : int;
+  consistency_failures : int;
+}
+
+type t = {
+  shards : Engine.t array;
+  offsets : int array;  (* shard i owns global procs [offsets.(i), offsets.(i) + m_i) *)
+  m : int;
+  (* Consistent-hash ring: sorted (point, shard) pairs; a job id hashes
+     to the first point at or after its hash (wrapping). Virtual nodes
+     smooth the split so no shard owns a disproportionate arc. *)
+  ring : (int * int) array;
+  (* id -> shard. Placement starts as pure hashing, but inter-shard
+     moves break hash residency, so membership is authoritative here;
+     the ring only decides where a *new* id lands. *)
+  directory : (string, int) Hashtbl.t;
+  mutable inter_moves : int;
+}
+
+(* FNV-1a, 32-bit, finished with murmur3's fmix32 avalanche: stable
+   across runs and OCaml versions, unlike [Hashtbl.hash] which is
+   documented to vary. Raw FNV-1a clusters badly on short sequential
+   ids ("j0".."j9999" share their high bits), which skews both the
+   vnode arcs and the job placement; the finalizer disperses them. *)
+let hash32 s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF) s;
+  let h = ref (!h lxor (!h lsr 16)) in
+  h := !h * 0x85ebca6b land 0xFFFFFFFF;
+  h := !h lxor (!h lsr 13);
+  h := !h * 0xc2b2ae35 land 0xFFFFFFFF;
+  !h lxor (!h lsr 16)
+
+let ring_points_per_shard = 64
+
+let make_ring shards =
+  let points = Array.init (shards * ring_points_per_shard) (fun i ->
+      let shard = i / ring_points_per_shard and replica = i mod ring_points_per_shard in
+      (hash32 (Printf.sprintf "shard:%d:%d" shard replica), shard))
+  in
+  Array.sort compare points;
+  points
+
+let ring_lookup ring h =
+  (* Binary search for the first point with hash >= h, wrapping to the
+     first point past the top of the ring. *)
+  let n = Array.length ring in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst ring.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  snd ring.(if !lo = n then 0 else !lo)
+
+let offsets_of_engines engines =
+  let offsets = Array.make (Array.length engines) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i e ->
+      offsets.(i) <- !acc;
+      acc := !acc + Engine.m e)
+    engines;
+  (offsets, !acc)
+
+let create ?trigger ?clock ?journal_for ~m ~shards () =
+  if shards < 1 then invalid_arg "Shard.create: need at least one shard";
+  if m < shards then invalid_arg "Shard.create: need at least one processor per shard";
+  let engines =
+    Array.init shards (fun i ->
+        let m_i = (m / shards) + if i < m mod shards then 1 else 0 in
+        let journal = match journal_for with None -> None | Some f -> f i in
+        Engine.create ?trigger ?clock ?journal ~m:m_i ())
+  in
+  let offsets, total = offsets_of_engines engines in
+  assert (total = m);
+  {
+    shards = engines;
+    offsets;
+    m;
+    ring = make_ring shards;
+    directory = Hashtbl.create 256;
+    inter_moves = 0;
+  }
+
+let of_engines engines =
+  let ( let* ) = Result.bind in
+  let* () =
+    if Array.length engines >= 1 then Ok () else Error "Shard.of_engines: need at least one engine"
+  in
+  let offsets, m = offsets_of_engines engines in
+  let directory = Hashtbl.create 256 in
+  let* () =
+    let exception Dup of string in
+    try
+      Array.iteri
+        (fun i e ->
+          Engine.fold_jobs e
+            (fun () ~id ~size:_ ~proc:_ ->
+              if Hashtbl.mem directory id then raise (Dup id);
+              Hashtbl.replace directory id i)
+            ())
+        engines;
+      Ok ()
+    with Dup id -> Error (Printf.sprintf "Shard.of_engines: job %s lives in two shards" id)
+  in
+  Ok
+    {
+      shards = engines;
+      offsets;
+      m;
+      ring = make_ring (Array.length engines);
+      directory;
+      inter_moves = 0;
+    }
+
+let shard_count t = Array.length t.shards
+let m t = t.m
+let engine t i = t.shards.(i)
+let offset t i = t.offsets.(i)
+let job_count t = Hashtbl.length t.directory
+let shard_of t id = Hashtbl.find_opt t.directory id
+
+let home_shard t id =
+  match Hashtbl.find_opt t.directory id with
+  | Some s -> s
+  | None -> ring_lookup t.ring (hash32 id)
+
+let global t i p = t.offsets.(i) + p
+let translate t i moves = List.map (fun mv -> { mv with src = global t i mv.src; dst = global t i mv.dst }) moves
+
+let makespan t = Array.fold_left (fun acc e -> max acc (Engine.makespan e)) 0 t.shards
+
+let loads t =
+  let out = Array.make t.m 0 in
+  Array.iteri
+    (fun i e -> Array.blit (Engine.loads e) 0 out t.offsets.(i) (Engine.m e))
+    t.shards;
+  out
+
+let total_size t = Array.fold_left (fun acc e -> acc + (Engine.stats e).Engine.total_size) 0 t.shards
+let max_job_size t = Array.fold_left (fun acc e -> max acc (Engine.max_job_size e)) 0 t.shards
+
+(* Same ratio as [Engine.imbalance], over the global state: makespan /
+   max (average load across all m processors, largest live job). *)
+let imbalance t =
+  let total = total_size t in
+  if total = 0 then 1.0
+  else begin
+    let bound =
+      Float.max (float_of_int total /. float_of_int t.m) (float_of_int (max_job_size t))
+    in
+    float_of_int (makespan t) /. bound
+  end
+
+let mem t id = Hashtbl.mem t.directory id
+
+let find t id =
+  match Hashtbl.find_opt t.directory id with
+  | None -> None
+  | Some s ->
+    (match Engine.find t.shards.(s) id with
+    | None -> None
+    | Some (size, p) -> Some (size, global t s p))
+
+let add_job t ~id ~size =
+  if Hashtbl.mem t.directory id then Error (Printf.sprintf "job %s already present" id)
+  else begin
+    let s = home_shard t id in
+    match Engine.add_job t.shards.(s) ~id ~size with
+    | Error _ as e -> e
+    | Ok (p, moves) ->
+      Hashtbl.replace t.directory id s;
+      Ok (global t s p, translate t s moves)
+  end
+
+let remove_job t ~id =
+  match Hashtbl.find_opt t.directory id with
+  | None -> Error (Printf.sprintf "job %s not found" id)
+  | Some s ->
+    (match Engine.remove_job t.shards.(s) ~id with
+    | Error _ as e -> e
+    | Ok (p, moves) ->
+      Hashtbl.remove t.directory id;
+      Ok (global t s p, translate t s moves))
+
+let resize_job t ~id ~size =
+  match Hashtbl.find_opt t.directory id with
+  | None -> Error (Printf.sprintf "job %s not found" id)
+  | Some s ->
+    (match Engine.resize_job t.shards.(s) ~id ~size with
+    | Error _ as e -> e
+    | Ok (p, moves) -> Ok (global t s p, translate t s moves))
+
+(* The bounded cross-shard pass. Per-shard GREEDY repair cannot lower a
+   peak held by a shard whose every processor is hot, so up to [k]
+   times: lift the job a repair pass would lift first (largest job on
+   the globally most-loaded processor) and hand it to the least-loaded
+   processor of any *other* shard, but only when that actually lands
+   below the current peak. Transfers go through the ordinary
+   remove/add path, so per-shard journals stay replayable and the
+   directory is the single source of residency truth. *)
+let inter_pass t ~k =
+  let moves = ref [] in
+  (try
+     for _ = 1 to k do
+       let a = ref 0 in
+       Array.iteri
+         (fun i e -> if Engine.makespan e > Engine.makespan t.shards.(!a) then a := i)
+         t.shards;
+       let a = !a in
+       let lmax = Engine.makespan t.shards.(a) in
+       if lmax = 0 then raise Exit;
+       match Engine.peek_heaviest t.shards.(a) with
+       | None -> raise Exit
+       | Some (id, size, psrc) ->
+         let b = ref (-1) and best = ref max_int in
+         Array.iteri
+           (fun i e ->
+             if i <> a then begin
+               let _, l = Engine.min_load e in
+               if l < !best then begin
+                 b := i;
+                 best := l
+               end
+             end)
+           t.shards;
+         if !b < 0 then raise Exit;
+         if !best + size >= lmax then raise Exit;
+         let auto_a =
+           match Engine.remove_job t.shards.(a) ~id with
+           | Ok (_, auto) -> auto
+           | Error e -> failwith ("Shard.rebalance: transfer remove: " ^ e)
+         in
+         let pdst, auto_b =
+           match Engine.add_job t.shards.(!b) ~id ~size with
+           | Ok (p, auto) -> (p, auto)
+           | Error e -> failwith ("Shard.rebalance: transfer add: " ^ e)
+         in
+         Hashtbl.replace t.directory id !b;
+         t.inter_moves <- t.inter_moves + 1;
+         moves :=
+           List.rev_append
+             (translate t !b auto_b)
+             ({ id; src = global t a psrc; dst = global t !b pdst }
+             :: List.rev_append (translate t a auto_a) !moves)
+     done
+   with Exit -> ());
+  List.rev !moves
+
+let rebalance t ~k =
+  if k < 0 then invalid_arg "Shard.rebalance: negative k";
+  let internal = ref [] in
+  Array.iteri
+    (fun i e -> internal := List.rev_append (translate t i (Engine.rebalance e ~k)) !internal)
+    t.shards;
+  List.rev !internal @ inter_pass t ~k
+
+let stats t =
+  let agg = Array.map Engine.stats t.shards in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 agg in
+  {
+    shards = Array.length t.shards;
+    jobs = job_count t;
+    procs = t.m;
+    makespan = makespan t;
+    total_size = sum (fun s -> s.Engine.total_size);
+    imbalance = imbalance t;
+    events = sum (fun s -> s.Engine.events);
+    adds = sum (fun s -> s.Engine.adds);
+    removes = sum (fun s -> s.Engine.removes);
+    resizes = sum (fun s -> s.Engine.resizes);
+    rebalances = sum (fun s -> s.Engine.rebalances);
+    auto_rebalances = sum (fun s -> s.Engine.auto_rebalances);
+    trigger_firings = sum (fun s -> s.Engine.trigger_firings);
+    moved = sum (fun s -> s.Engine.moved);
+    inter_moves = t.inter_moves;
+    consistency_checks = sum (fun s -> s.Engine.consistency_checks);
+    consistency_failures = sum (fun s -> s.Engine.consistency_failures);
+  }
+
+let shard_stats t = Array.map Engine.stats t.shards
+
+let check_consistency t ~k =
+  (* Directory integrity first: every directory entry must live in the
+     shard it names, and no shard may hold a job the directory missed. *)
+  let directory_ok =
+    Hashtbl.fold (fun id s acc -> acc && Engine.mem t.shards.(s) id) t.directory true
+    && Hashtbl.length t.directory
+       = Array.fold_left (fun acc e -> acc + Engine.job_count e) 0 t.shards
+  in
+  directory_ok
+  && Array.for_all (fun e -> Engine.check_consistency e ~k) t.shards
+
+let journal_snapshot t =
+  let missing = ref [] in
+  Array.iteri
+    (fun i e -> if Engine.journal e = None then missing := i :: !missing)
+    t.shards;
+  match !missing with
+  | _ :: _ ->
+    Error
+      (Printf.sprintf "no journal attached to shard %s"
+         (String.concat ", " (List.rev_map string_of_int !missing)))
+  | [] ->
+    Ok
+      (Array.to_list
+         (Array.mapi
+            (fun i e ->
+              match Engine.journal_snapshot e with
+              | Ok seq -> (i, seq)
+              | Error e -> failwith ("Shard.journal_snapshot: " ^ e))
+            t.shards))

@@ -222,7 +222,8 @@ let test_trigger_wall_clock () =
 
 (* --- the serve protocol -------------------------------------------------- *)
 
-let run_session eng lines = List.concat_map (fun l -> fst (Protocol.handle_line eng l)) lines
+let run_session eng lines =
+  List.concat_map (fun l -> fst (Protocol.handle_line (Protocol.Single eng) l)) lines
 
 let test_protocol_round_trip () =
   let eng = Engine.create ~m:2 () in
@@ -282,7 +283,7 @@ let test_protocol_errors_and_verdicts () =
   let eng = Engine.create ~m:2 () in
   let starts_with p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
   let err line =
-    match Protocol.handle_line eng line with
+    match Protocol.handle_line (Protocol.Single eng) line with
     | [ msg ], Protocol.Continue -> starts_with "ERR " msg
     | _ -> false
   in
@@ -292,10 +293,10 @@ let test_protocol_errors_and_verdicts () =
   check_bool "negative k" true (err "REBALANCE -1");
   check_bool "missing job" true (err "REMOVE ghost");
   check_bool "engine untouched by errors" true (Engine.job_count eng = 0);
-  (match Protocol.handle_line eng "QUIT" with
+  (match Protocol.handle_line (Protocol.Single eng) "QUIT" with
   | [ "BYE" ], Protocol.Close -> ()
   | _ -> Alcotest.fail "QUIT must close the session");
-  (match Protocol.handle_line eng "SHUTDOWN" with
+  (match Protocol.handle_line (Protocol.Single eng) "SHUTDOWN" with
   | [ "BYE" ], Protocol.Stop -> ()
   | _ -> Alcotest.fail "SHUTDOWN must stop the daemon");
   (* REBALANCE with no argument means an unbounded repair. *)
@@ -438,7 +439,7 @@ let test_replay_rejects_corruption () =
 
 let test_protocol_journal_verb () =
   let bare = Engine.create ~m:2 () in
-  (match Protocol.handle_line bare "JOURNAL" with
+  (match Protocol.handle_line (Protocol.Single bare) "JOURNAL" with
   | [ msg ], Protocol.Continue ->
     check_bool "ERR without a sink" true (starts_with "ERR no journal" msg)
   | _ -> Alcotest.fail "JOURNAL without sink must ERR");
@@ -453,6 +454,135 @@ let test_protocol_journal_verb () =
   match run_session eng [ "JOURNAL -1" ] with
   | [ msg ] -> check_bool "negative n rejected" true (starts_with "ERR " msg)
   | _ -> Alcotest.fail "JOURNAL -1 must ERR"
+
+(* --- snapshots and compaction -------------------------------------------- *)
+
+let prop_snapshot_roundtrip =
+  QCheck2.Test.make ~name:"snapshot |> of_snapshot bit-matches the engine" ~count:300
+    event_sequence_gen
+    (fun (m, events, k) ->
+      let eng = Engine.create ~m () in
+      apply_events eng events;
+      ignore (Engine.rebalance eng ~k);
+      let s = Engine.snapshot eng in
+      match Engine.of_snapshot s with
+      | Error _ -> false
+      | Ok eng' ->
+        Engine.loads eng' = Engine.loads eng
+        && Engine.makespan eng' = Engine.makespan eng
+        && Engine.job_count eng' = Engine.job_count eng
+        && Engine.stats eng' = Engine.stats eng
+        (* The restored engine must be byte-stable: snapshotting it again
+           yields the identical document (job seqs survived, so repair
+           tie-breaks will too). *)
+        && Journal.render_json (Engine.snapshot eng') = Journal.render_json s
+        (* And it must keep behaving identically: the same repair budget
+           produces the same moves on both. *)
+        && Engine.rebalance eng' ~k = Engine.rebalance eng ~k
+        && Engine.check_consistency eng' ~k:max_int)
+
+let prop_compacted_replay_equals_full =
+  QCheck2.Test.make ~name:"compacted-journal replay equals full-journal replay" ~count:200
+    event_sequence_gen
+    (fun (m, events, k) ->
+      let eng, buf = journaled_engine m in
+      (* Split the stream around a mid-session snapshot, the way a live
+         daemon periodically checkpoints. *)
+      let half = List.length events / 2 in
+      apply_events eng (List.filteri (fun i _ -> i < half) events);
+      (match Engine.journal_snapshot eng with Ok _ -> () | Error e -> failwith e);
+      apply_events eng (List.filteri (fun i _ -> i >= half) events);
+      ignore (Engine.rebalance eng ~k);
+      let parsed = Result.get_ok (Journal.parse_string (Buffer.contents buf)) in
+      match (Replay.run parsed, Replay.compact parsed) with
+      | Ok full, Ok (lines, dropped, kept) -> begin
+        match Journal.parse_string (String.concat "\n" lines) with
+        | Error _ -> false
+        | Ok compacted -> begin
+          match Replay.run compacted with
+          | Error _ -> false
+          | Ok resumed ->
+            resumed.Replay.final_makespan = full.Replay.final_makespan
+            && resumed.Replay.final_jobs = full.Replay.final_jobs
+            && resumed.Replay.consistency_ok && full.Replay.consistency_ok
+            && resumed.Replay.resumed
+            && resumed.Replay.events = kept
+            && full.Replay.events = dropped + kept
+            && resumed.Replay.final_makespan = Engine.makespan eng
+        end
+      end
+      | _ -> false)
+
+let test_trigger_rearm_from_header () =
+  (* A journal recorded under an auto trigger must not replay as Manual:
+     the header's trigger_config is re-armed on the replayed engine. *)
+  let trigger = Engine.Every_events { events = 3; k = 2 } in
+  let eng, buf = journaled_engine ~trigger 4 in
+  List.iteri (fun i size -> ignore (add eng (Printf.sprintf "j%d" i) size)) [ 60; 50; 10; 5 ];
+  let parsed = Result.get_ok (Journal.parse_string (Buffer.contents buf)) in
+  (match Replay.run parsed with
+  | Error e -> Alcotest.failf "replay failed: %s" e
+  | Ok o ->
+    check_bool "outcome carries the recorded trigger" true (o.Replay.trigger = trigger);
+    check_bool "summary mentions the re-arm" true
+      (contains "re-armed every_events trigger" (Replay.summary o)));
+  match Replay.resume parsed with
+  | Error e -> Alcotest.failf "resume failed: %s" e
+  | Ok (eng', o) ->
+    check_bool "resumed engine is armed" true (Engine.trigger eng' = trigger);
+    check_int "resumed engine state matches" o.Replay.final_makespan (Engine.makespan eng');
+    (* The re-armed trigger must actually fire on the resumed engine. *)
+    ignore (add eng' "n1" 7);
+    ignore (add eng' "n2" 9);
+    ignore (add eng' "n3" 11);
+    check_bool "trigger fires after resume" true
+      ((Engine.stats eng').Engine.auto_rebalances >= 1)
+
+let test_protocol_parse_validation () =
+  let eng = Engine.create ~m:2 () in
+  let err line =
+    match Protocol.handle_line (Protocol.Single eng) line with
+    | [ msg ], Protocol.Continue -> msg
+    | _ -> Alcotest.failf "expected a single ERR for %S" line
+  in
+  (* Non-positive sizes are rejected at parse time — before the engine
+     sees them — and the session line number is in the message. *)
+  check_bool "ADD size 0" true (contains "size must be positive" (err "ADD x 0"));
+  check_bool "ADD size negative" true (contains "size must be positive" (err "ADD x -5"));
+  check_bool "RESIZE size 0" true (contains "size must be positive" (err "RESIZE x 0"));
+  check_int "parse errors left no job behind" 0 (Engine.job_count eng);
+  (match Protocol.handle_line ~line:7 (Protocol.Single eng) "ADD x 0" with
+  | [ msg ], Protocol.Continue ->
+    check_bool ("line-numbered: " ^ msg) true (starts_with "ERR line 7: " msg)
+  | _ -> Alcotest.fail "expected a line-numbered ERR");
+  match Protocol.handle_line ~line:9 (Protocol.Single eng) "ADD ok 5" with
+  | [ msg ], Protocol.Continue -> check_bool "success lines are unprefixed" true (starts_with "PLACED" msg)
+  | _ -> Alcotest.fail "valid ADD must succeed"
+
+let test_protocol_snapshot_verb () =
+  let bare = Engine.create ~m:2 () in
+  (match Protocol.handle_line (Protocol.Single bare) "SNAPSHOT" with
+  | [ msg ], Protocol.Continue ->
+    check_bool "ERR without a sink" true (starts_with "ERR no journal" msg)
+  | _ -> Alcotest.fail "SNAPSHOT without sink must ERR");
+  let eng, buf = journaled_engine 2 in
+  ignore (run_session eng [ "ADD a 10"; "ADD b 20" ]);
+  (match run_session eng [ "SNAPSHOT" ] with
+  | [ msg ] -> check_bool ("acknowledged: " ^ msg) true (starts_with "SNAPSHOTTED seq=" msg)
+  | _ -> Alcotest.fail "SNAPSHOT must answer one line");
+  (* The snapshot lands in the journal and compaction collapses to it. *)
+  let parsed = Result.get_ok (Journal.parse_string (Buffer.contents buf)) in
+  match Replay.compact parsed with
+  | Error e -> Alcotest.failf "compact failed: %s" e
+  | Ok (lines, dropped, kept) ->
+    check_int "both adds dropped" 2 dropped;
+    check_int "snapshot kept" 1 kept;
+    check_int "header + snapshot" 2 (List.length lines);
+    (match Replay.run (Result.get_ok (Journal.parse_string (String.concat "\n" lines))) with
+    | Error e -> Alcotest.failf "compacted replay failed: %s" e
+    | Ok o ->
+      check_bool "resumed from the snapshot" true o.Replay.resumed;
+      check_int "state preserved" (Engine.makespan eng) o.Replay.final_makespan)
 
 let () =
   Alcotest.run "rebal_online"
@@ -493,5 +623,15 @@ let () =
             test_auto_trigger_session_replays;
           Alcotest.test_case "corruption rejected with line numbers" `Quick
             test_replay_rejects_corruption;
+        ] );
+      ( "snapshots",
+        [
+          QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+          QCheck_alcotest.to_alcotest prop_compacted_replay_equals_full;
+          Alcotest.test_case "trigger re-armed from header" `Quick
+            test_trigger_rearm_from_header;
+          Alcotest.test_case "parse-time size validation" `Quick
+            test_protocol_parse_validation;
+          Alcotest.test_case "SNAPSHOT verb" `Quick test_protocol_snapshot_verb;
         ] );
     ]

@@ -1,0 +1,203 @@
+(* Sharded router tests: the qcheck stream property (every shard's
+   bounded-repair invariant plus directory integrity must hold for
+   S ∈ {1, 2, 8}), global-state accounting, the cross-shard move pass,
+   and construction/validation edges. *)
+
+module Engine = Rebal_online.Engine
+module Shard = Rebal_online.Shard
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected shard error: %s" e
+
+(* The same adversarial stream shape as the engine suite, but with
+   m >= 8 so an 8-way split is constructible. *)
+let stream_gen =
+  let open QCheck2 in
+  Gen.(
+    let* m = int_range 8 16 in
+    let id = map (fun i -> Printf.sprintf "j%d" i) (int_range 0 24) in
+    let* events =
+      list_size (int_range 0 80)
+        (oneof
+           [
+             map2 (fun id size -> `Add (id, size)) id (int_range 1 60);
+             map (fun id -> `Remove id) id;
+             map2 (fun id size -> `Resize (id, size)) id (int_range 1 60);
+             map (fun k -> `Rebalance k) (int_range 0 8);
+           ])
+    in
+    let* k = int_range 0 20 in
+    return (m, events, k))
+
+let apply_events sh events =
+  List.iter
+    (fun ev ->
+      (* Errors (duplicate adds, missing removes) are part of the stream:
+         the router must reject them without corrupting the directory. *)
+      match ev with
+      | `Add (id, size) -> ignore (Shard.add_job sh ~id ~size)
+      | `Remove id -> ignore (Shard.remove_job sh ~id)
+      | `Resize (id, size) -> ignore (Shard.resize_job sh ~id ~size)
+      | `Rebalance k -> ignore (Shard.rebalance sh ~k))
+    events
+
+let prop_sharded_stream_consistent =
+  QCheck2.Test.make
+    ~name:"sharded stream: check_consistency holds for S in {1,2,8}" ~count:200 stream_gen
+    (fun (m, events, k) ->
+      List.for_all
+        (fun shards ->
+          let sh = Shard.create ~m ~shards () in
+          apply_events sh events;
+          let loads = Shard.loads sh in
+          Shard.check_consistency sh ~k
+          && Shard.check_consistency sh ~k:max_int
+          && Array.length loads = m
+          && Array.fold_left ( + ) 0 loads = (Shard.stats sh).Shard.total_size
+          && Array.fold_left max 0 loads = Shard.makespan sh
+          && Shard.job_count sh
+             = List.fold_left
+                 (fun acc e -> acc + Engine.job_count e)
+                 0
+                 (Array.to_list (Array.init shards (Shard.engine sh))))
+        [ 1; 2; 8 ])
+
+let prop_single_shard_matches_engine =
+  QCheck2.Test.make ~name:"S=1 router behaves exactly like a bare engine" ~count:200
+    stream_gen
+    (fun (m, events, k) ->
+      let sh = Shard.create ~m ~shards:1 () in
+      let eng = Engine.create ~m () in
+      apply_events sh events;
+      List.iter
+        (fun ev ->
+          match ev with
+          | `Add (id, size) -> ignore (Engine.add_job eng ~id ~size)
+          | `Remove id -> ignore (Engine.remove_job eng ~id)
+          | `Resize (id, size) -> ignore (Engine.resize_job eng ~id ~size)
+          | `Rebalance k -> ignore (Engine.rebalance eng ~k))
+        events;
+      ignore (Shard.rebalance sh ~k);
+      ignore (Engine.rebalance eng ~k);
+      Shard.loads sh = Engine.loads eng
+      && Shard.makespan sh = Engine.makespan eng
+      && Shard.job_count sh = Engine.job_count eng)
+
+let test_routing_is_sticky () =
+  let sh = Shard.create ~m:8 ~shards:4 () in
+  for i = 0 to 199 do
+    ignore (ok (Shard.add_job sh ~id:(Printf.sprintf "j%d" i) ~size:(1 + (i mod 17))))
+  done;
+  check_int "all jobs present" 200 (Shard.job_count sh);
+  for i = 0 to 199 do
+    let id = Printf.sprintf "j%d" i in
+    match Shard.shard_of sh id with
+    | None -> Alcotest.failf "%s lost by the directory" id
+    | Some s ->
+      check_bool "directory agrees with the shard" true (Engine.mem (Shard.engine sh s) id);
+      (* find translates the per-shard processor into the global index. *)
+      (match Shard.find sh id with
+      | Some (_, p) ->
+        check_bool "global proc in the shard's range" true
+          (p >= Shard.offset sh s && p < Shard.offset sh s + Engine.m (Shard.engine sh s))
+      | None -> Alcotest.fail "find lost a live job")
+  done;
+  (* Re-adding after a remove lands back on the hash-home shard. *)
+  let home = Option.get (Shard.shard_of sh "j7") in
+  ignore (ok (Shard.remove_job sh ~id:"j7"));
+  check_bool "removed from directory" false (Shard.mem sh "j7");
+  ignore (ok (Shard.add_job sh ~id:"j7" ~size:3));
+  check_int "hash routing is deterministic" home (Option.get (Shard.shard_of sh "j7"))
+
+let test_inter_shard_move () =
+  (* Two single-processor shards, all load on the first: per-shard repair
+     cannot help (one processor is trivially balanced), so only the
+     cross-shard pass can lower the global peak. *)
+  let e0 = Engine.create ~m:1 () and e1 = Engine.create ~m:1 () in
+  ignore (Engine.add_job e0 ~id:"big" ~size:100);
+  ignore (Engine.add_job e0 ~id:"small" ~size:60);
+  let sh = ok (Shard.of_engines [| e0; e1 |]) in
+  check_int "peak before" 160 (Shard.makespan sh);
+  let moves = Shard.rebalance sh ~k:8 in
+  check_int "peak after the cross-shard transfer" 100 (Shard.makespan sh);
+  check_int "exactly one transfer" 1 (List.length moves);
+  (match moves with
+  | [ mv ] ->
+    check Alcotest.string "the big job moved" "big" mv.Shard.id;
+    check_int "from global proc 0" 0 mv.Shard.src;
+    check_int "to global proc 1" 1 mv.Shard.dst
+  | _ -> Alcotest.fail "expected the single transfer as a move");
+  check_int "directory follows the move" 1 (Option.get (Shard.shard_of sh "big"));
+  check_int "inter_moves counted" 1 (Shard.stats sh).Shard.inter_moves;
+  check_bool "still consistent" true (Shard.check_consistency sh ~k:8);
+  (* No further improvement is possible: the pass must not thrash. *)
+  check_int "idempotent" 0 (List.length (Shard.rebalance sh ~k:8))
+
+let test_of_engines_rejects_duplicates () =
+  let e0 = Engine.create ~m:1 () and e1 = Engine.create ~m:1 () in
+  ignore (Engine.add_job e0 ~id:"x" ~size:5);
+  ignore (Engine.add_job e1 ~id:"x" ~size:7);
+  match Shard.of_engines [| e0; e1 |] with
+  | Ok _ -> Alcotest.fail "duplicate residency accepted"
+  | Error e -> check_bool ("names the job: " ^ e) true (String.length e > 0)
+
+let test_create_validation () =
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Shard.create: need at least one shard") (fun () ->
+      ignore (Shard.create ~m:4 ~shards:0 ()));
+  Alcotest.check_raises "more shards than processors"
+    (Invalid_argument "Shard.create: need at least one processor per shard") (fun () ->
+      ignore (Shard.create ~m:2 ~shards:3 ()));
+  (* Uneven splits hand the remainder to the first shards. *)
+  let sh = Shard.create ~m:7 ~shards:3 () in
+  check_int "shard 0 procs" 3 (Engine.m (Shard.engine sh 0));
+  check_int "shard 1 procs" 2 (Engine.m (Shard.engine sh 1));
+  check_int "shard 2 procs" 2 (Engine.m (Shard.engine sh 2));
+  check_int "offsets partition" 3 (Shard.offset sh 1);
+  check_int "offsets partition" 5 (Shard.offset sh 2);
+  match Shard.journal_snapshot sh with
+  | Ok _ -> Alcotest.fail "snapshot without journals must fail"
+  | Error e -> check_bool "names the missing sinks" true (String.length e > 0)
+
+let test_aggregated_stats () =
+  let sh = Shard.create ~m:8 ~shards:2 () in
+  for i = 0 to 49 do
+    ignore (ok (Shard.add_job sh ~id:(Printf.sprintf "j%d" i) ~size:(1 + (i mod 9))))
+  done;
+  ignore (Shard.rebalance sh ~k:4);
+  let st = Shard.stats sh in
+  check_int "shards" 2 st.Shard.shards;
+  check_int "jobs" 50 st.Shard.jobs;
+  check_int "procs" 8 st.Shard.procs;
+  check_int "adds summed" 50 st.Shard.adds;
+  check_int "makespan is the global peak" (Shard.makespan sh) st.Shard.makespan;
+  check_bool "imbalance sane" true (st.Shard.imbalance >= 1.0 -. 1e-9);
+  check_int "per-shard view has one entry per shard" 2
+    (Array.length (Shard.shard_stats sh))
+
+let () =
+  Alcotest.run "rebal_shard"
+    [
+      ( "stream properties",
+        [
+          QCheck_alcotest.to_alcotest prop_sharded_stream_consistent;
+          QCheck_alcotest.to_alcotest prop_single_shard_matches_engine;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "directory is sticky and global" `Quick test_routing_is_sticky;
+          Alcotest.test_case "cross-shard move pass" `Quick test_inter_shard_move;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "duplicate residency rejected" `Quick
+            test_of_engines_rejects_duplicates;
+          Alcotest.test_case "creation validation and splits" `Quick test_create_validation;
+          Alcotest.test_case "aggregated stats" `Quick test_aggregated_stats;
+        ] );
+    ]
