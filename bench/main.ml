@@ -1161,6 +1161,172 @@ let e19 () =
   Some factor
 
 (* ---------------------------------------------------------------------- *)
+(* E20 — failover cost: downtime-weighted makespan under shard kills.     *)
+(* ---------------------------------------------------------------------- *)
+
+let e20 () =
+  header "E20: self-healing failover (supervised cluster under shard kills)";
+  let module Engine = Rebal_online.Engine in
+  let module Shard = Rebal_online.Shard in
+  let module Supervisor = Rebal_online.Supervisor in
+  let module Replay = Rebal_online.Replay in
+  let shards = 8 and m = 32 in
+  let horizon = 400 and ops_per_step = 8 in
+  let kills = [ (2, 100); (5, 200) ] and down_for = 80 in
+  (* One driver, two schedules: the identical seeded workload runs once
+     with no faults and once with two mid-stream shard kills (each down
+     for 80 steps, evacuated, restored from its own journal, readmitted
+     and re-weighted). Scoring weights each step's makespan by
+     1 + (shards - serving), so downtime is charged on top of whatever
+     load imbalance the failover caused. *)
+  let drive ~faults () =
+    let live i t =
+      (not faults)
+      || not (List.exists (fun (s, st) -> s = i && t >= st && t < st + down_for) kills)
+    in
+    let buffers = Array.init shards (fun _ -> Buffer.create 4096) in
+    let cluster =
+      Shard.create
+        ~journal_for:(fun i ->
+          Some (Journal.create ~write:(Buffer.add_string buffers.(i)) ()))
+        ~m ~shards ()
+    in
+    let time = ref 0 in
+    let config =
+      {
+        Supervisor.default_config with
+        Supervisor.suspect_after = 1;
+        down_after = 2;
+        recovery_steps = 4;
+      }
+    in
+    let sup = Supervisor.create ~config ~probe:(fun i -> live i !time) cluster in
+    let model = Hashtbl.create 1024 in
+    let rng = Rng.create 120 in
+    let live_ids = ref (Array.make 1024 "") in
+    let count = ref 0 in
+    let push id =
+      if !count = Array.length !live_ids then begin
+        let bigger = Array.make (2 * Array.length !live_ids) "" in
+        Array.blit !live_ids 0 bigger 0 !count;
+        live_ids := bigger
+      end;
+      !live_ids.(!count) <- id;
+      incr count
+    in
+    let next = ref 0 in
+    let recovered = ref 0 in
+    let dw = ref 0.0 in
+    for t = 0 to horizon - 1 do
+      time := t;
+      ignore (Supervisor.tick sup);
+      for i = 0 to shards - 1 do
+        if Supervisor.health sup i = Supervisor.Down && live i t then begin
+          match
+            Result.bind (Journal.parse_string (Buffer.contents buffers.(i))) Replay.resume
+          with
+          | Error e -> failwith (pf "E20: shard %d restore failed: %s" i e)
+          | Ok (eng, outcome) ->
+            Engine.set_journal eng
+              (Some
+                 (Journal.create ~start_seq:outcome.Replay.events ~header_written:true
+                    ~write:(Buffer.add_string buffers.(i)) ()));
+            (match Supervisor.readmit sup i eng with
+            | Ok () -> incr recovered
+            | Error e -> failwith (pf "E20: shard %d readmission rejected: %s" i e))
+        end
+      done;
+      for _ = 1 to ops_per_step do
+        let r = Rng.float rng 1.0 in
+        if r < 0.6 || !count = 0 then begin
+          let id = pf "f%d" !next in
+          incr next;
+          let size = Rng.int_range rng 1 100 in
+          match Supervisor.add_job sup ~id ~size with
+          | Ok _ ->
+            Hashtbl.replace model id size;
+            push id
+          | Error e -> failwith ("E20: add rejected: " ^ e)
+        end
+        else begin
+          let j = Rng.int rng !count in
+          let id = !live_ids.(j) in
+          if r < 0.85 then (
+            match Supervisor.remove_job sup ~id with
+            | Ok _ ->
+              Hashtbl.remove model id;
+              !live_ids.(j) <- !live_ids.(!count - 1);
+              decr count
+            | Error e -> failwith ("E20: remove rejected: " ^ e))
+          else begin
+            let size = Rng.int_range rng 1 100 in
+            match Supervisor.resize_job sup ~id ~size with
+            | Ok _ -> Hashtbl.replace model id size
+            | Error e -> failwith ("E20: resize rejected: " ^ e)
+          end
+        end
+      done;
+      if (t + 1) mod 10 = 0 then ignore (Supervisor.rebalance sup ~k:16);
+      let serving = Supervisor.serving_shards sup in
+      dw :=
+        !dw +. (float_of_int (Shard.makespan cluster) *. float_of_int (1 + shards - serving))
+    done;
+    (* Audit: nothing lost, every journal still replays to the live state. *)
+    Hashtbl.iter
+      (fun id size ->
+        match Shard.find cluster id with
+        | Some (sz, _) when sz = size -> ()
+        | _ -> failwith (pf "E20: job %s lost or corrupted" id))
+      model;
+    if Shard.job_count cluster <> Hashtbl.length model then
+      failwith "E20: stray or duplicated jobs after failover";
+    if not (Shard.check_consistency cluster ~k:16) then
+      failwith "E20: cluster consistency check failed";
+    Array.iteri
+      (fun i buf ->
+        match Result.bind (Journal.parse_string (Buffer.contents buf)) Replay.resume with
+        | Error e -> failwith (pf "E20: shard %d journal replay: %s" i e)
+        | Ok (eng, _) ->
+          if
+            Engine.job_count eng <> Engine.job_count (Shard.engine cluster i)
+            || Engine.makespan eng <> Engine.makespan (Shard.engine cluster i)
+          then failwith (pf "E20: shard %d journal replay diverges" i))
+      buffers;
+    (!dw, !recovered, Supervisor.stats sup)
+  in
+  Gc.compact ();
+  let (dw_base, _, _), dt_base = Timer.time (fun () -> drive ~faults:false ()) in
+  Gc.compact ();
+  let (dw_fault, recovered, h), dt_fault = Timer.time (fun () -> drive ~faults:true ()) in
+  if recovered <> List.length kills then
+    failwith (pf "E20: only %d of %d killed shards were readmitted" recovered (List.length kills));
+  let ratio = dw_fault /. dw_base in
+  let t =
+    Table.create
+      ~title:
+        (pf "S=%d shards, m=%d, %d steps x %d ops, %d kills (down for %d steps)" shards m
+           horizon ops_per_step (List.length kills) down_for)
+      ~columns:[ "schedule"; "dw makespan"; "evacuated"; "readmitted"; "wall time" ]
+  in
+  Table.add_row t [ "no faults"; pf "%.0f" dw_base; "0"; "0"; pf "%.3f s" dt_base ];
+  Table.add_row t
+    [
+      "2 shard kills";
+      pf "%.0f" dw_fault;
+      string_of_int h.Supervisor.evacuated_jobs;
+      string_of_int h.Supervisor.readmissions;
+      pf "%.3f s" dt_fault;
+    ];
+  Table.print t;
+  Printf.printf
+    "downtime-weighted makespan degraded %.2fx under two shard kills (acceptance: within \
+     2x);\nno job lost, all %d journals replay clean, both shards evacuated (%d jobs) and \
+     readmitted\n"
+    ratio shards h.Supervisor.evacuated_jobs;
+  if ratio > 2.0 then failwith "E20: failover cost above the 2x acceptance ceiling";
+  Some ratio
+
+(* ---------------------------------------------------------------------- *)
 (* Runner: --only to subset, --json for machine-readable results.         *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1184,6 +1350,7 @@ let experiments =
     ("E17", e17);
     ("E18", e18);
     ("E19", e19);
+    ("E20", e20);
   ]
 
 (* Baseline regression guard: --baseline FILE compares each selected

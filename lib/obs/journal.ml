@@ -314,6 +314,42 @@ let to_channel ?tail_capacity ?start_seq ?header_written ?(line_flush = false) o
       if line_flush then flush oc)
     ()
 
+(* A journal append must never take the daemon down with it: a full
+   disk or a yanked volume raises [Sys_error] from deep inside a serve
+   session, long after anyone can handle it sensibly. [resilient]
+   wraps a raw write with bounded retry-with-exponential-backoff;
+   when the retries are exhausted the line is dropped from durable
+   storage (it is still in the sink's tail ring — [push_line] records
+   it before the write runs) and the drop is counted in
+   [rebal_journal_dropped_total{journal=...}] so the gap is loud.
+   This is a fail-open policy: serving continues, and the hole in the
+   on-disk journal is detected by replay's contiguous-seq check. *)
+let resilient ?(retries = 3) ?(backoff = 0.01) ?(sleep = Unix.sleepf)
+    ?(label = "journal") write =
+  let dropped =
+    Metrics.counter
+      ~labels:[ ("journal", label) ]
+      ~help:"Journal lines dropped after write retries were exhausted"
+      "rebal_journal_dropped_total"
+  in
+  fun line ->
+    let rec attempt n delay =
+      match write line with
+      | () -> ()
+      | exception Sys_error msg ->
+        if n >= retries then begin
+          Metrics.Counter.inc dropped;
+          Printf.eprintf
+            "rebal journal %s: append failed after %d retries (%s); line dropped (kept in tail ring)\n%!"
+            label retries msg
+        end
+        else begin
+          sleep delay;
+          attempt (n + 1) (delay *. 2.0)
+        end
+    in
+    attempt 0 backoff
+
 let push_line sink line =
   sink.ring.(sink.ring_written mod Array.length sink.ring) <- line;
   sink.ring_written <- sink.ring_written + 1;

@@ -90,6 +90,27 @@ val to_channel :
     flushes after every line — what a crash-safe flight recorder wants;
     leave it off when journaling for throughput measurements. *)
 
+val resilient :
+  ?retries:int ->
+  ?backoff:float ->
+  ?sleep:(float -> unit) ->
+  ?label:string ->
+  (string -> unit) ->
+  string ->
+  unit
+(** [resilient write] is a write function that contains I/O failure
+    instead of propagating it into the engine hot path: a [Sys_error]
+    from [write] is retried up to [retries] times (default 3) with
+    exponential backoff starting at [backoff] seconds (default 0.01,
+    doubling; [sleep] defaults to [Unix.sleepf] — inject a fake in
+    tests). When the retries are exhausted the line is dropped from
+    durable storage — it remains available in the sink's tail ring —
+    and counted in [rebal_journal_dropped_total{journal=<label>}]
+    (handle bound in the registry current at wrap time), with a
+    warning on stderr. This is the fail-open policy: the daemon keeps
+    serving, and the resulting sequence gap is caught loudly by
+    replay's contiguity check rather than silently ignored. *)
+
 val write_header : sink -> journal:string -> (string * json) list -> unit
 (** Write the header line. Idempotent: only the first call writes, so
     an engine and the code that attached the sink cannot double-header

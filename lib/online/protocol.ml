@@ -8,6 +8,7 @@ type command =
   | Rebalance of int
   | Stats
   | Shards_info
+  | Health
   | Snapshot_now
   | Metrics_dump
   | Journal_tail of int
@@ -23,6 +24,14 @@ type verdict =
 type target =
   | Single of Engine.t
   | Cluster of Shard.t
+  | Supervised of Supervisor.t
+
+(* Read-only paths (stats, journals, snapshots, metrics) see a
+   supervised cluster as the underlying router; only mutations and the
+   health report go through the supervisor. *)
+let as_cluster = function
+  | Supervised sup -> Cluster (Supervisor.cluster sup)
+  | t -> t
 
 let pf = Printf.sprintf
 
@@ -66,6 +75,8 @@ let parse line =
     | "STATS", [] -> Ok (Some Stats)
     | "SHARDS", [] -> Ok (Some Shards_info)
     | "SHARDS", _ -> Error "usage: SHARDS"
+    | "HEALTH", [] -> Ok (Some Health)
+    | "HEALTH", _ -> Error "usage: HEALTH"
     | "SNAPSHOT", [] -> Ok (Some Snapshot_now)
     | "SNAPSHOT", _ -> Error "usage: SNAPSHOT"
     | "METRICS", [] -> Ok (Some Metrics_dump)
@@ -81,23 +92,34 @@ let parse line =
 
 (* ----- dispatch over the two serving shapes ----- *)
 
-let makespan = function Single e -> Engine.makespan e | Cluster s -> Shard.makespan s
+let makespan = function
+  | Single e -> Engine.makespan e
+  | Cluster s -> Shard.makespan s
+  | Supervised sup -> Shard.makespan (Supervisor.cluster sup)
 
 let add_job t ~id ~size =
   match t with
   | Single e -> Engine.add_job e ~id ~size
   | Cluster s -> Shard.add_job s ~id ~size
+  | Supervised sup -> Supervisor.add_job sup ~id ~size
 
 let remove_job t ~id =
-  match t with Single e -> Engine.remove_job e ~id | Cluster s -> Shard.remove_job s ~id
+  match t with
+  | Single e -> Engine.remove_job e ~id
+  | Cluster s -> Shard.remove_job s ~id
+  | Supervised sup -> Supervisor.remove_job sup ~id
 
 let resize_job t ~id ~size =
   match t with
   | Single e -> Engine.resize_job e ~id ~size
   | Cluster s -> Shard.resize_job s ~id ~size
+  | Supervised sup -> Supervisor.resize_job sup ~id ~size
 
 let rebalance t ~k =
-  match t with Single e -> Engine.rebalance e ~k | Cluster s -> Shard.rebalance s ~k
+  match t with
+  | Single e -> Engine.rebalance e ~k
+  | Cluster s -> Shard.rebalance s ~k
+  | Supervised sup -> Supervisor.rebalance sup ~k
 
 let move_lines moves =
   List.map (fun mv -> pf "MOVE %s %d %d" mv.Engine.id mv.Engine.src mv.Engine.dst) moves
@@ -119,6 +141,7 @@ let help_lines =
     "OK   REBALANCE [<k>]      repair pass with move budget k (default: unbounded)";
     "OK   STATS                engine telemetry";
     "OK   SHARDS               per-shard telemetry (sharded serve only)";
+    "OK   HEALTH               per-shard health and failover counters (supervised serve only)";
     "OK   SNAPSHOT             write a state snapshot into the journal (compaction point)";
     "OK   METRICS              Prometheus text exposition, ends with '# EOF'";
     "OK   JOURNAL [<n>]        last n flight-recorder events (default 10), ends with '# EOF'";
@@ -137,29 +160,70 @@ let engine_stats_line s =
     s.Engine.auto_rebalances s.Engine.trigger_firings s.Engine.moved
     s.Engine.last_rebalance_moves s.Engine.consistency_checks s.Engine.consistency_failures
 
+let cluster_stats_line s =
+  let st = Shard.stats s in
+  pf
+    "STATS shards=%d jobs=%d procs=%d makespan=%d total=%d imbalance=%.3f events=%d \
+     adds=%d removes=%d resizes=%d rebalances=%d auto=%d auto_triggers=%d moved=%d \
+     inter_moves=%d checks=%d failures=%d"
+    st.Shard.shards st.Shard.jobs st.Shard.procs st.Shard.makespan st.Shard.total_size
+    st.Shard.imbalance st.Shard.events st.Shard.adds st.Shard.removes st.Shard.resizes
+    st.Shard.rebalances st.Shard.auto_rebalances st.Shard.trigger_firings st.Shard.moved
+    st.Shard.inter_moves st.Shard.consistency_checks st.Shard.consistency_failures
+
+(* The supervised STATS line is the cluster line with health fields
+   appended — consumers matching on the existing prefix keep working. *)
 let stats_line = function
   | Single e -> "STATS " ^ engine_stats_line (Engine.stats e)
-  | Cluster s ->
-    let st = Shard.stats s in
-    pf
-      "STATS shards=%d jobs=%d procs=%d makespan=%d total=%d imbalance=%.3f events=%d \
-       adds=%d removes=%d resizes=%d rebalances=%d auto=%d auto_triggers=%d moved=%d \
-       inter_moves=%d checks=%d failures=%d"
-      st.Shard.shards st.Shard.jobs st.Shard.procs st.Shard.makespan st.Shard.total_size
-      st.Shard.imbalance st.Shard.events st.Shard.adds st.Shard.removes st.Shard.resizes
-      st.Shard.rebalances st.Shard.auto_rebalances st.Shard.trigger_firings st.Shard.moved
-      st.Shard.inter_moves st.Shard.consistency_checks st.Shard.consistency_failures
+  | Cluster s -> cluster_stats_line s
+  | Supervised sup ->
+    let h = Supervisor.stats sup in
+    cluster_stats_line (Supervisor.cluster sup)
+    ^ pf
+        " healthy=%d suspect=%d down=%d recovering=%d evacuations=%d evacuated=%d \
+         stranded=%d readmissions=%d probe_failures=%d watchdog_trips=%d rejections=%d"
+        h.Supervisor.healthy h.Supervisor.suspect h.Supervisor.down h.Supervisor.recovering
+        h.Supervisor.evacuations h.Supervisor.evacuated_jobs h.Supervisor.stranded_jobs
+        h.Supervisor.readmissions h.Supervisor.probe_failures h.Supervisor.watchdog_trips
+        h.Supervisor.degraded_rejections
+
+let shard_line s i (st : Engine.stats) =
+  pf "SHARD %d offset=%d procs=%d jobs=%d makespan=%d imbalance=%.3f" i (Shard.offset s i)
+    st.Engine.procs st.Engine.jobs st.Engine.makespan st.Engine.imbalance
 
 let shards_lines = function
   | Single _ -> [ "ERR not sharded (serve started without --shards)" ]
-  | Cluster s ->
+  | Cluster s -> Array.to_list (Array.mapi (shard_line s) (Shard.shard_stats s))
+  | Supervised sup ->
+    (* Same SHARD lines, with health and routing weight appended. *)
+    let s = Supervisor.cluster sup in
     Array.to_list
       (Array.mapi
-         (fun i (st : Engine.stats) ->
-           pf "SHARD %d offset=%d procs=%d jobs=%d makespan=%d imbalance=%.3f" i
-             (Shard.offset s i) st.Engine.procs st.Engine.jobs st.Engine.makespan
-             st.Engine.imbalance)
+         (fun i st ->
+           shard_line s i st
+           ^ pf " health=%s weight=%.2f"
+               (Supervisor.health_name (Supervisor.health sup i))
+               (Shard.weight s i))
          (Shard.shard_stats s))
+
+let health_lines = function
+  | Single _ | Cluster _ -> [ "ERR not supervised (serve started without --supervise)" ]
+  | Supervised sup ->
+    let h = Supervisor.stats sup in
+    let s = Supervisor.cluster sup in
+    pf
+      "HEALTH shards=%d healthy=%d suspect=%d down=%d recovering=%d evacuations=%d \
+       evacuated=%d stranded=%d readmissions=%d probe_failures=%d watchdog_trips=%d \
+       rejections=%d"
+      h.Supervisor.shards h.Supervisor.healthy h.Supervisor.suspect h.Supervisor.down
+      h.Supervisor.recovering h.Supervisor.evacuations h.Supervisor.evacuated_jobs
+      h.Supervisor.stranded_jobs h.Supervisor.readmissions h.Supervisor.probe_failures
+      h.Supervisor.watchdog_trips h.Supervisor.degraded_rejections
+    :: List.init (Supervisor.shard_count sup) (fun i ->
+           pf "HEALTH %d %s weight=%.2f jobs=%d" i
+             (Supervisor.health_name (Supervisor.health sup i))
+             (Shard.weight s i)
+             (Engine.job_count (Shard.engine s i)))
 
 (* Engine counters live in the engine record, not the registry; METRICS
    exports them into the current registry right before rendering — the
@@ -191,8 +255,45 @@ let export_engine_stats ?(labels = []) (s : Engine.stats) =
 
 let export_metrics e = export_engine_stats (Engine.stats e)
 
-let export_target = function
+let export_supervisor sup =
+  let h = Supervisor.stats sup in
+  let s = Supervisor.cluster sup in
+  (* One 0/1 gauge per (shard, state) pair plus the routing weight, so
+     dashboards can plot a health timeline without value decoding. *)
+  for i = 0 to Supervisor.shard_count sup - 1 do
+    let current = Supervisor.health_name (Supervisor.health sup i) in
+    List.iter
+      (fun state ->
+        Metrics.Gauge.set
+          (Metrics.gauge
+             ~labels:[ ("shard", string_of_int i); ("state", state) ]
+             ~help:"1 when the shard is in this health state" "rebal_shard_health")
+          (if state = current then 1.0 else 0.0))
+      [ "healthy"; "suspect"; "down"; "recovering" ];
+    Metrics.Gauge.set
+      (Metrics.gauge
+         ~labels:[ ("shard", string_of_int i) ]
+         ~help:"Routing weight (fraction of ring replicas active)" "rebal_shard_weight")
+      (Shard.weight s i)
+  done;
+  let count name help v = Metrics.Counter.set (Metrics.counter ~help name) v in
+  count "rebal_evacuations_total" "Down transitions that ran an evacuation" h.Supervisor.evacuations;
+  count "rebal_evacuated_jobs_total" "Jobs re-homed off dead shards" h.Supervisor.evacuated_jobs;
+  count "rebal_stranded_jobs_total" "Jobs left on dead shards by budget or lack of survivors"
+    h.Supervisor.stranded_jobs;
+  count "rebal_readmissions_total" "Shards readmitted after recovery" h.Supervisor.readmissions;
+  count "rebal_probe_failures_total" "Failed liveness probes and failure reports"
+    h.Supervisor.probe_failures;
+  count "rebal_watchdog_trips_total" "Supervised operations that blew the deadline"
+    h.Supervisor.watchdog_trips;
+  count "rebal_degraded_rejections_total" "Operations refused because of a down shard"
+    h.Supervisor.degraded_rejections
+
+let rec export_target = function
   | Single e -> export_metrics e
+  | Supervised sup ->
+    export_target (as_cluster (Supervised sup));
+    export_supervisor sup
   | Cluster s ->
     (* One labeled series per shard plus cluster-level aggregates; a
        sum() over the shard label reproduces the additive aggregates. *)
@@ -226,7 +327,8 @@ let engine_journal_tail i e n =
   | Some sink -> Ok (Rebal_obs.Journal.tail sink n)
 
 let journal_lines t n =
-  match t with
+  match as_cluster t with
+  | Supervised _ -> assert false (* as_cluster never returns Supervised *)
   | Single e -> begin
     match engine_journal_tail 0 e n with
     | Error _ -> [ "ERR no journal attached (start serve with --journal FILE)" ]
@@ -247,7 +349,8 @@ let journal_lines t n =
       @ [ "# EOF" ])
 
 let snapshot_lines t =
-  match t with
+  match as_cluster t with
+  | Supervised _ -> assert false (* as_cluster never returns Supervised *)
   | Single e -> begin
     match Engine.journal_snapshot e with
     | Error e -> [ "ERR " ^ e ^ " (start serve with --journal FILE)" ]
@@ -281,6 +384,7 @@ let execute t = function
     @ [ pf "REBALANCED moves=%d makespan=%d" (List.length moves) (makespan t) ]
   | Stats -> [ stats_line t ]
   | Shards_info -> shards_lines t
+  | Health -> health_lines t
   | Snapshot_now -> snapshot_lines t
   | Metrics_dump -> metrics_lines t
   | Journal_tail n -> journal_lines t n
@@ -310,3 +414,8 @@ let greeting = function
   | Cluster s ->
     pf "READY rebalance-serve shards=%d procs=%d jobs=%d makespan=%d" (Shard.shard_count s)
       (Shard.m s) (Shard.job_count s) (Shard.makespan s)
+  | Supervised sup ->
+    let s = Supervisor.cluster sup in
+    pf "READY rebalance-serve shards=%d procs=%d jobs=%d makespan=%d serving=%d"
+      (Shard.shard_count s) (Shard.m s) (Shard.job_count s) (Shard.makespan s)
+      (Supervisor.serving_shards sup)

@@ -8,6 +8,7 @@
     REBALANCE <k>        run a bounded-move repair pass
     STATS                one-line engine telemetry
     SHARDS               per-shard telemetry (sharded serve only)
+    HEALTH               per-shard health and failover counters (supervised serve only)
     SNAPSHOT             write a state snapshot into the journal(s)
     METRICS              Prometheus text exposition of the metrics registry
     JOURNAL [<n>]        tail of the flight-recorder journal (default 10)
@@ -35,7 +36,16 @@
     (per shard, under [# shard <i>] markers, when sharded), framed by
     the same [# EOF]. Blank lines and lines starting with [#] are
     ignored. The module is pure string-in/strings-out so the daemon loop
-    and the tests share one implementation. *)
+    and the tests share one implementation.
+
+    A supervised serve ({!Supervised}) extends the replies
+    {e append-only}: [STATS] gains health and failover counters after
+    the cluster fields, each [SHARD] line gains [health=... weight=...],
+    the [READY] banner gains [serving=<n>], and [HEALTH] answers a
+    summary line plus one [HEALTH <i> <state> weight=... jobs=...] line
+    per shard. Mutations are routed through the supervisor's watchdog
+    and degraded-mode guards, so an op touching a job stranded on a
+    down shard gets an [ERR] instead of reaching the dead engine. *)
 
 type command =
   | Add of { id : string; size : int }
@@ -44,6 +54,7 @@ type command =
   | Rebalance of int
   | Stats
   | Shards_info
+  | Health
   | Snapshot_now
   | Metrics_dump
   | Journal_tail of int
@@ -56,10 +67,12 @@ type verdict =
   | Close  (** end this client session *)
   | Stop  (** end the session and shut the daemon down *)
 
-(** What the protocol operates: one engine, or a shard router. *)
+(** What the protocol operates: one engine, a shard router, or a shard
+    router under health supervision. *)
 type target =
   | Single of Engine.t
   | Cluster of Shard.t
+  | Supervised of Supervisor.t
 
 val parse : string -> (command option, string) result
 (** [Ok None] for blank/comment lines; [Error] explains a malformed

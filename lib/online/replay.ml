@@ -160,6 +160,12 @@ let apply eng_ref (ev : Journal.event) st =
        budget. Replay never re-evaluates trigger policies — that is what
        makes wall-clock-triggered sessions replayable. *)
     st
+  | "evacuation" ->
+    (* Informational provenance from the shard supervisor: the remove
+       (on the evacuated shard) and add (on the survivors) halves of
+       each re-homing are ordinary journaled events replayed like any
+       other; this record only explains why they happened. *)
+    st
   | "rebalance" ->
     let k = get (Journal.int_field ev "k") in
     let want_moves = List.map (move_of_json ev.line) (get (Journal.list_field ev "moves")) in
@@ -312,6 +318,9 @@ let event_detail (ev : Journal.event) =
       | Ok true -> "ok"
       | Ok false -> "FAILED"
       | Error _ -> "?")
+  | "evacuation" ->
+    Printf.sprintf "shard %s %s: %s job(s) re-homed, %s left (budget %s)" (istr "shard")
+      (sstr "reason") (istr "jobs") (istr "leftover") (istr "budget")
   | _ -> "?"
 
 let event_makespan (ev : Journal.event) =

@@ -30,10 +30,18 @@ type t = {
   shards : Engine.t array;
   offsets : int array;  (* shard i owns global procs [offsets.(i), offsets.(i) + m_i) *)
   m : int;
-  (* Consistent-hash ring: sorted (point, shard) pairs; a job id hashes
-     to the first point at or after its hash (wrapping). Virtual nodes
-     smooth the split so no shard owns a disproportionate arc. *)
-  ring : (int * int) array;
+  (* Consistent-hash ring: sorted (point, shard, replica) triples; a
+     job id hashes to the first point at or after its hash (wrapping).
+     Virtual nodes smooth the split so no shard owns a
+     disproportionate arc; the replica index is kept so per-shard
+     weights can activate a prefix of a shard's virtual nodes. *)
+  ring : (int * int * int) array;
+  (* Routing weight per shard in [0, 1]: the fraction of its virtual
+     nodes that accept new placements. 0 takes a shard out of the ring
+     (a Down shard stops receiving routes); a Recovering shard ramps
+     back gradually. Residency and lookups of existing jobs are never
+     affected — only where a *new* id lands. *)
+  weights : float array;
   (* id -> shard. Placement starts as pure hashing, but inter-shard
      moves break hash residency, so membership is authoritative here;
      the ring only decides where a *new* id lands. *)
@@ -60,21 +68,52 @@ let ring_points_per_shard = 64
 let make_ring shards =
   let points = Array.init (shards * ring_points_per_shard) (fun i ->
       let shard = i / ring_points_per_shard and replica = i mod ring_points_per_shard in
-      (hash32 (Printf.sprintf "shard:%d:%d" shard replica), shard))
+      (hash32 (Printf.sprintf "shard:%d:%d" shard replica), shard, replica))
   in
   Array.sort compare points;
   points
 
-let ring_lookup ring h =
+(* A shard with weight [w] keeps its first [ceil (w * 64)] replicas
+   active: weight 1 is the full ring (bit-identical routing to the
+   unweighted router), weight 0 is none. Activating a prefix rather
+   than rescaling hashes means ramping a weight up or down only flips
+   that shard's own arcs — other shards' points never move. *)
+let active_replicas w =
+  if w <= 0.0 then 0
+  else min ring_points_per_shard (int_of_float (ceil (w *. float_of_int ring_points_per_shard)))
+
+let ring_lookup ?weights ring h =
   (* Binary search for the first point with hash >= h, wrapping to the
-     first point past the top of the ring. *)
+     first point past the top of the ring; with weights, walk forward
+     (wrapping) past points whose shard has deactivated that replica. *)
   let n = Array.length ring in
   let lo = ref 0 and hi = ref n in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if fst ring.(mid) < h then lo := mid + 1 else hi := mid
+    let p, _, _ = ring.(mid) in
+    if p < h then lo := mid + 1 else hi := mid
   done;
-  snd ring.(if !lo = n then 0 else !lo)
+  let start = if !lo = n then 0 else !lo in
+  match weights with
+  | None ->
+    let _, s, _ = ring.(start) in
+    s
+  | Some w ->
+    let rec walk i remaining =
+      if remaining = 0 then begin
+        (* Every shard weighted to zero: fall back to the unweighted
+           ring so routing still answers (the supervisor layer is the
+           one that refuses service on an all-down cluster). *)
+        let _, s, _ = ring.(start) in
+        s
+      end
+      else begin
+        let _, s, replica = ring.(i) in
+        if replica < active_replicas w.(s) then s
+        else walk (if i + 1 = n then 0 else i + 1) (remaining - 1)
+      end
+    in
+    walk start n
 
 let offsets_of_engines engines =
   let offsets = Array.make (Array.length engines) 0 in
@@ -102,6 +141,7 @@ let create ?trigger ?clock ?journal_for ~m ~shards () =
     offsets;
     m;
     ring = make_ring shards;
+    weights = Array.make shards 1.0;
     directory = Hashtbl.create 256;
     inter_moves = 0;
   }
@@ -133,6 +173,7 @@ let of_engines engines =
       offsets;
       m;
       ring = make_ring (Array.length engines);
+      weights = Array.make (Array.length engines) 1.0;
       directory;
       inter_moves = 0;
     }
@@ -144,10 +185,17 @@ let offset t i = t.offsets.(i)
 let job_count t = Hashtbl.length t.directory
 let shard_of t id = Hashtbl.find_opt t.directory id
 
+let weight t i = t.weights.(i)
+
+let set_weight t i w =
+  if not (Float.is_finite w) || w < 0.0 || w > 1.0 then
+    invalid_arg "Shard.set_weight: weight must be in [0, 1]";
+  t.weights.(i) <- w
+
 let home_shard t id =
   match Hashtbl.find_opt t.directory id with
   | Some s -> s
-  | None -> ring_lookup t.ring (hash32 id)
+  | None -> ring_lookup ~weights:t.weights t.ring (hash32 id)
 
 let global t i p = t.offsets.(i) + p
 let translate t i moves = List.map (fun mv -> { mv with src = global t i mv.src; dst = global t i mv.dst }) moves
@@ -222,15 +270,23 @@ let resize_job t ~id ~size =
    processor of any *other* shard, but only when that actually lands
    below the current peak. Transfers go through the ordinary
    remove/add path, so per-shard journals stay replayable and the
-   directory is the single source of residency truth. *)
+   directory is the single source of residency truth. Zero-weight
+   shards sit the pass out entirely — a Down shard neither receives
+   transfers (it stopped taking routes) nor gives any up (its engine
+   is presumed unreachable; {!evacuate} is the sanctioned drain). *)
 let inter_pass t ~k =
   let moves = ref [] in
   (try
      for _ = 1 to k do
-       let a = ref 0 in
+       let a = ref (-1) in
        Array.iteri
-         (fun i e -> if Engine.makespan e > Engine.makespan t.shards.(!a) then a := i)
+         (fun i e ->
+           if
+             t.weights.(i) > 0.0
+             && (!a < 0 || Engine.makespan e > Engine.makespan t.shards.(!a))
+           then a := i)
          t.shards;
+       if !a < 0 then raise Exit;
        let a = !a in
        let lmax = Engine.makespan t.shards.(a) in
        if lmax = 0 then raise Exit;
@@ -240,7 +296,7 @@ let inter_pass t ~k =
          let b = ref (-1) and best = ref max_int in
          Array.iteri
            (fun i e ->
-             if i <> a then begin
+             if i <> a && t.weights.(i) > 0.0 then begin
                let _, l = Engine.min_load e in
                if l < !best then begin
                  b := i;
@@ -275,9 +331,104 @@ let rebalance t ~k =
   if k < 0 then invalid_arg "Shard.rebalance: negative k";
   let internal = ref [] in
   Array.iteri
-    (fun i e -> internal := List.rev_append (translate t i (Engine.rebalance e ~k)) !internal)
+    (fun i e ->
+      if t.weights.(i) > 0.0 then
+        internal := List.rev_append (translate t i (Engine.rebalance e ~k)) !internal)
     t.shards;
   List.rev !internal @ inter_pass t ~k
+
+(* Failover: re-home up to [budget] jobs off a dead shard. Transfers
+   take the same remove/add path as [inter_pass] — each half is an
+   ordinary journaled event on its engine, so every surviving journal
+   stays replayable and the directory stays authoritative. Jobs leave
+   largest-first (the jobs that hurt the makespan most if stranded);
+   each lands on the shard holding the globally least-loaded processor
+   among routable (positive-weight) survivors, i.e. exactly where the
+   batch GREEDY would put it. *)
+let evacuate t ~from ~budget =
+  if from < 0 || from >= Array.length t.shards then Error "Shard.evacuate: no such shard"
+  else if budget < 0 then Error "Shard.evacuate: negative budget"
+  else begin
+    let jobs =
+      Engine.fold_jobs t.shards.(from)
+        (fun acc ~id ~size ~proc:_ -> (id, size) :: acc)
+        []
+    in
+    let jobs =
+      List.sort (fun (ida, sa) (idb, sb) -> if sa <> sb then compare sb sa else compare ida idb) jobs
+    in
+    let survivors =
+      Array.exists (fun i -> i) (Array.mapi (fun i _ -> i <> from && t.weights.(i) > 0.0) t.shards)
+    in
+    if jobs <> [] && not survivors then Error "Shard.evacuate: no routable surviving shard"
+    else begin
+      let moves = ref [] and moved = ref 0 in
+      (try
+         List.iter
+           (fun (id, size) ->
+             if !moved >= budget then raise Exit;
+             let b = ref (-1) and best = ref max_int in
+             Array.iteri
+               (fun i e ->
+                 if i <> from && t.weights.(i) > 0.0 then begin
+                   let _, l = Engine.min_load e in
+                   if l < !best then begin
+                     b := i;
+                     best := l
+                   end
+                 end)
+               t.shards;
+             let psrc =
+               match Engine.remove_job t.shards.(from) ~id with
+               | Ok (p, _) -> p
+               | Error e -> failwith ("Shard.evacuate: remove: " ^ e)
+             in
+             let pdst, auto =
+               match Engine.add_job t.shards.(!b) ~id ~size with
+               | Ok (p, auto) -> (p, auto)
+               | Error e -> failwith ("Shard.evacuate: add: " ^ e)
+             in
+             Hashtbl.replace t.directory id !b;
+             t.inter_moves <- t.inter_moves + 1;
+             incr moved;
+             moves :=
+               List.rev_append
+                 (translate t !b auto)
+                 ({ id; src = global t from psrc; dst = global t !b pdst } :: !moves))
+           jobs
+       with Exit -> ());
+      Ok (List.rev !moves, List.length jobs - !moved)
+    end
+  end
+
+(* Re-admission: swap a fresh engine (restored from the shard's own
+   snapshot + journal tail) in behind the router. The swap is only
+   sound when the replacement agrees with the directory about exactly
+   which jobs shard [i] owns — after a full evacuation both sides are
+   empty, so a journal-restored engine (whose journal recorded the
+   evacuation removes) passes. *)
+let replace_engine t i eng =
+  if i < 0 || i >= Array.length t.shards then Error "Shard.replace_engine: no such shard"
+  else if Engine.m eng <> Engine.m t.shards.(i) then
+    Error
+      (Printf.sprintf "Shard.replace_engine: engine has %d processors, shard %d owns %d"
+         (Engine.m eng) i (Engine.m t.shards.(i)))
+  else begin
+    let expected =
+      Hashtbl.fold (fun id s acc -> if s = i then id :: acc else acc) t.directory []
+    in
+    let actual = Engine.fold_jobs eng (fun acc ~id ~size:_ ~proc:_ -> id :: acc) [] in
+    let sorted = List.sort compare in
+    if sorted expected <> sorted actual then
+      Error
+        (Printf.sprintf
+           "Shard.replace_engine: engine holds %d job(s) but the directory maps %d to shard %d"
+           (List.length actual) (List.length expected) i)
+    else begin
+      t.shards.(i) <- eng;
+      Ok ()
+    end
+  end
 
 let stats t =
   let agg = Array.map Engine.stats t.shards in

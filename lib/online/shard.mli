@@ -97,6 +97,43 @@ val mem : t -> string -> bool
 val shard_of : t -> string -> int option
 (** The shard a live job currently resides in. *)
 
+val weight : t -> int -> float
+(** Shard [i]'s routing weight (1.0 unless changed). *)
+
+val set_weight : t -> int -> float -> unit
+(** Set shard [i]'s routing weight in [[0, 1]]: the fraction of its
+    virtual nodes accepting {e new} placements (weight [w] keeps
+    [ceil (w * 64)] of its 64 replicas active, so weight 1 routes
+    bit-identically to the unweighted ring). Weight 0 takes the shard
+    out of the ring — a Down shard stops receiving routes; a
+    Recovering shard ramps back gradually. Residency and lookups of
+    jobs already placed are never affected. When {e every} shard is
+    weighted to 0, routing falls back to the unweighted ring (refusing
+    service on an all-down cluster is the supervisor's job, not the
+    router's).
+    @raise Invalid_argument if [w] is outside [[0, 1]] or not finite. *)
+
+val evacuate : t -> from:int -> budget:int -> (move list * int, string) result
+(** Re-home up to [budget] jobs off shard [from] onto the other
+    positive-weight shards, largest job first, each landing on the
+    shard holding the globally least-loaded processor. Transfers use
+    the ordinary remove/add path — both halves are journaled on their
+    engines and the directory is updated — and count as [inter_moves].
+    Returns the moves (global indices) and how many jobs were {e left}
+    on [from] because the budget ran out. Typically called with weight
+    0 already set on [from] (the supervisor's Down transition), but
+    this function does not require or change weights. [Error] if
+    [from] is out of range, [budget] is negative, or jobs remain and
+    no other shard has positive weight. *)
+
+val replace_engine : t -> int -> Engine.t -> (unit, string) result
+(** Swap shard [i]'s backing engine for [eng] — the re-admission path:
+    a Recovering shard restores an engine from its latest snapshot plus
+    journal tail and hands it back to the router. Refuses (leaving the
+    router untouched) unless [eng] has the same processor count and
+    holds exactly the jobs the directory maps to shard [i] (after a
+    full evacuation, both are empty). *)
+
 val find : t -> string -> (int * int) option
 (** [(size, global processor)] of a job, if present. *)
 
@@ -110,7 +147,9 @@ val resize_job : t -> id:string -> size:int -> (int * move list, string) result
 val rebalance : t -> k:int -> move list
 (** Per-shard bounded GREEDY repair (budget [k] each), then the bounded
     cross-shard pass (up to [k] transfers). Returns all moves in global
-    indices, intra-shard repairs first.
+    indices, intra-shard repairs first. Zero-weight shards are skipped
+    entirely — their engines are presumed unreachable, and transfers
+    never target them.
     @raise Invalid_argument if [k < 0]. *)
 
 val stats : t -> stats
