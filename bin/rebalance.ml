@@ -592,7 +592,9 @@ let serve_cmd =
   let module Engine = Rebal_online.Engine in
   let module Shard = Rebal_online.Shard in
   let module Supervisor = Rebal_online.Supervisor in
+  let module Cluster = Rebal_online.Cluster in
   let module Protocol = Rebal_online.Protocol in
+  let module Server = Rebal_net.Server in
   let procs =
     Arg.(value & opt int 8 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.")
   in
@@ -611,6 +613,30 @@ let serve_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
           ~doc:"Listen on a Unix domain socket instead of stdin/stdout.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Run the shard engines on $(docv) parallel worker domains (clamped to \
+             --shards; shard $(i,i) is owned by domain $(i,i) mod $(docv)). Each shard's \
+             engine, journal and metrics are confined to its owner domain behind a bounded \
+             command mailbox; cross-shard rebalancing uses journaled two-phase transfers, \
+             so per-shard journals stay individually replayable. Incompatible with \
+             --supervise.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Listen on 127.0.0.1:$(docv) and serve many clients concurrently, one session \
+             thread per connection (pipelining allowed; ERR lines stay numbered per \
+             session). Port 0 picks a free port (printed on stdout). Requires --domains — \
+             concurrent sessions need the parallel runtime.")
   in
   let auto_events =
     Arg.(
@@ -703,8 +729,8 @@ let serve_cmd =
       loop 1
     with Sys_error _ -> Protocol.Close
   in
-  let run procs shards socket auto_events auto_imbalance auto_seconds auto_k metrics_file
-      journal_file supervise evac_budget =
+  let run procs shards socket domains tcp auto_events auto_imbalance auto_seconds auto_k
+      metrics_file journal_file supervise evac_budget =
     let cli_trigger =
       match (auto_events, auto_imbalance, auto_seconds) with
       | Some events, None, None -> Some (Engine.Every_events { events; k = auto_k })
@@ -723,6 +749,22 @@ let serve_cmd =
     end;
     if supervise && shards < 2 then begin
       Printf.eprintf "error: --supervise needs --shards >= 2 (failover needs survivors)\n";
+      exit 1
+    end;
+    (match domains with
+    | Some d when d < 1 ->
+      Printf.eprintf "error: --domains must be positive (got %d)\n" d;
+      exit 1
+    | Some _ when supervise ->
+      Printf.eprintf "error: --supervise and --domains are mutually exclusive\n";
+      exit 1
+    | _ -> ());
+    if tcp <> None && domains = None then begin
+      Printf.eprintf "error: --tcp needs --domains (concurrent sessions need the parallel runtime)\n";
+      exit 1
+    end;
+    if tcp <> None && socket <> None then begin
+      Printf.eprintf "error: give at most one of --tcp and --socket\n";
       exit 1
     end;
     (* The daemon is the observed artifact: spans and latency histograms
@@ -788,20 +830,36 @@ let serve_cmd =
     let fresh_engine ~m () =
       Engine.create ~trigger:(Option.value cli_trigger ~default:Engine.Manual) ~m ()
     in
+    (* Shard i's journal: plain FILE when there is one shard, FILE.i
+       otherwise — the same naming for sequential and parallel serves,
+       so a journal set can be resumed under either runtime. *)
+    let shard_journal_path base i = if shards = 1 then base else Printf.sprintf "%s.%d" base i in
+    let shard_engine i =
+      let m_i = (procs / shards) + if i < procs mod shards then 1 else 0 in
+      match journal_file with
+      | None -> fresh_engine ~m:m_i ()
+      | Some base -> journaled_engine ~m:m_i (shard_journal_path base i)
+    in
     let target =
+      match domains with
+      | Some d -> begin
+        (* The parallel runtime: engines built per shard by the cluster
+           so each binds (metric handles, journal drop counters) to its
+           owner domain's registry. *)
+        match Cluster.of_engines ~domains:d ~shards shard_engine with
+        | Ok c -> Protocol.Parallel c
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      end
+      | None ->
       if shards = 1 then
         Protocol.Single
           (match journal_file with
           | None -> fresh_engine ~m:procs ()
           | Some path -> journaled_engine ~m:procs path)
       else begin
-        let engines =
-          Array.init shards (fun i ->
-              let m_i = (procs / shards) + if i < procs mod shards then 1 else 0 in
-              match journal_file with
-              | None -> fresh_engine ~m:m_i ()
-              | Some base -> journaled_engine ~m:m_i (Printf.sprintf "%s.%d" base i))
-        in
+        let engines = Array.init shards shard_engine in
         match Shard.of_engines engines with
         | Ok s ->
           if supervise then begin
@@ -822,14 +880,29 @@ let serve_cmd =
     let dump_metrics () =
       match metrics_file with
       | None -> ()
-      | Some path ->
-        Protocol.export_target target;
-        (match
-           Expo.to_file ~trailer:"# EOF" Expo.Prometheus ~path
-             (Metrics.Registry.current ())
-         with
-        | Ok () -> ()
-        | Error e -> Printf.eprintf "rebalance serve: metrics dump failed: %s\n%!" e)
+      | Some path -> (
+        match target with
+        | Protocol.Parallel _ ->
+          (* The parallel exposition merges the worker-domain registries
+             into a fresh one — metrics_lines is that path; reuse it. *)
+          (try
+             let oc = open_out path in
+             List.iter
+               (fun l ->
+                 output_string oc l;
+                 output_char oc '\n')
+               (Protocol.metrics_lines target);
+             close_out oc
+           with Sys_error e ->
+             Printf.eprintf "rebalance serve: metrics dump failed: %s\n%!" e)
+        | _ ->
+          Protocol.export_target target;
+          (match
+             Expo.to_file ~trailer:"# EOF" Expo.Prometheus ~path
+               (Metrics.Registry.current ())
+           with
+          | Ok () -> ()
+          | Error e -> Printf.eprintf "rebalance serve: metrics dump failed: %s\n%!" e))
     in
     if metrics_file <> None then begin
       try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_metrics ()))
@@ -845,6 +918,7 @@ let serve_cmd =
           | Protocol.Single e -> ignore (Engine.journal_snapshot e)
           | Protocol.Cluster s -> ignore (Shard.journal_snapshot s)
           | Protocol.Supervised sup -> ignore (Shard.journal_snapshot (Supervisor.cluster sup))
+          | Protocol.Parallel c -> ignore (Cluster.journal_snapshot c)
         with Failure msg ->
           Printf.eprintf "rebalance serve: final snapshot failed: %s\n%!" msg
     in
@@ -853,14 +927,39 @@ let serve_cmd =
     (try Sys.set_signal Sys.sigint term_handler with Invalid_argument _ -> ());
     Fun.protect
       ~finally:(fun () ->
+        (* Order matters: the snapshot and the metrics merge need the
+           worker domains alive (journals are written on their owners);
+           the journal channels are closed only after the cluster has
+           drained and joined. *)
         final_snapshot ();
         dump_metrics ();
+        (match target with
+        | Protocol.Parallel c -> Cluster.shutdown c
+        | Protocol.Single _ | Protocol.Cluster _ | Protocol.Supervised _ -> ());
         List.iter (fun oc -> try close_out oc with Sys_error _ -> ()) !opened)
     @@ fun () ->
     try
-      match socket with
-      | None -> ignore (session target stdin stdout)
-      | Some path ->
+      match (tcp, socket) with
+      | Some port, _ ->
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+        let srv =
+          Server.create ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, port)) ()
+        in
+        let actual =
+          match Server.bound_addr srv with Unix.ADDR_INET (_, p) -> p | _ -> port
+        in
+        Printf.printf "rebalance serve: listening on 127.0.0.1:%d (procs=%d, shards=%d, domains=%d)\n%!"
+          actual procs shards
+          (match target with Protocol.Parallel c -> Cluster.domain_count c | _ -> 1);
+        (* SIGTERM lands as Terminated in this accepting thread; drain
+           reuses the graceful path — stop accepting, wait out live
+           sessions, shut stragglers down — before the finalisers run. *)
+        (try Server.run srv ~session:(session target)
+         with Terminated ->
+           Printf.eprintf "rebalance serve: caught termination signal, draining\n%!");
+        Server.drain ~grace:5.0 srv
+      | None, None -> ignore (session target stdin stdout)
+      | None, Some path ->
       (* A client that hangs up mid-response must not kill the daemon:
          with SIGPIPE ignored the write fails as a Sys_error, which ends
          just that session. *)
@@ -899,13 +998,84 @@ let serve_cmd =
          "Run the online rebalancing engine as a long-running service speaking a \
           line-delimited protocol (ADD/REMOVE/RESIZE/REBALANCE/STATS/METRICS) on stdin or a \
           Unix domain socket. With --shards, processors are partitioned across that many \
-          independent engines behind a consistent-hash router; with --journal, restarts \
-          resume from the recorded state; with --supervise, shard health is tracked and a \
-          dead shard's jobs are evacuated onto the survivors. SIGTERM/SIGINT shut the \
-          daemon down cleanly: final snapshot, journal close, socket unlink.")
+          independent engines behind a consistent-hash router; with --domains, the shard \
+          engines run on parallel worker domains behind bounded mailboxes and --tcp serves \
+          many clients concurrently over TCP; with --journal, restarts resume from the \
+          recorded state; with --supervise, shard health is tracked and a dead shard's \
+          jobs are evacuated onto the survivors. SIGTERM/SIGINT shut the daemon down \
+          cleanly: drain sessions, final snapshot, journal close, socket unlink.")
     Term.(
-      const run $ procs $ shards $ socket $ auto_events $ auto_imbalance $ auto_seconds
-      $ auto_k $ metrics_file $ journal_file $ supervise $ evac_budget)
+      const run $ procs $ shards $ socket $ domains $ tcp $ auto_events $ auto_imbalance
+      $ auto_seconds $ auto_k $ metrics_file $ journal_file $ supervise $ evac_budget)
+
+(* ----- loadgen ----- *)
+
+let loadgen_cmd =
+  let module Loadgen = Rebal_net.Loadgen in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server TCP port (serve --tcp).")
+  in
+  let connections =
+    Arg.(
+      value & opt int 32
+      & info [ "connections"; "c" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "rate" ] ~docv:"OPS"
+          ~doc:"Aggregate open-loop arrival rate in ops/sec, split across connections.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 10_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Total operations, split across connections.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let ids =
+    Arg.(
+      value & opt int 64
+      & info [ "ids" ] ~docv:"N" ~doc:"Id-universe size per connection (live set bound).")
+  in
+  let max_errors =
+    Arg.(
+      value & opt int 0
+      & info [ "max-errors" ] ~docv:"N"
+          ~doc:"Exit 1 if the server answers ERR more than $(docv) times (default 0).")
+  in
+  let run host port connections rate ops seed ids max_errors =
+    match
+      Loadgen.run { Loadgen.host; port; connections; rate; ops; seed; ids }
+    with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+    | Ok r ->
+      Printf.printf
+        "LOADGEN connections=%d ops=%d ok=%d errors=%d elapsed=%.3fs throughput=%.0f \
+         p50=%.6f p95=%.6f p99=%.6f max=%.6f\n"
+        r.Loadgen.connections r.Loadgen.ops r.Loadgen.ok r.Loadgen.errors r.Loadgen.elapsed
+        r.Loadgen.throughput r.Loadgen.p50 r.Loadgen.p95 r.Loadgen.p99 r.Loadgen.max_latency;
+      if r.Loadgen.errors > max_errors then begin
+        Printf.eprintf "error: %d ERR replies exceed --max-errors %d\n" r.Loadgen.errors
+          max_errors;
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a serve --tcp daemon with N concurrent client connections generating a \
+          seeded open-loop workload (60% add / 25% remove / 15% resize), and report \
+          throughput and open-loop latency percentiles (completion minus scheduled \
+          arrival, so server backlog shows up as tail latency).")
+    Term.(const run $ host $ port $ connections $ rate $ ops $ seed $ ids $ max_errors)
 
 (* ----- chaos-serve ----- *)
 
@@ -1470,6 +1640,7 @@ let () =
             process_sim_cmd;
             profile_cmd;
             serve_cmd;
+            loadgen_cmd;
             replay_cmd;
             snapshot_cmd;
             compact_cmd;

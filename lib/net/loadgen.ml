@@ -1,0 +1,201 @@
+module Metrics = Rebal_obs.Metrics
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  rate : float;  (* aggregate target ops/sec across all connections *)
+  ops : int;  (* total ops across all connections *)
+  seed : int;
+  ids : int;  (* per-connection id-universe size *)
+}
+
+type report = {
+  connections : int;
+  ops : int;
+  ok : int;
+  errors : int;
+  elapsed : float;
+  throughput : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max_latency : float;
+}
+
+let default =
+  { host = "127.0.0.1"; port = 7677; connections = 32; rate = 2000.0; ops = 10_000; seed = 1; ids = 64 }
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | exception Not_found -> failwith ("cannot resolve host " ^ host)
+    | h ->
+      if Array.length h.Unix.h_addr_list = 0 then failwith ("cannot resolve host " ^ host)
+      else h.Unix.h_addr_list.(0))
+
+(* One acknowledgement per command: PLACED/REMOVED/RESIZED/ERR
+   terminate an op's reply; MOVE and REBALANCED lines are riders
+   (automatic repairs travel behind the ack that triggered them), so
+   they are skipped — which keeps op -> ack attribution exact even
+   when replies interleave with trigger-fired repair reports. *)
+let rec read_ack ic =
+  let line = input_line ic in
+  let starts p =
+    String.length line >= String.length p && String.sub line 0 (String.length p) = p
+  in
+  if starts "PLACED" || starts "REMOVED" || starts "RESIZED" then `Ok
+  else if starts "ERR" then `Err
+  else read_ack ic
+
+(* What one connection thread does: an open-loop arrival schedule
+   (seeded exponential interarrivals at rate/connections) against its
+   own private id universe. Latency is completion minus *scheduled*
+   arrival — the open-loop convention, so a server that falls behind
+   accumulates queueing delay in the histogram instead of silently
+   slowing the generator down. The op mix is 60% add / 25% remove /
+   15% resize against locally-tracked live ids, so every command is
+   semantically valid and an ERR reply means the server misbehaved. *)
+type conn_result = {
+  c_ok : int;
+  c_err : int;
+  c_lat : float list;
+}
+
+let drive_connection (cfg : config) ~conn ~n_ops ~observe =
+  let rng = Random.State.make [| cfg.seed; conn; 0x10adc0de |] in
+  let addr = Unix.ADDR_INET (resolve cfg.host, cfg.port) in
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.connect sock addr;
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  Fun.protect ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+  @@ fun () ->
+  ignore (input_line ic) (* READY banner *);
+  let live = Hashtbl.create 64 in
+  let id j = Printf.sprintf "lg%d.%d" conn j in
+  let pick_live () =
+    let n = Hashtbl.length live in
+    let target = Random.State.int rng n in
+    let k = ref 0 and found = ref None in
+    Hashtbl.iter
+      (fun j () ->
+        if !k = target && !found = None then found := Some j;
+        incr k)
+      live;
+    Option.get !found
+  in
+  let pick_free () =
+    let rec try_from j = if Hashtbl.mem live j then try_from ((j + 1) mod cfg.ids) else j in
+    try_from (Random.State.int rng cfg.ids)
+  in
+  let command () =
+    let r = Random.State.float rng 1.0 in
+    let n_live = Hashtbl.length live in
+    if (r < 0.6 && n_live < cfg.ids) || n_live = 0 then begin
+      let j = pick_free () in
+      Hashtbl.replace live j ();
+      ("add", Printf.sprintf "ADD %s %d" (id j) (1 + Random.State.int rng 100))
+    end
+    else if r < 0.85 && n_live > 0 then begin
+      let j = pick_live () in
+      Hashtbl.remove live j;
+      ("remove", Printf.sprintf "REMOVE %s" (id j))
+    end
+    else begin
+      let j = pick_live () in
+      ("resize", Printf.sprintf "RESIZE %s %d" (id j) (1 + Random.State.int rng 100))
+    end
+  in
+  let per_conn_rate = cfg.rate /. float_of_int cfg.connections in
+  let interarrival () =
+    (* Exponential with mean 1/rate; clamp the log away from 0. *)
+    -.log (1e-12 +. Random.State.float rng 1.0) /. per_conn_rate
+  in
+  let ok = ref 0 and err = ref 0 and lats = ref [] in
+  let scheduled = ref (Unix.gettimeofday ()) in
+  for _ = 1 to n_ops do
+    scheduled := !scheduled +. interarrival ();
+    let now = Unix.gettimeofday () in
+    if now < !scheduled then Thread.delay (!scheduled -. now);
+    let op, line = command () in
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    (match read_ack ic with `Ok -> incr ok | `Err -> incr err);
+    let latency = Unix.gettimeofday () -. !scheduled in
+    lats := latency :: !lats;
+    observe ~op latency
+  done;
+  { c_ok = !ok; c_err = !err; c_lat = !lats }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let run (cfg : config) =
+  if cfg.connections < 1 then Error "loadgen: need at least one connection"
+  else if cfg.ops < 1 then Error "loadgen: need at least one op"
+  else if cfg.rate <= 0.0 then Error "loadgen: need a positive rate"
+  else if cfg.ids < 1 then Error "loadgen: need a positive id universe"
+  else begin
+    (* The exposition-facing histogram. All connection threads are
+       systhreads of this one domain, so sharing the handles is within
+       the Metrics confinement contract. *)
+    let histo op =
+      Metrics.histogram
+        ~help:"Loadgen op latency (completion minus scheduled arrival) in seconds"
+        ~labels:[ ("op", op) ] "rebal_loadgen_latency_seconds"
+    in
+    let h_add = histo "add" and h_remove = histo "remove" and h_resize = histo "resize" in
+    let observe ~op latency =
+      Metrics.Histogram.observe
+        (match op with "add" -> h_add | "remove" -> h_remove | _ -> h_resize)
+        latency
+    in
+    let n_conn i =
+      (cfg.ops / cfg.connections) + if i < cfg.ops mod cfg.connections then 1 else 0
+    in
+    let results = Array.make cfg.connections (Ok { c_ok = 0; c_err = 0; c_lat = [] }) in
+    let started = Unix.gettimeofday () in
+    let threads =
+      Array.init cfg.connections (fun conn ->
+          Thread.create
+            (fun () ->
+              results.(conn) <-
+                (match drive_connection cfg ~conn ~n_ops:(n_conn conn) ~observe with
+                | r -> Ok r
+                | exception e -> Error (Printexc.to_string e)))
+            ())
+    in
+    Array.iter Thread.join threads;
+    let elapsed = Unix.gettimeofday () -. started in
+    match Array.find_opt Result.is_error results with
+    | Some (Error e) -> Error ("loadgen: connection failed: " ^ e)
+    | _ ->
+      let folded =
+        Array.fold_left
+          (fun (ok, err, lats) r ->
+            match r with
+            | Ok c -> (ok + c.c_ok, err + c.c_err, List.rev_append c.c_lat lats)
+            | Error _ -> (ok, err, lats))
+          (0, 0, []) results
+      in
+      let ok, errors, lats = folded in
+      let sorted = Array.of_list lats in
+      Array.sort compare sorted;
+      Ok
+        {
+          connections = cfg.connections;
+          ops = ok + errors;
+          ok;
+          errors;
+          elapsed;
+          throughput = (if elapsed > 0.0 then float_of_int (ok + errors) /. elapsed else 0.0);
+          p50 = percentile sorted 0.50;
+          p95 = percentile sorted 0.95;
+          p99 = percentile sorted 0.99;
+          max_latency = percentile sorted 1.0;
+        }
+  end

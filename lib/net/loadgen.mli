@@ -1,0 +1,51 @@
+(** Concurrent TCP load generator for the serve daemon.
+
+    [N] client connections, each on its own thread, drive a seeded
+    {e open-loop} workload: arrivals follow exponential interarrivals
+    at [rate / connections] per connection, and an op's latency is
+    measured from its {e scheduled} arrival to its acknowledgement —
+    so when the server falls behind, the backlog shows up as queueing
+    delay in the latency tail instead of silently throttling the
+    generator (the closed-loop pitfall).
+
+    The op mix is 60% add / 25% remove / 15% resize over a private
+    per-connection id universe, tracked locally so every command is
+    semantically valid: an [ERR] reply counts as a server error, not
+    workload noise. Pipelined riders (MOVE / [REBALANCED auto] lines
+    behind an ack) are consumed and attributed to the op that caused
+    them.
+
+    Latencies are also observed into
+    [rebal_loadgen_latency_seconds{op="..."}] histograms in the
+    current {!Rebal_obs.Metrics} registry. *)
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;  (** concurrent client connections *)
+  rate : float;  (** aggregate target ops/sec, split across connections *)
+  ops : int;  (** total ops, split across connections *)
+  seed : int;
+  ids : int;  (** per-connection id-universe size *)
+}
+
+type report = {
+  connections : int;
+  ops : int;  (** ops acknowledged (= sent, on a clean run) *)
+  ok : int;
+  errors : int;  (** [ERR] acknowledgements *)
+  elapsed : float;  (** wall seconds for the whole run *)
+  throughput : float;  (** acknowledged ops per second *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max_latency : float;  (** seconds, open-loop accounting *)
+}
+
+val default : config
+(** 32 connections, 2000 ops/sec, 10k ops, seed 1, 64 ids each,
+    127.0.0.1:7677. *)
+
+val run : config -> (report, string) result
+(** Run to completion. [Error] on an invalid config or if any
+    connection fails outright (refused, reset mid-run). *)

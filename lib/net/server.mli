@@ -1,0 +1,51 @@
+(** The multi-client TCP front-end: an accept loop handing each
+    connection to its own session thread.
+
+    Sessions speak whatever line protocol the [session] callback
+    implements — the daemon passes {!Rebal_online.Protocol} sessions,
+    so each connection gets the [READY] banner, per-session line
+    numbering for [ERR], and free pipelining (a client may write many
+    commands before reading; replies come back in order on its own
+    connection because the session thread processes its input
+    sequentially).
+
+    Concurrency model: session threads are systhreads on the accepting
+    domain — cheap, I/O-bound, and they park on the parallel cluster's
+    reply cells, releasing the runtime lock, while shard worker
+    domains do the compute. The server itself therefore assumes the
+    target behind [session] is safe to drive from many threads (the
+    daemon enforces [--tcp] implies [--domains]).
+
+    Shutdown: a session returning [Stop] (the [SHUTDOWN] verb) or a
+    call to {!request_stop} (the SIGTERM path) stops the accept loop;
+    {!drain} then waits out live sessions for a grace period and shuts
+    down the sockets of any stragglers — reusing the daemon's ordinary
+    finalizer path (final snapshot, metrics dump, cluster shutdown)
+    after it returns. *)
+
+type t
+
+val create : ?backlog:int -> addr:Unix.sockaddr -> unit -> t
+(** Bind (with [SO_REUSEADDR]) and listen. Raises [Unix.Unix_error]
+    if the address is unavailable. *)
+
+val bound_addr : t -> Unix.sockaddr
+(** The actual listening address — useful with port 0. *)
+
+val run :
+  t -> session:(in_channel -> out_channel -> Rebal_online.Protocol.verdict) -> unit
+(** Accept until stopped. Each connection runs [session] on its own
+    thread; a session's exceptions end only that session. Returns once
+    a stop was requested (by a [Stop] verdict or {!request_stop});
+    live sessions may still be running — follow with {!drain}. *)
+
+val request_stop : t -> unit
+(** Stop accepting new connections (idempotent, callable from any
+    thread). In-flight sessions continue until {!drain}. *)
+
+val session_count : t -> int
+
+val drain : ?grace:float -> t -> unit
+(** {!request_stop}, wait up to [grace] seconds (default 5) for live
+    sessions to finish, force-shutdown the sockets of any that
+    remain, and close the listener. *)

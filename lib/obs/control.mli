@@ -4,10 +4,13 @@
     this flag gates is everything that must read a clock per operation —
     span creation in {!Trace} and the per-event latency histograms in the
     online engine and simulators. Disabled (the default), those paths
-    cost one ref load and a branch, which is what keeps the instrumented
-    hot loops within the < 5% overhead budget; the profile subcommand,
-    the serve daemon and the bench experiments that need timings switch
-    it on at startup. *)
+    cost one atomic load and a branch, which is what keeps the
+    instrumented hot loops within the < 5% overhead budget; the profile
+    subcommand, the serve daemon and the bench experiments that need
+    timings switch it on at startup. The flag is process-global and
+    atomic — setting it on one domain is observed by all; [with_enabled]
+    save/restore is not scoped per domain, so treat it as a
+    whole-process toggle. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit

@@ -26,6 +26,10 @@ type registry = {
   tbl : (string * labels, metric) Hashtbl.t;
   mutable rev_order : (string * labels) list;
   mutable collectors : (unit -> unit) list;
+  (* Guards the registry *structure* (table, order, collectors) against
+     concurrent registration from several domains. Handle mutation is
+     deliberately not behind it — see the .mli concurrency contract. *)
+  lock : Mutex.t;
 }
 
 (* Canonical label order makes (name, labels) a stable identity
@@ -44,30 +48,44 @@ let validate_name name =
   | '0' .. '9' -> invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name)
   | _ -> ()
 
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 module Registry = struct
   type t = registry
 
-  let create () = { tbl = Hashtbl.create 32; rev_order = []; collectors = [] }
+  let create () =
+    { tbl = Hashtbl.create 32; rev_order = []; collectors = []; lock = Mutex.create () }
 
   let default = create ()
-  let current_ref = ref default
-  let current () = !current_ref
+
+  (* The current registry is a per-domain notion: [with_registry] on one
+     domain must not redirect another domain's instrumentation (the
+     cluster runtime scopes each shard worker to its own registry this
+     way). Fresh domains start on the shared [default]. *)
+  let current_key = Domain.DLS.new_key (fun () -> default)
+  let current () = Domain.DLS.get current_key
 
   let with_registry r f =
-    let saved = !current_ref in
-    current_ref := r;
-    Fun.protect ~finally:(fun () -> current_ref := saved) f
+    let saved = Domain.DLS.get current_key in
+    Domain.DLS.set current_key r;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set current_key saved) f
 
-  let register_collector r f = r.collectors <- f :: r.collectors
+  let register_collector r f = locked r.lock (fun () -> r.collectors <- f :: r.collectors)
 
   let clear r =
-    Hashtbl.reset r.tbl;
-    r.rev_order <- [];
-    r.collectors <- []
+    locked r.lock (fun () ->
+        Hashtbl.reset r.tbl;
+        r.rev_order <- [];
+        r.collectors <- [])
 
   let metrics r =
-    List.iter (fun f -> f ()) (List.rev r.collectors);
-    List.rev_map (Hashtbl.find r.tbl) r.rev_order
+    (* Collectors run outside the lock: they re-enter the registry
+       through [counter]/[gauge] handles, and the lock is not reentrant. *)
+    let collectors = locked r.lock (fun () -> List.rev r.collectors) in
+    List.iter (fun f -> f ()) collectors;
+    locked r.lock (fun () -> List.rev_map (Hashtbl.find r.tbl) r.rev_order)
 end
 
 let pick_registry = function
@@ -78,13 +96,14 @@ let intern reg ~name ~labels ~help make =
   validate_name name;
   let labels = canonical labels in
   let key = (name, labels) in
-  match Hashtbl.find_opt reg.tbl key with
-  | Some m -> m
-  | None ->
-    let m = { name; labels; help; kind = make () } in
-    Hashtbl.replace reg.tbl key m;
-    reg.rev_order <- key :: reg.rev_order;
-    m
+  locked reg.lock (fun () ->
+      match Hashtbl.find_opt reg.tbl key with
+      | Some m -> m
+      | None ->
+        let m = { name; labels; help; kind = make () } in
+        Hashtbl.replace reg.tbl key m;
+        reg.rev_order <- key :: reg.rev_order;
+        m)
 
 let kind_mismatch what name =
   invalid_arg (Printf.sprintf "Metrics.%s: %s already registered with another type" what name)
@@ -188,7 +207,10 @@ module Histogram = struct
 end
 
 let merge ~into src =
-  let ordered = List.rev_map (Hashtbl.find src.tbl) src.rev_order in
+  (* Snapshot the source's structure under its own lock, then intern into
+     the destination (each intern takes the destination lock); the value
+     reads themselves rely on the single-writer confinement contract. *)
+  let ordered = locked src.lock (fun () -> List.rev_map (Hashtbl.find src.tbl) src.rev_order) in
   List.iter
     (fun m ->
       match m.kind with

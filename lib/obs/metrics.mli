@@ -10,7 +10,25 @@
 
     There is one process-global {!Registry.default}; tests and the bench
     harness isolate themselves with {!Registry.with_registry}, which
-    scopes which registry handle-creation binds to. *)
+    scopes which registry handle-creation binds to.
+
+    {b Concurrency contract.} Registry {e structure} is domain-safe: a
+    per-registry mutex guards handle registration ({!counter}, {!gauge},
+    {!histogram}), {!Registry.metrics}, {!Registry.clear},
+    {!Registry.register_collector} and the structural half of {!merge},
+    so several domains may register into the same registry concurrently.
+    The "current registry" is domain-local ({!Registry.with_registry}
+    scopes only the calling domain; fresh domains start on
+    {!Registry.default}). Handle {e mutation} ([Counter.inc],
+    [Gauge.set], [Histogram.observe]) is deliberately unsynchronized to
+    keep the hot path zero-cost: confine each handle's writers to one
+    domain at a time — the pattern the parallel cluster uses is one
+    registry per worker domain, {!merge}d into an exposition registry on
+    export. A reader ({!Registry.metrics}, {!merge}) racing a confined
+    writer sees word-atomic values (no tearing), but cross-field
+    invariants (a histogram's sum vs its buckets) may be mid-update;
+    that is acceptable for monitoring reads and never corrupts the
+    registry. *)
 
 type labels = (string * string) list
 
@@ -39,9 +57,12 @@ module Registry : sig
   (** The process-global registry, current unless scoped otherwise. *)
 
   val current : unit -> t
+  (** The calling domain's current registry (domain-local; fresh domains
+      start on {!default}). *)
 
   val with_registry : t -> (unit -> 'a) -> 'a
-  (** Make [t] the current registry for the call (exception-safe). *)
+  (** Make [t] the current registry for the call (exception-safe). The
+      redirection is domain-local: other domains are unaffected. *)
 
   val register_collector : t -> (unit -> unit) -> unit
   (** Register a callback run by {!metrics} before snapshotting — the

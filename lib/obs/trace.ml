@@ -20,12 +20,38 @@ let string_of_value = function
   | Str s -> s
   | Bool b -> string_of_bool b
 
-(* The stack of open spans (innermost first) and a bounded queue of
-   completed root spans, so a long-running daemon cannot grow without
-   bound. *)
-let stack : span list ref = ref []
-let roots : span Queue.t = Queue.create ()
-let max_roots = ref 256
+(* All trace state — the stack of open spans (innermost first), the
+   bounded queue of completed root spans, and the event ring — is
+   domain-local: each domain traces into its own buffers, so shard
+   worker domains never contend (or race) on a shared stack, and a span
+   opened on one domain cannot adopt children finished on another.
+   [finished]/[events] read the calling domain's buffers; a coordinator
+   that wants a worker's spans must collect them on that worker. *)
+type domain_state = {
+  mutable stack : span list;
+  roots : span Queue.t;
+  mutable max_roots : int;
+  mutable ring : event option array;
+  mutable ring_written : int;
+}
+
+and event = {
+  ts_ns : int64;
+  event_name : string;
+  event_attrs : (string * value) list;
+}
+
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        stack = [];
+        roots = Queue.create ();
+        max_roots = 256;
+        ring = Array.make 1024 None;
+        ring_written = 0;
+      })
+
+let state () = Domain.DLS.get state_key
 
 (* Overwriting a buffered span or event used to be silent; count drops
    so truncated traces are visible in the exposition. Fetched per drop —
@@ -38,23 +64,25 @@ let count_dropped kind =
 
 let set_max_roots n =
   if n < 1 then invalid_arg "Trace.set_max_roots: need a positive capacity";
-  max_roots := n;
-  while Queue.length roots > n do
-    ignore (Queue.pop roots);
+  let st = state () in
+  st.max_roots <- n;
+  while Queue.length st.roots > n do
+    ignore (Queue.pop st.roots);
     count_dropped "span"
   done
 
 let finish sp =
   sp.stop_ns <- Timer.now_ns ();
-  (match !stack with
-  | top :: rest when top == sp -> stack := rest
-  | _ -> stack := List.filter (fun s -> s != sp) !stack);
-  match !stack with
+  let st = state () in
+  (match st.stack with
+  | top :: rest when top == sp -> st.stack <- rest
+  | _ -> st.stack <- List.filter (fun s -> s != sp) st.stack);
+  match st.stack with
   | parent :: _ -> parent.rev_children <- sp :: parent.rev_children
   | [] ->
-    Queue.push sp roots;
-    while Queue.length roots > !max_roots do
-      ignore (Queue.pop roots);
+    Queue.push sp st.roots;
+    while Queue.length st.roots > st.max_roots do
+      ignore (Queue.pop st.roots);
       count_dropped "span"
     done
 
@@ -64,57 +92,53 @@ let with_span ?(attrs = []) name f =
     let sp =
       { name; attrs; start_ns = Timer.now_ns (); stop_ns = 0L; rev_children = [] }
     in
-    stack := sp :: !stack;
+    let st = state () in
+    st.stack <- sp :: st.stack;
     Fun.protect ~finally:(fun () -> finish sp) f
   end
 
 let add_attr key v =
   if Control.enabled () then
-    match !stack with
+    match (state ()).stack with
     | sp :: _ -> sp.attrs <- sp.attrs @ [ (key, v) ]
     | [] -> ()
 
-let finished () = List.of_seq (Queue.to_seq roots)
+let finished () = List.of_seq (Queue.to_seq (state ()).roots)
 
 let reset () =
-  Queue.clear roots;
-  stack := []
+  let st = state () in
+  Queue.clear st.roots;
+  st.stack <- []
 
 let name sp = sp.name
 let attrs sp = sp.attrs
 let children sp = List.rev sp.rev_children
 let duration_ns sp = Int64.sub sp.stop_ns sp.start_ns
 
-(* ----- the ring-buffer event log ----- *)
-
-type event = {
-  ts_ns : int64;
-  event_name : string;
-  event_attrs : (string * value) list;
-}
-
-let ring : event option array ref = ref (Array.make 1024 None)
-let ring_written = ref 0
+(* ----- the ring-buffer event log (domain-local, like the spans) ----- *)
 
 let set_ring_capacity n =
   if n < 1 then invalid_arg "Trace.set_ring_capacity: need a positive capacity";
-  ring := Array.make n None;
-  ring_written := 0
+  let st = state () in
+  st.ring <- Array.make n None;
+  st.ring_written <- 0
 
 let event ?(attrs = []) name =
   if Control.enabled () then begin
-    let buf = !ring in
-    let slot = !ring_written mod Array.length buf in
+    let st = state () in
+    let buf = st.ring in
+    let slot = st.ring_written mod Array.length buf in
     if buf.(slot) <> None then count_dropped "event";
     buf.(slot) <-
       Some { ts_ns = Timer.now_ns (); event_name = name; event_attrs = attrs };
-    incr ring_written
+    st.ring_written <- st.ring_written + 1
   end
 
 let events () =
-  let buf = !ring in
+  let st = state () in
+  let buf = st.ring in
   let cap = Array.length buf in
-  let total = !ring_written in
+  let total = st.ring_written in
   let start = max 0 (total - cap) in
   List.filter_map (fun i -> buf.(i mod cap)) (List.init (total - start) (fun j -> start + j))
 

@@ -8,8 +8,17 @@
     nothing. Completed root spans are kept in a bounded queue (default
     256, oldest dropped) so a long-running daemon cannot leak.
 
-    The tracer is process-global single-stack state, matching the
-    single-threaded solvers and daemon it instruments. *)
+    {b Concurrency contract.} All tracer state — the open-span stack,
+    the completed-roots queue and the event ring — is {e domain-local}:
+    each domain traces into its own buffers, so worker domains never
+    race on a shared stack and a span tree never mixes domains.
+    {!finished}, {!events}, {!reset}, {!set_max_roots} and
+    {!set_ring_capacity} all operate on the calling domain's state; a
+    coordinator that wants a worker's spans must collect them on that
+    worker (the parallel cluster does exactly this for its per-domain
+    metrics registries). Within one domain the discipline is unchanged:
+    one logical stack, matching the single-threaded solvers and
+    sessions it instruments. *)
 
 type value =
   | Int of int

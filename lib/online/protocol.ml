@@ -25,6 +25,7 @@ type target =
   | Single of Engine.t
   | Cluster of Shard.t
   | Supervised of Supervisor.t
+  | Parallel of Cluster.t
 
 (* Read-only paths (stats, journals, snapshots, metrics) see a
    supervised cluster as the underlying router; only mutations and the
@@ -96,30 +97,35 @@ let makespan = function
   | Single e -> Engine.makespan e
   | Cluster s -> Shard.makespan s
   | Supervised sup -> Shard.makespan (Supervisor.cluster sup)
+  | Parallel c -> Cluster.makespan c
 
 let add_job t ~id ~size =
   match t with
   | Single e -> Engine.add_job e ~id ~size
   | Cluster s -> Shard.add_job s ~id ~size
   | Supervised sup -> Supervisor.add_job sup ~id ~size
+  | Parallel c -> Cluster.add_job c ~id ~size
 
 let remove_job t ~id =
   match t with
   | Single e -> Engine.remove_job e ~id
   | Cluster s -> Shard.remove_job s ~id
   | Supervised sup -> Supervisor.remove_job sup ~id
+  | Parallel c -> Cluster.remove_job c ~id
 
 let resize_job t ~id ~size =
   match t with
   | Single e -> Engine.resize_job e ~id ~size
   | Cluster s -> Shard.resize_job s ~id ~size
   | Supervised sup -> Supervisor.resize_job sup ~id ~size
+  | Parallel c -> Cluster.resize_job c ~id ~size
 
 let rebalance t ~k =
   match t with
   | Single e -> Engine.rebalance e ~k
   | Cluster s -> Shard.rebalance s ~k
   | Supervised sup -> Supervisor.rebalance sup ~k
+  | Parallel c -> Cluster.rebalance c ~k
 
 let move_lines moves =
   List.map (fun mv -> pf "MOVE %s %d %d" mv.Engine.id mv.Engine.src mv.Engine.dst) moves
@@ -160,8 +166,7 @@ let engine_stats_line s =
     s.Engine.auto_rebalances s.Engine.trigger_firings s.Engine.moved
     s.Engine.last_rebalance_moves s.Engine.consistency_checks s.Engine.consistency_failures
 
-let cluster_stats_line s =
-  let st = Shard.stats s in
+let cluster_stats_line st =
   pf
     "STATS shards=%d jobs=%d procs=%d makespan=%d total=%d imbalance=%.3f events=%d \
      adds=%d removes=%d resizes=%d rebalances=%d auto=%d auto_triggers=%d moved=%d \
@@ -175,10 +180,11 @@ let cluster_stats_line s =
    appended — consumers matching on the existing prefix keep working. *)
 let stats_line = function
   | Single e -> "STATS " ^ engine_stats_line (Engine.stats e)
-  | Cluster s -> cluster_stats_line s
+  | Cluster s -> cluster_stats_line (Shard.stats s)
+  | Parallel c -> cluster_stats_line (Cluster.stats c)
   | Supervised sup ->
     let h = Supervisor.stats sup in
-    cluster_stats_line (Supervisor.cluster sup)
+    cluster_stats_line (Shard.stats (Supervisor.cluster sup))
     ^ pf
         " healthy=%d suspect=%d down=%d recovering=%d evacuations=%d evacuated=%d \
          stranded=%d readmissions=%d probe_failures=%d watchdog_trips=%d rejections=%d"
@@ -187,27 +193,35 @@ let stats_line = function
         h.Supervisor.readmissions h.Supervisor.probe_failures h.Supervisor.watchdog_trips
         h.Supervisor.degraded_rejections
 
-let shard_line s i (st : Engine.stats) =
-  pf "SHARD %d offset=%d procs=%d jobs=%d makespan=%d imbalance=%.3f" i (Shard.offset s i)
+let shard_line ~offset i (st : Engine.stats) =
+  pf "SHARD %d offset=%d procs=%d jobs=%d makespan=%d imbalance=%.3f" i offset
     st.Engine.procs st.Engine.jobs st.Engine.makespan st.Engine.imbalance
 
 let shards_lines = function
   | Single _ -> [ "ERR not sharded (serve started without --shards)" ]
-  | Cluster s -> Array.to_list (Array.mapi (shard_line s) (Shard.shard_stats s))
+  | Cluster s ->
+    Array.to_list
+      (Array.mapi (fun i st -> shard_line ~offset:(Shard.offset s i) i st) (Shard.shard_stats s))
+  | Parallel c ->
+    Array.to_list
+      (Array.mapi
+         (fun i st -> shard_line ~offset:(Cluster.offset c i) i st)
+         (Cluster.shard_stats c))
   | Supervised sup ->
     (* Same SHARD lines, with health and routing weight appended. *)
     let s = Supervisor.cluster sup in
     Array.to_list
       (Array.mapi
          (fun i st ->
-           shard_line s i st
+           shard_line ~offset:(Shard.offset s i) i st
            ^ pf " health=%s weight=%.2f"
                (Supervisor.health_name (Supervisor.health sup i))
                (Shard.weight s i))
          (Shard.shard_stats s))
 
 let health_lines = function
-  | Single _ | Cluster _ -> [ "ERR not supervised (serve started without --supervise)" ]
+  | Single _ | Cluster _ | Parallel _ ->
+    [ "ERR not supervised (serve started without --supervise)" ]
   | Supervised sup ->
     let h = Supervisor.stats sup in
     let s = Supervisor.cluster sup in
@@ -289,42 +303,77 @@ let export_supervisor sup =
   count "rebal_degraded_rejections_total" "Operations refused because of a down shard"
     h.Supervisor.degraded_rejections
 
+(* One labeled series per shard plus cluster-level aggregates; a
+   sum() over the shard label reproduces the additive aggregates. *)
+let export_sharded ~shard_stats ~(stats : Shard.stats) =
+  Array.iteri
+    (fun i st -> export_engine_stats ~labels:[ ("shard", string_of_int i) ] st)
+    shard_stats;
+  let st = stats in
+  let gauge name help v = Metrics.Gauge.set (Metrics.gauge ~help name) v in
+  gauge "rebal_cluster_shards" "Shards served" (float_of_int st.Shard.shards);
+  gauge "rebal_cluster_jobs" "Live jobs across all shards" (float_of_int st.Shard.jobs);
+  gauge "rebal_cluster_procs" "Processors across all shards" (float_of_int st.Shard.procs);
+  gauge "rebal_cluster_makespan" "Global maximum processor load"
+    (float_of_int st.Shard.makespan);
+  gauge "rebal_cluster_imbalance" "Global makespan over the global batch lower bound"
+    st.Shard.imbalance;
+  Metrics.Counter.set
+    (Metrics.counter ~help:"Cross-shard job transfers performed by rebalancing"
+       "rebal_cluster_inter_moves_total")
+    st.Shard.inter_moves
+
 let rec export_target = function
   | Single e -> export_metrics e
   | Supervised sup ->
     export_target (as_cluster (Supervised sup));
     export_supervisor sup
-  | Cluster s ->
-    (* One labeled series per shard plus cluster-level aggregates; a
-       sum() over the shard label reproduces the additive aggregates. *)
-    Array.iteri
-      (fun i st -> export_engine_stats ~labels:[ ("shard", string_of_int i) ] st)
-      (Shard.shard_stats s);
-    let st = Shard.stats s in
-    let gauge name help v = Metrics.Gauge.set (Metrics.gauge ~help name) v in
-    gauge "rebal_cluster_shards" "Shards served" (float_of_int st.Shard.shards);
-    gauge "rebal_cluster_jobs" "Live jobs across all shards" (float_of_int st.Shard.jobs);
-    gauge "rebal_cluster_procs" "Processors across all shards" (float_of_int st.Shard.procs);
-    gauge "rebal_cluster_makespan" "Global maximum processor load"
-      (float_of_int st.Shard.makespan);
-    gauge "rebal_cluster_imbalance" "Global makespan over the global batch lower bound"
-      st.Shard.imbalance;
-    Metrics.Counter.set
-      (Metrics.counter ~help:"Cross-shard job transfers performed by rebalancing"
-         "rebal_cluster_inter_moves_total")
-      st.Shard.inter_moves
+  | Cluster s -> export_sharded ~shard_stats:(Shard.shard_stats s) ~stats:(Shard.stats s)
+  | Parallel c ->
+    export_sharded ~shard_stats:(Cluster.shard_stats c) ~stats:(Cluster.stats c);
+    Metrics.Gauge.set
+      (Metrics.gauge ~help:"Worker domains serving the shards" "rebal_cluster_domains")
+      (float_of_int (Cluster.domain_count c))
 
-let metrics_lines t =
-  export_target t;
-  let text = Expo.prometheus (Metrics.Registry.current ()) in
+let render_registry reg =
+  let text = Expo.prometheus reg in
   let lines = String.split_on_char '\n' text in
   let lines = List.filter (fun l -> l <> "") lines in
   lines @ [ "# EOF" ]
+
+let metrics_lines t =
+  match t with
+  | Parallel c ->
+    (* The worker domains hold their own registries (handle mutation is
+       confined to one domain); exposition builds a fresh registry each
+       time — exported aggregates first, then every worker registry and
+       the main domain's merged in. Fresh-per-reply matters: merge adds
+       counters, so folding twice into a reused registry would double
+       count. *)
+    let export = Metrics.Registry.create () in
+    Metrics.Registry.with_registry export (fun () -> export_target t);
+    Cluster.merge_metrics c ~into:export;
+    Metrics.merge ~into:export Metrics.Registry.default;
+    render_registry export
+  | _ ->
+    export_target t;
+    render_registry (Metrics.Registry.current ())
 
 let engine_journal_tail i e n =
   match Engine.journal e with
   | None -> Error i
   | Some sink -> Ok (Rebal_obs.Journal.tail sink n)
+
+let sharded_journal_lines parts =
+  match List.find_opt Result.is_error parts with
+  | Some (Error i) -> [ pf "ERR no journal attached to shard %d" i ]
+  | _ ->
+    List.concat
+      (List.mapi
+         (fun i part ->
+           (pf "# shard %d" i) :: (match part with Ok lines -> lines | Error _ -> []))
+         parts)
+    @ [ "# EOF" ]
 
 let journal_lines t n =
   match as_cluster t with
@@ -335,18 +384,18 @@ let journal_lines t n =
     | Ok lines -> lines @ [ "# EOF" ]
   end
   | Cluster s ->
-    let parts =
-      List.init (Shard.shard_count s) (fun i -> engine_journal_tail i (Shard.engine s i) n)
-    in
-    (match List.find_opt Result.is_error parts with
-    | Some (Error i) -> [ pf "ERR no journal attached to shard %d" i ]
-    | _ ->
-      List.concat
-        (List.mapi
-           (fun i part ->
-             (pf "# shard %d" i) :: (match part with Ok lines -> lines | Error _ -> []))
-           parts)
-      @ [ "# EOF" ])
+    sharded_journal_lines
+      (List.init (Shard.shard_count s) (fun i -> engine_journal_tail i (Shard.engine s i) n))
+  | Parallel c ->
+    (* Tails are read on each shard's owner domain — a journal sink is
+       single-writer state, so the query fabric is the safe path in. *)
+    sharded_journal_lines
+      (List.init (Cluster.shard_count c) (fun i ->
+           Cluster.query c i (fun e -> engine_journal_tail i e n)))
+
+let sharded_snapshot_lines = function
+  | Error e -> [ "ERR " ^ e ^ " (start serve with --journal FILE)" ]
+  | Ok seqs -> List.map (fun (i, seq) -> pf "SNAPSHOTTED shard=%d seq=%d" i seq) seqs
 
 let snapshot_lines t =
   match as_cluster t with
@@ -356,11 +405,8 @@ let snapshot_lines t =
     | Error e -> [ "ERR " ^ e ^ " (start serve with --journal FILE)" ]
     | Ok seq -> [ pf "SNAPSHOTTED seq=%d" seq ]
   end
-  | Cluster s -> begin
-    match Shard.journal_snapshot s with
-    | Error e -> [ "ERR " ^ e ^ " (start serve with --journal FILE)" ]
-    | Ok seqs -> List.map (fun (i, seq) -> pf "SNAPSHOTTED shard=%d seq=%d" i seq) seqs
-  end
+  | Cluster s -> sharded_snapshot_lines (Shard.journal_snapshot s)
+  | Parallel c -> sharded_snapshot_lines (Cluster.journal_snapshot c)
 
 let execute t = function
   | Add { id; size } -> begin
@@ -419,3 +465,7 @@ let greeting = function
     pf "READY rebalance-serve shards=%d procs=%d jobs=%d makespan=%d serving=%d"
       (Shard.shard_count s) (Shard.m s) (Shard.job_count s) (Shard.makespan s)
       (Supervisor.serving_shards sup)
+  | Parallel c ->
+    pf "READY rebalance-serve shards=%d domains=%d procs=%d jobs=%d makespan=%d"
+      (Cluster.shard_count c) (Cluster.domain_count c) (Cluster.m c) (Cluster.job_count c)
+      (Cluster.makespan c)

@@ -67,12 +67,18 @@ type verdict =
   | Close  (** end this client session *)
   | Stop  (** end the session and shut the daemon down *)
 
-(** What the protocol operates: one engine, a shard router, or a shard
-    router under health supervision. *)
+(** What the protocol operates: one engine, a shard router, a shard
+    router under health supervision, or the domain-parallel cluster.
+    A {!Parallel} target answers the same replies as {!Cluster} (the
+    [READY] banner gains [domains=<d>], [METRICS] gains
+    [rebal_cluster_domains] and the per-worker latency histograms) and
+    is safe to drive from many sessions concurrently — every command
+    is routed through the cluster's owner-domain mailboxes. *)
 type target =
   | Single of Engine.t
   | Cluster of Shard.t
   | Supervised of Supervisor.t
+  | Parallel of Cluster.t
 
 val parse : string -> (command option, string) result
 (** [Ok None] for blank/comment lines; [Error] explains a malformed

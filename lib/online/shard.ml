@@ -65,6 +65,8 @@ let hash32 s =
 
 let ring_points_per_shard = 64
 
+type ring = (int * int * int) array
+
 let make_ring shards =
   let points = Array.init (shards * ring_points_per_shard) (fun i ->
       let shard = i / ring_points_per_shard and replica = i mod ring_points_per_shard in

@@ -163,3 +163,22 @@ val journal_snapshot : t -> ((int * int) list, string) result
 (** Emit a snapshot event into every shard's journal; returns
     [(shard, event seq)] pairs. [Error] (emitting nothing) if any shard
     has no journal attached. *)
+
+(** {2 Ring internals}
+
+    The consistent-hash machinery, exposed so the parallel {!Cluster}
+    routes new ids bit-identically to this router (the sequential-
+    equivalence property the cluster tests rely on). *)
+
+type ring
+
+val hash32 : string -> int
+(** FNV-1a 32-bit with a murmur3 fmix32 finalizer — stable across runs
+    and OCaml versions. *)
+
+val make_ring : int -> ring
+(** The sorted virtual-node ring for [shards] shards (64 points each). *)
+
+val ring_lookup : ?weights:float array -> ring -> int -> int
+(** Shard owning the first ring point at or after the hash (wrapping).
+    Without [weights], equivalent to all weights 1. *)

@@ -1,0 +1,368 @@
+(* Parallel cluster tests: the qcheck equivalence property (a command
+   stream fanned across D worker domains must land in the same state as
+   the sequential router, for D ∈ {1, 2, 8}, with every per-shard
+   journal individually replayable), mailbox backpressure and close
+   semantics, two-phase move crash points, and a genuinely concurrent
+   multi-thread driver checked for directory integrity. *)
+
+module Engine = Rebal_online.Engine
+module Shard = Rebal_online.Shard
+module Cluster = Rebal_online.Cluster
+module Mailbox = Rebal_online.Mailbox
+module Replay = Rebal_online.Replay
+module Journal = Rebal_obs.Journal
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected cluster error: %s" e
+
+(* Deterministic in-memory journals, one per shard: each Buffer and
+   fake clock is touched only by its shard's owner domain, which is
+   exactly the confinement the cluster promises its sinks. *)
+let buffer_journals shards =
+  let bufs = Array.init shards (fun _ -> Buffer.create 512) in
+  let journal_for i =
+    let tick = ref 0 in
+    Some
+      (Journal.create
+         ~clock_ns:(fun () ->
+           incr tick;
+           Int64.of_int (!tick * 1000))
+         ~write:(Buffer.add_string bufs.(i))
+         ())
+  in
+  (bufs, journal_for)
+
+(* The same adversarial stream shape as the shard suite: m >= 8 so an
+   8-shard split is constructible. *)
+let stream_gen =
+  let open QCheck2 in
+  Gen.(
+    let* m = int_range 8 16 in
+    let id = map (fun i -> Printf.sprintf "j%d" i) (int_range 0 24) in
+    let* events =
+      list_size (int_range 0 60)
+        (oneof
+           [
+             map2 (fun id size -> `Add (id, size)) id (int_range 1 60);
+             map (fun id -> `Remove id) id;
+             map2 (fun id size -> `Resize (id, size)) id (int_range 1 60);
+             map (fun k -> `Rebalance k) (int_range 0 8);
+           ])
+    in
+    let* k = int_range 0 20 in
+    return (m, events, k))
+
+let apply_to_shard sh events =
+  List.iter
+    (fun ev ->
+      match ev with
+      | `Add (id, size) -> ignore (Shard.add_job sh ~id ~size)
+      | `Remove id -> ignore (Shard.remove_job sh ~id)
+      | `Resize (id, size) -> ignore (Shard.resize_job sh ~id ~size)
+      | `Rebalance k -> ignore (Shard.rebalance sh ~k))
+    events
+
+let apply_to_cluster c events =
+  List.iter
+    (fun ev ->
+      match ev with
+      | `Add (id, size) -> ignore (Cluster.add_job c ~id ~size)
+      | `Remove id -> ignore (Cluster.remove_job c ~id)
+      | `Resize (id, size) -> ignore (Cluster.resize_job c ~id ~size)
+      | `Rebalance k -> ignore (Cluster.rebalance c ~k))
+    events
+
+(* The tentpole property: a quiescent cluster is observationally the
+   sequential router, whatever the domain count — same loads, same
+   global peak, same directory, same repair decisions — and every
+   per-shard journal replays to the engine the worker left behind. *)
+let prop_cluster_matches_shard =
+  QCheck2.Test.make
+    ~name:"cluster = sequential shard router for D in {1,2,8}, journals replayable"
+    ~count:40 stream_gen
+    (fun (m, events, k) ->
+      let shards = 8 in
+      let sh = Shard.create ~m ~shards () in
+      apply_to_shard sh events;
+      let seq_moves = Shard.rebalance sh ~k in
+      List.for_all
+        (fun domains ->
+          let bufs, journal_for = buffer_journals shards in
+          let c = Cluster.create ~journal_for ~m ~shards ~domains () in
+          apply_to_cluster c events;
+          let par_moves = Cluster.rebalance c ~k in
+          let state_equal =
+            Cluster.loads c = Shard.loads sh
+            && Cluster.makespan c = Shard.makespan sh
+            && Cluster.job_count c = Shard.job_count sh
+            && par_moves = seq_moves
+            && Array.for_all2
+                 (fun (a : Engine.stats) (b : Engine.stats) ->
+                   a.Engine.makespan = b.Engine.makespan
+                   && a.Engine.jobs = b.Engine.jobs)
+                 (Cluster.shard_stats c) (Shard.shard_stats sh)
+            && List.for_all
+                 (fun id -> Cluster.shard_of c id = Shard.shard_of sh id)
+                 (List.init 25 (Printf.sprintf "j%d"))
+            && Cluster.check_consistency c ~k
+            && Cluster.check_consistency c ~k:max_int
+          in
+          Cluster.shutdown c;
+          state_equal
+          && Array.for_all
+               (fun i ->
+                 let eng = Cluster.engine c i in
+                 match
+                   Result.bind
+                     (Journal.parse_string (Buffer.contents bufs.(i)))
+                     Replay.run
+                 with
+                 | Error _ -> false
+                 | Ok o ->
+                   o.Replay.consistency_ok
+                   && o.Replay.final_makespan = Engine.makespan eng
+                   && o.Replay.final_jobs = Engine.job_count eng)
+               (Array.init shards Fun.id))
+        [ 1; 2; 8 ])
+
+(* --- mailbox ------------------------------------------------------------- *)
+
+let test_mailbox_backpressure () =
+  let mb = Mailbox.create ~capacity:2 in
+  check Alcotest.(result unit string) "capacity validated"
+    (Error "cap")
+    (match Mailbox.create ~capacity:0 with
+    | exception Invalid_argument _ -> Error "cap"
+    | _ -> Ok ());
+  check_int "capacity reported" 2 (Mailbox.capacity mb);
+  check_bool "send into space" true (Mailbox.send mb 1);
+  check_bool "send fills" true (Mailbox.send mb 2);
+  (match Mailbox.try_send mb 3 with
+  | `Full -> ()
+  | `Sent | `Closed -> Alcotest.fail "full mailbox accepted a third element");
+  check_int "length is the fill" 2 (Mailbox.length mb);
+  (* A blocked sender parks until the consumer makes room. *)
+  let unblocked = ref false in
+  let t =
+    Thread.create
+      (fun () ->
+        ignore (Mailbox.send mb 3);
+        unblocked := true)
+      ()
+  in
+  Thread.delay 0.02;
+  check_bool "sender is parked while full" false !unblocked;
+  check Alcotest.(option int) "fifo order" (Some 1) (Mailbox.recv mb);
+  Thread.join t;
+  check_bool "sender woke after recv" true !unblocked;
+  check Alcotest.(option int) "fifo order" (Some 2) (Mailbox.recv mb);
+  check Alcotest.(option int) "fifo order" (Some 3) (Mailbox.recv mb)
+
+let test_mailbox_close () =
+  let mb = Mailbox.create ~capacity:4 in
+  check_bool "accepted before close" true (Mailbox.send mb "a");
+  check_bool "accepted before close" true (Mailbox.send mb "b");
+  Mailbox.close mb;
+  Mailbox.close mb (* idempotent *);
+  check_bool "closed" true (Mailbox.is_closed mb);
+  check_bool "send refused after close" false (Mailbox.send mb "c");
+  (match Mailbox.try_send mb "c" with
+  | `Closed -> ()
+  | `Sent | `Full -> Alcotest.fail "closed mailbox accepted a send");
+  (* Everything accepted before close still drains, then end-of-stream. *)
+  check Alcotest.(option string) "drains a" (Some "a") (Mailbox.recv mb);
+  check Alcotest.(option string) "drains b" (Some "b") (Mailbox.recv mb);
+  check Alcotest.(option string) "end of stream" None (Mailbox.recv mb);
+  (* close wakes a sender blocked on a full mailbox. *)
+  let full = Mailbox.create ~capacity:1 in
+  ignore (Mailbox.send full 0);
+  let refused = ref None in
+  let t = Thread.create (fun () -> refused := Some (Mailbox.send full 1)) () in
+  Thread.delay 0.02;
+  Mailbox.close full;
+  Thread.join t;
+  check Alcotest.(option bool) "blocked sender refused on close" (Some false) !refused
+
+(* --- two-phase moves ----------------------------------------------------- *)
+
+(* Two single-processor shards so residency is unambiguous. *)
+let two_shard_cluster () =
+  let bufs, journal_for = buffer_journals 2 in
+  (Cluster.create ~journal_for ~m:2 ~shards:2 ~domains:2 (), bufs)
+
+let replayable bufs =
+  Array.for_all
+    (fun (buf : Buffer.t) ->
+      match Result.bind (Journal.parse_string (Buffer.contents buf)) Replay.run with
+      | Ok o -> o.Replay.consistency_ok
+      | Error e -> Alcotest.failf "journal did not replay: %s" e)
+    bufs
+
+let test_move_commits () =
+  let c, bufs = two_shard_cluster () in
+  ignore (ok (Cluster.add_job c ~id:"big" ~size:100));
+  let src = Option.get (Cluster.shard_of c "big") in
+  let dst = 1 - src in
+  let moves = ok (Cluster.move c ~id:"big" ~dst) in
+  check_int "one recorded transfer" 1 (List.length moves);
+  check Alcotest.(option int) "directory follows the move" (Some dst)
+    (Cluster.shard_of c "big");
+  check_int "inter_moves counted" 1 (Cluster.stats c).Shard.inter_moves;
+  check_bool "consistent after commit" true (Cluster.check_consistency c ~k:8);
+  check Alcotest.(result (list unit) string) "move to own shard is a no-op" (Ok [])
+    (Result.map (List.map ignore) (Cluster.move c ~id:"big" ~dst));
+  Cluster.shutdown c;
+  check_bool "both shard journals replay" true (replayable bufs)
+
+let test_move_crash_rolls_back () =
+  let c, bufs = two_shard_cluster () in
+  ignore (ok (Cluster.add_job c ~id:"big" ~size:100));
+  ignore (ok (Cluster.add_job c ~id:"other" ~size:7));
+  let src = Option.get (Cluster.shard_of c "big") in
+  let before_jobs = Cluster.job_count c and before_peak = Cluster.makespan c in
+  (* The crash point: after the journaled remove on the source, before
+     the journaled add on the destination. The transfer must roll back
+     through the ordinary journaled path, leaving both shard journals
+     replayable and the job where it started. *)
+  (match Cluster.move c ~on_removed:(fun () -> failwith "injected crash") ~id:"big" ~dst:(1 - src) with
+  | Ok _ -> Alcotest.fail "crashed transfer reported success"
+  | Error e -> check_bool ("reports the failure: " ^ e) true (String.length e > 0));
+  check Alcotest.(option int) "job back on the source shard" (Some src)
+    (Cluster.shard_of c "big");
+  check_int "no job lost" before_jobs (Cluster.job_count c);
+  check_int "load restored" before_peak (Cluster.makespan c);
+  check_int "rolled-back transfer not counted" 0 (Cluster.stats c).Shard.inter_moves;
+  check_bool "consistent after rollback" true (Cluster.check_consistency c ~k:8);
+  (* The id is fully settled: ordinary traffic proceeds. *)
+  ignore (ok (Cluster.resize_job c ~id:"big" ~size:50));
+  check_int "resize landed after rollback" 50 (fst (Option.get (Cluster.find c "big")));
+  check_bool "still consistent" true (Cluster.check_consistency c ~k:8);
+  Cluster.shutdown c;
+  check_bool "both shard journals replay after the crash" true (replayable bufs)
+
+let test_move_validation () =
+  let c, _ = two_shard_cluster () in
+  (match Cluster.move c ~id:"ghost" ~dst:1 with
+  | Ok _ -> Alcotest.fail "moved a job that does not exist"
+  | Error e -> check_bool ("names the job: " ^ e) true (String.length e > 0));
+  (match Cluster.move c ~id:"ghost" ~dst:7 with
+  | Ok _ -> Alcotest.fail "accepted an out-of-range destination"
+  | Error e -> check_bool ("names the shard: " ^ e) true (String.length e > 0));
+  Cluster.shutdown c
+
+(* --- concurrency and shutdown -------------------------------------------- *)
+
+let test_concurrent_drivers () =
+  let shards = 4 in
+  let bufs, journal_for = buffer_journals shards in
+  let c = Cluster.create ~journal_for ~m:8 ~shards ~domains:4 () in
+  let threads = 8 and per_thread = 150 in
+  let survivors = Array.make threads 0 in
+  let driver t () =
+    (* Private id namespace per thread, so every command is valid and
+       the only contention is inside the cluster. *)
+    let live = ref [] and n = ref 0 in
+    for i = 0 to per_thread - 1 do
+      let id = Printf.sprintf "t%d.%d" t i in
+      (match i mod 5 with
+      | 0 | 1 | 2 ->
+        ignore (ok (Cluster.add_job c ~id ~size:(1 + ((t + i) mod 40))));
+        live := id :: !live;
+        incr n
+      | 3 -> (
+        match !live with
+        | [] -> ()
+        | victim :: rest ->
+          ignore (ok (Cluster.remove_job c ~id:victim));
+          live := rest;
+          decr n)
+      | _ -> (
+        match !live with
+        | [] -> ()
+        | id :: _ -> ignore (ok (Cluster.resize_job c ~id ~size:(1 + (i mod 40))))));
+      if i mod 37 = 0 then ignore (Cluster.rebalance c ~k:3)
+    done;
+    survivors.(t) <- !n
+  in
+  let ts = Array.init threads (fun t -> Thread.create (driver t) ()) in
+  Array.iter Thread.join ts;
+  check_int "no job lost or duplicated under contention"
+    (Array.fold_left ( + ) 0 survivors)
+    (Cluster.job_count c);
+  check_bool "directory and engines agree after the storm" true
+    (Cluster.check_consistency c ~k:max_int);
+  check_int "snapshot reaches every shard" shards
+    (List.length (ok (Cluster.journal_snapshot c)));
+  Cluster.shutdown c;
+  check_bool "every journal from the concurrent run replays" true (replayable bufs)
+
+let test_shutdown_semantics () =
+  let c = Cluster.create ~m:4 ~shards:2 () in
+  ignore (ok (Cluster.add_job c ~id:"x" ~size:5));
+  Cluster.shutdown c;
+  Cluster.shutdown c (* idempotent *);
+  (match Cluster.add_job c ~id:"y" ~size:1 with
+  | Ok _ -> Alcotest.fail "accepted work after shutdown"
+  | Error e -> check Alcotest.string "reports shutdown" "cluster is shut down" e);
+  Alcotest.check_raises "inspection raises after shutdown" Cluster.Shut_down (fun () ->
+      ignore (Cluster.query c 0 Engine.makespan));
+  (* The engines themselves remain readable — the replay-audit path. *)
+  check_int "post-shutdown engine access" 1
+    (Engine.job_count (Cluster.engine c 0) + Engine.job_count (Cluster.engine c 1))
+
+let test_create_validation () =
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Cluster: need at least one domain") (fun () ->
+      ignore (Cluster.create ~m:4 ~shards:2 ~domains:0 ()));
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Cluster.create: need a positive mailbox capacity") (fun () ->
+      ignore (Cluster.create ~m:4 ~shards:2 ~mailbox_capacity:0 ()));
+  (* Domains clamp to the shard count; uneven splits match Shard. *)
+  let c = Cluster.create ~m:7 ~shards:3 ~domains:64 () in
+  check_int "domains clamped to shards" 3 (Cluster.domain_count c);
+  check_int "offsets partition" 3 (Cluster.offset c 1);
+  check_int "offsets partition" 5 (Cluster.offset c 2);
+  (match Cluster.journal_snapshot c with
+  | Ok _ -> Alcotest.fail "snapshot without journals must fail"
+  | Error e -> check_bool "names the missing sinks" true (String.length e > 0));
+  Cluster.shutdown c;
+  let e0 = Engine.create ~m:1 () and e1 = Engine.create ~m:1 () in
+  ignore (Engine.add_job e0 ~id:"x" ~size:5);
+  ignore (Engine.add_job e1 ~id:"x" ~size:7);
+  match Cluster.of_engines ~shards:2 (fun i -> if i = 0 then e0 else e1) with
+  | Ok c ->
+    Cluster.shutdown c;
+    Alcotest.fail "duplicate residency accepted"
+  | Error e -> check_bool ("names the duplicate: " ^ e) true (String.length e > 0)
+
+let () =
+  Alcotest.run "rebal_cluster"
+    [
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest prop_cluster_matches_shard ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "backpressure blocks and wakes" `Quick
+            test_mailbox_backpressure;
+          Alcotest.test_case "close refuses, drains, wakes" `Quick test_mailbox_close;
+        ] );
+      ( "two-phase moves",
+        [
+          Alcotest.test_case "commit updates the directory" `Quick test_move_commits;
+          Alcotest.test_case "crash between halves rolls back" `Quick
+            test_move_crash_rolls_back;
+          Alcotest.test_case "validation" `Quick test_move_validation;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "eight threads against four domains" `Quick
+            test_concurrent_drivers;
+          Alcotest.test_case "shutdown semantics" `Quick test_shutdown_semantics;
+          Alcotest.test_case "creation validation" `Quick test_create_validation;
+        ] );
+    ]
