@@ -595,6 +595,8 @@ let serve_cmd =
   let module Cluster = Rebal_online.Cluster in
   let module Protocol = Rebal_online.Protocol in
   let module Server = Rebal_net.Server in
+  let module Http = Rebal_net.Http in
+  let module Optrace = Rebal_obs.Optrace in
   let procs =
     Arg.(value & opt int 8 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.")
   in
@@ -703,6 +705,23 @@ let serve_cmd =
              (default: unbounded). Jobs beyond the budget stay stranded until the shard is \
              readmitted.")
   in
+  let trace_sample =
+    Arg.(
+      value & opt int 64
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Head-sample one protocol op in $(docv) for full span recording (TRACES verb). \
+             0 disables head sampling.")
+  in
+  let trace_slow_ms =
+    Arg.(
+      value & opt float 10.0
+      & info [ "trace-slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Capture every op slower than $(docv) milliseconds into the slow-op ring \
+             regardless of sampling (0 captures every op; negative disables tail \
+             capture).")
+  in
   (* One client session: read commands line by line, stream responses.
      A dropped connection — EOF (even mid-line) on the read side, a
      closed pipe (Sys_error) on either side — ends the session, never
@@ -730,7 +749,7 @@ let serve_cmd =
     with Sys_error _ -> Protocol.Close
   in
   let run procs shards socket domains tcp auto_events auto_imbalance auto_seconds auto_k
-      metrics_file journal_file supervise evac_budget =
+      metrics_file journal_file supervise evac_budget trace_sample trace_slow_ms =
     let cli_trigger =
       match (auto_events, auto_imbalance, auto_seconds) with
       | Some events, None, None -> Some (Engine.Every_events { events; k = auto_k })
@@ -770,6 +789,9 @@ let serve_cmd =
     (* The daemon is the observed artifact: spans and latency histograms
        are on for its whole lifetime. *)
     Rebal_obs.Control.set_enabled true;
+    Optrace.set_sample_every trace_sample;
+    Optrace.set_slow_threshold_ns
+      (if trace_slow_ms < 0.0 then -1 else int_of_float (trace_slow_ms *. 1e6));
     let opened = ref [] in
     (* One engine bound to one journal file. An existing journal is the
        record of a previous run: replay it (resuming from the latest
@@ -951,10 +973,21 @@ let serve_cmd =
         Printf.printf "rebalance serve: listening on 127.0.0.1:%d (procs=%d, shards=%d, domains=%d)\n%!"
           actual procs shards
           (match target with Protocol.Parallel c -> Cluster.domain_count c | _ -> 1);
+        (* Scrape dispatch: a connection whose first bytes sniff as an
+           HTTP request gets one GET /metrics-style answer and closes;
+           everything else is a line-protocol session. The sniff peeks
+           without consuming, so the protocol stream is untouched. *)
+        let tcp_session ic oc =
+          if Http.sniff (Unix.descr_of_in_channel ic) then begin
+            Http.handle ~metrics:(fun () -> Protocol.metrics_text target) ic oc;
+            Protocol.Close
+          end
+          else session target ic oc
+        in
         (* SIGTERM lands as Terminated in this accepting thread; drain
            reuses the graceful path — stop accepting, wait out live
            sessions, shut stragglers down — before the finalisers run. *)
-        (try Server.run srv ~session:(session target)
+        (try Server.run srv ~session:tcp_session
          with Terminated ->
            Printf.eprintf "rebalance serve: caught termination signal, draining\n%!");
         Server.drain ~grace:5.0 srv
@@ -1006,7 +1039,8 @@ let serve_cmd =
           cleanly: drain sessions, final snapshot, journal close, socket unlink.")
     Term.(
       const run $ procs $ shards $ socket $ domains $ tcp $ auto_events $ auto_imbalance
-      $ auto_seconds $ auto_k $ metrics_file $ journal_file $ supervise $ evac_budget)
+      $ auto_seconds $ auto_k $ metrics_file $ journal_file $ supervise $ evac_budget
+      $ trace_sample $ trace_slow_ms)
 
 (* ----- loadgen ----- *)
 
@@ -1049,10 +1083,19 @@ let loadgen_cmd =
       & info [ "max-errors" ] ~docv:"N"
           ~doc:"Exit 1 if the server answers ERR more than $(docv) times (default 0).")
   in
-  let run host port connections rate ops seed ids max_errors =
-    match
-      Loadgen.run { Loadgen.host; port; connections; rate; ops; seed; ids }
-    with
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON summary to $(docv): the run configuration, aggregate \
+             count/errors/achieved rate/latency percentiles, and per-verb \
+             count/mean/p50/p99.")
+  in
+  let run host port connections rate ops seed ids max_errors out =
+    let cfg = { Loadgen.host; port; connections; rate; ops; seed; ids } in
+    match Loadgen.run cfg with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       exit 1
@@ -1062,6 +1105,18 @@ let loadgen_cmd =
          p50=%.6f p95=%.6f p99=%.6f max=%.6f\n"
         r.Loadgen.connections r.Loadgen.ops r.Loadgen.ok r.Loadgen.errors r.Loadgen.elapsed
         r.Loadgen.throughput r.Loadgen.p50 r.Loadgen.p95 r.Loadgen.p99 r.Loadgen.max_latency;
+      (match out with
+      | None -> ()
+      | Some path -> (
+        try
+          let oc = open_out path in
+          output_string oc (Loadgen.summary_json cfg r);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote summary to %s\n" path
+        with Sys_error e ->
+          Printf.eprintf "error: cannot write summary: %s\n" e;
+          exit 1));
       if r.Loadgen.errors > max_errors then begin
         Printf.eprintf "error: %d ERR replies exceed --max-errors %d\n" r.Loadgen.errors
           max_errors;
@@ -1075,9 +1130,276 @@ let loadgen_cmd =
           seeded open-loop workload (60% add / 25% remove / 15% resize), and report \
           throughput and open-loop latency percentiles (completion minus scheduled \
           arrival, so server backlog shows up as tail latency).")
-    Term.(const run $ host $ port $ connections $ rate $ ops $ seed $ ids $ max_errors)
+    Term.(const run $ host $ port $ connections $ rate $ ops $ seed $ ids $ max_errors $ out)
+
+(* ----- top ----- *)
+
+(* A live terminal view of a parallel serve, built entirely from the
+   public protocol: each frame sends STATS, SHARDS and METRICS down one
+   TCP connection, parses the Prometheus text back through Expo.parse,
+   and derives per-shard queue depth, owner utilization and op rates
+   from the labeled series. Nothing here has privileged access —
+   anything top shows, any scrape consumer could compute. *)
+let top_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server TCP port (serve --tcp).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"S" ~doc:"Seconds between refreshes.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Render a single frame and exit (no screen clearing).")
+  in
+  let frames =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "frames" ] ~docv:"N" ~doc:"Stop after $(docv) frames.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("plain", `Plain); ("json", `Json) ]) `Plain
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Frame format: $(b,plain) (terminal table) or $(b,json) (one object per frame).")
+  in
+  let run host port interval once frames format =
+    let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "error: %s\n" s; exit 1) fmt in
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | exception Not_found -> fail "cannot resolve host %s" host
+        | h when Array.length h.Unix.h_addr_list = 0 -> fail "cannot resolve host %s" host
+        | h -> h.Unix.h_addr_list.(0))
+    in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect sock (Unix.ADDR_INET (ip, port))
+     with Unix.Unix_error (e, _, _) ->
+       fail "cannot connect to %s:%d: %s" host port (Unix.error_message e));
+    let ic = Unix.in_channel_of_descr sock in
+    let oc = Unix.out_channel_of_descr sock in
+    let read_line_or_die () =
+      match input_line ic with
+      | line -> line
+      | exception (End_of_file | Sys_error _) -> fail "connection closed by server"
+    in
+    (* One token of a key=value line. STATS, SHARD and the READY banner
+       all speak this shape. *)
+    let kv line key =
+      List.find_map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some i when String.sub tok 0 i = key ->
+            Some (String.sub tok (i + 1) (String.length tok - i - 1))
+          | _ -> None)
+        (String.split_on_char ' ' line)
+    in
+    let kv_int line key = Option.bind (kv line key) int_of_string_opt in
+    let kv_float line key = Option.bind (kv line key) float_of_string_opt in
+    let banner = read_line_or_die () in
+    let shards =
+      match kv_int banner "shards" with
+      | Some s -> s
+      | None -> fail "not a sharded serve (banner: %s) — top needs serve --tcp --domains" banner
+    in
+    let domains =
+      match kv_int banner "domains" with
+      | Some d -> d
+      | None -> fail "not a parallel serve (banner: %s) — top needs serve --tcp --domains" banner
+    in
+    let send line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    in
+    let read_stats () =
+      send "STATS";
+      read_line_or_die ()
+    in
+    let read_shards () =
+      send "SHARDS";
+      List.init shards (fun _ -> read_line_or_die ())
+    in
+    let read_metrics () =
+      send "METRICS";
+      let b = Buffer.create 8192 in
+      let rec loop () =
+        let line = read_line_or_die () in
+        if line <> "# EOF" then begin
+          Buffer.add_string b line;
+          Buffer.add_char b '\n';
+          loop ()
+        end
+      in
+      loop ();
+      Buffer.contents b
+    in
+    let sample_value samples name labels =
+      Option.map (fun s -> s.Expo.value) (Expo.find_sample samples name labels)
+    in
+    (* Cluster-wide p99 of the session latency histogram: per-verb
+       cumulative buckets summed by upper bound, then the first bound
+       covering 99% of the total count. A bucket edge, so an upper
+       bound — exactly what a dashboard quantile over the same series
+       would report. *)
+    let session_p99 samples =
+      let by_le = Hashtbl.create 32 in
+      let total = ref 0.0 in
+      List.iter
+        (fun (s : Expo.sample) ->
+          if s.Expo.sample_name = "rebal_session_latency_seconds_bucket" then (
+            match List.assoc_opt "le" s.Expo.sample_labels with
+            | Some le ->
+              let le = if le = "+Inf" then infinity else float_of_string le in
+              Hashtbl.replace by_le le
+                ((try Hashtbl.find by_le le with Not_found -> 0.0) +. s.Expo.value)
+            | None -> ())
+          else if s.Expo.sample_name = "rebal_session_latency_seconds_count" then
+            total := !total +. s.Expo.value)
+        samples;
+      if !total <= 0.0 then None
+      else
+        let les = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_le []) in
+        let target = 0.99 *. !total in
+        List.find_opt (fun le -> Hashtbl.find by_le le >= target) les
+    in
+    let fmt_p99 = function
+      | None -> "-"
+      | Some le when le = infinity -> "+Inf"
+      | Some le -> Printf.sprintf "<=%.4gs" le
+    in
+    let fmt_opt fmt = function None -> "-" | Some v -> Printf.sprintf fmt v in
+    let prev_events = Array.make shards nan in
+    let prev_time = ref nan in
+    let frame () =
+      let stats = read_stats () in
+      let shard_lines = read_shards () in
+      (match shard_lines with
+      | l :: _ when String.length l >= 3 && String.sub l 0 3 = "ERR" -> fail "%s" l
+      | _ -> ());
+      let samples =
+        match Expo.parse (read_metrics ()) with
+        | Ok s -> s
+        | Error e -> fail "unparseable METRICS reply: %s" e
+      in
+      let now = Unix.gettimeofday () in
+      let dt = now -. !prev_time in
+      let rows =
+        List.mapi
+          (fun i line ->
+            let owner = i mod domains in
+            let shard_l = [ ("shard", string_of_int i) ] in
+            let dom_l = [ ("domain", string_of_int owner) ] in
+            let events =
+              Option.value ~default:nan
+                (sample_value samples "rebal_engine_events_total" shard_l)
+            in
+            let rate =
+              if Float.is_nan prev_events.(i) || Float.is_nan dt || dt <= 0.0 then None
+              else Some ((events -. prev_events.(i)) /. dt)
+            in
+            prev_events.(i) <- events;
+            ( i,
+              owner,
+              kv_int line "jobs",
+              kv_int line "makespan",
+              kv_float line "imbalance",
+              sample_value samples "rebal_mailbox_depth" dom_l,
+              sample_value samples "rebal_domain_utilization" dom_l,
+              rate ))
+          shard_lines
+      in
+      prev_time := now;
+      let p99 = session_p99 samples in
+      match format with
+      | `Json ->
+        let j_opt f = function None -> Journal.Null | Some v -> f v in
+        let j_num v = if Float.is_nan v then Journal.Null else Journal.Float v in
+        print_endline
+          (Journal.render_json
+             (Journal.Obj
+                [
+                  ("host", Journal.Str host);
+                  ("port", Journal.Int port);
+                  ("shards", Journal.Int shards);
+                  ("domains", Journal.Int domains);
+                  ("jobs", j_opt (fun v -> Journal.Int v) (kv_int stats "jobs"));
+                  ("makespan", j_opt (fun v -> Journal.Int v) (kv_int stats "makespan"));
+                  ("imbalance", j_opt j_num (kv_float stats "imbalance"));
+                  ("session_p99_le_s", j_opt j_num p99);
+                  ( "per_shard",
+                    Journal.List
+                      (List.map
+                         (fun (i, owner, jobs, makespan, imb, depth, util, rate) ->
+                           Journal.Obj
+                             [
+                               ("shard", Journal.Int i);
+                               ("domain", Journal.Int owner);
+                               ("jobs", j_opt (fun v -> Journal.Int v) jobs);
+                               ("load", j_opt (fun v -> Journal.Int v) makespan);
+                               ("imbalance", j_opt j_num imb);
+                               ("queue_depth", j_opt j_num depth);
+                               ("utilization", j_opt j_num util);
+                               ("ops_per_s", j_opt j_num rate);
+                             ])
+                         rows) );
+                ]))
+      | `Plain ->
+        let b = Buffer.create 1024 in
+        Printf.ksprintf (Buffer.add_string b)
+          "rebalance top  %s:%d  shards=%d domains=%d  jobs=%s makespan=%s imbalance=%s \
+           session_p99=%s\n"
+          host port shards domains
+          (fmt_opt "%d" (kv_int stats "jobs"))
+          (fmt_opt "%d" (kv_int stats "makespan"))
+          (fmt_opt "%.3f" (kv_float stats "imbalance"))
+          (fmt_p99 p99);
+        Printf.ksprintf (Buffer.add_string b) "%5s %4s %7s %7s %7s %7s %6s %9s\n" "SHARD"
+          "DOM" "JOBS" "LOAD" "IMB" "DEPTH" "UTIL" "OPS/S";
+        List.iter
+          (fun (i, owner, jobs, makespan, imb, depth, util, rate) ->
+            Printf.ksprintf (Buffer.add_string b) "%5d %4d %7s %7s %7s %7s %6s %9s\n" i owner
+              (fmt_opt "%d" jobs) (fmt_opt "%d" makespan) (fmt_opt "%.3f" imb)
+              (fmt_opt "%.0f" depth) (fmt_opt "%.2f" util) (fmt_opt "%.0f" rate))
+          rows;
+        print_string (Buffer.contents b);
+        flush stdout
+    in
+    let n_frames = if once then Some 1 else frames in
+    let rec loop n =
+      (* Refresh mode: home the cursor and clear before each redraw. *)
+      if format = `Plain && n > 0 then print_string "\027[H\027[2J";
+      frame ();
+      match n_frames with
+      | Some k when n + 1 >= k -> ()
+      | _ ->
+        (try Unix.sleepf interval with Unix.Unix_error _ -> ());
+        loop (n + 1)
+    in
+    loop 0;
+    (try send "QUIT" with Sys_error _ -> ());
+    try Unix.close sock with Unix.Unix_error _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live cluster telemetry over the line protocol: a refreshing per-shard view of \
+          load, queue depth, owner-domain utilization, op rate and session p99 against a \
+          serve --tcp --domains daemon. --once --format json emits one machine-readable \
+          frame for scripts and CI.")
+    Term.(const run $ host $ port $ interval $ once $ frames $ format)
 
 (* ----- chaos-serve ----- *)
+
 
 (* The online counterpart of `chaos`: instead of simulating policies
    over traffic curves, it drives a real supervised shard cluster —
@@ -1641,6 +1963,7 @@ let () =
             profile_cmd;
             serve_cmd;
             loadgen_cmd;
+            top_cmd;
             replay_cmd;
             snapshot_cmd;
             compact_cmd;

@@ -1,0 +1,86 @@
+(* A scrape endpoint, not a web server: just enough HTTP/1.0 to let
+   Prometheus (or curl) GET /metrics from the same TCP port the line
+   protocol listens on. One request per connection, always
+   [Connection: close] — scrapes are periodic and cheap, keep-alive
+   buys nothing and would complicate the session dispatch. *)
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  body : string;
+}
+
+(* An HTTP request line is [METHOD SP target SP HTTP/x.y] — three
+   tokens, version last. No line-protocol verb parses like that (their
+   arguments never start with "HTTP/"), so dispatch on the first line
+   is unambiguous. *)
+let is_request line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ _; _; version ] ->
+    String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+  | _ -> false
+
+(* Sniff a freshly accepted socket: does the client open with an HTTP
+   method? HTTP clients write their request immediately after connect,
+   so a short wait suffices; a line-protocol client that is itself
+   waiting for the READY banner sends nothing and we fall through at
+   the timeout. MSG_PEEK leaves the bytes in the kernel buffer, so the
+   session (either kind) still reads the stream from the start. *)
+let methods = [ "GET "; "HEAD "; "POST "; "PUT "; "DELETE "; "OPTIONS " ]
+
+let sniff ?(timeout = 0.05) fd =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _, _, _ -> (
+    let buf = Bytes.create 8 in
+    match Unix.recv fd buf 0 8 [ Unix.MSG_PEEK ] with
+    | exception Unix.Unix_error _ -> false
+    | n ->
+      let s = Bytes.sub_string buf 0 n in
+      List.exists
+        (fun m ->
+          let k = min (String.length m) (String.length s) in
+          k > 0 && String.sub s 0 k = String.sub m 0 k)
+        methods)
+  | exception Unix.Unix_error _ -> false
+
+let content_type_metrics = "text/plain; version=0.0.4; charset=utf-8"
+
+let text status reason body =
+  { status; reason; content_type = "text/plain; charset=utf-8"; body }
+
+(* [metrics] is a thunk so the (comparatively expensive) registry merge
+   and render run only for the one path that needs them. *)
+let respond ~metrics request_line =
+  match String.split_on_char ' ' (String.trim request_line) with
+  | [ meth; target; _version ] -> begin
+    match (meth, target) with
+    | "GET", "/metrics" ->
+      { status = 200; reason = "OK"; content_type = content_type_metrics; body = metrics () }
+    | "GET", _ -> text 404 "Not Found" (Printf.sprintf "no route for %s\n" target)
+    | _ -> text 405 "Method Not Allowed" "only GET is served here\n"
+  end
+  | _ -> text 400 "Bad Request" "malformed request line\n"
+
+let render r =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    r.status r.reason r.content_type (String.length r.body) r.body
+
+let handle ~metrics ic oc =
+  match input_line ic with
+  | exception (End_of_file | Sys_error _) -> ()
+  | request_line ->
+    (* Drain the header block — we serve every request the same way
+       regardless of headers, but leaving them unread would surface
+       them as line-protocol garbage if the client pipelines. *)
+    let rec drain () =
+      match input_line ic with
+      | exception (End_of_file | Sys_error _) -> ()
+      | "" | "\r" -> ()
+      | _ -> drain ()
+    in
+    drain ();
+    output_string oc (render (respond ~metrics request_line));
+    flush oc

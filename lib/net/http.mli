@@ -1,0 +1,44 @@
+(** The scrape endpoint: just enough HTTP/1.0 to serve
+    [GET /metrics] from the same TCP port the line protocol listens
+    on. One request per connection, always [Connection: close].
+
+    Dispatch works in two layers. {!sniff} peeks (MSG_PEEK) at a
+    freshly accepted socket: an HTTP client writes its request
+    immediately after connect, a line-protocol client waits for the
+    [READY] banner, so a short wait distinguishes them without
+    consuming any bytes. A connection that sniffs as HTTP is then
+    handed to {!handle} instead of the protocol session. *)
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  body : string;
+}
+
+val is_request : string -> bool
+(** Does this line parse as an HTTP request line ([METHOD target
+    HTTP/x.y])? No line-protocol command does, so the test is
+    unambiguous. *)
+
+val sniff : ?timeout:float -> Unix.file_descr -> bool
+(** Wait up to [timeout] (default 50ms) for the client's first bytes
+    and peek at them without consuming: [true] iff they start with an
+    HTTP method. [false] on timeout — a line-protocol client waiting
+    for the banner. *)
+
+val respond : metrics:(unit -> string) -> string -> response
+(** The routing table: [GET /metrics] answers 200 with [metrics ()]
+    as the body and the Prometheus text content type; any other GET
+    is 404, any other method 405, an unparseable request line 400.
+    [metrics] is a thunk so the registry merge runs only when that
+    route is hit. *)
+
+val render : response -> string
+(** Status line, [Content-Type]/[Content-Length]/[Connection: close]
+    headers, blank line, body — CRLF line endings throughout. *)
+
+val handle : metrics:(unit -> string) -> in_channel -> out_channel -> unit
+(** Serve one request: read the request line, drain the header block,
+    write the rendered {!respond} answer, flush. EOF mid-request just
+    returns — the caller closes the socket either way. *)

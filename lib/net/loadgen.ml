@@ -10,6 +10,13 @@ type config = {
   ids : int;  (* per-connection id-universe size *)
 }
 
+type verb_stats = {
+  v_count : int;
+  v_mean : float;
+  v_p50 : float;
+  v_p99 : float;
+}
+
 type report = {
   connections : int;
   ops : int;
@@ -21,6 +28,7 @@ type report = {
   p95 : float;
   p99 : float;
   max_latency : float;
+  per_verb : (string * verb_stats) list;
 }
 
 let default =
@@ -60,7 +68,7 @@ let rec read_ack ic =
 type conn_result = {
   c_ok : int;
   c_err : int;
-  c_lat : float list;
+  c_lat : (string * float) list;  (* (op, latency) pairs *)
 }
 
 let drive_connection (cfg : config) ~conn ~n_ops ~observe =
@@ -125,7 +133,7 @@ let drive_connection (cfg : config) ~conn ~n_ops ~observe =
     flush oc;
     (match read_ack ic with `Ok -> incr ok | `Err -> incr err);
     let latency = Unix.gettimeofday () -. !scheduled in
-    lats := latency :: !lats;
+    lats := (op, latency) :: !lats;
     observe ~op latency
   done;
   { c_ok = !ok; c_err = !err; c_lat = !lats }
@@ -183,8 +191,20 @@ let run (cfg : config) =
           (0, 0, []) results
       in
       let ok, errors, lats = folded in
-      let sorted = Array.of_list lats in
+      let sorted = Array.of_list (List.map snd lats) in
       Array.sort compare sorted;
+      let verb_stats op =
+        let vs = List.filter_map (fun (o, l) -> if o = op then Some l else None) lats in
+        let v = Array.of_list vs in
+        Array.sort compare v;
+        let n = Array.length v in
+        {
+          v_count = n;
+          v_mean = (if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 v /. float_of_int n);
+          v_p50 = percentile v 0.50;
+          v_p99 = percentile v 0.99;
+        }
+      in
       Ok
         {
           connections = cfg.connections;
@@ -197,5 +217,53 @@ let run (cfg : config) =
           p95 = percentile sorted 0.95;
           p99 = percentile sorted 0.99;
           max_latency = percentile sorted 1.0;
+          per_verb = List.map (fun op -> (op, verb_stats op)) [ "add"; "remove"; "resize" ];
         }
   end
+
+(* ----- machine-readable summary ----- *)
+
+(* The JSON summary [loadgen --out] writes: run configuration, the
+   aggregate figures, and per-verb count/mean/p50/p99 — rendered
+   through the journal's JSON (the repo's one JSON writer). *)
+let summary_json (cfg : config) (r : report) =
+  let module J = Rebal_obs.Journal in
+  let f x = J.Float x in
+  J.render_json
+    (J.Obj
+       [
+         ("tool", J.Str "rebalance loadgen");
+         ( "config",
+           J.Obj
+             [
+               ("host", J.Str cfg.host);
+               ("port", J.Int cfg.port);
+               ("connections", J.Int cfg.connections);
+               ("rate", f cfg.rate);
+               ("ops", J.Int cfg.ops);
+               ("seed", J.Int cfg.seed);
+               ("ids", J.Int cfg.ids);
+             ] );
+         ("ops", J.Int r.ops);
+         ("ok", J.Int r.ok);
+         ("errors", J.Int r.errors);
+         ("elapsed_s", f r.elapsed);
+         ("achieved_rate", f r.throughput);
+         ("p50_s", f r.p50);
+         ("p95_s", f r.p95);
+         ("p99_s", f r.p99);
+         ("max_s", f r.max_latency);
+         ( "per_verb",
+           J.Obj
+             (List.map
+                (fun (op, v) ->
+                  ( op,
+                    J.Obj
+                      [
+                        ("count", J.Int v.v_count);
+                        ("mean_s", f v.v_mean);
+                        ("p50_s", f v.v_p50);
+                        ("p99_s", f v.v_p99);
+                      ] ))
+                r.per_verb) );
+       ])

@@ -29,6 +29,13 @@ type config = {
   ids : int;  (** per-connection id-universe size *)
 }
 
+type verb_stats = {
+  v_count : int;
+  v_mean : float;
+  v_p50 : float;
+  v_p99 : float;
+}
+
 type report = {
   connections : int;
   ops : int;  (** ops acknowledged (= sent, on a clean run) *)
@@ -40,6 +47,8 @@ type report = {
   p95 : float;
   p99 : float;
   max_latency : float;  (** seconds, open-loop accounting *)
+  per_verb : (string * verb_stats) list;
+      (** one entry per op kind (add/remove/resize), in mix order *)
 }
 
 val default : config
@@ -49,3 +58,8 @@ val default : config
 val run : config -> (report, string) result
 (** Run to completion. [Error] on an invalid config or if any
     connection fails outright (refused, reset mid-run). *)
+
+val summary_json : config -> report -> string
+(** The machine-readable summary [loadgen --out] writes: the run
+    configuration, the aggregate figures (count, error count, achieved
+    rate, latency percentiles) and per-verb count/mean/p50/p99. *)

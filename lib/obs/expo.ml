@@ -155,6 +155,101 @@ let json reg =
   ^ String.concat "," (List.map json_of_metric (Metrics.Registry.metrics reg))
   ^ "]}"
 
+(* ----- parsing the text format back ----- *)
+
+(* The inverse of [prometheus], for consumers of a scrape — the [top]
+   subcommand and the round-trip tests. One sample per non-comment
+   line; label values may contain spaces and every escape [prometheus]
+   emits, so the value starts after the last space and label bodies are
+   decoded by walking the escapes (backslash, quote, newline). *)
+
+type sample = {
+  sample_name : string;
+  sample_labels : (string * string) list;  (* canonical (sorted) order *)
+  value : float;
+}
+
+exception Bad of string
+
+let parse_label_body s =
+  let n = String.length s in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let i = ref 0 in
+  while !i < n do
+    let eq =
+      match String.index_from_opt s !i '=' with
+      | Some e -> e
+      | None -> raise (Bad "label without '='")
+    in
+    let key = String.sub s !i (eq - !i) in
+    if eq + 1 >= n || s.[eq + 1] <> '"' then raise (Bad "expected opening quote");
+    Buffer.clear buf;
+    let p = ref (eq + 2) in
+    let closed = ref false in
+    while not !closed do
+      if !p >= n then raise (Bad "unterminated label value");
+      (match s.[!p] with
+      | '\\' ->
+        if !p + 1 >= n then raise (Bad "dangling escape");
+        (match s.[!p + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        p := !p + 2
+      | '"' ->
+        closed := true;
+        incr p
+      | c ->
+        Buffer.add_char buf c;
+        incr p)
+    done;
+    out := (key, Buffer.contents buf) :: !out;
+    i := (if !p < n && s.[!p] = ',' then !p + 1 else !p)
+  done;
+  List.rev !out
+
+let parse_sample line =
+  let sp =
+    match String.rindex_opt line ' ' with
+    | Some i -> i
+    | None -> raise (Bad "sample line without a value")
+  in
+  let value =
+    match float_of_string_opt (String.sub line (sp + 1) (String.length line - sp - 1)) with
+    | Some v -> v
+    | None -> raise (Bad "unparseable sample value")
+  in
+  let series = String.sub line 0 sp in
+  match String.index_opt series '{' with
+  | None -> { sample_name = series; sample_labels = []; value }
+  | Some b ->
+    let e =
+      match String.rindex_opt series '}' with
+      | Some e when e > b -> e
+      | _ -> raise (Bad "unterminated label set")
+    in
+    {
+      sample_name = String.sub series 0 b;
+      sample_labels = List.sort compare (parse_label_body (String.sub series (b + 1) (e - b - 1)));
+      value;
+    }
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match
+    List.mapi
+      (fun i l -> match parse_sample l with s -> s | exception Bad e -> raise (Bad (Printf.sprintf "line %d: %s" (i + 1) e)))
+      lines
+  with
+  | samples -> Ok samples
+  | exception Bad e -> Error e
+
+let find_sample samples name labels =
+  let labels = List.sort compare labels in
+  List.find_opt (fun s -> s.sample_name = name && s.sample_labels = labels) samples
+
 (* ----- the single dump entry point ----- *)
 
 type format = Prometheus | Json

@@ -15,6 +15,27 @@ val fmt_le : float -> string
 (** A bucket upper bound as Prometheus renders it (["+Inf"] for
     [infinity]) — exposed for tests and custom renderers. *)
 
+(** {2 Parsing the text format back}
+
+    The inverse of {!prometheus}, for consumers of a scrape — the
+    [rebalance top] subcommand and the round-trip tests. *)
+
+type sample = {
+  sample_name : string;
+  sample_labels : (string * string) list;
+      (** canonical (sorted) order, escapes decoded *)
+  value : float;
+}
+
+val parse : string -> (sample list, string) result
+(** One {!sample} per non-comment, non-blank line. Decodes the label
+    escapes {!prometheus} emits (backslash, quote, newline); label
+    values may contain spaces. [Error] names the offending sample
+    line. *)
+
+val find_sample : sample list -> string -> (string * string) list -> sample option
+(** Lookup by name and label set (any label order). *)
+
 (** {2 The single dump entry point}
 
     [rebalance profile --out], the serve daemon's [--metrics-file] dump

@@ -1,0 +1,136 @@
+(** Cross-domain request tracing with head sampling and tail capture.
+
+    {!Trace} records a stack of nested spans per domain — right for the
+    single-threaded solvers, useless for a protocol op whose work hops
+    from a session thread over a mailbox to a worker domain (or two, for
+    a cross-shard move). Spans here are {e flat records} with explicit
+    [trace_id]/[span_id]/[parent_id] links: each domain records into its
+    own bounded ring, a {!carrier} travels inside mailbox envelopes to
+    link worker-side spans to the originating op, and {!assemble}
+    stitches the flat records back into causal trees at exposition time.
+
+    {b Sampling.} {!with_op} opens a trace at the op boundary. With head
+    sampling at 1-in-N ({!set_sample_every}), every Nth op records its
+    full span tree. Independently, ops slower than the tail threshold
+    ({!set_slow_threshold_ns}) land in a bounded slow-op ring whether or
+    not they were sampled — an unsampled slow op keeps only its root
+    span, since the children were never recorded. With both knobs off
+    (the default) [with_op] is [f ()] behind two atomic loads, and
+    {!with_span} is [f ()] behind a context lookup that answers [None].
+
+    {b Concurrency contract.} Span rings are per-domain (mutex-guarded,
+    because session systhreads share the control domain's ring); the
+    slow-op ring and the id counters are global. The current trace
+    context is keyed by [(domain, thread)] — {e not} plain DLS — so
+    concurrent sessions on the control domain cannot leak context into
+    one another. {!recorded} reads the {e calling} domain's ring; a
+    coordinator wanting worker spans must collect them on the workers
+    (the cluster's [recorded_spans] does exactly this). *)
+
+type span = {
+  trace_id : int;
+  span_id : int;  (** globally unique across domains *)
+  parent_id : int;  (** [0] when the span is a trace root *)
+  name : string;
+  domain : int;  (** domain the span ran on *)
+  start_ns : int64;
+  mutable stop_ns : int64;
+  attrs : (string * string) list;
+}
+
+type carrier = {
+  trace : int;
+  parent : int;
+}
+(** What crosses a mailbox: enough to parent a worker-side span into
+    the originating op's trace. A carrier exists only for sampled ops —
+    presence is the sampling decision. *)
+
+type slow_op = {
+  slow_trace : int;
+  slow_verb : string;
+  slow_duration_ns : int64;
+  slow_finished_ns : int64;
+}
+
+(** {2 Configuration} *)
+
+val set_sample_every : int -> unit
+(** Head-sample 1 op in [n]; [n <= 0] disables head sampling (the
+    default). *)
+
+val sampling_every : unit -> int
+
+val set_slow_threshold_ns : int -> unit
+(** Capture ops slower than this into the slow-op ring; negative
+    disables tail capture (the default). [0] captures every op. *)
+
+val slow_threshold_ns : unit -> int
+
+val set_ring_capacity : int -> unit
+(** Resize (and clear) the {e calling} domain's span ring (default
+    4096 spans). @raise Invalid_argument if not positive. *)
+
+val set_slow_capacity : int -> unit
+(** Resize (and clear) the global slow-op ring (default 256).
+    @raise Invalid_argument if not positive. *)
+
+val set_clock : (unit -> int64) -> unit
+(** Test hook: replace the monotonic clock (global, all domains).
+    Restore with [set_clock Rebal_harness.Timer.now_ns]. *)
+
+(** {2 Recording} *)
+
+val with_op : verb:string -> (unit -> 'a) -> 'a
+(** Open a trace at the op boundary: allocates a trace id, applies the
+    head-sampling decision, times [f], and — when sampled or slower
+    than the tail threshold — records the root span (overwrites count
+    into [rebal_trace_dropped_total{kind="op_span"}]; slow-ring
+    overwrites under [kind="slow_op"]). Sets the current context for
+    the duration of [f] so nested {!with_span} calls attach.
+    Exception-safe. *)
+
+val with_span :
+  ?carrier:carrier -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Record a child span. The parent comes from [?carrier] (the
+    mailbox-crossing case) or, absent that, the calling thread's
+    current context; with neither, [f] runs untraced. Sets the context
+    for the duration of [f], so nesting works on worker domains too. *)
+
+val current_carrier : unit -> carrier option
+(** The calling thread's context, to be captured into an envelope at
+    the send site. [None] unless inside a sampled op. *)
+
+(** {2 Collection and assembly} *)
+
+val recorded : unit -> span list
+(** The calling domain's ring, oldest first. *)
+
+val slow_ops : unit -> slow_op list
+(** The global slow-op ring, oldest first. *)
+
+val reset : unit -> unit
+(** Clear the calling domain's ring, the slow-op ring, and the
+    head-sampling phase (other domains' rings are untouched). *)
+
+type tree = {
+  span : span;
+  children : tree list;  (** in start order *)
+}
+
+val assemble : span list -> tree list
+(** Stitch flat spans (from any number of domains) into trees, roots in
+    start order. A span whose parent was evicted from a ring — or is
+    missing entirely — is promoted to a root rather than dropped, so
+    truncation is visible instead of silent. *)
+
+val trees_for : trace_id:int -> tree list -> tree list
+
+(** {2 Rendering} *)
+
+val duration_ns : span -> int64
+val pp_tree : Format.formatter -> tree -> unit
+val render_tree : tree -> string
+
+val render_duration : int64 -> string
+(** Human units, e.g. ["1.24ms"]. *)

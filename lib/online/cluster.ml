@@ -1,4 +1,6 @@
 module Metrics = Rebal_obs.Metrics
+module Optrace = Rebal_obs.Optrace
+module Timer = Rebal_harness.Timer
 
 type move = Engine.move = {
   id : string;
@@ -24,7 +26,18 @@ type residency =
       dst : int;
     }  (* a two-phase cross-shard transfer is in flight *)
 
-type task = unit -> unit
+(* What crosses a mailbox. Beyond the closure itself: the submit
+   timestamp (queueing delay = dequeue minus submit, observed into the
+   owner's wait histogram), the trace carrier when the originating op
+   was sampled (worker-side spans parent into the op's trace), and the
+   label/shard naming the work for those spans. *)
+type envelope = {
+  run : unit -> unit;
+  enq_ns : int64;  (* set at submit, before the send can block *)
+  carrier : Optrace.carrier option;
+  label : string;
+  shard : int;  (* -1 for domain-level (non-shard) tasks *)
+}
 
 type t = {
   engines : Engine.t array;
@@ -38,9 +51,15 @@ type t = {
      domains = shards this is domain-per-shard; with fewer domains,
      shards are multiplexed round-robin. *)
   owner : int array;
-  mailboxes : task Mailbox.t array;  (* one per worker domain *)
+  mailboxes : envelope Mailbox.t array;  (* one per worker domain *)
   workers : unit Domain.t array;
   registries : Metrics.Registry.t array;  (* one per worker domain *)
+  (* Caller-side histograms, bound in the registry current at assembly
+     time (the control domain's): senders are session systhreads of
+     that one domain, so sharing the handles is within the Metrics
+     confinement contract — the loadgen precedent. *)
+  send_block : Metrics.Histogram.t array;  (* per worker domain *)
+  reply_wait : Metrics.Histogram.t array;  (* per shard *)
   dir_mu : Mutex.t;
   dir_settled : Condition.t;
   directory : (string, residency) Hashtbl.t;
@@ -83,48 +102,136 @@ module Ivar = struct
     v
 end
 
-let worker_loop registry mailbox =
+let worker_loop w registry mailbox =
   (* Scope the worker to its own registry so any handle bound on this
      domain (trace drop counters, late-bound histograms) lands where
-     only this domain writes. *)
+     only this domain writes — including the queue/utilization gauges
+     bound right here. *)
   Metrics.Registry.with_registry registry @@ fun () ->
+  let labels = [ ("domain", string_of_int w) ] in
+  let depth =
+    Metrics.gauge ~labels ~help:"Commands waiting in this worker's mailbox"
+      "rebal_mailbox_depth"
+  in
+  let wait =
+    Metrics.histogram ~labels
+      ~help:"Mailbox residency from submit to dequeue (includes send-block time) in seconds"
+      "rebal_mailbox_wait_seconds"
+  in
+  let busy =
+    Metrics.gauge ~labels ~help:"Cumulative seconds this worker spent executing tasks"
+      "rebal_domain_busy_seconds"
+  in
+  let util =
+    Metrics.gauge ~labels ~help:"Busy seconds over wall seconds since the worker started"
+      "rebal_domain_utilization"
+  in
+  let started = Timer.now_ns () in
+  let busy_ns = ref 0L in
   let rec loop () =
     match Mailbox.recv mailbox with
-    | Some task ->
-      task ();
+    | Some env ->
+      let deq = Timer.now_ns () in
+      Metrics.Gauge.set depth (float_of_int (Mailbox.length mailbox));
+      let queued_ns = Int64.sub deq env.enq_ns in
+      Metrics.Histogram.observe_ns wait queued_ns;
+      (match env.carrier with
+      | Some c ->
+        let attrs =
+          ("queue_us", pf "%.1f" (Int64.to_float queued_ns /. 1e3))
+          :: (if env.shard >= 0 then [ ("shard", string_of_int env.shard) ] else [])
+        in
+        Optrace.with_span ~carrier:c ~attrs ("shard." ^ env.label) env.run
+      | None -> env.run ());
+      busy_ns := Int64.add !busy_ns (Int64.sub (Timer.now_ns ()) deq);
+      let busy_s = Int64.to_float !busy_ns /. 1e9 in
+      Metrics.Gauge.set busy busy_s;
+      let wall = Int64.to_float (Int64.sub (Timer.now_ns ()) started) /. 1e9 in
+      if wall > 0.0 then Metrics.Gauge.set util (busy_s /. wall);
       loop ()
     | None -> ()
   in
   loop ()
+
+(* Submit an envelope to worker [w], timing how long the send blocked
+   on a full mailbox (the backpressure signal).
+   @raise Shut_down if the mailbox is closed. *)
+let post t w env =
+  let t0 = Timer.now_ns () in
+  let accepted = Mailbox.send t.mailboxes.(w) env in
+  Metrics.Histogram.observe_ns t.send_block.(w) (Int64.sub (Timer.now_ns ()) t0);
+  if not accepted then raise Shut_down
 
 (* Run [f] on shard [s]'s engine, on [s]'s owner domain, and wait for
    the result. Tasks never raise out of the worker (that would kill
    the domain and strand every later sender): exceptions are carried
    back and re-raised here, so a worker-side [failwith] or
    [Invalid_argument] surfaces on the calling thread exactly as it
-   would on the sequential path.
+   would on the sequential path. [label] names the worker-side span
+   when the calling op is being traced.
    @raise Shut_down if the cluster has shut down. *)
-let run t s f =
+let run ?(label = "task") t s f =
   let iv = Ivar.create () in
-  let task () =
-    Ivar.fill iv (match f t.engines.(s) with v -> Ok v | exception e -> Error e)
+  let env =
+    {
+      run = (fun () -> Ivar.fill iv (match f t.engines.(s) with v -> Ok v | exception e -> Error e));
+      enq_ns = Timer.now_ns ();
+      carrier = Optrace.current_carrier ();
+      label;
+      shard = s;
+    }
   in
-  if not (Mailbox.send t.mailboxes.(t.owner.(s)) task) then raise Shut_down;
-  match Ivar.read iv with
+  post t t.owner.(s) env;
+  let t0 = Timer.now_ns () in
+  let r = Ivar.read iv in
+  Metrics.Histogram.observe_ns t.reply_wait.(s) (Int64.sub (Timer.now_ns ()) t0);
+  match r with
   | Ok v -> v
   | Error e -> raise e
 
 (* Fan [f] out to every shard — all tasks enqueued before any reply is
    awaited, so independent shards genuinely overlap. *)
-let run_all t f =
+let run_all ?(label = "task") t f =
+  let carrier = Optrace.current_carrier () in
   let ivs =
     Array.init (Array.length t.engines) (fun s ->
         let iv = Ivar.create () in
-        let task () =
-          Ivar.fill iv (match f s t.engines.(s) with v -> Ok v | exception e -> Error e)
+        let env =
+          {
+            run =
+              (fun () ->
+                Ivar.fill iv (match f s t.engines.(s) with v -> Ok v | exception e -> Error e));
+            enq_ns = Timer.now_ns ();
+            carrier;
+            label;
+            shard = s;
+          }
         in
-        if not (Mailbox.send t.mailboxes.(t.owner.(s)) task) then raise Shut_down;
+        post t t.owner.(s) env;
         iv)
+  in
+  Array.map (fun iv -> match Ivar.read iv with Ok v -> v | Error e -> raise e) ivs
+
+(* Run [f] once on every worker domain (not per shard — with fewer
+   domains than shards a per-shard fan-out would visit a domain twice).
+   The span-collection path. *)
+let on_domains t f =
+  let ivs =
+    Array.mapi
+      (fun w _ ->
+        let iv = Ivar.create () in
+        let env =
+          {
+            run = (fun () -> Ivar.fill iv (match f () with v -> Ok v | exception e -> Error e));
+            enq_ns = Timer.now_ns ();
+            carrier = None;
+            label = "domain";
+            shard = -1;
+          }
+        in
+        post t w env;
+        iv)
+      t.mailboxes
   in
   Array.map (fun iv -> match Ivar.read iv with Ok v -> v | Error e -> raise e) ivs
 
@@ -150,7 +257,21 @@ let assemble ~engines ~registries ~owner ~domains ~mailbox_capacity ~directory =
   let offsets, m = offsets_of_engines engines in
   let mailboxes = Array.init domains (fun _ -> Mailbox.create ~capacity:mailbox_capacity) in
   let workers =
-    Array.mapi (fun w mb -> Domain.spawn (fun () -> worker_loop registries.(w) mb)) mailboxes
+    Array.mapi (fun w mb -> Domain.spawn (fun () -> worker_loop w registries.(w) mb)) mailboxes
+  in
+  let send_block =
+    Array.init domains (fun w ->
+        Metrics.histogram
+          ~labels:[ ("domain", string_of_int w) ]
+          ~help:"Seconds a sender blocked on a full mailbox (backpressure)"
+          "rebal_mailbox_send_block_seconds")
+  in
+  let reply_wait =
+    Array.init (Array.length engines) (fun s ->
+        Metrics.histogram
+          ~labels:[ ("shard", string_of_int s) ]
+          ~help:"Seconds a caller parked on a reply cell waiting for the owner domain"
+          "rebal_reply_wait_seconds")
   in
   {
     engines;
@@ -161,6 +282,8 @@ let assemble ~engines ~registries ~owner ~domains ~mailbox_capacity ~directory =
     mailboxes;
     workers;
     registries;
+    send_block;
+    reply_wait;
     dir_mu = Mutex.create ();
     dir_settled = Condition.create ();
     directory;
@@ -262,8 +385,8 @@ let settle t id state =
 (* Run the engine half of an op whose id is reserved; on any exception
    (worker failure, shutdown mid-flight) roll the reservation back to
    [restore] so waiters are not stranded on a ghost reservation. *)
-let run_reserved t ~id ~restore s f =
-  match run t s f with
+let run_reserved ?label t ~id ~restore s f =
+  match run ?label t s f with
   | r -> r
   | exception e ->
     settle t id restore;
@@ -285,7 +408,7 @@ let add_job t ~id ~size =
     match reserved with
     | Error _ as e -> e
     | Ok s -> (
-      let res = run_reserved t ~id ~restore:None s (fun e -> Engine.add_job e ~id ~size) in
+      let res = run_reserved ~label:"add" t ~id ~restore:None s (fun e -> Engine.add_job e ~id ~size) in
       settle t id (match res with Ok _ -> Some (Resident s) | Error _ -> None);
       match res with
       | Error _ as e -> e
@@ -306,7 +429,8 @@ let remove_job t ~id =
     | Error _ as e -> e
     | Ok s -> (
       let res =
-        run_reserved t ~id ~restore:(Some (Resident s)) s (fun e -> Engine.remove_job e ~id)
+        run_reserved ~label:"remove" t ~id ~restore:(Some (Resident s)) s (fun e ->
+            Engine.remove_job e ~id)
       in
       settle t id (match res with Ok _ -> None | Error _ -> Some (Resident s));
       match res with
@@ -328,7 +452,7 @@ let resize_job t ~id ~size =
     | Error _ as e -> e
     | Ok s -> (
       let res =
-        run_reserved t ~id ~restore:(Some (Resident s)) s (fun e ->
+        run_reserved ~label:"resize" t ~id ~restore:(Some (Resident s)) s (fun e ->
             Engine.resize_job e ~id ~size)
       in
       settle t id (Some (Resident s));
@@ -342,7 +466,7 @@ let find t id =
     match with_dir t (fun () -> settled t id) with
     | None -> None
     | Some s -> (
-      match run t s (fun e -> Engine.find e id) with
+      match run ~label:"find" t s (fun e -> Engine.find e id) with
       | None -> None
       | Some (size, p) -> Some (size, global t s p))
   with Shut_down -> None
@@ -362,8 +486,16 @@ let find t id =
 let move ?(on_removed = fun () -> ()) t ~id ~dst =
   if dst < 0 || dst >= shard_count t then Error (pf "Cluster.move: no such shard %d" dst)
   else
+    (* The whole transfer is one span on the session thread; the two
+       engine halves become [shard.move.remove] / [shard.move.add]
+       child spans on their owner domains (via the mailbox carrier),
+       and the directory steps bracket them — so a traced cross-shard
+       move reads session → mailbox → remove → add → commit. *)
+    Optrace.with_span ~attrs:[ ("id", id); ("dst", string_of_int dst) ] "move"
+    @@ fun () ->
     try
       let reserved =
+        Optrace.with_span "move.reserve" @@ fun () ->
         with_dir t (fun () ->
             match settled t id with
             | None -> Error (pf "job %s not found" id)
@@ -378,7 +510,7 @@ let move ?(on_removed = fun () -> ()) t ~id ~dst =
       | Ok (Some src) -> (
         (* Phase 1: size lookup + remove, atomically on src's owner. *)
         let lifted =
-          run_reserved t ~id ~restore:(Some (Resident src)) src (fun e ->
+          run_reserved ~label:"move.remove" t ~id ~restore:(Some (Resident src)) src (fun e ->
               match Engine.find e id with
               | None -> Error (pf "job %s missing from shard %d" id src)
               | Some (size, _) -> (
@@ -396,17 +528,18 @@ let move ?(on_removed = fun () -> ()) t ~id ~dst =
           let landed =
             match
               on_removed ();
-              run t dst (fun e -> Engine.add_job e ~id ~size)
+              run ~label:"move.add" t dst (fun e -> Engine.add_job e ~id ~size)
             with
             | r -> r
             | exception e -> Error (Printexc.to_string e)
           in
           match landed with
           | Ok (pdst, auto_dst) ->
-            with_dir t (fun () ->
-                Hashtbl.replace t.directory id (Resident dst);
-                t.inter_moves <- t.inter_moves + 1;
-                Condition.broadcast t.dir_settled);
+            Optrace.with_span "move.commit" (fun () ->
+                with_dir t (fun () ->
+                    Hashtbl.replace t.directory id (Resident dst);
+                    t.inter_moves <- t.inter_moves + 1;
+                    Condition.broadcast t.dir_settled));
             Ok
               (translate t src auto_src
               @ ({ id; src = global t src psrc; dst = global t dst pdst }
@@ -416,7 +549,7 @@ let move ?(on_removed = fun () -> ()) t ~id ~dst =
                path (placement there may differ from the original
                processor — that is fine, the journal records what
                actually happened). *)
-            match run t src (fun e -> Engine.add_job e ~id ~size) with
+            match run ~label:"move.rollback" t src (fun e -> Engine.add_job e ~id ~size) with
             | Ok _ ->
               settle t id (Some (Resident src));
               Error (pf "move of %s rolled back: %s" id err)
@@ -442,7 +575,7 @@ let rebalance t ~k =
   if k < 0 then invalid_arg "Cluster.rebalance: negative k";
   try
     let internal =
-      run_all t (fun s e -> translate t s (Engine.rebalance e ~k))
+      run_all ~label:"rebalance" t (fun s e -> translate t s (Engine.rebalance e ~k))
       |> Array.to_list
       |> List.concat
     in
@@ -450,7 +583,8 @@ let rebalance t ~k =
     (try
        for _ = 1 to k do
          let probes =
-           run_all t (fun _ e -> (Engine.makespan e, Engine.peek_heaviest e, Engine.min_load e))
+           run_all ~label:"probe" t (fun _ e ->
+               (Engine.makespan e, Engine.peek_heaviest e, Engine.min_load e))
          in
          let ms i = let m, _, _ = probes.(i) in m in
          let a = ref (-1) in
@@ -482,17 +616,17 @@ let rebalance t ~k =
 (* ----- inspection ----- *)
 
 let makespan t =
-  try Array.fold_left max 0 (run_all t (fun _ e -> Engine.makespan e))
+  try Array.fold_left max 0 (run_all ~label:"makespan" t (fun _ e -> Engine.makespan e))
   with Shut_down -> 0
 
 let loads t =
   let out = Array.make t.m 0 in
-  let per_shard = run_all t (fun _ e -> Engine.loads e) in
+  let per_shard = run_all ~label:"loads" t (fun _ e -> Engine.loads e) in
   Array.iteri (fun i l -> Array.blit l 0 out t.offsets.(i) (Array.length l)) per_shard;
   out
 
 let stats t =
-  let agg = run_all t (fun _ e -> (Engine.stats e, Engine.max_job_size e)) in
+  let agg = run_all ~label:"stats" t (fun _ e -> (Engine.stats e, Engine.max_job_size e)) in
   let sum f = Array.fold_left (fun acc (s, _) -> acc + f s) 0 agg in
   let makespan = Array.fold_left (fun acc (s, _) -> max acc s.Engine.makespan) 0 agg in
   let max_job_size = Array.fold_left (fun acc (_, mx) -> max acc mx) 0 agg in
@@ -527,10 +661,13 @@ let stats t =
     consistency_failures = sum (fun s -> s.Engine.consistency_failures);
   }
 
-let shard_stats t = run_all t (fun _ e -> Engine.stats e)
+let shard_stats t = run_all ~label:"stats" t (fun _ e -> Engine.stats e)
 
 let check_consistency t ~k =
-  let ids = run_all t (fun _ e -> Engine.fold_jobs e (fun acc ~id ~size:_ ~proc:_ -> id :: acc) []) in
+  let ids =
+    run_all ~label:"check" t (fun _ e ->
+        Engine.fold_jobs e (fun acc ~id ~size:_ ~proc:_ -> id :: acc) [])
+  in
   let resident = Hashtbl.create 256 in
   Array.iteri (fun s l -> List.iter (fun id -> Hashtbl.replace resident id s) l) ids;
   let directory_ok =
@@ -545,11 +682,12 @@ let check_consistency t ~k =
                | Pending _ | Busy _ | Moving _ -> false)
              t.directory true)
   in
-  directory_ok && Array.for_all Fun.id (run_all t (fun _ e -> Engine.check_consistency e ~k))
+  directory_ok
+  && Array.for_all Fun.id (run_all ~label:"check" t (fun _ e -> Engine.check_consistency e ~k))
 
 let journal_snapshot t =
   try
-    let attached = run_all t (fun _ e -> Engine.journal e <> None) in
+    let attached = run_all ~label:"snapshot" t (fun _ e -> Engine.journal e <> None) in
     let missing = ref [] in
     Array.iteri (fun i a -> if not a then missing := i :: !missing) attached;
     match !missing with
@@ -558,7 +696,7 @@ let journal_snapshot t =
         (pf "no journal attached to shard %s"
            (String.concat ", " (List.rev_map string_of_int !missing)))
     | [] ->
-      let seqs = run_all t (fun _ e -> Engine.journal_snapshot e) in
+      let seqs = run_all ~label:"snapshot" t (fun _ e -> Engine.journal_snapshot e) in
       Ok
         (Array.to_list
            (Array.mapi
@@ -571,7 +709,10 @@ let journal_snapshot t =
 
 let query t s f =
   if s < 0 || s >= shard_count t then invalid_arg "Cluster.query: no such shard";
-  run t s f
+  run ~label:"query" t s f
+
+let recorded_spans t =
+  Array.to_list (on_domains t Optrace.recorded) |> List.concat
 
 let merge_metrics t ~into = Array.iter (fun reg -> Metrics.merge ~into reg) t.registries
 

@@ -154,6 +154,13 @@ val query : t -> int -> (Engine.t -> 'a) -> 'a
     engine (e.g. its journal tail).
     @raise Shut_down after {!shutdown}. *)
 
+val recorded_spans : t -> Rebal_obs.Optrace.span list
+(** Every worker domain's recorded op spans (one collection task per
+    {e domain}, not per shard), concatenated. The caller's own domain
+    is not included — combine with [Optrace.recorded ()] for the full
+    picture.
+    @raise Shut_down after {!shutdown}. *)
+
 val merge_metrics : t -> into:Rebal_obs.Metrics.Registry.t -> unit
 (** Fold every worker domain's metrics registry into [into] — call at
     exposition time with a fresh registry (merging twice into the same

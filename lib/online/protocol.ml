@@ -1,5 +1,7 @@
 module Metrics = Rebal_obs.Metrics
 module Expo = Rebal_obs.Expo
+module Optrace = Rebal_obs.Optrace
+module Timer = Rebal_harness.Timer
 
 type command =
   | Add of { id : string; size : int }
@@ -12,6 +14,7 @@ type command =
   | Snapshot_now
   | Metrics_dump
   | Journal_tail of int
+  | Traces of int
   | Help
   | Quit
   | Shutdown
@@ -85,6 +88,9 @@ let parse line =
     | "JOURNAL", [] -> Ok (Some (Journal_tail 10))
     | "JOURNAL", [ n ] -> Result.map (fun n -> Some (Journal_tail n)) (non_negative_arg "n" n)
     | "JOURNAL", _ -> Error "usage: JOURNAL [<n>]"
+    | "TRACES", [] -> Ok (Some (Traces 10))
+    | "TRACES", [ n ] -> Result.map (fun n -> Some (Traces n)) (positive_arg "n" n)
+    | "TRACES", _ -> Error "usage: TRACES [<n>]"
     | "HELP", [] -> Ok (Some Help)
     | "QUIT", [] | "EXIT", [] -> Ok (Some Quit)
     | "SHUTDOWN", [] -> Ok (Some Shutdown)
@@ -151,6 +157,7 @@ let help_lines =
     "OK   SNAPSHOT             write a state snapshot into the journal (compaction point)";
     "OK   METRICS              Prometheus text exposition, ends with '# EOF'";
     "OK   JOURNAL [<n>]        last n flight-recorder events (default 10), ends with '# EOF'";
+    "OK   TRACES [<n>]         span trees of the last n slow ops (default 10), ends with '# EOF'";
     "OK   HELP                 this text";
     "OK   QUIT                 end this session";
     "OK   SHUTDOWN             stop the daemon";
@@ -341,7 +348,7 @@ let render_registry reg =
   let lines = List.filter (fun l -> l <> "") lines in
   lines @ [ "# EOF" ]
 
-let metrics_lines t =
+let metrics_registry t =
   match t with
   | Parallel c ->
     (* The worker domains hold their own registries (handle mutation is
@@ -354,10 +361,13 @@ let metrics_lines t =
     Metrics.Registry.with_registry export (fun () -> export_target t);
     Cluster.merge_metrics c ~into:export;
     Metrics.merge ~into:export Metrics.Registry.default;
-    render_registry export
+    export
   | _ ->
     export_target t;
-    render_registry (Metrics.Registry.current ())
+    Metrics.Registry.current ()
+
+let metrics_lines t = render_registry (metrics_registry t)
+let metrics_text t = Expo.prometheus (metrics_registry t)
 
 let engine_journal_tail i e n =
   match Engine.journal e with
@@ -408,6 +418,43 @@ let snapshot_lines t =
   | Cluster s -> sharded_snapshot_lines (Shard.journal_snapshot s)
   | Parallel c -> sharded_snapshot_lines (Cluster.journal_snapshot c)
 
+(* TRACES: span trees for the last [n] slow ops, newest last. Spans
+   come from the calling domain's ring plus (in parallel serve) every
+   worker domain's — collected on the workers themselves, since rings
+   are domain-private. An op that outlived its spans (ring eviction, or
+   a slow-but-unsampled op whose children were never recorded) still
+   shows its header and whatever survives; truncation is visible, not
+   silent. *)
+let last n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let traces_lines t n =
+  match last n (Optrace.slow_ops ()) with
+  | [] -> [ "# no slow ops captured"; "# EOF" ]
+  | slow ->
+    let worker_spans =
+      match t with
+      | Parallel c -> ( try Cluster.recorded_spans c with Cluster.Shut_down -> [])
+      | _ -> []
+    in
+    let trees = Optrace.assemble (Optrace.recorded () @ worker_spans) in
+    List.concat_map
+      (fun (op : Optrace.slow_op) ->
+        pf "# trace %d verb=%s duration=%s" op.Optrace.slow_trace op.Optrace.slow_verb
+          (Optrace.render_duration op.Optrace.slow_duration_ns)
+        ::
+        (match Optrace.trees_for ~trace_id:op.Optrace.slow_trace trees with
+        | [] -> [ "# spans evicted" ]
+        | ts ->
+          List.concat_map
+            (fun tr ->
+              String.split_on_char '\n' (Optrace.render_tree tr)
+              |> List.filter (fun l -> l <> ""))
+            ts))
+      slow
+    @ [ "# EOF" ]
+
 let execute t = function
   | Add { id; size } -> begin
     match add_job t ~id ~size with
@@ -434,9 +481,26 @@ let execute t = function
   | Snapshot_now -> snapshot_lines t
   | Metrics_dump -> metrics_lines t
   | Journal_tail n -> journal_lines t n
+  | Traces n -> traces_lines t n
   | Help -> help_lines
   | Quit -> [ "BYE" ]
   | Shutdown -> [ "BYE" ]
+
+let verb_name = function
+  | Add _ -> "add"
+  | Remove _ -> "remove"
+  | Resize _ -> "resize"
+  | Rebalance _ -> "rebalance"
+  | Stats -> "stats"
+  | Shards_info -> "shards"
+  | Health -> "health"
+  | Snapshot_now -> "snapshot"
+  | Metrics_dump -> "metrics"
+  | Journal_tail _ -> "journal"
+  | Traces _ -> "traces"
+  | Help -> "help"
+  | Quit -> "quit"
+  | Shutdown -> "shutdown"
 
 let handle_line ?line:lineno t line =
   match parse line with
@@ -451,7 +515,25 @@ let handle_line ?line:lineno t line =
       | Shutdown -> Stop
       | _ -> Continue
     in
-    (execute t cmd, verdict)
+    let verb = verb_name cmd in
+    (* The op boundary: every parsed command opens a trace (subject to
+       head sampling and tail capture) and lands one latency
+       observation in the session histogram. Interning the handle per
+       line is deliberate — sessions are systhreads sharing the control
+       domain's registry, and [Metrics.histogram] returns the existing
+       handle on re-registration. *)
+    let hist =
+      Metrics.histogram
+        ~labels:[ ("verb", verb) ]
+        ~help:"Protocol op service time at the session boundary (seconds)"
+        "rebal_session_latency_seconds"
+    in
+    let t0 = Timer.now_ns () in
+    let reply =
+      Optrace.with_op ~verb:(String.uppercase_ascii verb) (fun () -> execute t cmd)
+    in
+    Metrics.Histogram.observe_ns hist (Int64.sub (Timer.now_ns ()) t0);
+    (reply, verdict)
 
 let greeting = function
   | Single e ->

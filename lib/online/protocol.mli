@@ -12,6 +12,7 @@
     SNAPSHOT             write a state snapshot into the journal(s)
     METRICS              Prometheus text exposition of the metrics registry
     JOURNAL [<n>]        tail of the flight-recorder journal (default 10)
+    TRACES [<n>]         span trees of the last n slow ops (default 10)
     HELP                 list the commands
     QUIT                 end this client session
     SHUTDOWN             end this client session and stop the daemon
@@ -34,7 +35,12 @@
     state into the attached journal(s) — the compaction point [compact]
     truncates to. [JOURNAL n] streams the last [n] flight-recorder lines
     (per shard, under [# shard <i>] markers, when sharded), framed by
-    the same [# EOF]. Blank lines and lines starting with [#] are
+    the same [# EOF]. [TRACES n] streams the causal span trees of the
+    last [n] ops captured by the slow-op ring (see
+    [Rebal_obs.Optrace]): per op a [# trace <id> verb=<v> duration=<d>]
+    header, then one indented line per span, [# EOF] framed. A span
+    whose records were evicted shows [# spans evicted] — truncation is
+    visible, never silent. Blank lines and lines starting with [#] are
     ignored. The module is pure string-in/strings-out so the daemon loop
     and the tests share one implementation.
 
@@ -58,6 +64,7 @@ type command =
   | Snapshot_now
   | Metrics_dump
   | Journal_tail of int
+  | Traces of int
   | Help
   | Quit
   | Shutdown
@@ -91,7 +98,14 @@ val execute : target -> command -> string list
 val handle_line : ?line:int -> target -> string -> string list * verdict
 (** [parse] + [execute], turning parse errors into [ERR] lines —
     prefixed ["line %d:"] when [line] (the 1-based session line number)
-    is given. *)
+    is given. This is the op boundary: every parsed command runs under
+    [Rebal_obs.Optrace.with_op] (head sampling plus slow-op tail
+    capture) and lands one observation in the
+    [rebal_session_latency_seconds{verb=...}] histogram of the calling
+    thread's current registry. *)
+
+val verb_name : command -> string
+(** Lowercase metric-label name of a command ([add], [traces], ...). *)
 
 val export_metrics : Engine.t -> unit
 (** Export one engine's live stats into the current metrics registry as
@@ -103,10 +117,26 @@ val export_target : target -> unit
     [METRICS] replies and the daemon's [--metrics-file] dump both run
     this before rendering through [Rebal_obs.Expo]. *)
 
+val metrics_registry : target -> Rebal_obs.Metrics.Registry.t
+(** The registry a metrics reply renders: for {!Parallel} a fresh
+    registry holding the exported aggregates plus every worker
+    domain's and the default registry merged in (fresh each call —
+    merging into a reused registry would double count); otherwise the
+    current registry after {!export_target}. *)
+
 val metrics_lines : target -> string list
-(** The [METRICS] reply: {!export_target}, then the Prometheus text
-    exposition line by line, terminated by ["# EOF"]. Also used by the
+(** The [METRICS] reply: {!metrics_registry} rendered as Prometheus
+    text line by line, terminated by ["# EOF"]. Also used by the
     daemon's [--metrics-file] dump. *)
+
+val metrics_text : target -> string
+(** {!metrics_registry} rendered as one Prometheus text blob (no
+    [# EOF] trailer) — the body of the HTTP [GET /metrics] scrape. *)
+
+val traces_lines : target -> int -> string list
+(** The [TRACES n] reply (see the header). Worker-domain spans are
+    collected on the workers via [Cluster.recorded_spans]; a shut-down
+    cluster contributes none rather than raising. *)
 
 val greeting : target -> string
 (** The [READY ...] banner sent when a session opens. *)

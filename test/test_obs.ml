@@ -138,65 +138,54 @@ let prop_merge_bucket_mismatch_rejected =
 
 (* ----- Prometheus exposition round trip ----- *)
 
-(* A small parser for the text format: one (name, labels, value) per
-   sample line. Label values may contain spaces, so the value starts
-   after the last space; escapes are backslash, quote and newline as in
-   the Prometheus spec. *)
-let parse_label_body s =
-  let n = String.length s in
-  let out = ref [] in
-  let buf = Buffer.create 16 in
-  let i = ref 0 in
-  while !i < n do
-    let eq = String.index_from s !i '=' in
-    let key = String.sub s !i (eq - !i) in
-    if s.[eq + 1] <> '"' then failwith "expected opening quote";
-    Buffer.clear buf;
-    let p = ref (eq + 2) in
-    let closed = ref false in
-    while not !closed do
-      (match s.[!p] with
-      | '\\' ->
-        (match s.[!p + 1] with
-        | 'n' -> Buffer.add_char buf '\n'
-        | c -> Buffer.add_char buf c);
-        p := !p + 2
-      | '"' ->
-        closed := true;
-        incr p
-      | c ->
-        Buffer.add_char buf c;
-        incr p);
-      if (not !closed) && !p >= n then failwith "unterminated label value"
-    done;
-    out := (key, Buffer.contents buf) :: !out;
-    i := (if !p < n && s.[!p] = ',' then !p + 1 else !p)
-  done;
-  List.rev !out
-
-let parse_sample line =
-  let sp = String.rindex line ' ' in
-  let value = float_of_string (String.sub line (sp + 1) (String.length line - sp - 1)) in
-  let series = String.sub line 0 sp in
-  match String.index_opt series '{' with
-  | None -> (series, [], value)
-  | Some b ->
-    let e = String.rindex series '}' in
-    (String.sub series 0 b, parse_label_body (String.sub series (b + 1) (e - b - 1)), value)
-
+(* The text-format parser lives in the library now (Expo.parse, the
+   inverse the top subcommand consumes); the tests drive it through
+   these thin wrappers and qcheck the round trip on hostile labels
+   below. *)
 let parse_exposition text =
-  String.split_on_char '\n' text
-  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
-  |> List.map parse_sample
+  match Expo.parse text with
+  | Ok samples -> samples
+  | Error e -> Alcotest.failf "Expo.parse: %s" e
 
 let find_sample samples name labels =
-  match
-    List.find_opt (fun (n, ls, _) -> n = name && ls = labels) samples
-  with
-  | Some (_, _, v) -> v
+  match Expo.find_sample samples name labels with
+  | Some s -> s.Expo.value
   | None ->
     Alcotest.failf "sample %s{%s} not found" name
       (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+
+(* Label values drawn from the characters that can break the text
+   format: the escaped set (backslash, quote, newline) plus the
+   structural ones (space, comma, equals, braces). Whatever the
+   renderer emits, the parser must decode back to the same value. *)
+let hostile_label =
+  Gen.string_size ~gen:(Gen.oneofl [ '\\'; '"'; '\n'; ' '; ','; '='; '{'; '}'; 'a'; '9' ])
+    (Gen.int_range 0 12)
+
+let prop_exposition_round_trip =
+  Test.make ~count:300 ~name:"prometheus exposition round-trips hostile labels"
+    Gen.(pair hostile_label hostile_label)
+    (fun (va, vb) ->
+      let reg = Metrics.Registry.create () in
+      Metrics.Registry.with_registry reg (fun () ->
+          Metrics.Counter.add
+            (Metrics.counter ~labels:[ ("a", va); ("b", vb) ] "ht_total")
+            3;
+          Metrics.Histogram.observe
+            (Metrics.histogram ~labels:[ ("a", va) ] ~buckets:[| 1.0 |] "ht_hist")
+            0.5);
+      match Expo.parse (Expo.prometheus reg) with
+      | Error e -> Test.fail_reportf "parse failed: %s" e
+      | Ok samples ->
+        (match Expo.find_sample samples "ht_total" [ ("b", vb); ("a", va) ] with
+        | Some s when s.Expo.value = 3.0 -> ()
+        | Some s -> Test.fail_reportf "counter value %f" s.Expo.value
+        | None -> Test.fail_reportf "counter lost for %S %S" va vb);
+        (* Histogram series gain an [le] label next to the hostile one. *)
+        (match Expo.find_sample samples "ht_hist_bucket" [ ("a", va); ("le", "1") ] with
+        | Some s when s.Expo.value = 1.0 -> ()
+        | _ -> Test.fail_reportf "bucket lost for %S" va);
+        true)
 
 let test_prometheus_round_trip () =
   let reg = Metrics.Registry.create () in
@@ -483,6 +472,7 @@ let () =
         [
           Alcotest.test_case "prometheus round trip" `Quick test_prometheus_round_trip;
           Alcotest.test_case "json escaping" `Quick test_json_renders;
+          QCheck_alcotest.to_alcotest prop_exposition_round_trip;
         ] );
       ( "tracing",
         [
