@@ -19,6 +19,10 @@ module Replay = Rebal_online.Replay
 module Indexed_heap = Rebal_ds.Indexed_heap
 open Cmdliner
 
+(* The one version string: cmdliner's --version, the CHANGELOG and the
+   rebal_build_info metric all report it. *)
+let version = "1.9.0"
+
 (* ----- shared argument parsing ----- *)
 
 let dist_conv =
@@ -597,6 +601,8 @@ let serve_cmd =
   let module Server = Rebal_net.Server in
   let module Http = Rebal_net.Http in
   let module Optrace = Rebal_obs.Optrace in
+  let module Tsdb = Rebal_obs.Tsdb in
+  let module Alerts = Rebal_obs.Alerts in
   let procs =
     Arg.(value & opt int 8 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.")
   in
@@ -637,8 +643,9 @@ let serve_cmd =
           ~doc:
             "Listen on 127.0.0.1:$(docv) and serve many clients concurrently, one session \
              thread per connection (pipelining allowed; ERR lines stay numbered per \
-             session). Port 0 picks a free port (printed on stdout). Requires --domains — \
-             concurrent sessions need the parallel runtime.")
+             session). Port 0 picks a free port (printed on stdout). With --domains the \
+             sessions run against the parallel runtime; otherwise they are serialized \
+             against the single engine/router under one operation lock.")
   in
   let auto_events =
     Arg.(
@@ -722,11 +729,56 @@ let serve_cmd =
              regardless of sampling (0 captures every op; negative disables tail \
              capture).")
   in
+  let telemetry_interval =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "telemetry-interval" ] ~docv:"S"
+          ~doc:
+            "Sample every metric into the in-process time-series store every $(docv) \
+             seconds (enables the TSDB verb and GET /tsdb). Telemetry is on whenever any \
+             of --telemetry-interval, --telemetry-out or --alert-rules is given; the \
+             interval defaults to 1 second.")
+  in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-out" ] ~docv:"FILE"
+          ~doc:
+            "Persist telemetry to $(docv) as JSONL (one 'sample' event per tick, one \
+             'alert' event per rule transition; resilient line-flushed appends, like \
+             --journal). Feed it to 'rebalance postmortem' together with the op journals.")
+  in
+  let alert_rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alert-rules" ] ~docv:"FILE"
+          ~doc:
+            "Load alert rules from $(docv) (one 'alert NAME func(series[window]) OP VALUE \
+             for DUR [suspect SHARD]' or 'burnrate NAME bad=... total=... budget=... \
+             factor=... short=... long=...' per line) and evaluate them every telemetry \
+             tick. Adds the ALERTS verb and GET /alerts; under --supervise, each tick a \
+             suspect-annotated rule spends firing is reported to the supervisor as a \
+             failure signal against that shard.")
+  in
   (* One client session: read commands line by line, stream responses.
      A dropped connection — EOF (even mid-line) on the read side, a
      closed pipe (Sys_error) on either side — ends the session, never
-     the daemon. *)
-  let session target ic oc =
+     the daemon. [lock] serializes command execution when the target is
+     not internally thread-safe (anything but Parallel) yet several
+     threads touch it — concurrent TCP sessions, the telemetry sampler.
+     Blocking reads happen outside the lock, so an idle session never
+     starves the others. *)
+  let session ?lock target ic oc =
+    let locked f =
+      match lock with
+      | None -> f ()
+      | Some m ->
+        Mutex.lock m;
+        Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+    in
     try
       output_string oc (Protocol.greeting target);
       output_char oc '\n';
@@ -736,7 +788,7 @@ let serve_cmd =
         | exception End_of_file -> Protocol.Close
         | exception Sys_error _ -> Protocol.Close
         | line ->
-          let lines, verdict = Protocol.handle_line ~line:lineno target line in
+          let lines, verdict = locked (fun () -> Protocol.handle_line ~line:lineno target line) in
           List.iter
             (fun l ->
               output_string oc l;
@@ -749,7 +801,8 @@ let serve_cmd =
     with Sys_error _ -> Protocol.Close
   in
   let run procs shards socket domains tcp auto_events auto_imbalance auto_seconds auto_k
-      metrics_file journal_file supervise evac_budget trace_sample trace_slow_ms =
+      metrics_file journal_file supervise evac_budget trace_sample trace_slow_ms
+      telemetry_interval telemetry_out alert_rules =
     let cli_trigger =
       match (auto_events, auto_imbalance, auto_seconds) with
       | Some events, None, None -> Some (Engine.Every_events { events; k = auto_k })
@@ -778,14 +831,15 @@ let serve_cmd =
       Printf.eprintf "error: --supervise and --domains are mutually exclusive\n";
       exit 1
     | _ -> ());
-    if tcp <> None && domains = None then begin
-      Printf.eprintf "error: --tcp needs --domains (concurrent sessions need the parallel runtime)\n";
-      exit 1
-    end;
     if tcp <> None && socket <> None then begin
       Printf.eprintf "error: give at most one of --tcp and --socket\n";
       exit 1
     end;
+    (match telemetry_interval with
+    | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
+      Printf.eprintf "error: --telemetry-interval must be positive (got %g)\n" s;
+      exit 1
+    | _ -> ());
     (* The daemon is the observed artifact: spans and latency histograms
        are on for its whole lifetime. *)
     Rebal_obs.Control.set_enabled true;
@@ -899,6 +953,122 @@ let serve_cmd =
           exit 1
       end
     in
+    (* ----- continuous telemetry ----- *)
+    (* The operation lock: everything that touches a non-Parallel target
+       from more than one thread — concurrent TCP sessions, the sampler
+       tick — runs under it. Parallel targets are internally thread-safe
+       (mailbox-confined engines) and skip it. *)
+    let op_lock =
+      match target with Protocol.Parallel _ -> None | _ -> Some (Mutex.create ())
+    in
+    let with_op_lock f =
+      match op_lock with
+      | None -> f ()
+      | Some m ->
+        Mutex.lock m;
+        Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+    in
+    let telemetry_on =
+      telemetry_interval <> None || telemetry_out <> None || alert_rules <> None
+    in
+    let telemetry =
+      if not telemetry_on then None
+      else begin
+        let sink =
+          match telemetry_out with
+          | None -> None
+          | Some path ->
+            let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+            opened := oc :: !opened;
+            Some (resilient_channel_sink path oc)
+        in
+        let tsdb =
+          Tsdb.create ?sink
+            ~meta:
+              [
+                ("procs", Journal.Int procs);
+                ("shards", Journal.Int shards);
+                ( "interval_s",
+                  Journal.Float (Option.value telemetry_interval ~default:1.0) );
+              ]
+            ~source:(fun () -> Metrics.Registry.metrics (Protocol.metrics_registry target))
+            ()
+        in
+        let alerts =
+          match alert_rules with
+          | None -> None
+          | Some path -> (
+            match Alerts.parse_rules_file path with
+            | Error msg ->
+              Printf.eprintf "error: cannot load alert rules: %s\n" msg;
+              exit 1
+            | Ok [] ->
+              Printf.eprintf "error: alert rules file %s holds no rules\n" path;
+              exit 1
+            | Ok rules ->
+              Printf.eprintf "rebalance serve: loaded %d alert rule%s from %s\n%!"
+                (List.length rules)
+                (if List.length rules = 1 then "" else "s")
+                path;
+              Some (Alerts.create ?sink ~rules tsdb))
+        in
+        Protocol.set_telemetry ?alerts tsdb;
+        Some (tsdb, alerts)
+      end
+    in
+    let telemetry_stop = ref false in
+    let telemetry_thread =
+      match telemetry with
+      | None -> None
+      | Some (tsdb, alerts) ->
+        let interval = Option.value telemetry_interval ~default:1.0 in
+        let sup = match target with Protocol.Supervised s -> Some s | _ -> None in
+        let tick () =
+          with_op_lock (fun () ->
+              Tsdb.sample tsdb;
+              match alerts with
+              | None -> ()
+              | Some a ->
+                ignore (Alerts.eval a);
+                (* The feedback loop: every tick a suspect-annotated rule
+                   spends Firing is one failure signal against its shard —
+                   one tick marks it Suspect, [down_after] sustained ticks
+                   tip it Down through the ordinary evacuation path, with
+                   the rule's name as the journaled provenance. *)
+                match sup with
+                | None -> ()
+                | Some sup ->
+                  List.iter
+                    (fun ((r : Alerts.rule), _) ->
+                      match r.Alerts.suspect with
+                      | Some i when i >= 0 && i < Supervisor.shard_count sup ->
+                        ignore (Supervisor.fail ~reason:("alert:" ^ r.Alerts.rule_name) sup i)
+                      | _ -> ())
+                    (Alerts.firing a))
+        in
+        (* Sleep in short slices so shutdown never waits out a long
+           interval. *)
+        let rec pause remaining =
+          if (not !telemetry_stop) && remaining > 0.0 then begin
+            let step = Float.min 0.05 remaining in
+            (try Thread.delay step with Unix.Unix_error _ -> ());
+            pause (remaining -. step)
+          end
+        in
+        Some
+          (Thread.create
+             (fun () ->
+               while not !telemetry_stop do
+                 tick ();
+                 pause interval
+               done)
+             ())
+    in
+    let stop_telemetry () =
+      telemetry_stop := true;
+      (match telemetry_thread with None -> () | Some th -> Thread.join th);
+      if telemetry <> None then Protocol.clear_telemetry ()
+    in
     let dump_metrics () =
       match metrics_file with
       | None -> ()
@@ -949,10 +1119,12 @@ let serve_cmd =
     (try Sys.set_signal Sys.sigint term_handler with Invalid_argument _ -> ());
     Fun.protect
       ~finally:(fun () ->
-        (* Order matters: the snapshot and the metrics merge need the
-           worker domains alive (journals are written on their owners);
-           the journal channels are closed only after the cluster has
-           drained and joined. *)
+        (* Order matters: the sampler stops first (it holds handles into
+           the target and the telemetry sink); the snapshot and the
+           metrics merge need the worker domains alive (journals are
+           written on their owners); the journal channels are closed
+           only after the cluster has drained and joined. *)
+        stop_telemetry ();
         final_snapshot ();
         dump_metrics ();
         (match target with
@@ -977,12 +1149,32 @@ let serve_cmd =
            HTTP request gets one GET /metrics-style answer and closes;
            everything else is a line-protocol session. The sniff peeks
            without consuming, so the protocol stream is untouched. *)
+        let http_alerts =
+          match telemetry with
+          | Some (_, Some a) ->
+            Some (fun () -> String.concat "\n" (Alerts.status_lines a) ^ "\n")
+          | _ -> None
+        in
+        let http_tsdb =
+          match telemetry with
+          | None -> None
+          | Some (tsdb, _) ->
+            Some
+              (fun ~series ~window ->
+                match
+                  match window with None -> Ok 60.0 | Some w -> Tsdb.parse_duration w
+                with
+                | Error e -> Error e
+                | Ok window_s -> Tsdb.render_json tsdb ~selector:series ~window_s)
+        in
         let tcp_session ic oc =
           if Http.sniff (Unix.descr_of_in_channel ic) then begin
-            Http.handle ~metrics:(fun () -> Protocol.metrics_text target) ic oc;
+            Http.handle
+              ~metrics:(fun () -> Protocol.metrics_text target)
+              ?alerts:http_alerts ?tsdb:http_tsdb ic oc;
             Protocol.Close
           end
-          else session target ic oc
+          else session ?lock:op_lock target ic oc
         in
         (* SIGTERM lands as Terminated in this accepting thread; drain
            reuses the graceful path — stop accepting, wait out live
@@ -991,7 +1183,7 @@ let serve_cmd =
          with Terminated ->
            Printf.eprintf "rebalance serve: caught termination signal, draining\n%!");
         Server.drain ~grace:5.0 srv
-      | None, None -> ignore (session target stdin stdout)
+      | None, None -> ignore (session ?lock:op_lock target stdin stdout)
       | None, Some path ->
       (* A client that hangs up mid-response must not kill the daemon:
          with SIGPIPE ignored the write fails as a Sys_error, which ends
@@ -1009,7 +1201,7 @@ let serve_cmd =
         | fd, _ ->
           let ic = Unix.in_channel_of_descr fd in
           let oc = Unix.out_channel_of_descr fd in
-          let verdict = session target ic oc in
+          let verdict = session ?lock:op_lock target ic oc in
           (try close_in ic with Sys_error _ -> ());
           (* The engine (and its placement) outlives the connection: clients
              come and go, the daemon keeps serving the same cluster state. *)
@@ -1035,12 +1227,16 @@ let serve_cmd =
           engines run on parallel worker domains behind bounded mailboxes and --tcp serves \
           many clients concurrently over TCP; with --journal, restarts resume from the \
           recorded state; with --supervise, shard health is tracked and a dead shard's \
-          jobs are evacuated onto the survivors. SIGTERM/SIGINT shut the daemon down \
-          cleanly: drain sessions, final snapshot, journal close, socket unlink.")
+          jobs are evacuated onto the survivors; with --telemetry-interval / \
+          --telemetry-out / --alert-rules, a sampler thread feeds an in-process \
+          time-series store (TSDB verb, GET /tsdb), evaluates SLO alert rules against it \
+          (ALERTS verb, GET /alerts) and reports firing suspect-annotated rules to the \
+          supervisor. SIGTERM/SIGINT shut the daemon down cleanly: drain sessions, final \
+          snapshot, journal close, socket unlink.")
     Term.(
       const run $ procs $ shards $ socket $ domains $ tcp $ auto_events $ auto_imbalance
       $ auto_seconds $ auto_k $ metrics_file $ journal_file $ supervise $ evac_budget
-      $ trace_sample $ trace_slow_ms)
+      $ trace_sample $ trace_slow_ms $ telemetry_interval $ telemetry_out $ alert_rules)
 
 (* ----- loadgen ----- *)
 
@@ -1181,19 +1377,8 @@ let top_cmd =
         | h when Array.length h.Unix.h_addr_list = 0 -> fail "cannot resolve host %s" host
         | h -> h.Unix.h_addr_list.(0))
     in
-    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    (try Unix.connect sock (Unix.ADDR_INET (ip, port))
-     with Unix.Unix_error (e, _, _) ->
-       fail "cannot connect to %s:%d: %s" host port (Unix.error_message e));
-    let ic = Unix.in_channel_of_descr sock in
-    let oc = Unix.out_channel_of_descr sock in
-    let read_line_or_die () =
-      match input_line ic with
-      | line -> line
-      | exception (End_of_file | Sys_error _) -> fail "connection closed by server"
-    in
-    (* One token of a key=value line. STATS, SHARD and the READY banner
-       all speak this shape. *)
+    (* One token of a key=value line. STATS, SHARD, POINT and the READY
+       banner all speak this shape. *)
     let kv line key =
       List.find_map
         (fun tok ->
@@ -1205,43 +1390,140 @@ let top_cmd =
     in
     let kv_int line key = Option.bind (kv line key) int_of_string_opt in
     let kv_float line key = Option.bind (kv line key) float_of_string_opt in
-    let banner = read_line_or_die () in
-    let shards =
-      match kv_int banner "shards" with
-      | Some s -> s
-      | None -> fail "not a sharded serve (banner: %s) — top needs serve --tcp --domains" banner
+    (* The connection is disposable state: a server restart or dropped
+       TCP session tears it down, the frame loop rebuilds it and keeps
+       rendering. [Dropped] is the in-band signal. *)
+    let exception Dropped in
+    let conn = ref None in
+    let ever_connected = ref false in
+    let prev_events = ref [||] in
+    let prev_time = ref nan in
+    (* Whether the server answers TSDB (telemetry on): probed once per
+       connection, and the sparkline column degrades away when it says
+       ERR. *)
+    let tsdb_ok = ref true in
+    let disconnect () =
+      match !conn with
+      | None -> ()
+      | Some (fd, _, _, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        conn := None
     in
-    let domains =
-      match kv_int banner "domains" with
-      | Some d -> d
-      | None -> fail "not a parallel serve (banner: %s) — top needs serve --tcp --domains" banner
-    in
-    let send line =
-      output_string oc line;
-      output_char oc '\n';
-      flush oc
-    in
-    let read_stats () =
-      send "STATS";
-      read_line_or_die ()
-    in
-    let read_shards () =
-      send "SHARDS";
-      List.init shards (fun _ -> read_line_or_die ())
-    in
-    let read_metrics () =
-      send "METRICS";
-      let b = Buffer.create 8192 in
-      let rec loop () =
-        let line = read_line_or_die () in
-        if line <> "# EOF" then begin
-          Buffer.add_string b line;
-          Buffer.add_char b '\n';
-          loop ()
-        end
+    let connect () =
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let drop err =
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        Error err
       in
-      loop ();
+      match Unix.connect sock (Unix.ADDR_INET (ip, port)) with
+      | exception Unix.Unix_error (e, _, _) -> drop (Unix.error_message e)
+      | () -> (
+        let ic = Unix.in_channel_of_descr sock in
+        let oc = Unix.out_channel_of_descr sock in
+        match input_line ic with
+        | exception (End_of_file | Sys_error _) -> drop "connection closed during banner"
+        | banner ->
+          (* A plain engine has no shards= and a sequential cluster no
+             domains= in its banner: render what the server has instead
+             of refusing to start. *)
+          let shards = Option.value ~default:1 (kv_int banner "shards") in
+          let domains = Option.value ~default:1 (kv_int banner "domains") in
+          conn := Some (sock, ic, oc, shards, domains);
+          ever_connected := true;
+          prev_events := Array.make shards nan;
+          prev_time := nan;
+          tsdb_ok := true;
+          Ok ())
+    in
+    let send oc line =
+      try
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      with Sys_error _ -> raise Dropped
+    in
+    let recv ic =
+      match input_line ic with
+      | line -> line
+      | exception (End_of_file | Sys_error _) -> raise Dropped
+    in
+    let recv_until_eof ic =
+      let rec go acc =
+        let l = recv ic in
+        if l = "# EOF" then List.rev acc else go (l :: acc)
+      in
+      go []
+    in
+    let is_err l = String.length l >= 3 && String.sub l 0 3 = "ERR" in
+    let read_stats ic oc =
+      send oc "STATS";
+      let l = recv ic in
+      if is_err l then None else Some l
+    in
+    (* An ERR answer (single engine: no SHARDS verb) degrades the
+       per-shard columns to n/a instead of killing the viewer. *)
+    let read_shards ic oc shards =
+      send oc "SHARDS";
+      let first = recv ic in
+      if is_err first then None
+      else Some (first :: List.init (shards - 1) (fun _ -> recv ic))
+    in
+    let read_metrics ic oc =
+      send oc "METRICS";
+      let b = Buffer.create 8192 in
+      List.iter
+        (fun line ->
+          Buffer.add_string b line;
+          Buffer.add_char b '\n')
+        (recv_until_eof ic);
       Buffer.contents b
+    in
+    (* The trend column: per-shard event-counter deltas over the last
+       minute of the server's time-series store, drawn as a sparkline.
+       Served only when telemetry is on — the first ERR turns the
+       column off for the rest of the connection. *)
+    let glyphs =
+      [| "\u{2581}"; "\u{2582}"; "\u{2583}"; "\u{2584}"; "\u{2585}"; "\u{2586}";
+         "\u{2587}"; "\u{2588}" |]
+    in
+    let sparkline ds =
+      let hi = List.fold_left Float.max 0.0 ds in
+      let b = Buffer.create 64 in
+      List.iter
+        (fun v ->
+          let i = if hi <= 0.0 then 0 else min 7 (int_of_float (v /. hi *. 8.0)) in
+          Buffer.add_string b glyphs.(i))
+        ds;
+      Buffer.contents b
+    in
+    let read_spark ic oc i =
+      if not !tsdb_ok then None
+      else begin
+        send oc (Printf.sprintf "TSDB rebal_engine_events_total{shard=\"%d\"} 60s" i);
+        match recv_until_eof ic with
+        | l :: _ when is_err l ->
+          tsdb_ok := false;
+          None
+        | lines ->
+          let lasts =
+            List.filter_map
+              (fun l ->
+                if String.length l >= 6 && String.sub l 0 6 = "POINT " then kv_float l "last"
+                else None)
+              lines
+          in
+          let rec deltas = function
+            | a :: (b :: _ as rest) -> Float.max 0.0 (b -. a) :: deltas rest
+            | _ -> []
+          in
+          let ds = Array.of_list (deltas lasts) in
+          let n = Array.length ds in
+          if n = 0 then None
+          else begin
+            let keep = min 16 n in
+            Some (sparkline (Array.to_list (Array.sub ds (n - keep) keep)))
+          end
+      end
     in
     let sample_value samples name labels =
       Option.map (fun s -> s.Expo.value) (Expo.find_sample samples name labels)
@@ -1273,29 +1555,29 @@ let top_cmd =
         List.find_opt (fun le -> Hashtbl.find by_le le >= target) les
     in
     let fmt_p99 = function
-      | None -> "-"
+      | None -> "n/a"
       | Some le when le = infinity -> "+Inf"
       | Some le -> Printf.sprintf "<=%.4gs" le
     in
-    let fmt_opt fmt = function None -> "-" | Some v -> Printf.sprintf fmt v in
-    let prev_events = Array.make shards nan in
-    let prev_time = ref nan in
-    let frame () =
-      let stats = read_stats () in
-      let shard_lines = read_shards () in
-      (match shard_lines with
-      | l :: _ when String.length l >= 3 && String.sub l 0 3 = "ERR" -> fail "%s" l
-      | _ -> ());
+    let fmt_opt fmt = function None -> "n/a" | Some v -> Printf.sprintf fmt v in
+    let frame ic oc shards domains =
+      let stats = read_stats ic oc in
+      let shard_lines = read_shards ic oc shards in
       let samples =
-        match Expo.parse (read_metrics ()) with
-        | Ok s -> s
-        | Error e -> fail "unparseable METRICS reply: %s" e
+        (* Unparseable METRICS degrades to empty samples: the layout
+           columns render n/a and the viewer keeps refreshing. *)
+        match Expo.parse (read_metrics ic oc) with Ok s -> s | Error _ -> []
       in
+      let stat_int key = Option.bind stats (fun s -> kv_int s key) in
+      let stat_float key = Option.bind stats (fun s -> kv_float s key) in
       let now = Unix.gettimeofday () in
       let dt = now -. !prev_time in
+      let shard_line i =
+        match shard_lines with Some lines -> List.nth_opt lines i | None -> None
+      in
       let rows =
-        List.mapi
-          (fun i line ->
+        List.init shards (fun i ->
+            let line = shard_line i in
             let owner = i mod domains in
             let shard_l = [ ("shard", string_of_int i) ] in
             let dom_l = [ ("domain", string_of_int owner) ] in
@@ -1304,19 +1586,19 @@ let top_cmd =
                 (sample_value samples "rebal_engine_events_total" shard_l)
             in
             let rate =
-              if Float.is_nan prev_events.(i) || Float.is_nan dt || dt <= 0.0 then None
-              else Some ((events -. prev_events.(i)) /. dt)
+              if Float.is_nan (!prev_events).(i) || Float.is_nan dt || dt <= 0.0 then None
+              else Some ((events -. (!prev_events).(i)) /. dt)
             in
-            prev_events.(i) <- events;
+            (!prev_events).(i) <- events;
             ( i,
               owner,
-              kv_int line "jobs",
-              kv_int line "makespan",
-              kv_float line "imbalance",
+              Option.bind line (fun l -> kv_int l "jobs"),
+              Option.bind line (fun l -> kv_int l "makespan"),
+              Option.bind line (fun l -> kv_float l "imbalance"),
               sample_value samples "rebal_mailbox_depth" dom_l,
               sample_value samples "rebal_domain_utilization" dom_l,
-              rate ))
-          shard_lines
+              rate,
+              read_spark ic oc i ))
       in
       prev_time := now;
       let p99 = session_p99 samples in
@@ -1332,14 +1614,14 @@ let top_cmd =
                   ("port", Journal.Int port);
                   ("shards", Journal.Int shards);
                   ("domains", Journal.Int domains);
-                  ("jobs", j_opt (fun v -> Journal.Int v) (kv_int stats "jobs"));
-                  ("makespan", j_opt (fun v -> Journal.Int v) (kv_int stats "makespan"));
-                  ("imbalance", j_opt j_num (kv_float stats "imbalance"));
+                  ("jobs", j_opt (fun v -> Journal.Int v) (stat_int "jobs"));
+                  ("makespan", j_opt (fun v -> Journal.Int v) (stat_int "makespan"));
+                  ("imbalance", j_opt j_num (stat_float "imbalance"));
                   ("session_p99_le_s", j_opt j_num p99);
                   ( "per_shard",
                     Journal.List
                       (List.map
-                         (fun (i, owner, jobs, makespan, imb, depth, util, rate) ->
+                         (fun (i, owner, jobs, makespan, imb, depth, util, rate, spark) ->
                            Journal.Obj
                              [
                                ("shard", Journal.Int i);
@@ -1350,6 +1632,7 @@ let top_cmd =
                                ("queue_depth", j_opt j_num depth);
                                ("utilization", j_opt j_num util);
                                ("ops_per_s", j_opt j_num rate);
+                               ("trend", j_opt (fun s -> Journal.Str s) spark);
                              ])
                          rows) );
                 ]))
@@ -1359,17 +1642,18 @@ let top_cmd =
           "rebalance top  %s:%d  shards=%d domains=%d  jobs=%s makespan=%s imbalance=%s \
            session_p99=%s\n"
           host port shards domains
-          (fmt_opt "%d" (kv_int stats "jobs"))
-          (fmt_opt "%d" (kv_int stats "makespan"))
-          (fmt_opt "%.3f" (kv_float stats "imbalance"))
+          (fmt_opt "%d" (stat_int "jobs"))
+          (fmt_opt "%d" (stat_int "makespan"))
+          (fmt_opt "%.3f" (stat_float "imbalance"))
           (fmt_p99 p99);
-        Printf.ksprintf (Buffer.add_string b) "%5s %4s %7s %7s %7s %7s %6s %9s\n" "SHARD"
-          "DOM" "JOBS" "LOAD" "IMB" "DEPTH" "UTIL" "OPS/S";
+        Printf.ksprintf (Buffer.add_string b) "%5s %4s %7s %7s %7s %7s %6s %9s %s\n" "SHARD"
+          "DOM" "JOBS" "LOAD" "IMB" "DEPTH" "UTIL" "OPS/S" "TREND";
         List.iter
-          (fun (i, owner, jobs, makespan, imb, depth, util, rate) ->
-            Printf.ksprintf (Buffer.add_string b) "%5d %4d %7s %7s %7s %7s %6s %9s\n" i owner
-              (fmt_opt "%d" jobs) (fmt_opt "%d" makespan) (fmt_opt "%.3f" imb)
-              (fmt_opt "%.0f" depth) (fmt_opt "%.2f" util) (fmt_opt "%.0f" rate))
+          (fun (i, owner, jobs, makespan, imb, depth, util, rate, spark) ->
+            Printf.ksprintf (Buffer.add_string b) "%5d %4d %7s %7s %7s %7s %6s %9s %s\n" i
+              owner (fmt_opt "%d" jobs) (fmt_opt "%d" makespan) (fmt_opt "%.3f" imb)
+              (fmt_opt "%.0f" depth) (fmt_opt "%.2f" util) (fmt_opt "%.0f" rate)
+              (Option.value ~default:"" spark))
           rows;
         print_string (Buffer.contents b);
         flush stdout
@@ -1378,7 +1662,23 @@ let top_cmd =
     let rec loop n =
       (* Refresh mode: home the cursor and clear before each redraw. *)
       if format = `Plain && n > 0 then print_string "\027[H\027[2J";
-      frame ();
+      (match !conn with
+      | Some _ -> ()
+      | None -> (
+        match connect () with
+        | Ok () -> ()
+        | Error e ->
+          (* A server that was never there is an operator error; one
+             that went away is an outage to ride out. *)
+          if not !ever_connected then fail "cannot connect to %s:%d: %s" host port e
+          else Printf.eprintf "top: cannot reconnect to %s:%d: %s (retrying)\n%!" host port e));
+      (match !conn with
+      | None -> ()
+      | Some (_, ic, oc, shards, domains) -> (
+        try frame ic oc shards domains
+        with Dropped ->
+          disconnect ();
+          Printf.eprintf "top: connection lost, reconnecting\n%!"));
       match n_frames with
       | Some k when n + 1 >= k -> ()
       | _ ->
@@ -1386,17 +1686,256 @@ let top_cmd =
         loop (n + 1)
     in
     loop 0;
-    (try send "QUIT" with Sys_error _ -> ());
-    try Unix.close sock with Unix.Unix_error _ -> ()
+    (match !conn with
+    | Some (_, _, oc, _, _) -> ( try send oc "QUIT" with Dropped -> ())
+    | None -> ());
+    disconnect ()
   in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Live cluster telemetry over the line protocol: a refreshing per-shard view of \
-          load, queue depth, owner-domain utilization, op rate and session p99 against a \
-          serve --tcp --domains daemon. --once --format json emits one machine-readable \
+          load, queue depth, owner-domain utilization, op rate, session p99 and (when the \
+          daemon samples telemetry) a per-shard event-rate sparkline, against any serve \
+          --tcp daemon. Survives server restarts by reconnecting, and degrades missing \
+          data to n/a instead of dying. --once --format json emits one machine-readable \
           frame for scripts and CI.")
     Term.(const run $ host $ port $ interval $ once $ frames $ format)
+
+(* ----- postmortem ----- *)
+
+(* Joins a telemetry journal (the "sample" / "alert" events serve
+   --telemetry-out writes) with one or more op journals (--journal)
+   into one correlated timeline. Both speak JSONL with ts_ns from the
+   same monotonic clock, so events written by one process line up
+   exactly; the interesting joins — an evacuation whose reason names
+   the alert that caused it, a makespan drop bracketing a rebalance —
+   are annotated inline. *)
+let postmortem_cmd =
+  let telemetry =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Telemetry journal written by serve --telemetry-out.")
+  in
+  let journals =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"JOURNAL"
+          ~doc:"Op journal file(s) written by serve --journal (FILE.i per shard).")
+  in
+  let window =
+    Arg.(
+      value & opt float 5.0
+      & info [ "window" ] ~docv:"S"
+          ~doc:
+            "Correlation window: a journal event and an alert transition (or metric \
+             sample) at most $(docv) seconds apart are reported together.")
+  in
+  let run telemetry journals window =
+    let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "error: %s\n" s; exit 1) fmt in
+    if telemetry = None && journals = [] then
+      fail "nothing to correlate: give --telemetry FILE and/or journal files";
+    if (not (Float.is_finite window)) || window < 0.0 then
+      fail "--window must be a non-negative number of seconds";
+    let parse path =
+      match Journal.parse_file path with Ok v -> v | Error e -> fail "%s: %s" path e
+    in
+    let tel_events =
+      match telemetry with None -> [] | Some path -> snd (parse path)
+    in
+    let samples = List.filter (fun e -> e.Journal.kind = "sample") tel_events in
+    let alert_events = List.filter (fun e -> e.Journal.kind = "alert") tel_events in
+    (* Alert events carry the tick timestamp as at_ns (the store's
+       clock); fall back to the sink's ts_ns. *)
+    let at_of e =
+      match Journal.int_field e "at_ns" with Ok v -> v | Error _ -> e.Journal.ts_ns
+    in
+    let alerts =
+      List.map
+        (fun e ->
+          let sf key = match Journal.str_field e key with Ok s -> s | Error _ -> "?" in
+          let value =
+            match Journal.float_field e "value" with Ok v -> Some v | Error _ -> None
+          in
+          (at_of e, sf "rule", sf "from", sf "to", value))
+        alert_events
+    in
+    let firings =
+      List.filter_map
+        (fun (at, rule, _, to_, _) -> if to_ = "firing" then Some (at, rule) else None)
+        alerts
+    in
+    let w_ns = int_of_float (window *. 1e9) in
+    (* Headline metrics out of a sample: a series key either matches the
+       name exactly or is the labelled form name{...}. Cluster makespan
+       is the max over per-shard series, job count the sum. *)
+    let sample_values e name =
+      match Journal.field e "metrics" with
+      | Some (Journal.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) ->
+            let n = String.length name in
+            let matches =
+              k = name
+              || (String.length k > n && String.sub k 0 (n + 1) = name ^ "{")
+            in
+            if not matches then None
+            else
+              match v with
+              | Journal.Float f -> Some f
+              | Journal.Int i -> Some (float_of_int i)
+              | _ -> None)
+          kvs
+      | _ -> []
+    in
+    let makespan_of e =
+      match sample_values e "rebal_engine_makespan" with
+      | [] -> None
+      | vs -> Some (List.fold_left Float.max neg_infinity vs)
+    in
+    let bracketing_samples t_ns =
+      let before =
+        List.fold_left
+          (fun acc e ->
+            let a = at_of e in
+            if a <= t_ns && t_ns - a <= w_ns then Some e else acc)
+          None samples
+      in
+      let after =
+        List.find_opt
+          (fun e ->
+            let a = at_of e in
+            a >= t_ns && a - t_ns <= w_ns)
+          samples
+      in
+      (before, after)
+    in
+    (* Journal events: ops are tallied, structural events (rebalance,
+       trigger, snapshot, check, evacuation, ...) go on the timeline
+       with their scalar fields. *)
+    let json_scalar = function
+      | Journal.Int i -> Some (string_of_int i)
+      | Journal.Float f -> Some (Printf.sprintf "%g" f)
+      | Journal.Str s -> Some s
+      | Journal.Bool b -> Some (string_of_bool b)
+      | Journal.Null | Journal.List _ | Journal.Obj _ -> None
+    in
+    let fields_text e =
+      String.concat " "
+        (List.filter_map
+           (fun (k, v) -> Option.map (fun s -> k ^ "=" ^ s) (json_scalar v))
+           e.Journal.fields)
+    in
+    let op_counts = Hashtbl.create 8 in
+    let bump kind = Hashtbl.replace op_counts kind (1 + try Hashtbl.find op_counts kind with Not_found -> 0) in
+    let structural = ref [] in
+    let n_journal_events = ref 0 in
+    List.iter
+      (fun path ->
+        let _, events = parse path in
+        let tag = Filename.basename path in
+        List.iter
+          (fun e ->
+            incr n_journal_events;
+            match e.Journal.kind with
+            | "add" | "remove" | "resize" -> bump e.Journal.kind
+            | _ -> structural := (e.Journal.ts_ns, tag, e) :: !structural)
+          events)
+      journals;
+    (* The annotations: provenance first (an evacuation whose reason
+       names an alert joins to that rule's latest firing), then the
+       nearest alert transition in the window, then the makespan swing
+       across the bracketing samples. *)
+    let annotate at_ns e =
+      let notes = ref [] in
+      let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+      (match Journal.str_field e "reason" with
+      | Ok reason
+        when String.length reason > 6 && String.sub reason 0 6 = "alert:" ->
+        let rule = String.sub reason 6 (String.length reason - 6) in
+        (match
+           List.fold_left
+             (fun acc (at, r) -> if r = rule && at <= at_ns then Some at else acc)
+             None firings
+         with
+        | Some at -> note "alert %s fired %.1fs before" rule (float_of_int (at_ns - at) /. 1e9)
+        | None -> note "alert %s (no firing transition in telemetry)" rule)
+      | _ -> (
+        match
+          List.fold_left
+            (fun acc (at, rule, from_, to_, _) ->
+              let d = abs (at - at_ns) in
+              if d <= w_ns then
+                match acc with
+                | Some (best, _) when best <= d -> acc
+                | _ -> Some (d, Printf.sprintf "alert %s %s->%s %.1fs %s" rule from_ to_
+                               (float_of_int d /. 1e9)
+                               (if at <= at_ns then "before" else "after"))
+              else acc)
+            None alerts
+        with
+        | Some (_, text) -> note "%s" text
+        | None -> ()));
+      (match bracketing_samples at_ns with
+      | Some b, Some a -> (
+        match (makespan_of b, makespan_of a) with
+        | Some mb, Some ma when mb <> ma -> note "makespan %g -> %g across this event" mb ma
+        | _ -> ())
+      | _ -> ());
+      match List.rev !notes with
+      | [] -> ""
+      | notes -> "  [" ^ String.concat "; " notes ^ "]"
+    in
+    let entries =
+      List.map
+        (fun (at, rule, from_, to_, value) ->
+          ( at,
+            "telemetry",
+            Printf.sprintf "alert %s: %s -> %s%s" rule from_ to_
+              (match value with None -> "" | Some v -> Printf.sprintf " (value=%g)" v) ))
+        alerts
+      @ List.map
+          (fun (at, tag, e) ->
+            let fields = fields_text e in
+            ( at,
+              tag,
+              Printf.sprintf "%s%s%s" e.Journal.kind
+                (if fields = "" then "" else " " ^ fields)
+                (annotate at e) ))
+          !structural
+    in
+    let entries = List.sort (fun (a, _, _) (b, _, _) -> compare a b) entries in
+    Printf.printf "postmortem: %d telemetry events (%d samples, %d alert transitions), %d journal events from %d journal(s)\n"
+      (List.length tel_events) (List.length samples) (List.length alerts)
+      !n_journal_events (List.length journals);
+    let ops =
+      List.filter_map
+        (fun k ->
+          match Hashtbl.find_opt op_counts k with
+          | Some n -> Some (Printf.sprintf "%s=%d" k n)
+          | None -> None)
+        [ "add"; "remove"; "resize" ]
+    in
+    if ops <> [] then Printf.printf "ops: %s\n" (String.concat " " ops);
+    (match entries with
+    | [] -> print_endline "timeline: no structural events"
+    | (t0, _, _) :: _ ->
+      Printf.printf "timeline (T0 = first event):\n";
+      List.iter
+        (fun (at, tag, text) ->
+          Printf.printf "T+%9.3fs  %-12s %s\n" (float_of_int (at - t0) /. 1e9) tag text)
+        entries)
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Correlate a telemetry journal (serve --telemetry-out) with op journals (serve \
+          --journal) into one timeline: alert transitions, rebalances, trigger firings \
+          and evacuations in time order, each annotated with the alert that caused or \
+          accompanied it and the makespan swing across it.")
+    Term.(const run $ telemetry $ journals $ window)
 
 (* ----- chaos-serve ----- *)
 
@@ -1414,6 +1953,9 @@ let chaos_serve_cmd =
   let module Engine = Rebal_online.Engine in
   let module Shard = Rebal_online.Shard in
   let module Supervisor = Rebal_online.Supervisor in
+  let module Protocol = Rebal_online.Protocol in
+  let module Tsdb = Rebal_obs.Tsdb in
+  let module Alerts = Rebal_obs.Alerts in
   let shards = Arg.(value & opt int 8 & info [ "shards" ] ~docv:"S" ~doc:"Number of shards.") in
   let procs =
     Arg.(value & opt int 32 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Total processors.")
@@ -1468,8 +2010,36 @@ let chaos_serve_cmd =
   let k =
     Arg.(value & opt int 16 & info [ "k" ] ~docv:"K" ~doc:"Move budget per rebalance pass.")
   in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-out" ] ~docv:"FILE"
+          ~doc:
+            "Sample every metric once per step into a time-series store and persist the \
+             telemetry to $(docv) as JSONL — the same format serve --telemetry-out writes, \
+             so 'rebalance postmortem' can join it with the journals of this run.")
+  in
+  let alert_rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alert-rules" ] ~docv:"FILE"
+          ~doc:
+            "Evaluate alert rules (serve --alert-rules format) against the per-step \
+             telemetry; transitions land in --telemetry-out as 'alert' events.")
+  in
+  let journal_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"BASE"
+          ~doc:
+            "After the audit, write shard $(i,i)'s in-memory journal to $(docv).$(i,i) — \
+             feed them to 'rebalance postmortem' or 'rebalance replay'.")
+  in
   let run shards procs horizon ops_per_step crash_rate mttr kills down_for evac_budget period
-      k seed =
+      k telemetry_out alert_rules journal_out seed =
     if shards < 2 || procs < shards then begin
       Printf.eprintf "error: need 2 <= --shards <= --procs (got %d shards, %d procs)\n"
         shards procs;
@@ -1514,6 +2084,47 @@ let chaos_serve_cmd =
       }
     in
     let sup = Supervisor.create ~config ~probe:(fun i -> live i !time) cluster in
+    (* Per-step telemetry: the same store/rule-engine pair serve runs on
+       a timer, ticked once per driven step. Journal events and samples
+       share the monotonic clock, so postmortem lines them up. *)
+    let telemetry_oc = ref None in
+    let telemetry =
+      if telemetry_out = None && alert_rules = None then None
+      else begin
+        Rebal_obs.Control.set_enabled true;
+        let sink =
+          match telemetry_out with
+          | None -> None
+          | Some path ->
+            let oc = open_out path in
+            telemetry_oc := Some oc;
+            Some
+              (Journal.create
+                 ~write:(fun line ->
+                   output_string oc line;
+                   flush oc)
+                 ())
+        in
+        let target = Protocol.Supervised sup in
+        let tsdb =
+          Tsdb.create ?sink
+            ~meta:[ ("mode", Journal.Str "chaos-serve"); ("shards", Journal.Int shards) ]
+            ~source:(fun () -> Metrics.Registry.metrics (Protocol.metrics_registry target))
+            ()
+        in
+        let alerts =
+          match alert_rules with
+          | None -> None
+          | Some path -> (
+            match Alerts.parse_rules_file path with
+            | Error msg ->
+              Printf.eprintf "error: cannot load alert rules: %s\n" msg;
+              exit 1
+            | Ok rules -> Some (Alerts.create ?sink ~rules tsdb))
+        in
+        Some (tsdb, alerts)
+      end
+    in
     (* Reference model: what the workload believes is live. Anything the
        cluster accepted must survive every kill and recovery. *)
     let model = Hashtbl.create 1024 in
@@ -1605,7 +2216,12 @@ let chaos_serve_cmd =
       let serving = Supervisor.serving_shards sup in
       downtime_weighted :=
         !downtime_weighted
-        +. (float_of_int (Shard.makespan cluster) *. float_of_int (1 + shards - serving))
+        +. (float_of_int (Shard.makespan cluster) *. float_of_int (1 + shards - serving));
+      match telemetry with
+      | None -> ()
+      | Some (tsdb, alerts) ->
+        Tsdb.sample tsdb;
+        Option.iter (fun a -> ignore (Alerts.eval a)) alerts
     done;
     (* ----- the audit ----- *)
     let lost =
@@ -1677,6 +2293,30 @@ let chaos_serve_cmd =
     Printf.printf "  downtime-weighted makespan: %.0f\n" !downtime_weighted;
     Printf.printf "  jobs live: %d, makespan: %d\n" (Shard.job_count cluster)
       (Shard.makespan cluster);
+    (match telemetry with
+    | None -> ()
+    | Some (tsdb, alerts) ->
+      Printf.printf "  telemetry: %d samples, %d series%s\n" (Tsdb.samples_taken tsdb)
+        (List.length (Tsdb.series_list tsdb))
+        (match alerts with
+        | None -> ""
+        | Some a -> Printf.sprintf ", %d alert transition(s)" (List.length (Alerts.transitions a))));
+    (match journal_out with
+    | None -> ()
+    | Some base ->
+      Array.iteri
+        (fun i buf ->
+          let path = Printf.sprintf "%s.%d" base i in
+          try
+            let oc = open_out path in
+            output_string oc (Buffer.contents buf);
+            close_out oc
+          with Sys_error e -> failf "cannot write journal %s: %s" path e)
+        buffers;
+      Printf.printf "  journals written to %s.0 .. %s.%d\n" base base (shards - 1));
+    (match !telemetry_oc with
+    | Some oc -> ( try close_out oc with Sys_error _ -> ())
+    | None -> ());
     match !failures with
     | [] ->
       Printf.printf
@@ -1696,7 +2336,8 @@ let chaos_serve_cmd =
           makespan and per-shard recovery time; exits 1 on any audit failure.")
     Term.(
       const run $ shards $ procs $ horizon $ ops_per_step $ crash_rate $ mttr $ kills
-      $ down_for $ evac_budget $ period $ k $ seed_arg)
+      $ down_for $ evac_budget $ period $ k $ telemetry_out $ alert_rules $ journal_out
+      $ seed_arg)
 
 (* ----- replay / explain ----- *)
 
@@ -1943,9 +2584,12 @@ let process_sim_cmd =
     Term.(const run $ cpus $ rate $ horizon $ period $ k $ heavy $ seed_arg)
 
 let () =
+  (* Build provenance rides along in every exposition: a constant-1
+     info gauge (version + compiler) plus process uptime. *)
+  Metrics.register_build_info ~version ();
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
-    Cmd.info "rebalance" ~version:"1.0.0"
+    Cmd.info "rebalance" ~version
       ~doc:"Load rebalancing: bounded-migration makespan minimization (SPAA 2003)."
   in
   exit
@@ -1964,6 +2608,7 @@ let () =
             serve_cmd;
             loadgen_cmd;
             top_cmd;
+            postmortem_cmd;
             replay_cmd;
             snapshot_cmd;
             compact_cmd;

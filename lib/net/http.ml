@@ -50,15 +50,90 @@ let content_type_metrics = "text/plain; version=0.0.4; charset=utf-8"
 let text status reason body =
   { status; reason; content_type = "text/plain; charset=utf-8"; body }
 
+(* %xx-decode a query value — label selectors arrive as
+   [series=rebal_x%7Bshard%3D%220%22%7D] from well-behaved clients
+   (curl passes braces and quotes through raw, which we also accept). *)
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '%' when i + 2 < n -> begin
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some h, Some l ->
+          Buffer.add_char buf (Char.chr ((h * 16) + l));
+          go (i + 3)
+        | _ ->
+          Buffer.add_char buf '%';
+          go (i + 1)
+      end
+      | '+' ->
+        Buffer.add_char buf ' ';
+        go (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let query_params qs =
+  String.split_on_char '&' qs
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | None -> Some (percent_decode kv, "")
+           | Some eq ->
+             Some
+               ( percent_decode (String.sub kv 0 eq),
+                 percent_decode (String.sub kv (eq + 1) (String.length kv - eq - 1)) ))
+
 (* [metrics] is a thunk so the (comparatively expensive) registry merge
-   and render run only for the one path that needs them. *)
-let respond ~metrics request_line =
+   and render run only for the one path that needs them. [alerts] and
+   [tsdb] are present only on a telemetry-enabled daemon — without them
+   the routes answer 404 like any other unknown path. *)
+let respond ~metrics ?alerts ?tsdb request_line =
   match String.split_on_char ' ' (String.trim request_line) with
   | [ meth; target; _version ] -> begin
-    match (meth, target) with
+    let path, query =
+      match String.index_opt target '?' with
+      | None -> (target, "")
+      | Some q ->
+        (String.sub target 0 q, String.sub target (q + 1) (String.length target - q - 1))
+    in
+    match (meth, path) with
     | "GET", "/metrics" ->
       { status = 200; reason = "OK"; content_type = content_type_metrics; body = metrics () }
-    | "GET", _ -> text 404 "Not Found" (Printf.sprintf "no route for %s\n" target)
+    | "GET", "/alerts" -> begin
+      match alerts with
+      | Some thunk -> text 200 "OK" (thunk ())
+      | None -> text 404 "Not Found" "telemetry not enabled\n"
+    end
+    | "GET", "/tsdb" -> begin
+      match tsdb with
+      | None -> text 404 "Not Found" "telemetry not enabled\n"
+      | Some query_fn -> begin
+        let params = query_params query in
+        match List.assoc_opt "series" params with
+        | None | Some "" -> text 400 "Bad Request" "missing series= parameter\n"
+        | Some series -> begin
+          match query_fn ~series ~window:(List.assoc_opt "window" params) with
+          | Ok body ->
+            { status = 200; reason = "OK"; content_type = "application/json"; body }
+          | Error e -> text 400 "Bad Request" (e ^ "\n")
+        end
+      end
+    end
+    | "GET", _ -> text 404 "Not Found" (Printf.sprintf "no route for %s\n" path)
     | _ -> text 405 "Method Not Allowed" "only GET is served here\n"
   end
   | _ -> text 400 "Bad Request" "malformed request line\n"
@@ -68,7 +143,7 @@ let render r =
     "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
     r.status r.reason r.content_type (String.length r.body) r.body
 
-let handle ~metrics ic oc =
+let handle ~metrics ?alerts ?tsdb ic oc =
   match input_line ic with
   | exception (End_of_file | Sys_error _) -> ()
   | request_line ->
@@ -82,5 +157,5 @@ let handle ~metrics ic oc =
       | _ -> drain ()
     in
     drain ();
-    output_string oc (render (respond ~metrics request_line));
+    output_string oc (render (respond ~metrics ?alerts ?tsdb request_line));
     flush oc

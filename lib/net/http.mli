@@ -1,6 +1,7 @@
 (** The scrape endpoint: just enough HTTP/1.0 to serve
-    [GET /metrics] from the same TCP port the line protocol listens
-    on. One request per connection, always [Connection: close].
+    [GET /metrics], [GET /alerts] and [GET /tsdb?series=...&window=...]
+    from the same TCP port the line protocol listens on. One request
+    per connection, always [Connection: close].
 
     Dispatch works in two layers. {!sniff} peeks (MSG_PEEK) at a
     freshly accepted socket: an HTTP client writes its request
@@ -27,18 +28,33 @@ val sniff : ?timeout:float -> Unix.file_descr -> bool
     HTTP method. [false] on timeout — a line-protocol client waiting
     for the banner. *)
 
-val respond : metrics:(unit -> string) -> string -> response
+val respond :
+  metrics:(unit -> string) ->
+  ?alerts:(unit -> string) ->
+  ?tsdb:(series:string -> window:string option -> (string, string) result) ->
+  string ->
+  response
 (** The routing table: [GET /metrics] answers 200 with [metrics ()]
-    as the body and the Prometheus text content type; any other GET
-    is 404, any other method 405, an unparseable request line 400.
-    [metrics] is a thunk so the registry merge runs only when that
-    route is hit. *)
+    as the body and the Prometheus text content type; [GET /alerts]
+    answers [alerts ()] as plain text; [GET /tsdb] decodes the
+    [series] (required) and [window] query parameters (%xx-decoded)
+    and answers [tsdb]'s JSON on [Ok], 400 on [Error]. The telemetry
+    routes answer 404 when their handler is absent (a daemon without
+    [--telemetry-interval]); any other GET is 404, any other method
+    405, an unparseable request line 400. All handlers are thunks so
+    the work runs only when the route is hit. *)
 
 val render : response -> string
 (** Status line, [Content-Type]/[Content-Length]/[Connection: close]
     headers, blank line, body — CRLF line endings throughout. *)
 
-val handle : metrics:(unit -> string) -> in_channel -> out_channel -> unit
+val handle :
+  metrics:(unit -> string) ->
+  ?alerts:(unit -> string) ->
+  ?tsdb:(series:string -> window:string option -> (string, string) result) ->
+  in_channel ->
+  out_channel ->
+  unit
 (** Serve one request: read the request line, drain the header block,
     write the rendered {!respond} answer, flush. EOF mid-request just
     returns — the caller closes the socket either way. *)

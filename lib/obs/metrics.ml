@@ -206,6 +206,19 @@ module Histogram = struct
          h.bucket_counts)
 end
 
+let register_build_info ?registry ?(clock = Unix.gettimeofday) ~version () =
+  let registry = match registry with Some r -> r | None -> Registry.current () in
+  let info =
+    gauge ~registry ~help:"Build metadata (value is always 1)"
+      ~labels:[ ("ocaml", Sys.ocaml_version); ("version", version) ]
+      "rebal_build_info"
+  in
+  Gauge.set info 1.;
+  let uptime = gauge ~registry ~help:"Seconds since process start" "rebal_uptime_seconds" in
+  let started = clock () in
+  Registry.register_collector registry (fun () ->
+      Gauge.set uptime (clock () -. started))
+
 let merge ~into src =
   (* Snapshot the source's structure under its own lock, then intern into
      the destination (each intern takes the destination lock); the value

@@ -141,6 +141,15 @@ module Histogram : sig
       upper bound is [infinity]. *)
 end
 
+val register_build_info :
+  ?registry:Registry.t -> ?clock:(unit -> float) -> version:string -> unit -> unit
+(** Register the standard build metadata series:
+    [rebal_build_info{ocaml,version}] (always 1) and a collector-driven
+    [rebal_uptime_seconds] counting from this call. [registry] defaults
+    to [Registry.current ()]; [clock] (default [Unix.gettimeofday])
+    is injectable for tests. Both expositions pick the series up like
+    any other registry member. *)
+
 val merge : into:Registry.t -> Registry.t -> unit
 (** Fold the source registry's values into [into]: counters add,
     histograms (with identical buckets) add bucket-wise, gauges take the

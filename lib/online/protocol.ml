@@ -15,6 +15,8 @@ type command =
   | Metrics_dump
   | Journal_tail of int
   | Traces of int
+  | Alerts_status
+  | Tsdb_query of { selector : string; window_s : float }
   | Help
   | Quit
   | Shutdown
@@ -91,6 +93,14 @@ let parse line =
     | "TRACES", [] -> Ok (Some (Traces 10))
     | "TRACES", [ n ] -> Result.map (fun n -> Some (Traces n)) (positive_arg "n" n)
     | "TRACES", _ -> Error "usage: TRACES [<n>]"
+    | "ALERTS", [] -> Ok (Some Alerts_status)
+    | "ALERTS", _ -> Error "usage: ALERTS"
+    | "TSDB", [ selector ] -> Ok (Some (Tsdb_query { selector; window_s = 60. }))
+    | "TSDB", [ selector; window ] ->
+      Result.map
+        (fun window_s -> Some (Tsdb_query { selector; window_s }))
+        (Rebal_obs.Tsdb.parse_duration window)
+    | "TSDB", _ -> Error "usage: TSDB <series> [<window>]"
     | "HELP", [] -> Ok (Some Help)
     | "QUIT", [] | "EXIT", [] -> Ok (Some Quit)
     | "SHUTDOWN", [] -> Ok (Some Shutdown)
@@ -455,6 +465,29 @@ let traces_lines t n =
       slow
     @ [ "# EOF" ]
 
+(* The telemetry surfaces. The store and the rule engine are owned by
+   the daemon's sampler loop, not by the protocol target, so the daemon
+   registers them here (process-global, like the Optrace knobs); a
+   serve without --telemetry-* leaves them unset and the verbs answer
+   ERR without touching anything. *)
+let telemetry : (Rebal_obs.Tsdb.t * Rebal_obs.Alerts.t option) option ref = ref None
+let set_telemetry ?alerts tsdb = telemetry := Some (tsdb, alerts)
+let clear_telemetry () = telemetry := None
+
+let alerts_status_lines () =
+  match !telemetry with
+  | Some (_, Some alerts) -> Rebal_obs.Alerts.status_lines alerts @ [ "# EOF" ]
+  | Some (_, None) -> [ "ERR no alert rules loaded (serve --alert-rules FILE)" ]
+  | None -> [ "ERR telemetry not enabled (serve --telemetry-interval)" ]
+
+let tsdb_query_lines ~selector ~window_s =
+  match !telemetry with
+  | None -> [ "ERR telemetry not enabled (serve --telemetry-interval)" ]
+  | Some (tsdb, _) -> (
+    match Rebal_obs.Tsdb.render_lines tsdb ~selector ~window_s with
+    | Error e -> [ "ERR " ^ e ]
+    | Ok lines -> lines @ [ "# EOF" ])
+
 let execute t = function
   | Add { id; size } -> begin
     match add_job t ~id ~size with
@@ -482,6 +515,8 @@ let execute t = function
   | Metrics_dump -> metrics_lines t
   | Journal_tail n -> journal_lines t n
   | Traces n -> traces_lines t n
+  | Alerts_status -> alerts_status_lines ()
+  | Tsdb_query { selector; window_s } -> tsdb_query_lines ~selector ~window_s
   | Help -> help_lines
   | Quit -> [ "BYE" ]
   | Shutdown -> [ "BYE" ]
@@ -498,6 +533,8 @@ let verb_name = function
   | Metrics_dump -> "metrics"
   | Journal_tail _ -> "journal"
   | Traces _ -> "traces"
+  | Alerts_status -> "alerts"
+  | Tsdb_query _ -> "tsdb"
   | Help -> "help"
   | Quit -> "quit"
   | Shutdown -> "shutdown"

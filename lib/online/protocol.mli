@@ -13,6 +13,8 @@
     METRICS              Prometheus text exposition of the metrics registry
     JOURNAL [<n>]        tail of the flight-recorder journal (default 10)
     TRACES [<n>]         span trees of the last n slow ops (default 10)
+    ALERTS               alert rule states and transitions (telemetry serve only)
+    TSDB <series> [<w>]  windowed time-series points (telemetry serve only)
     HELP                 list the commands
     QUIT                 end this client session
     SHUTDOWN             end this client session and stop the daemon
@@ -65,6 +67,8 @@ type command =
   | Metrics_dump
   | Journal_tail of int
   | Traces of int
+  | Alerts_status
+  | Tsdb_query of { selector : string; window_s : float }
   | Help
   | Quit
   | Shutdown
@@ -140,3 +144,19 @@ val traces_lines : target -> int -> string list
 
 val greeting : target -> string
 (** The [READY ...] banner sent when a session opens. *)
+
+val set_telemetry : ?alerts:Rebal_obs.Alerts.t -> Rebal_obs.Tsdb.t -> unit
+(** Register the daemon's time-series store (and rule engine, if rules
+    were loaded) as the backing for the [ALERTS] / [TSDB] verbs and the
+    HTTP [/alerts] / [/tsdb] routes. Process-global, like the
+    [Rebal_obs.Optrace] knobs: the daemon owns one telemetry pipeline.
+    Without it both verbs answer [ERR telemetry not enabled]. *)
+
+val clear_telemetry : unit -> unit
+
+val alerts_status_lines : unit -> string list
+(** The [ALERTS] reply ([# EOF]-framed; an [ERR] line when telemetry or
+    rules are absent). Shared with the HTTP [/alerts] route. *)
+
+val tsdb_query_lines : selector:string -> window_s:float -> string list
+(** The [TSDB] reply, same contract. *)

@@ -194,10 +194,10 @@ let tick t =
     t.states;
   List.rev !moves
 
-let fail t i =
+let fail ?(reason = "report") t i =
   check_shard t i;
   t.probe_failures <- t.probe_failures + 1;
-  note_failure t i ~reason:"report"
+  note_failure t i ~reason
 
 let mark_down t i =
   check_shard t i;

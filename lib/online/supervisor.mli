@@ -110,9 +110,13 @@ val tick : t -> move list
     triggers are returned (global indices). Call it from the serving
     loop's idle path or a timer. *)
 
-val fail : t -> int -> move list
+val fail : ?reason:string -> t -> int -> move list
 (** An external failure report against shard [i] — same effect as one
     failed probe (returns evacuation moves if it tips the shard Down).
+    [reason] (default ["report"]) is the provenance recorded in the
+    evacuation journal event if this report tips the shard Down — the
+    telemetry loop passes ["alert:<rule>"] here, so a post-mortem can
+    tie the evacuation back to the alert that caused it.
     @raise Invalid_argument if [i] is out of range. *)
 
 val mark_down : t -> int -> move list
