@@ -1845,6 +1845,158 @@ let e23 () =
       Some ratio)
 
 (* ---------------------------------------------------------------------- *)
+(* E24 — the flat hot path: µs/event, minor words/event, binary journal.  *)
+(* ---------------------------------------------------------------------- *)
+
+let e24 () =
+  header "E24: flat-core hot path (us/event, alloc/event, binary journal overhead)";
+  let module Engine = Rebal_online.Engine in
+  let n = 10_000 and m = 64 in
+  let events = 50_000 in
+  (* The E15 mix, but PREGENERATED: the measured loop contains no
+     Printf, no rng draws, no pool bookkeeping — only
+     [Engine.apply_bulk] over immutable op arrays, so the numbers are
+     the engine's, not the harness's. The stream is built against a
+     shadow pool so every op is valid when it executes. *)
+  let rng = Rng.create 124 in
+  let pool = Array.make (n + events + 1) "" in
+  let count = ref 0 and next = ref 0 in
+  let fresh_size () = Rng.int_range rng 1 1000 in
+  let add () =
+    let id = pf "j%d" !next in
+    incr next;
+    pool.(!count) <- id;
+    incr count;
+    Engine.Add { id; size = fresh_size () }
+  in
+  let preload = Array.init n (fun _ -> add ()) in
+  let stream =
+    Array.init events (fun _ ->
+        match Rng.int rng 3 with
+        | 0 -> add ()
+        | 1 when !count > 1 ->
+          let i = Rng.int rng !count in
+          let id = pool.(i) in
+          decr count;
+          pool.(i) <- pool.(!count);
+          Engine.Remove { id }
+        | _ -> Engine.Resize { id = pool.(Rng.int rng !count); size = fresh_size () })
+  in
+  (* Pre-chunk into batch-sized slices once; every run reuses them, so
+     slicing never happens inside a measured or counted window. *)
+  let batch = 1024 in
+  let slices =
+    let rec go i acc =
+      if i >= events then List.rev acc
+      else
+        let len = min batch (events - i) in
+        go (i + len) (Array.sub stream i len :: acc)
+    in
+    go 0 []
+  in
+  let run ?journal () =
+    Gc.compact ();
+    let eng = Engine.create ?journal ~m () in
+    Engine.apply_bulk eng preload;
+    ignore (Engine.rebalance eng ~k:(n / 20));
+    Engine.reserve eng ~jobs:(n + events);
+    let (), dt =
+      Timer.time (fun () -> List.iter (fun s -> Engine.apply_bulk eng s) slices)
+    in
+    dt /. float_of_int events
+  in
+  (* Ratio stability as in E17: absolute times swing on a shared box,
+     back-to-back ratios don't. Three (off, binary, jsonl) triples,
+     median by binary ratio. *)
+  let triple () =
+    let off = run () in
+    let bbuf = Buffer.create (1 lsl 22) in
+    let bin = run ~journal:(Journal.create ~format:Journal.Binary ~write:(Buffer.add_string bbuf) ()) () in
+    let jbuf = Buffer.create (1 lsl 23) in
+    let jsonl = run ~journal:(Journal.create ~write:(Buffer.add_string jbuf) ()) () in
+    (off, bin, jsonl, Buffer.length bbuf, Buffer.length jbuf)
+  in
+  let triples = List.init 3 (fun _ -> triple ()) in
+  let sorted =
+    List.sort (fun (o1, b1, _, _, _) (o2, b2, _, _, _) -> compare (b1 /. o1) (b2 /. o2)) triples
+  in
+  let per_off, per_bin, per_jsonl, bbytes, jbytes = List.nth sorted 1 in
+  (* The allocation audit: a 10k-op steady-state window in the middle of
+     the stream, journal off, counted with [Gc.minor_words]. The probe
+     itself boxes a float, so an empty window is measured first and
+     subtracted. *)
+  let words_per_op =
+    Gc.compact ();
+    let eng = Engine.create ~m () in
+    Engine.apply_bulk eng preload;
+    ignore (Engine.rebalance eng ~k:(n / 20));
+    Engine.reserve eng ~jobs:(n + events);
+    let warm, window, _rest =
+      let rec split k l =
+        if k = 0 then ([], l)
+        else
+          match l with
+          | [] -> ([], [])
+          | x :: tl ->
+            let a, b = split (k - 1) tl in
+            (x :: a, b)
+      in
+      let warm, rest = split 20 slices in
+      let window, rest = split 10 rest in
+      (warm, window, rest)
+    in
+    List.iter (fun s -> Engine.apply_bulk eng s) warm;
+    let window_ops = List.fold_left (fun a s -> a + Array.length s) 0 window in
+    let apply_window = fun () -> List.iter (fun s -> Engine.apply_bulk eng s) window in
+    let calib =
+      let a = Gc.minor_words () in
+      Gc.minor_words () -. a
+    in
+    let before = Gc.minor_words () in
+    apply_window ();
+    let after = Gc.minor_words () in
+    (after -. before -. calib) /. float_of_int window_ops
+  in
+  let t =
+    Table.create
+      ~title:(pf "n≈%d jobs on m=%d, %d-event pregenerated stream, batch=%d" n m events batch)
+      ~columns:[ "journal"; "per event"; "events/sec"; "overhead"; "bytes/event" ]
+  in
+  Table.add_row t
+    [ "off"; pf "%.3f us" (per_off *. 1e6); pf "%.0f" (1.0 /. per_off); "1.00x"; "-" ];
+  Table.add_row t
+    [
+      "binary (buffer sink)";
+      pf "%.3f us" (per_bin *. 1e6);
+      pf "%.0f" (1.0 /. per_bin);
+      pf "%.2fx" (per_bin /. per_off);
+      pf "%.0f" (float_of_int bbytes /. float_of_int events);
+    ];
+  Table.add_row t
+    [
+      "jsonl (buffer sink)";
+      pf "%.3f us" (per_jsonl *. 1e6);
+      pf "%.0f" (1.0 /. per_jsonl);
+      pf "%.2fx" (per_jsonl /. per_off);
+      pf "%.0f" (float_of_int jbytes /. float_of_int events);
+    ];
+  Table.print t;
+  let bin_overhead = per_bin /. per_off in
+  Printf.printf
+    "steady-state allocation: %.4f minor words/op over a 10k-op window\n\
+     (acceptance: 0 — the flat core neither boxes nor grows on the quiet path)\n\
+     binary journal overhead %.2fx (ceiling 1.2x); journal-off %.3f us/event (target <= 1.0)\n"
+    words_per_op bin_overhead (per_off *. 1e6);
+  if words_per_op > 0.5 then
+    failwith
+      (pf "E24: steady-state path allocates (%.2f minor words/op, budget 0)" words_per_op);
+  if bin_overhead > 1.2 then
+    print_endline "WARNING: binary journal overhead above the 1.2x acceptance ceiling";
+  if per_off > 1.0e-6 then
+    print_endline "WARNING: journal-off hot path above the 1.0 us/event target";
+  Some bin_overhead
+
+(* ---------------------------------------------------------------------- *)
 (* Runner: --only to subset, --json for machine-readable results.         *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1872,6 +2024,7 @@ let experiments =
     ("E21", e21);
     ("E22", e22);
     ("E23", e23);
+    ("E24", e24);
   ]
 
 (* Baseline regression guard: --baseline FILE compares each selected

@@ -21,7 +21,7 @@ open Cmdliner
 
 (* The one version string: cmdliner's --version, the CHANGELOG and the
    rebal_build_info metric all report it. *)
-let version = "1.9.0"
+let version = "1.10.0"
 
 (* ----- shared argument parsing ----- *)
 
@@ -686,11 +686,24 @@ let serve_cmd =
       & opt (some string) None
       & info [ "journal" ] ~docv:"FILE"
           ~doc:
-            "Flight recorder: append every engine event to $(docv) as JSONL (flushed per \
-             line). If $(docv) already holds a journal, the engine state is rebuilt from \
-             it first — from the latest snapshot when one was recorded — and the file is \
-             appended to. Replay it with 'rebalance replay', compact it with 'rebalance \
-             compact', inspect it with 'rebalance explain' or the JOURNAL protocol verb.")
+            "Flight recorder: append every engine event to $(docv) (flushed per \
+             event). If $(docv) already holds a journal — JSONL or binary, sniffed \
+             from the file — the engine state is rebuilt from it first, from the \
+             latest snapshot when one was recorded, and the file is appended to in \
+             its existing format. Replay it with 'rebalance replay', compact it with \
+             'rebalance compact', inspect it with 'rebalance explain' or the JOURNAL \
+             protocol verb, convert formats with 'rebalance journal-convert'.")
+  in
+  let journal_format =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", Journal.Jsonl); ("binary", Journal.Binary) ]) Journal.Jsonl
+      & info [ "journal-format" ] ~docv:"FMT"
+          ~doc:
+            "On-disk format for a $(b,new) --journal file: $(b,jsonl) (default; one JSON \
+             object per line, portable) or $(b,binary) (length-prefixed frames, cheaper \
+             on the hot path). Resuming an existing journal keeps the file's own format \
+             regardless of this flag. 'rebalance journal-convert' translates both ways.")
   in
   let supervise =
     Arg.(
@@ -765,12 +778,22 @@ let serve_cmd =
   in
   (* One client session: read commands line by line, stream responses.
      A dropped connection — EOF (even mid-line) on the read side, a
-     closed pipe (Sys_error) on either side — ends the session, never
-     the daemon. [lock] serializes command execution when the target is
-     not internally thread-safe (anything but Parallel) yet several
-     threads touch it — concurrent TCP sessions, the telemetry sampler.
-     Blocking reads happen outside the lock, so an idle session never
-     starves the others. *)
+     closed pipe (Sys_error / EPIPE) on either side — ends the session,
+     never the daemon. [lock] serializes command execution when the
+     target is not internally thread-safe (anything but Parallel) yet
+     several threads touch it — concurrent TCP sessions, the telemetry
+     sampler. Blocking reads happen outside the lock, so an idle
+     session never starves the others.
+
+     I/O runs through Lineio on the raw descriptors: EINTR is retried
+     (a SIGTERM mid-drain no longer kills live sessions), and the
+     reader's inspectable buffer lets the session coalesce every
+     already-arrived line into one [Protocol.handle_lines] dispatch —
+     a pipelining client gets its run of mutations executed as a
+     single engine batch. The first read of each round still blocks
+     (an idle session costs nothing); only the gather loop after it is
+     non-blocking. *)
+  let module Lineio = Rebal_net.Lineio in
   let session ?lock target ic oc =
     let locked f =
       match lock with
@@ -780,29 +803,47 @@ let serve_cmd =
         Fun.protect ~finally:(fun () -> Mutex.unlock m) f
     in
     try
-      output_string oc (Protocol.greeting target);
-      output_char oc '\n';
+      (* Channels may hold buffered output from a previous owner of
+         this fd pair; push it before switching to raw-fd writes. *)
       flush oc;
+      let fd_in = Unix.descr_of_in_channel ic in
+      let fd_out = Unix.descr_of_out_channel oc in
+      Lineio.write_string fd_out (Protocol.greeting target ^ "\n");
+      let r = Lineio.reader fd_in in
       let rec loop lineno =
-        match input_line ic with
-        | exception End_of_file -> Protocol.Close
-        | exception Sys_error _ -> Protocol.Close
-        | line ->
-          let lines, verdict = locked (fun () -> Protocol.handle_line ~line:lineno target line) in
+        match Lineio.read_line r with
+        | None -> Protocol.Close
+        | Some first ->
+          (* Gather whatever else has already arrived — syscall-free
+             probe, so a non-pipelining client is never made to wait. *)
+          let rec gather acc =
+            if Lineio.has_line r then
+              match Lineio.read_line r with
+              | Some l -> gather (l :: acc)
+              | None -> List.rev acc
+            else List.rev acc
+          in
+          let lines = first :: gather [] in
+          let out, verdict =
+            locked (fun () -> Protocol.handle_lines ~start_line:lineno target lines)
+          in
+          let buf = Buffer.create 256 in
           List.iter
             (fun l ->
-              output_string oc l;
-              output_char oc '\n')
-            lines;
-          flush oc;
-          (match verdict with Protocol.Continue -> loop (lineno + 1) | v -> v)
+              Buffer.add_string buf l;
+              Buffer.add_char buf '\n')
+            out;
+          Lineio.write_string fd_out (Buffer.contents buf);
+          (match verdict with
+          | Protocol.Continue -> loop (lineno + List.length lines)
+          | v -> v)
       in
       loop 1
-    with Sys_error _ -> Protocol.Close
+    with Sys_error _ | Unix.Unix_error _ -> Protocol.Close
   in
   let run procs shards socket domains tcp auto_events auto_imbalance auto_seconds auto_k
-      metrics_file journal_file supervise evac_budget trace_sample trace_slow_ms
-      telemetry_interval telemetry_out alert_rules =
+      metrics_file journal_file journal_format supervise evac_budget trace_sample
+      trace_slow_ms telemetry_interval telemetry_out alert_rules =
     let cli_trigger =
       match (auto_events, auto_imbalance, auto_seconds) with
       | Some events, None, None -> Some (Engine.Every_events { events; k = auto_k })
@@ -857,18 +898,31 @@ let serve_cmd =
        line that still cannot be written is dropped — counted in
        rebal_journal_dropped_total, kept in the tail ring — instead of
        crashing the serving thread. *)
-    let resilient_channel_sink ?start_seq ?header_written path oc =
+    let resilient_channel_sink ?format ?start_seq ?header_written path oc =
       let write =
         Journal.resilient ~label:(Filename.basename path) (fun line ->
             output_string oc line;
             flush oc)
       in
-      Journal.create ?start_seq ?header_written ~write ()
+      Journal.create ?format ?start_seq ?header_written ~write ()
+    in
+    (* A resumed journal keeps its on-disk format whatever the flag says
+       — appending JSONL lines to a binary file (or vice versa) would
+       corrupt it. *)
+    let sniff_format path =
+      let ic = open_in_bin path in
+      let fmt =
+        match really_input_string ic (String.length Journal.Binary.magic) with
+        | head -> if head = Journal.Binary.magic then Journal.Binary else Journal.Jsonl
+        | exception End_of_file -> Journal.Jsonl
+      in
+      close_in ic;
+      fmt
     in
     let journaled_engine ~m path =
       let existing = Sys.file_exists path && (Unix.stat path).Unix.st_size > 0 in
       if existing then begin
-        match Result.bind (Journal.parse_file path) Replay.resume with
+        match Result.bind (Journal.load_file path) Replay.resume with
         | Error msg ->
           Printf.eprintf "error: cannot resume journal %s: %s\n" path msg;
           exit 1
@@ -880,11 +934,11 @@ let serve_cmd =
               path (Engine.m eng) m;
             exit 1
           end;
-          let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+          let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
           opened := oc :: !opened;
           let sink =
-            resilient_channel_sink ~start_seq:(outcome.Replay.events) ~header_written:true
-              path oc
+            resilient_channel_sink ~format:(sniff_format path)
+              ~start_seq:(outcome.Replay.events) ~header_written:true path oc
           in
           Engine.set_journal eng (Some sink);
           (match cli_trigger with Some tr -> Engine.set_trigger eng tr | None -> ());
@@ -896,9 +950,9 @@ let serve_cmd =
           eng
       end
       else begin
-        let oc = open_out path in
+        let oc = open_out_bin path in
         opened := oc :: !opened;
-        let sink = resilient_channel_sink path oc in
+        let sink = resilient_channel_sink ~format:journal_format path oc in
         let trigger = Option.value cli_trigger ~default:Engine.Manual in
         Engine.create ~trigger ~journal:sink ~m ()
       end
@@ -1235,8 +1289,9 @@ let serve_cmd =
           snapshot, journal close, socket unlink.")
     Term.(
       const run $ procs $ shards $ socket $ domains $ tcp $ auto_events $ auto_imbalance
-      $ auto_seconds $ auto_k $ metrics_file $ journal_file $ supervise $ evac_budget
-      $ trace_sample $ trace_slow_ms $ telemetry_interval $ telemetry_out $ alert_rules)
+      $ auto_seconds $ auto_k $ metrics_file $ journal_file $ journal_format $ supervise
+      $ evac_budget $ trace_sample $ trace_slow_ms $ telemetry_interval $ telemetry_out
+      $ alert_rules)
 
 (* ----- loadgen ----- *)
 
@@ -1740,7 +1795,7 @@ let postmortem_cmd =
     if (not (Float.is_finite window)) || window < 0.0 then
       fail "--window must be a non-negative number of seconds";
     let parse path =
-      match Journal.parse_file path with Ok v -> v | Error e -> fail "%s: %s" path e
+      match Journal.load_file path with Ok v -> v | Error e -> fail "%s: %s" path e
     in
     let tel_events =
       match telemetry with None -> [] | Some path -> snd (parse path)
@@ -2346,7 +2401,7 @@ let replay_cmd =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL).")
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL or binary, auto-detected).")
   in
   let run file =
     match Replay.run_file file with
@@ -2370,7 +2425,7 @@ let snapshot_cmd =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL).")
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL or binary, auto-detected).")
   in
   let out =
     Arg.(
@@ -2379,7 +2434,7 @@ let snapshot_cmd =
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the snapshot to $(docv) instead of stdout.")
   in
   let run file out =
-    match Result.bind (Journal.parse_file file) Replay.resume with
+    match Result.bind (Journal.load_file file) Replay.resume with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
@@ -2408,7 +2463,7 @@ let compact_cmd =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL).")
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL or binary, auto-detected).")
   in
   let out =
     Arg.(
@@ -2418,21 +2473,43 @@ let compact_cmd =
           ~doc:"Write the compacted journal to $(docv) instead of rewriting in place.")
   in
   let run file out =
-    match Result.bind (Journal.parse_file file) Replay.compact with
+    match Result.bind (Journal.load_file file) Replay.compact with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
     | Ok (lines, dropped, kept) ->
       let dest = Option.value out ~default:file in
       (* Write-then-rename so an interrupted compaction never destroys
-         the only copy of the journal. *)
+         the only copy of the journal. A binary journal stays binary:
+         the compacted lines are re-parsed and re-framed. *)
+      let binary_src =
+        let ic = open_in_bin file in
+        let is_bin =
+          match really_input_string ic (String.length Journal.Binary.magic) with
+          | head -> head = Journal.Binary.magic
+          | exception End_of_file -> false
+        in
+        close_in ic;
+        is_bin
+      in
       let tmp = dest ^ ".tmp" in
-      let oc = open_out tmp in
-      List.iter
-        (fun l ->
-          output_string oc l;
-          output_char oc '\n')
-        lines;
+      let oc = open_out_bin tmp in
+      (if binary_src then begin
+         match Journal.parse_lines lines with
+         | Error msg ->
+           Printf.eprintf "error: compacted journal does not re-parse: %s\n" msg;
+           exit 1
+         | Ok (h, evs) ->
+           output_string oc Journal.Binary.magic;
+           output_string oc (Journal.Binary.encode_header h);
+           List.iter (fun e -> output_string oc (Journal.Binary.encode_event e)) evs
+       end
+       else
+         List.iter
+           (fun l ->
+             output_string oc l;
+             output_char oc '\n')
+           lines);
       close_out oc;
       Sys.rename tmp dest;
       Printf.printf "compacted %s: kept %d event(s), dropped %d\n" dest kept dropped
@@ -2452,7 +2529,7 @@ let explain_cmd =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL).")
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL or binary, auto-detected).")
   in
   let job =
     Arg.(
@@ -2468,7 +2545,7 @@ let explain_cmd =
           ~doc:"Show one rebalance decision (by its journal sequence number) in full.")
   in
   let run file job reb =
-    match Journal.parse_file file with
+    match Journal.load_file file with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
@@ -2495,6 +2572,91 @@ let explain_cmd =
           event stream, one job's life ($(b,--job)), or one rebalance with its per-move \
           provenance ($(b,--rebalance)).")
     Term.(const run $ file $ job $ reb)
+
+(* ----- journal-convert ----- *)
+
+let journal_convert_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal file (JSONL or binary, auto-detected).")
+  in
+  let to_ =
+    Arg.(
+      value
+      & opt (some (enum [ ("jsonl", Journal.Jsonl); ("binary", Journal.Binary) ])) None
+      & info [ "to" ] ~docv:"FMT"
+          ~doc:
+            "Target format: $(b,jsonl) or $(b,binary). Default: the opposite of the \
+             input's format.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let run file to_ out =
+    match Journal.load_file file with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Ok (h, evs) ->
+      let src =
+        let ic = open_in_bin file in
+        let fmt =
+          match really_input_string ic (String.length Journal.Binary.magic) with
+          | head -> if head = Journal.Binary.magic then Journal.Binary else Journal.Jsonl
+          | exception End_of_file -> Journal.Jsonl
+        in
+        close_in ic;
+        fmt
+      in
+      let target =
+        Option.value to_
+          ~default:(match src with Journal.Jsonl -> Journal.Binary | Journal.Binary -> Journal.Jsonl)
+      in
+      let emit oc =
+        match target with
+        | Journal.Binary ->
+          output_string oc Journal.Binary.magic;
+          output_string oc (Journal.Binary.encode_header h);
+          List.iter (fun e -> output_string oc (Journal.Binary.encode_event e)) evs
+        | Journal.Jsonl ->
+          output_string oc (Journal.render_header h);
+          output_char oc '\n';
+          List.iter
+            (fun e ->
+              output_string oc (Journal.render_event e);
+              output_char oc '\n')
+            evs
+      in
+      let name = function Journal.Jsonl -> "jsonl" | Journal.Binary -> "binary" in
+      (match out with
+      | None ->
+        set_binary_mode_out stdout true;
+        emit stdout;
+        flush stdout
+      | Some path ->
+        (* Write-then-rename: converting over the input (or any existing
+           file) never leaves a half-written journal behind. *)
+        let tmp = path ^ ".tmp" in
+        let oc = open_out_bin tmp in
+        emit oc;
+        close_out oc;
+        Sys.rename tmp path);
+      Printf.eprintf "converted %s (%s -> %s): %d event(s)\n%!" file (name src)
+        (name target) (List.length evs)
+  in
+  Cmd.v
+    (Cmd.info "journal-convert"
+       ~doc:
+         "Convert a flight-recorder journal between the portable JSONL interchange format \
+          and the length-prefixed binary frame format, either direction. The conversion \
+          is lossless: sequence numbers, timestamps and every field survive a round trip \
+          bit-exactly, so replay verifies the converted journal identically.")
+    Term.(const run $ file $ to_ $ out)
 
 (* ----- sweep ----- *)
 
@@ -2613,4 +2775,5 @@ let () =
             snapshot_cmd;
             compact_cmd;
             explain_cmd;
+            journal_convert_cmd;
           ]))

@@ -1,0 +1,163 @@
+(* Open-addressing string -> int map for the engine's flat core: the
+   job-id directory must resolve external ids to slot indices without
+   touching the minor heap on the steady-state path. [Hashtbl] allocates
+   a bucket cell per add and a list spine per probe chain, so it is out;
+   this table keeps keys and values in two parallel arrays and linear
+   probes with [Hashtbl.hash] (a C stub — no allocation).
+
+   Deletions leave tombstones. Tombstone slots are reused by the next
+   insert that probes past them, and when tombstones (not live entries)
+   push occupancy over the load factor the table rehashes into a
+   same-size spare buffer kept around for exactly that purpose — so a
+   steady add/remove churn at constant population never allocates.
+   Only a genuine new high-water mark of live entries grows the arrays
+   (doubling), which is warmup, not steady state. *)
+
+(* Two physically-distinct zero-length strings: slot markers that can
+   never be [==] to a caller's key (including a real "" key, which is a
+   different block). All sentinel checks are physical equality. *)
+let empty_slot = Bytes.unsafe_to_string (Bytes.create 0)
+let tombstone = Bytes.unsafe_to_string (Bytes.create 0)
+
+type t = {
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable keys : string array;
+  mutable vals : int array;
+  mutable spare_keys : string array; (* same capacity, for tombstone purges *)
+  mutable spare_vals : int array;
+  mutable live : int; (* real entries *)
+  mutable used : int; (* real entries + tombstones *)
+}
+
+let rec pow2_above k n = if k >= n then k else pow2_above (k * 2) n
+
+let create n =
+  if n < 0 then invalid_arg "Flat_str_map.create: negative capacity";
+  (* 2x headroom keeps the initial load factor under 1/2. *)
+  let cap = pow2_above 8 (2 * max n 1) in
+  {
+    mask = cap - 1;
+    keys = Array.make cap empty_slot;
+    vals = Array.make cap 0;
+    spare_keys = Array.make cap empty_slot;
+    spare_vals = Array.make cap 0;
+    live = 0;
+    used = 0;
+  }
+
+let length t = t.live
+let capacity t = t.mask + 1
+
+let rec probe_find t key i =
+  let s = t.keys.(i) in
+  if s == empty_slot then -1
+  else if s != tombstone && String.equal s key then t.vals.(i)
+  else probe_find t key ((i + 1) land t.mask)
+
+(* The value bound to [key], or -1 when absent. Callers store only
+   non-negative values (slot indices), so -1 is unambiguous. *)
+let find t key = probe_find t key (Hashtbl.hash key land t.mask)
+let mem t key = find t key >= 0
+
+(* Insert into a table known to lack [key] and to have no tombstones
+   (freshly cleared target arrays) — the rehash loop's inner step. *)
+let rec reinsert keys vals mask key v i =
+  if keys.(i) == empty_slot then begin
+    keys.(i) <- key;
+    vals.(i) <- v
+  end
+  else reinsert keys vals mask key v ((i + 1) land mask)
+
+(* Purge tombstones by rehashing live entries into the spare arrays,
+   then swap the buffers. Same capacity, nothing allocated. *)
+let purge t =
+  Array.fill t.spare_keys 0 (t.mask + 1) empty_slot;
+  for i = 0 to t.mask do
+    let s = t.keys.(i) in
+    if s != empty_slot && s != tombstone then
+      reinsert t.spare_keys t.spare_vals t.mask s t.vals.(i)
+        (Hashtbl.hash s land t.mask)
+  done;
+  let k = t.keys and v = t.vals in
+  t.keys <- t.spare_keys;
+  t.vals <- t.spare_vals;
+  t.spare_keys <- k;
+  t.spare_vals <- v;
+  t.used <- t.live
+
+(* Rebuild at a larger capacity (new live high-water mark — warmup
+   path, or an explicit [reserve]). *)
+let grow_to t cap =
+  let old_keys = t.keys and old_vals = t.vals and old_mask = t.mask in
+  t.mask <- cap - 1;
+  t.keys <- Array.make cap empty_slot;
+  t.vals <- Array.make cap 0;
+  t.spare_keys <- Array.make cap empty_slot;
+  t.spare_vals <- Array.make cap 0;
+  for i = 0 to old_mask do
+    let s = old_keys.(i) in
+    if s != empty_slot && s != tombstone then
+      reinsert t.keys t.vals t.mask s old_vals.(i) (Hashtbl.hash s land t.mask)
+  done;
+  t.used <- t.live
+
+(* Keep occupancy (live + tombstones) under 1/2 so probe chains stay
+   short: grow if live entries themselves are the pressure, otherwise
+   just purge the tombstones in place. *)
+let maybe_rehash t =
+  if 2 * t.used > t.mask then
+    if 2 * t.live > t.mask then grow_to t (2 * (t.mask + 1)) else purge t
+
+let reserve t n =
+  if n < 0 then invalid_arg "Flat_str_map.reserve: negative capacity";
+  let want = pow2_above 8 (2 * max n 1) in
+  if want > t.mask + 1 then grow_to t want
+
+let rec probe_set t key v i first_tomb =
+  let s = t.keys.(i) in
+  if s == empty_slot then
+    if first_tomb >= 0 then begin
+      t.keys.(first_tomb) <- key;
+      t.vals.(first_tomb) <- v;
+      t.live <- t.live + 1
+    end
+    else begin
+      t.keys.(i) <- key;
+      t.vals.(i) <- v;
+      t.live <- t.live + 1;
+      t.used <- t.used + 1;
+      maybe_rehash t
+    end
+  else if s == tombstone then
+    probe_set t key v
+      ((i + 1) land t.mask)
+      (if first_tomb >= 0 then first_tomb else i)
+  else if String.equal s key then t.vals.(i) <- v
+  else probe_set t key v ((i + 1) land t.mask) first_tomb
+
+(* Bind [key] to [v], replacing any previous binding. *)
+let set t key v = probe_set t key v (Hashtbl.hash key land t.mask) (-1)
+
+let rec probe_remove t key i =
+  let s = t.keys.(i) in
+  if s == empty_slot then ()
+  else if s != tombstone && String.equal s key then begin
+    t.keys.(i) <- tombstone;
+    t.live <- t.live - 1
+  end
+  else probe_remove t key ((i + 1) land t.mask)
+
+(* Unbind [key]; no-op when absent. The slot becomes a tombstone so
+   later probes for colliding keys keep walking past it. *)
+let remove t key = probe_remove t key (Hashtbl.hash key land t.mask)
+
+let clear t =
+  Array.fill t.keys 0 (t.mask + 1) empty_slot;
+  t.live <- 0;
+  t.used <- 0
+
+let iter f t =
+  for i = 0 to t.mask do
+    let s = t.keys.(i) in
+    if s != empty_slot && s != tombstone then f s t.vals.(i)
+  done

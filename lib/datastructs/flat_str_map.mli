@@ -1,0 +1,48 @@
+(** Open-addressing string -> int hash map with tombstone deletion and a
+    preallocated same-size rehash buffer: once the table has grown to
+    its working-set size, any interleaving of {!set} and {!remove} at
+    constant population runs without allocating. Values must be
+    non-negative — [-1] is the "absent" return of {!find}.
+
+    Built for {!Rebal_online.Engine}'s id -> slot directory, where the
+    per-event budget excludes the minor heap entirely; the per-proc and
+    global orderings live in flat heaps, and this map is the only
+    string-keyed structure left on the hot path. *)
+
+type t
+
+val create : int -> t
+(** [create n] sizes the table for about [n] live entries (capacity is
+    the next power of two above [2n], minimum 8).
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+(** Number of live bindings. *)
+
+val capacity : t -> int
+(** Current slot-array size (a power of two). *)
+
+val find : t -> string -> int
+(** The value bound to the key, or [-1] when absent. Allocation-free. *)
+
+val mem : t -> string -> bool
+
+val set : t -> string -> int -> unit
+(** Bind a key (replacing any existing binding). Allocation-free except
+    when the live count reaches a new high-water mark, which doubles the
+    arrays. Do not store negative values — they are indistinguishable
+    from "absent". *)
+
+val remove : t -> string -> unit
+(** Unbind a key; no-op when absent. Allocation-free. *)
+
+val reserve : t -> int -> unit
+(** [reserve t n] grows the table (if needed) so [n] live entries fit
+    without any further growth — pulls warm-up allocation forward.
+    @raise Invalid_argument if [n < 0]. *)
+
+val clear : t -> unit
+(** Drop all bindings, keeping the current capacity. *)
+
+val iter : (string -> int -> unit) -> t -> unit
+(** Apply to every live binding, in unspecified order. *)

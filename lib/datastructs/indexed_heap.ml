@@ -124,6 +124,17 @@ let min_exn h =
   | Some entry -> entry
   | None -> invalid_arg "Indexed_heap.min_exn: empty heap"
 
+(* Component accessors for allocation-free hot paths: [min_exn] boxes a
+   tuple on every call, which matters when the caller is a per-event
+   loop that must not touch the minor heap. *)
+let min_key_exn h =
+  if h.size = 0 then invalid_arg "Indexed_heap.min_key_exn: empty heap";
+  h.heap.(0)
+
+let min_prio_exn h =
+  if h.size = 0 then invalid_arg "Indexed_heap.min_prio_exn: empty heap";
+  h.prio.(h.heap.(0))
+
 let pop_min h =
   match min h with
   | None -> None

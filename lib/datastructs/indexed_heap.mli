@@ -63,6 +63,15 @@ val min : t -> (int * int) option
 val min_exn : t -> int * int
 (** @raise Invalid_argument if empty. *)
 
+val min_key_exn : t -> int
+(** Key of the minimum entry without allocating the tuple [min_exn]
+    boxes — for per-event loops that must stay off the minor heap.
+    @raise Invalid_argument if empty. *)
+
+val min_prio_exn : t -> int
+(** Priority of the minimum entry, allocation-free.
+    @raise Invalid_argument if empty. *)
+
 val pop_min : t -> (int * int) option
 (** Remove and return the minimum entry. *)
 

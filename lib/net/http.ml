@@ -26,24 +26,55 @@ let is_request line =
    so a short wait suffices; a line-protocol client that is itself
    waiting for the READY banner sends nothing and we fall through at
    the timeout. MSG_PEEK leaves the bytes in the kernel buffer, so the
-   session (either kind) still reads the stream from the start. *)
+   session (either kind) still reads the stream from the start.
+
+   Classification needs a COMPLETE method token ("GET " including the
+   space). A peek that is merely a strict prefix of one ("G", "HE" —
+   which a slow-to-write HELP client also produces) is inconclusive:
+   we keep polling for more bytes until the token resolves or the
+   timeout expires, and an expired timeout falls back to the protocol
+   session — the banner-then-ERR path — never to an HTTP 400. *)
 let methods = [ "GET "; "HEAD "; "POST "; "PUT "; "DELETE "; "OPTIONS " ]
 
+let is_method s =
+  List.exists
+    (fun m -> String.length s >= String.length m && String.sub s 0 (String.length m) = m)
+    methods
+
+let is_method_prefix s =
+  s <> ""
+  && List.exists
+       (fun m -> String.length s < String.length m && String.sub m 0 (String.length s) = s)
+       methods
+
 let sniff ?(timeout = 0.05) fd =
-  match Unix.select [ fd ] [] [] timeout with
-  | [], _, _ -> false
-  | _, _, _ -> (
-    let buf = Bytes.create 8 in
-    match Unix.recv fd buf 0 8 [ Unix.MSG_PEEK ] with
-    | exception Unix.Unix_error _ -> false
-    | n ->
-      let s = Bytes.sub_string buf 0 n in
-      List.exists
-        (fun m ->
-          let k = min (String.length m) (String.length s) in
-          k > 0 && String.sub s 0 k = String.sub m 0 k)
-        methods)
-  | exception Unix.Unix_error _ -> false
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then false
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> false
+      | [], _, _ -> false
+      | _ -> (
+        let buf = Bytes.create 8 in
+        match Unix.recv fd buf 0 8 [ Unix.MSG_PEEK ] with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> false
+        | 0 -> false (* peer closed without writing *)
+        | n ->
+          let s = Bytes.sub_string buf 0 n in
+          if is_method s then true
+          else if is_method_prefix s then begin
+            (* select would return immediately (bytes ARE readable), so
+               poll on a short delay for the next byte. *)
+            Thread.delay 0.005;
+            go ()
+          end
+          else false)
+  in
+  go ()
 
 let content_type_metrics = "text/plain; version=0.0.4; charset=utf-8"
 

@@ -24,9 +24,13 @@ val is_request : string -> bool
 
 val sniff : ?timeout:float -> Unix.file_descr -> bool
 (** Wait up to [timeout] (default 50ms) for the client's first bytes
-    and peek at them without consuming: [true] iff they start with an
-    HTTP method. [false] on timeout — a line-protocol client waiting
-    for the banner. *)
+    and peek at them without consuming: [true] iff a {e complete} HTTP
+    method token ("GET " with its space, etc.) arrives within the
+    window. A peek that is only a strict prefix of a method ("G",
+    "HE" — also what a slow-to-write protocol client produces) is
+    inconclusive and polled further, never classified; on timeout the
+    answer is [false] — fall back to the protocol session and its
+    banner, not to an HTTP error. *)
 
 val respond :
   metrics:(unit -> string) ->

@@ -1,0 +1,113 @@
+(* Signal-safe line I/O over raw file descriptors.
+
+   OCaml channels hide their buffer: there is no way to ask "is a
+   complete line already buffered?", which the batched protocol session
+   needs (it coalesces every already-arrived line into one
+   [Protocol.handle_lines] call without ever blocking mid-batch). This
+   reader owns its buffer, so [has_line] is an exact, syscall-free
+   answer — and every syscall in the module retries [EINTR] and waits
+   out [EAGAIN]/[EWOULDBLOCK], so a SIGTERM landing mid-drain (or a
+   socket with a receive timeout) never tears down a session that the
+   peer has not actually closed. *)
+
+type reader = {
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable start : int; (* first unconsumed byte *)
+  mutable len : int; (* unconsumed bytes from [start] *)
+  mutable eof : bool;
+}
+
+let reader ?(initial_size = 4096) fd =
+  if initial_size < 1 then invalid_arg "Lineio.reader: need a positive buffer size";
+  { fd; buf = Bytes.create initial_size; start = 0; len = 0; eof = false }
+
+(* Wait until [fd] is readable/writable, retrying interrupted selects. *)
+let rec wait_fd ~read fd =
+  let r, w = if read then ([ fd ], []) else ([], [ fd ]) in
+  match Unix.select r w [] (-1.0) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_fd ~read fd
+  | _ -> ()
+
+(* One refill. 0 bytes (or a peer reset) marks EOF; EINTR retries
+   immediately; EAGAIN waits for readability and retries. *)
+let rec refill r =
+  if Bytes.length r.buf - (r.start + r.len) = 0 then begin
+    if r.start > 0 then begin
+      (* compact: reclaim the consumed prefix *)
+      Bytes.blit r.buf r.start r.buf 0 r.len;
+      r.start <- 0
+    end
+    else begin
+      (* one line larger than the whole buffer: grow *)
+      let bigger = Bytes.create (2 * Bytes.length r.buf) in
+      Bytes.blit r.buf r.start bigger 0 r.len;
+      r.buf <- bigger;
+      r.start <- 0
+    end
+  end;
+  let off = r.start + r.len in
+  match Unix.read r.fd r.buf off (Bytes.length r.buf - off) with
+  | 0 -> r.eof <- true
+  | n -> r.len <- r.len + n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill r
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    wait_fd ~read:true r.fd;
+    refill r
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> r.eof <- true
+
+let newline_at r =
+  let stop = r.start + r.len in
+  let rec scan i = if i >= stop then -1 else if Bytes.get r.buf i = '\n' then i else scan (i + 1) in
+  scan r.start
+
+let has_line r = newline_at r >= 0 || (r.eof && r.len > 0)
+
+let take r stop consume =
+  let line = Bytes.sub_string r.buf r.start (stop - r.start) in
+  r.len <- r.len - (consume - r.start);
+  r.start <- consume;
+  line
+
+let rec read_line r =
+  match newline_at r with
+  | i when i >= 0 -> Some (take r i (i + 1))
+  | _ ->
+    if r.eof then
+      if r.len > 0 then Some (take r (r.start + r.len) (r.start + r.len))
+      else None
+    else begin
+      refill r;
+      read_line r
+    end
+
+(* ----- writing ----- *)
+
+let write_substring fd s pos len =
+  let rec go pos len =
+    if len > 0 then
+      match Unix.write_substring fd s pos len with
+      | n -> go (pos + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_fd ~read:false fd;
+        go pos len
+  in
+  go pos len
+
+let write_string fd s = write_substring fd s 0 (String.length s)
+
+(* ----- connecting ----- *)
+
+(* connect(2) interrupted by a signal does NOT abort the attempt: the
+   three-way handshake continues in the kernel, and calling connect
+   again races it (EALREADY/EISCONN). The portable recovery is to wait
+   for writability and read the disposition out of SO_ERROR. *)
+let connect fd addr =
+  match Unix.connect fd addr with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> (
+    wait_fd ~read:false fd;
+    match Unix.getsockopt_error fd with
+    | None -> ()
+    | Some err -> raise (Unix.Unix_error (err, "connect", "")))

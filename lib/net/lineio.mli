@@ -1,0 +1,41 @@
+(** Signal-safe line I/O over raw file descriptors.
+
+    The protocol session's read/write layer: a buffered line reader
+    whose buffer is inspectable ({!has_line} — what lets the session
+    coalesce every already-arrived line into one batched dispatch
+    without risking a blocking read mid-batch), and writers that
+    survive signals. Every syscall here retries [EINTR] and waits out
+    [EAGAIN]/[EWOULDBLOCK], so a SIGTERM delivered during drain never
+    tears down a session whose peer is still connected. *)
+
+type reader
+
+val reader : ?initial_size:int -> Unix.file_descr -> reader
+(** A buffered reader over [fd] (buffer grows as needed from
+    [initial_size], default 4096). The reader owns the stream: do not
+    mix it with channel reads on the same descriptor. *)
+
+val read_line : reader -> string option
+(** The next line, without its ['\n'] (a ['\r'] is preserved, matching
+    [input_line]). Blocks until a full line, EOF, or a hard error. A
+    final unterminated line is returned as-is; [None] means EOF with
+    nothing buffered. [EINTR] is retried, [EAGAIN] waited out,
+    [ECONNRESET] reads as EOF; other [Unix_error]s propagate. *)
+
+val has_line : reader -> bool
+(** Whether {!read_line} would return without blocking: a complete
+    line is already buffered (or EOF makes the remainder a line). No
+    syscall — this is the batching probe. *)
+
+val write_string : Unix.file_descr -> string -> unit
+(** Write the whole string: short writes resumed, [EINTR] retried,
+    [EAGAIN] waited out. [EPIPE]/[ECONNRESET] propagate — a vanished
+    peer ends the session, it is not retryable. *)
+
+val write_substring : Unix.file_descr -> string -> int -> int -> unit
+
+val connect : Unix.file_descr -> Unix.sockaddr -> unit
+(** [Unix.connect] that survives [EINTR]: an interrupted connect keeps
+    handshaking in the kernel, so retrying the syscall races it —
+    instead this waits for writability and reads the outcome from
+    [SO_ERROR], raising the recorded error if the connect failed. *)

@@ -75,7 +75,9 @@ let drive_connection (cfg : config) ~conn ~n_ops ~observe =
   let rng = Random.State.make [| cfg.seed; conn; 0x10adc0de |] in
   let addr = Unix.ADDR_INET (resolve cfg.host, cfg.port) in
   let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
-  Unix.connect sock addr;
+  (* EINTR-safe: an interrupted connect keeps handshaking in the
+     kernel; Lineio waits it out instead of racing a second connect. *)
+  Lineio.connect sock addr;
   let ic = Unix.in_channel_of_descr sock in
   let oc = Unix.out_channel_of_descr sock in
   Fun.protect ~finally:(fun () -> try close_out oc with Sys_error _ -> ())

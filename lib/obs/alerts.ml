@@ -390,7 +390,9 @@ let record t rs ~from_ ~to_ ~now ~value =
         ("to", Journal.Str (state_name to_));
         ("at_ns", Journal.Int now);
         ( "value",
-          match value with None -> Journal.Null | Some v -> Journal.Float v );
+          match value with
+          | Some v when Float.is_finite v -> Journal.Float v
+          | _ -> Journal.Null );
         ("expr", Journal.Str tr.t_expr);
       ]);
   tr

@@ -11,62 +11,174 @@ type json =
 
 let current_version = 1
 
+(* A journal that cannot be read back is worse than no journal: the
+   text renderer used to emit [null] for nan/inf (["nan"] is not JSON),
+   so a non-finite metric value was written "successfully" and only
+   discovered when replay failed on the mangled field. Both codecs now
+   reject non-finite floats at encode time; {!emit} wraps the failure
+   with the line/seq/kind context so the producer is pointed at. *)
+exception Encode_error of string
+
+let reject_non_finite f =
+  if not (Float.is_finite f) then
+    raise
+      (Encode_error
+         (Printf.sprintf "non-finite float %s has no journal encoding"
+            (Float.to_string f)))
+
 (* ----- rendering ----- *)
 
+(* The byte writer under both codecs. [Buffer] pays a bounds check and
+   an out-of-line call per byte, which at ~100-150 bytes per journal
+   event was the single largest cost on the emit path. This writer
+   ensures capacity in coarse per-token steps and pokes bytes with
+   [unsafe_set]; every [put_byte] below is preceded by an [ensure] that
+   covers it. *)
+module Fb = struct
+  type t = {
+    mutable b : Bytes.t;
+    mutable pos : int;
+  }
+
+  let create n = { b = Bytes.create (max 16 n); pos = 0 }
+  let clear t = t.pos <- 0
+
+  let ensure t n =
+    let need = t.pos + n in
+    if need > Bytes.length t.b then begin
+      let cap = ref (2 * Bytes.length t.b) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit t.b 0 nb 0 t.pos;
+      t.b <- nb
+    end
+
+  (* capacity must already be ensured *)
+  let put_byte t c =
+    Bytes.unsafe_set t.b t.pos (Char.unsafe_chr c);
+    t.pos <- t.pos + 1
+
+  let put_char t c =
+    Bytes.unsafe_set t.b t.pos c;
+    t.pos <- t.pos + 1
+
+  let put_string t s =
+    let len = String.length s in
+    ensure t len;
+    Bytes.blit_string s 0 t.b t.pos len;
+    t.pos <- t.pos + len
+
+  (* Decimal render without the [string_of_int] allocation; emits the
+     same bytes. Digits are generated from the negative absolute value
+     so [min_int] needs no special case, then reversed in place. *)
+  let put_int t n =
+    ensure t 20;
+    if n < 0 then begin
+      Bytes.unsafe_set t.b t.pos '-';
+      t.pos <- t.pos + 1
+    end;
+    let m = ref (if n > 0 then -n else n) in
+    let d0 = t.pos in
+    let p = ref t.pos in
+    let continue = ref true in
+    while !continue do
+      (* OCaml [mod] follows the dividend's sign: [!m mod 10] <= 0 *)
+      Bytes.unsafe_set t.b !p (Char.unsafe_chr (Char.code '0' - (!m mod 10)));
+      incr p;
+      m := !m / 10;
+      if !m = 0 then continue := false
+    done;
+    t.pos <- !p;
+    let i = ref d0 and j = ref (!p - 1) in
+    while !i < !j do
+      let c = Bytes.unsafe_get t.b !i in
+      Bytes.unsafe_set t.b !i (Bytes.unsafe_get t.b !j);
+      Bytes.unsafe_set t.b !j c;
+      incr i;
+      decr j
+    done
+
+  let contents t = Bytes.sub_string t.b 0 t.pos
+end
+
 let escape_string b s =
-  Buffer.add_char b '"';
+  (* worst case every char escapes to [\uXXXX]: 6 bytes, plus quotes *)
+  Fb.ensure b ((6 * String.length s) + 2);
+  Fb.put_char b '"';
   String.iter
     (fun c ->
       match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
+      | '"' ->
+        Fb.put_char b '\\';
+        Fb.put_char b '"'
+      | '\\' ->
+        Fb.put_char b '\\';
+        Fb.put_char b '\\'
+      | '\n' ->
+        Fb.put_char b '\\';
+        Fb.put_char b 'n'
+      | '\t' ->
+        Fb.put_char b '\\';
+        Fb.put_char b 't'
+      | '\r' ->
+        Fb.put_char b '\\';
+        Fb.put_char b 'r'
+      | c when Char.code c < 0x20 ->
+        String.iter (Fb.put_char b) (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Fb.put_char b c)
     s;
-  Buffer.add_char b '"'
+  Fb.put_char b '"'
 
 let rec render_into b = function
-  | Null -> Buffer.add_string b "null"
-  | Bool v -> Buffer.add_string b (if v then "true" else "false")
-  | Int i -> Buffer.add_string b (string_of_int i)
+  | Null -> Fb.put_string b "null"
+  | Bool v -> Fb.put_string b (if v then "true" else "false")
+  | Int i -> Fb.put_int b i
   | Float f ->
-    if Float.is_finite f then begin
-      (* %.17g round-trips every finite binary64 through
-         [float_of_string] exactly. *)
-      let s = Printf.sprintf "%.17g" f in
-      Buffer.add_string b s;
-      (* "2" would parse back as Int; force a float marker. *)
-      if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
-        Buffer.add_string b ".0"
-    end
-    else Buffer.add_string b "null"
+    reject_non_finite f;
+    (* %.17g round-trips every finite binary64 through
+       [float_of_string] exactly. *)
+    let s = Printf.sprintf "%.17g" f in
+    Fb.put_string b s;
+    (* "2" would parse back as Int; force a float marker. *)
+    if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
+      Fb.put_string b ".0"
   | Str s -> escape_string b s
   | List xs ->
-    Buffer.add_char b '[';
+    Fb.ensure b 1;
+    Fb.put_char b '[';
     List.iteri
       (fun i x ->
-        if i > 0 then Buffer.add_char b ',';
+        if i > 0 then begin
+          Fb.ensure b 1;
+          Fb.put_char b ','
+        end;
         render_into b x)
       xs;
-    Buffer.add_char b ']'
+    Fb.ensure b 1;
+    Fb.put_char b ']'
   | Obj kvs ->
-    Buffer.add_char b '{';
+    Fb.ensure b 1;
+    Fb.put_char b '{';
     List.iteri
       (fun i (k, v) ->
-        if i > 0 then Buffer.add_char b ',';
+        if i > 0 then begin
+          Fb.ensure b 1;
+          Fb.put_char b ','
+        end;
         escape_string b k;
-        Buffer.add_char b ':';
+        Fb.ensure b 1;
+        Fb.put_char b ':';
         render_into b v)
       kvs;
-    Buffer.add_char b '}'
+    Fb.ensure b 1;
+    Fb.put_char b '}'
 
 let render_json v =
-  let b = Buffer.create 128 in
+  let b = Fb.create 128 in
   render_into b v;
-  Buffer.contents b
+  Fb.contents b
 
 (* ----- parsing ----- *)
 
@@ -270,31 +382,299 @@ type event = {
 
 let reserved = [ "seq"; "ts_ns"; "ev" ]
 
-let render_header h =
-  render_json
-    (Obj (("journal", Str h.journal) :: ("version", Int h.version) :: h.meta))
+let header_obj h =
+  Obj (("journal", Str h.journal) :: ("version", Int h.version) :: h.meta)
 
-let render_event e =
+let event_obj e =
   let fields = List.filter (fun (k, _) -> not (List.mem k reserved)) e.fields in
-  render_json
-    (Obj (("seq", Int e.seq) :: ("ts_ns", Int e.ts_ns) :: ("ev", Str e.kind) :: fields))
+  Obj (("seq", Int e.seq) :: ("ts_ns", Int e.ts_ns) :: ("ev", Str e.kind) :: fields)
+
+let render_header h = render_json (header_obj h)
+let render_event e = render_json (event_obj e)
+
+(* ----- binary frame codec -----
+
+   Length-prefixed binary frames, the journal's fast on-disk form. The
+   file opens with the 6-byte magic ["RBJB\x01\n"], then one frame per
+   logical journal line:
+
+     +-------------------+---------------------------+
+     | u32 LE payload len| payload (one value below) |
+     +-------------------+---------------------------+
+
+   A payload is one tag-prefixed value:
+
+     0x00  null
+     0x01  bool    1 byte (0x00 / 0x01)
+     0x02  int     zigzag LEB128 varint
+     0x03  float   8-byte IEEE 754 binary64, little-endian
+     0x04  str     uvarint byte length, raw bytes
+     0x05  list    uvarint count, then the values
+     0x06  obj     uvarint count, then (uvarint key len, key, value)*
+
+   Frame 1 carries the header object, later frames the events, with the
+   same reserved fields and ordering as the JSONL form — the two codecs
+   carry identical objects and convert both ways without loss. Floats
+   travel as raw bits (bit-exact, no Printf on the hot path); non-finite
+   floats are rejected at encode time exactly like the text codec. *)
+
+let binary_magic = "RBJB\x01\n"
+
+(* capacity for the varint must be ensured by the caller (10 bytes) *)
+let put_uvarint b n =
+  let n = ref n in
+  while !n land lnot 0x7f <> 0 do
+    Fb.put_byte b (0x80 lor (!n land 0x7f));
+    n := !n lsr 7
+  done;
+  Fb.put_byte b !n
+
+let put_key b k =
+  Fb.ensure b 10;
+  put_uvarint b (String.length k);
+  Fb.put_string b k
+
+let rec encode_value b = function
+  | Null ->
+    Fb.ensure b 1;
+    Fb.put_byte b 0x00
+  | Bool v ->
+    Fb.ensure b 2;
+    Fb.put_byte b 0x01;
+    Fb.put_byte b (if v then 0x01 else 0x00)
+  | Int i ->
+    (* Zigzag maps the sign bit into bit 0 so small magnitudes of either
+       sign stay one byte. *)
+    Fb.ensure b 11;
+    Fb.put_byte b 0x02;
+    put_uvarint b ((i lsl 1) lxor (i asr 62))
+  | Float f ->
+    reject_non_finite f;
+    Fb.ensure b 9;
+    Fb.put_byte b 0x03;
+    Bytes.set_int64_le b.Fb.b b.Fb.pos (Int64.bits_of_float f);
+    b.Fb.pos <- b.Fb.pos + 8
+  | Str s ->
+    Fb.ensure b 10;
+    Fb.put_byte b 0x04;
+    put_uvarint b (String.length s);
+    Fb.put_string b s
+  | List xs ->
+    Fb.ensure b 11;
+    Fb.put_byte b 0x05;
+    put_uvarint b (List.length xs);
+    List.iter (encode_value b) xs
+  | Obj kvs ->
+    Fb.ensure b 11;
+    Fb.put_byte b 0x06;
+    put_uvarint b (List.length kvs);
+    List.iter
+      (fun (k, v) ->
+        put_key b k;
+        encode_value b v)
+      kvs
+
+let frame_of_payload payload =
+  let len = String.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 b 4 len;
+  Bytes.unsafe_to_string b
+
+let decode_payload s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt in
+  let byte () =
+    if !pos >= n then fail "truncated frame"
+    else begin
+      let c = Char.code s.[!pos] in
+      incr pos;
+      c
+    end
+  in
+  let uvarint () =
+    let rec go shift acc =
+      let c = byte () in
+      let acc = acc lor ((c land 0x7f) lsl shift) in
+      if c land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0
+  in
+  let take len =
+    if len < 0 || !pos + len > n then fail "truncated frame"
+    else begin
+      let r = String.sub s !pos len in
+      pos := !pos + len;
+      r
+    end
+  in
+  let rec value () =
+    match byte () with
+    | 0x00 -> Null
+    | 0x01 -> Bool (byte () <> 0)
+    | 0x02 ->
+      let zz = uvarint () in
+      Int ((zz lsr 1) lxor (- (zz land 1)))
+    | 0x03 -> Float (Int64.float_of_bits (String.get_int64_le (take 8) 0))
+    | 0x04 -> Str (take (uvarint ()))
+    | 0x05 ->
+      let count = uvarint () in
+      List (values count [])
+    | 0x06 ->
+      let count = uvarint () in
+      Obj (members count [])
+    | tag -> fail "unknown value tag 0x%02x" tag
+  and values k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let v = value () in
+      values (k - 1) (v :: acc)
+    end
+  and members k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let key = take (uvarint ()) in
+      let v = value () in
+      members (k - 1) ((key, v) :: acc)
+    end
+  in
+  let v = value () in
+  if !pos <> n then fail "trailing bytes in frame";
+  v
+
+let encode_payload json =
+  let b = Fb.create 128 in
+  encode_value b json;
+  Fb.contents b
+
+(* ----- the emit fast path -----
+
+   [emit] runs once per engine event; building an [event] record, an
+   [event_obj] and its filtered field list just to tear them down again
+   dominated journaling cost (measured ~2x of the whole emit). These
+   encoders write the reserved triple and the caller's fields straight
+   into the writer — byte-identical to [encode_value (event_obj e)] /
+   [render_into (event_obj e)], which the codec tests pin down.
+
+   [is_reserved] dispatches on the first character before paying for a
+   full string compare: three compares per field added up to ~20% of
+   emit on a five-field event, and no engine field key starts the same
+   way as a reserved one beyond its first letter. *)
+
+let is_reserved k =
+  String.length k > 0
+  && (match String.unsafe_get k 0 with
+     | 's' -> k = "seq"
+     | 't' -> k = "ts_ns"
+     | 'e' -> k = "ev"
+     | _ -> false)
+
+let count_unreserved fields =
+  let rec go n = function
+    | [] -> n
+    | (k, _) :: tl -> go (if is_reserved k then n else n + 1) tl
+  in
+  go 0 fields
+
+let encode_event_prelude b ~seq ~ts_ns ~kind ~count =
+  Fb.ensure b 64;
+  Fb.put_byte b 0x06;
+  put_uvarint b (3 + count);
+  put_uvarint b 3;
+  Fb.put_string b "seq";
+  Fb.ensure b 11;
+  Fb.put_byte b 0x02;
+  put_uvarint b ((seq lsl 1) lxor (seq asr 62));
+  Fb.ensure b 6;
+  put_uvarint b 5;
+  Fb.put_string b "ts_ns";
+  Fb.ensure b 11;
+  Fb.put_byte b 0x02;
+  put_uvarint b ((ts_ns lsl 1) lxor (ts_ns asr 62));
+  Fb.ensure b 3;
+  put_uvarint b 2;
+  Fb.put_string b "ev";
+  Fb.ensure b 10;
+  Fb.put_byte b 0x04;
+  put_uvarint b (String.length kind);
+  Fb.put_string b kind
+
+let encode_event_into b ~seq ~ts_ns ~kind fields =
+  encode_event_prelude b ~seq ~ts_ns ~kind ~count:(count_unreserved fields);
+  let rec go = function
+    | [] -> ()
+    | (k, v) :: tl ->
+      if not (is_reserved k) then begin
+        put_key b k;
+        encode_value b v
+      end;
+      go tl
+  in
+  go fields
+
+let render_event_prelude b ~seq ~ts_ns ~kind =
+  Fb.put_string b "{\"seq\":";
+  Fb.put_int b seq;
+  Fb.put_string b ",\"ts_ns\":";
+  Fb.put_int b ts_ns;
+  Fb.put_string b ",\"ev\":";
+  escape_string b kind
+
+let render_event_into b ~seq ~ts_ns ~kind fields =
+  render_event_prelude b ~seq ~ts_ns ~kind;
+  let rec go = function
+    | [] -> ()
+    | (k, v) :: tl ->
+      if not (is_reserved k) then begin
+        Fb.ensure b 1;
+        Fb.put_char b ',';
+        escape_string b k;
+        Fb.ensure b 1;
+        Fb.put_char b ':';
+        render_into b v
+      end;
+      go tl
+  in
+  go fields;
+  Fb.ensure b 1;
+  Fb.put_char b '}'
 
 (* ----- sinks ----- *)
 
+type format =
+  | Jsonl
+  | Binary
+
 type sink = {
+  format : format;
   write : string -> unit;
   clock_ns : unit -> int64;
   mutable next_seq : int;
   mutable header_written : bool;
+  (* Rendered JSONL lines, or binary frame payloads (length prefix
+     stripped) — [tail] decodes the latter back to JSONL text. *)
   ring : string array;
   mutable ring_written : int;
+  scratch : Fb.t; (* encode scratch, reused per event *)
+  batch : Buffer.t; (* deferred bytes while [batching > 0] *)
+  mutable batching : int;
+  (* One streamed event (see [Emit]) may be open at a time; it owns
+     [scratch] until [Emit.finish] commits it or an encode error
+     aborts it. *)
+  mutable stream_open : bool;
+  mutable stream_left : int; (* declared fields not yet written *)
+  mutable stream_seq : int;
+  mutable stream_kind : string;
 }
 
-let create ?(tail_capacity = 512) ?(start_seq = 0) ?header_written ?clock_ns ~write () =
+let create ?(format = Jsonl) ?(tail_capacity = 512) ?(start_seq = 0) ?header_written
+    ?clock_ns ~write () =
   if tail_capacity < 1 then invalid_arg "Journal.create: need a positive tail capacity";
   if start_seq < 0 then invalid_arg "Journal.create: negative start_seq";
   let clock_ns = match clock_ns with Some c -> c | None -> Timer.now_ns in
   {
+    format;
     write;
     clock_ns;
     next_seq = start_seq;
@@ -305,10 +685,18 @@ let create ?(tail_capacity = 512) ?(start_seq = 0) ?header_written ?clock_ns ~wr
     header_written = (match header_written with Some b -> b | None -> start_seq > 0);
     ring = Array.make tail_capacity "";
     ring_written = 0;
+    scratch = Fb.create 256;
+    batch = Buffer.create 256;
+    batching = 0;
+    stream_open = false;
+    stream_left = 0;
+    stream_seq = 0;
+    stream_kind = "";
   }
 
-let to_channel ?tail_capacity ?start_seq ?header_written ?(line_flush = false) oc =
-  create ?tail_capacity ?start_seq ?header_written
+let to_channel ?format ?tail_capacity ?start_seq ?header_written ?(line_flush = false)
+    oc =
+  create ?format ?tail_capacity ?start_seq ?header_written
     ~write:(fun line ->
       output_string oc line;
       if line_flush then flush oc)
@@ -350,22 +738,220 @@ let resilient ?(retries = 3) ?(backoff = 0.01) ?(sleep = Unix.sleepf)
     in
     attempt 0 backoff
 
+(* All sink bytes funnel through here so a bulk batch can defer the
+   actual write: while [batching > 0] the bytes accumulate and are
+   handed to [write] in one call at [end_batch] — byte-identical to
+   per-event writes, so replay and resume see the same journal. *)
+let sink_out sink s =
+  if sink.batching > 0 then Buffer.add_string sink.batch s else sink.write s
+
+let begin_batch sink = sink.batching <- sink.batching + 1
+
+let end_batch sink =
+  if sink.batching > 0 then begin
+    sink.batching <- sink.batching - 1;
+    if sink.batching = 0 && Buffer.length sink.batch > 0 then begin
+      let out = Buffer.contents sink.batch in
+      Buffer.clear sink.batch;
+      sink.write out
+    end
+  end
+
+(* When a batch is open the line/frame bytes go straight into the batch
+   buffer — same bytes, one copy fewer than building the framed string
+   first. Unbatched sinks still get exactly one [write] per line. *)
 let push_line sink line =
   sink.ring.(sink.ring_written mod Array.length sink.ring) <- line;
   sink.ring_written <- sink.ring_written + 1;
-  sink.write (line ^ "\n")
+  if sink.batching > 0 then begin
+    Buffer.add_string sink.batch line;
+    Buffer.add_char sink.batch '\n'
+  end
+  else sink.write (line ^ "\n")
+
+let push_payload sink payload =
+  sink.ring.(sink.ring_written mod Array.length sink.ring) <- payload;
+  sink.ring_written <- sink.ring_written + 1;
+  if sink.batching > 0 then begin
+    Buffer.add_int32_le sink.batch (Int32.of_int (String.length payload));
+    Buffer.add_string sink.batch payload
+  end
+  else sink.write (frame_of_payload payload)
 
 let write_header sink ~journal meta =
+  if sink.stream_open then
+    invalid_arg "Journal.write_header: a streamed event is open on this sink";
   if not sink.header_written then begin
     sink.header_written <- true;
-    push_line sink (render_header { journal; version = current_version; meta })
+    let h = { journal; version = current_version; meta } in
+    match sink.format with
+    | Jsonl -> push_line sink (render_header h)
+    | Binary ->
+      sink_out sink binary_magic;
+      Fb.clear sink.scratch;
+      encode_value sink.scratch (header_obj h);
+      push_payload sink (Fb.contents sink.scratch)
   end
 
 let emit sink ~kind fields =
+  if sink.stream_open then
+    invalid_arg "Journal.emit: a streamed event is open on this sink";
   let seq = sink.next_seq in
-  sink.next_seq <- seq + 1;
   let ts_ns = Int64.to_int (sink.clock_ns ()) in
-  push_line sink (render_event { seq; ts_ns; kind; fields; line = 0 })
+  (* Encode before committing the sequence number: a rejected event (a
+     non-finite float) leaves the sink unperturbed instead of burning a
+     seq and tearing a hole replay would trip on. *)
+  let payload =
+    try
+      Fb.clear sink.scratch;
+      (match sink.format with
+      | Jsonl -> render_event_into sink.scratch ~seq ~ts_ns ~kind fields
+      | Binary -> encode_event_into sink.scratch ~seq ~ts_ns ~kind fields);
+      Fb.contents sink.scratch
+    with Encode_error msg ->
+      raise
+        (Encode_error
+           (Printf.sprintf "line %d (event seq %d, ev %S): %s"
+              (sink.ring_written + 1) seq kind msg))
+  in
+  sink.next_seq <- seq + 1;
+  match sink.format with
+  | Jsonl -> push_line sink payload
+  | Binary -> push_payload sink payload
+
+(* ----- streamed emission -----
+
+   [emit] still allocates its argument: a [(string * value) list] with a
+   boxed [value] per field, built once per event and immediately
+   garbage. On the engine's per-op hot path that list is most of the
+   remaining journaling cost. [Emit] writes fields straight into the
+   sink's scratch writer instead — the caller declares the field count
+   up front (it goes in the binary object header) and then pushes each
+   field with a monomorphic call, so a steady-state event allocates
+   nothing but the final payload string.
+
+   Byte identity with [emit] is pinned by the codec tests: the prelude
+   comes from the same [encode_event_prelude]/[render_event_prelude],
+   and each field encoder mirrors the corresponding [encode_value] /
+   [render_into] branch exactly.
+
+   Contract: [start] .. exactly [fields] field calls .. [finish].
+   Misuse (double start, wrong arity, reserved key) raises
+   [Invalid_argument]. A non-finite float raises [Encode_error] with
+   line/seq context, aborts the whole event and burns no seq — the
+   same recovery story as [emit]. *)
+
+let stream_error sink msg =
+  sink.stream_open <- false;
+  raise
+    (Encode_error
+       (Printf.sprintf "line %d (event seq %d, ev %S): %s"
+          (sink.ring_written + 1) sink.stream_seq sink.stream_kind msg))
+
+module Emit = struct
+  let start sink ~kind ~fields =
+    if sink.stream_open then
+      invalid_arg "Journal.Emit.start: a streamed event is already open";
+    if fields < 0 then invalid_arg "Journal.Emit.start: negative field count";
+    sink.stream_open <- true;
+    sink.stream_left <- fields;
+    sink.stream_seq <- sink.next_seq;
+    sink.stream_kind <- kind;
+    let ts_ns = Int64.to_int (sink.clock_ns ()) in
+    let b = sink.scratch in
+    Fb.clear b;
+    match sink.format with
+    | Binary ->
+      encode_event_prelude b ~seq:sink.stream_seq ~ts_ns ~kind ~count:fields
+    | Jsonl -> render_event_prelude b ~seq:sink.stream_seq ~ts_ns ~kind
+
+  (* Writes the field separator + key; the caller appends the value. *)
+  let field_key sink k =
+    if not sink.stream_open then
+      invalid_arg "Journal.Emit: no streamed event is open";
+    if sink.stream_left = 0 then
+      invalid_arg "Journal.Emit: more fields than declared in start";
+    if is_reserved k then
+      invalid_arg "Journal.Emit: reserved key (seq/ts_ns/ev)";
+    sink.stream_left <- sink.stream_left - 1;
+    let b = sink.scratch in
+    match sink.format with
+    | Binary -> put_key b k
+    | Jsonl ->
+      Fb.ensure b 1;
+      Fb.put_char b ',';
+      escape_string b k;
+      Fb.ensure b 1;
+      Fb.put_char b ':'
+
+  let int sink k v =
+    field_key sink k;
+    let b = sink.scratch in
+    match sink.format with
+    | Binary ->
+      Fb.ensure b 11;
+      Fb.put_byte b 0x02;
+      put_uvarint b ((v lsl 1) lxor (v asr 62))
+    | Jsonl -> Fb.put_int b v
+
+  let str sink k v =
+    field_key sink k;
+    let b = sink.scratch in
+    match sink.format with
+    | Binary ->
+      Fb.ensure b 10;
+      Fb.put_byte b 0x04;
+      put_uvarint b (String.length v);
+      Fb.put_string b v
+    | Jsonl -> escape_string b v
+
+  let bool sink k v =
+    field_key sink k;
+    let b = sink.scratch in
+    match sink.format with
+    | Binary ->
+      Fb.ensure b 2;
+      Fb.put_byte b 0x01;
+      Fb.put_byte b (if v then 1 else 0)
+    | Jsonl -> Fb.put_string b (if v then "true" else "false")
+
+  let float sink k v =
+    if not (Float.is_finite v) then
+      stream_error sink
+        (Printf.sprintf "non-finite float %s has no journal encoding"
+           (Float.to_string v));
+    field_key sink k;
+    let b = sink.scratch in
+    match sink.format with
+    | Binary ->
+      Fb.ensure b 9;
+      Fb.put_byte b 0x03;
+      Bytes.set_int64_le b.Fb.b b.Fb.pos (Int64.bits_of_float v);
+      b.Fb.pos <- b.Fb.pos + 8
+    | Jsonl ->
+      let s = Printf.sprintf "%.17g" v in
+      Fb.put_string b s;
+      if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
+        Fb.put_string b ".0"
+
+  let finish sink =
+    if not sink.stream_open then
+      invalid_arg "Journal.Emit.finish: no streamed event is open";
+    if sink.stream_left <> 0 then
+      invalid_arg "Journal.Emit.finish: fewer fields than declared in start";
+    sink.stream_open <- false;
+    let b = sink.scratch in
+    (match sink.format with
+    | Jsonl ->
+      Fb.ensure b 1;
+      Fb.put_char b '}'
+    | Binary -> ());
+    let payload = Fb.contents b in
+    sink.next_seq <- sink.stream_seq + 1;
+    match sink.format with
+    | Jsonl -> push_line sink payload
+    | Binary -> push_payload sink payload
+end
 
 let events_written sink = sink.next_seq
 
@@ -374,7 +960,11 @@ let tail sink n =
   let total = sink.ring_written in
   let avail = min total cap in
   let take = max 0 (min n avail) in
-  List.init take (fun j -> sink.ring.((total - take + j) mod cap))
+  List.init take (fun j ->
+      let entry = sink.ring.((total - take + j) mod cap) in
+      match sink.format with
+      | Jsonl -> entry
+      | Binary -> render_json (decode_payload entry))
 
 (* ----- whole-journal parsing ----- *)
 
@@ -449,6 +1039,78 @@ let parse_file path =
           | exception End_of_file -> List.rev acc
         in
         parse_lines (loop []))
+
+(* ----- binary journals ----- *)
+
+let starts_with_magic s =
+  String.length s >= String.length binary_magic
+  && String.sub s 0 (String.length binary_magic) = binary_magic
+
+(* Same discipline as [parse_lines] — header first, contiguous sequence
+   numbers, "line %d" errors (a frame is a line here: the header is
+   line 1, the first event line 2, matching the JSONL rendering). *)
+let parse_binary_string s =
+  if not (starts_with_magic s) then Error "not a binary journal (bad magic)"
+  else begin
+    let n = String.length s in
+    let rec go pos lineno ~header ~expect_seq acc =
+      if pos >= n then
+        match header with
+        | None -> Error "empty journal: missing header frame"
+        | Some h -> Ok (h, List.rev acc)
+      else if pos + 4 > n then err lineno "truncated frame length"
+      else begin
+        let len = Int32.to_int (String.get_int32_le s pos) in
+        if len < 0 || pos + 4 + len > n then err lineno "truncated frame"
+        else begin
+          let payload = String.sub s (pos + 4) len in
+          match decode_payload payload with
+          | exception Parse_error msg -> err lineno "%s" msg
+          | Obj kvs -> (
+            let next = pos + 4 + len in
+            match header with
+            | None -> (
+              match parse_header_obj lineno kvs with
+              | Error _ as e -> e
+              | Ok h -> go next (lineno + 1) ~header:(Some h) ~expect_seq acc)
+            | Some _ -> (
+              match parse_event_obj lineno ~expect_seq kvs with
+              | Error _ as e -> e
+              | Ok ev ->
+                go next (lineno + 1) ~header ~expect_seq:(expect_seq + 1) (ev :: acc)))
+          | _ -> err lineno "expected an object frame"
+        end
+      end
+    in
+    go (String.length binary_magic) 1 ~header:None ~expect_seq:0 []
+  end
+
+let read_whole_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Ok (In_channel.input_all ic))
+
+module Binary = struct
+  let magic = binary_magic
+  let encode_header h = frame_of_payload (encode_payload (header_obj h))
+  let encode_event e = frame_of_payload (encode_payload (event_obj e))
+  let parse_string = parse_binary_string
+
+  let parse_file path =
+    Result.bind (read_whole_file path) parse_binary_string
+end
+
+(* Auto-detecting loaders: a binary journal announces itself with the
+   magic, anything else is treated as JSONL text. Every consumer that
+   accepts user-supplied journal paths (replay, snapshot, compact,
+   explain, convert, serve resume) goes through these. *)
+let load_string s =
+  if starts_with_magic s then parse_binary_string s else parse_string s
+
+let load_file path = Result.bind (read_whole_file path) load_string
 
 (* ----- typed field access ----- *)
 

@@ -220,7 +220,12 @@ let sample t =
   | Some sink ->
     let pairs =
       List.map
-        (fun (name, labels, v) -> (selector_string name labels, Journal.Float v))
+        (fun (name, labels, v) ->
+          (* A gauge fed from a division can legitimately read nan/inf;
+             the journal rejects non-finite floats, so record "no
+             meaningful value" rather than kill the sampler. *)
+          ( selector_string name labels,
+            if Float.is_finite v then Journal.Float v else Journal.Null ))
         readings
     in
     Journal.emit sink ~kind:"sample"

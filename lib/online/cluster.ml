@@ -461,6 +461,188 @@ let resize_job t ~id ~size =
       | Ok (p, moves) -> Ok (global t s p, translate t s moves))
   with Shut_down -> Error "cluster is shut down"
 
+(* ----- batched application ----- *)
+
+let op_id = function
+  | Engine.Add { id; _ } | Engine.Remove { id } | Engine.Resize { id; _ } -> id
+
+(* One batch of events, routed and dispatched as per-shard sub-batches:
+   each involved shard gets a single mailbox task that runs
+   [Engine.apply_bulk] over its share — one dispatch, one journal flush
+   per shard per chunk — while distinct shards execute in parallel.
+   Results are delivered to [on_result] in batch order.
+
+   The batch is processed in chunks. A chunk ends where per-id ordering
+   or deadlock-freedom demands a barrier: at a duplicate id (the second
+   op must observe the first's effect), or at an id another client
+   currently holds reserved. Only the first op of a chunk may *wait*
+   for a reservation; later ops are probed non-blockingly — so this
+   call never waits while holding reservations of its own, and two
+   concurrent batches over overlapping ids chunk around each other
+   instead of deadlocking. *)
+let apply_bulk t ?on_result ops =
+  let n = Array.length ops in
+  let results = if on_result = None then [||] else Array.make n (Error "") in
+  let record i r = if on_result <> None then results.(i) <- r in
+  let emit lo hi =
+    match on_result with
+    | None -> ()
+    | Some f ->
+      for i = lo to hi - 1 do
+        f i ops.(i) results.(i)
+      done
+  in
+  let shut_down = Error "cluster is shut down" in
+  let lo = ref 0 in
+  while !lo < n do
+    let chunk_lo = !lo in
+    (* Reservation phase: claim ids until a barrier. [shard_for.(j)] is
+       the shard op [chunk_lo + j] was reserved on, -1 when the op
+       failed validation (already present / not found / shut down) and
+       must not be dispatched. *)
+    let seen = Hashtbl.create 64 in
+    let shard_for = Array.make (n - chunk_lo) (-1) in
+    let hi = ref chunk_lo in
+    (try
+       while !hi < n do
+         let i = !hi in
+         let id = op_id ops.(i) in
+         if Hashtbl.mem seen id then raise Exit;
+         let reserve () =
+           match ops.(i) with
+           | Engine.Add _ -> begin
+             match settled t id with
+             | Some _ ->
+               record i (Error (pf "job %s already present" id));
+               Some (-1)
+             | None ->
+               let s = route t id in
+               Hashtbl.replace t.directory id (Pending s);
+               Some s
+           end
+           | Engine.Remove _ | Engine.Resize _ -> begin
+             match settled t id with
+             | None ->
+               record i (Error (pf "job %s not found" id));
+               Some (-1)
+             | Some s ->
+               Hashtbl.replace t.directory id (Busy s);
+               Some s
+           end
+         in
+         (* First op of the chunk: wait out any foreign reservation
+            (we hold none of our own yet). Later ops: probe without
+            blocking — a busy id just ends the chunk. *)
+         let reserved =
+           with_dir t (fun () ->
+               if i = chunk_lo then reserve ()
+               else if t.stopped then raise Shut_down
+               else
+                 match Hashtbl.find_opt t.directory id with
+                 | Some (Pending _ | Busy _ | Moving _) -> None
+                 | Some (Resident _) | None -> reserve ())
+         in
+         match reserved with
+         | None -> raise Exit
+         | Some s ->
+           shard_for.(i - chunk_lo) <- s;
+           Hashtbl.add seen id ();
+           incr hi
+       done
+     with
+    | Exit -> ()
+    | Shut_down ->
+      for i = !hi to n - 1 do
+        record i shut_down
+      done;
+      hi := n);
+    (* The first op of a chunk always makes progress: it is either
+       reserved or its validation failure is recorded before any Exit. *)
+    let chunk_hi = max !hi (chunk_lo + 1) in
+    (* Dispatch phase: one [Engine.apply_bulk] task per involved shard.
+       All tasks are enqueued before any reply is awaited, so distinct
+       shards overlap. *)
+    let module M = Map.Make (Int) in
+    let by_shard = ref M.empty in
+    for i = chunk_lo to chunk_hi - 1 do
+      let s = shard_for.(i - chunk_lo) in
+      if s >= 0 then
+        by_shard :=
+          M.update s (function None -> Some [ i ] | Some l -> Some (i :: l)) !by_shard
+    done;
+    let tasks =
+      M.fold
+        (fun s rev_idx acc ->
+          let idx = Array.of_list (List.rev rev_idx) in
+          let sub = Array.map (fun i -> ops.(i)) idx in
+          let sub_results = Array.make (Array.length sub) (Error "") in
+          let iv = Ivar.create () in
+          let env =
+            {
+              run =
+                (fun () ->
+                  Ivar.fill iv
+                    (match
+                       Engine.apply_bulk t.engines.(s)
+                         ~on_result:(fun j _ r -> sub_results.(j) <- r)
+                         sub
+                     with
+                    | () -> Ok ()
+                    | exception e -> Error e));
+              enq_ns = Timer.now_ns ();
+              carrier = Optrace.current_carrier ();
+              label = "apply_bulk";
+              shard = s;
+            }
+          in
+          match post t t.owner.(s) env with
+          | () -> (s, idx, sub_results, Some iv) :: acc
+          | exception Shut_down -> (s, idx, sub_results, None) :: acc)
+        !by_shard []
+    in
+    (* Collect, translate to global processor indices, and settle every
+       reservation — success or failure, no id is left in a transient
+       state. *)
+    let failure = ref None in
+    List.iter
+      (fun (s, idx, sub_results, iv) ->
+        let outcome =
+          match iv with
+          | None -> Error Shut_down
+          | Some iv -> ( match Ivar.read iv with Ok () -> Ok () | Error e -> Error e)
+        in
+        Array.iteri
+          (fun j i ->
+            let rolled_back, res =
+              match outcome with
+              | Ok () -> begin
+                match sub_results.(j) with
+                | Ok (p, moves) -> (false, Ok (global t s p, translate t s moves))
+                | Error _ as e -> (true, e)
+              end
+              | Error e ->
+                if !failure = None then failure := Some e;
+                (true, shut_down)
+            in
+            let state =
+              match (ops.(i), rolled_back) with
+              | Engine.Add _, false -> Some (Resident s)
+              | Engine.Add _, true -> None
+              | Engine.Remove _, false -> None
+              | Engine.Remove _, true -> Some (Resident s)
+              | Engine.Resize _, _ -> Some (Resident s)
+            in
+            settle t (op_id ops.(i)) state;
+            record i res)
+          idx)
+      tasks;
+    emit chunk_lo chunk_hi;
+    (match !failure with
+    | Some Shut_down | None -> ()
+    | Some e -> raise e);
+    lo := chunk_hi
+  done
+
 let find t id =
   try
     match with_dir t (fun () -> settled t id) with

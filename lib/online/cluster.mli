@@ -118,6 +118,29 @@ val add_job : t -> id:string -> size:int -> (int * move list, string) result
 val remove_job : t -> id:string -> (int * move list, string) result
 val resize_job : t -> id:string -> size:int -> (int * move list, string) result
 
+val apply_bulk :
+  t ->
+  ?on_result:(int -> Engine.op -> (int * move list, string) result -> unit) ->
+  Engine.op array ->
+  unit
+(** Apply a batch of events, amortizing dispatch and journal flushing:
+    the batch is routed into per-shard sub-batches and each involved
+    shard runs one [Engine.apply_bulk] task on its owner domain —
+    distinct shards execute in parallel, and each shard's journal is
+    flushed once per sub-batch instead of once per event. Per-id
+    semantics match the one-by-one operations: ids are reserved in the
+    residency directory for the duration of their sub-batch, results
+    (global processor indices, auto-repair moves, engine error
+    strings) are identical, and [on_result] sees them in batch order.
+
+    Ordering barriers are honored by chunking: a duplicate id inside
+    the batch, or an id currently reserved by a concurrent client,
+    ends the current chunk — later ops wait for the earlier effect
+    rather than race it. Only the first op of a chunk ever blocks on a
+    foreign reservation, so two concurrent batches over overlapping
+    ids chunk around each other instead of deadlocking. After
+    {!shutdown} every result is ["cluster is shut down"]. *)
+
 val move : ?on_removed:(unit -> unit) -> t -> id:string -> dst:int -> (move list, string) result
 (** Two-phase cross-shard transfer of one job (see the header). Moving
     a job to its current shard is a no-op ([Ok []]). [on_removed] is

@@ -1,28 +1,29 @@
 module Instance = Rebal_core.Instance
 module Assignment = Rebal_core.Assignment
 module Indexed_heap = Rebal_ds.Indexed_heap
+module Flat_str_map = Rebal_ds.Flat_str_map
 module Metrics = Rebal_obs.Metrics
 module Trace = Rebal_obs.Trace
 module Control = Rebal_obs.Control
 module Journal = Rebal_obs.Journal
 module Timer = Rebal_harness.Timer
 
-(* Per-processor job set ordered by (size ascending, sequence number
-   descending), so [max_elt] yields the largest job, smallest sequence
-   number on ties — a deterministic extraction order mirroring the
-   descending sorted views the batch GREEDY consumes. *)
-module Job_set = Set.Make (struct
-  type t = int * int (* size, seq *)
+(* The flat core. Every job lives in a slot of a set of parallel int
+   arrays (plus one string array for the external id); slots are
+   recycled through a free-list, so once the arrays have grown to the
+   workload's high-water mark a steady add/remove/resize churn performs
+   zero minor-heap allocation. The orderings the repair pass consumes
+   are flat binary heaps of slot indices:
 
-  let compare (s1, q1) (s2, q2) = if s1 <> s2 then compare s1 s2 else compare q2 q1
-end)
+   - one per-processor heap ordered (size desc, seq asc), whose root is
+     exactly the element [Job_set.max_elt] used to yield — the largest
+     job, smallest sequence number on ties;
+   - one global heap in the same order, whose root gives the largest
+     live job for the imbalance lower bound;
+   - the two [Indexed_heap]s over processor loads, unchanged.
 
-type job = {
-  ext : string;
-  seq : int;
-  mutable size : int;
-  mutable proc : int;
-}
+   The id -> slot directory is an open-addressing [Flat_str_map], the
+   only string-keyed structure left on the hot path. *)
 
 type trigger =
   | Manual
@@ -35,6 +36,11 @@ type move = {
   src : int;
   dst : int;
 }
+
+type op =
+  | Add of { id : string; size : int }
+  | Remove of { id : string }
+  | Resize of { id : string; size : int }
 
 type counters = {
   mutable events : int;
@@ -108,13 +114,33 @@ type stats = {
   consistency_failures : int;
 }
 
+(* Placeholder id for free slots: assigning it releases the reference to
+   the departed job's id string. Never compared physically. *)
+let no_id = ""
+
 type t = {
   m : int;
   mutable trigger : trigger;
   clock : unit -> float;
-  jobs : (string, job) Hashtbl.t;
-  by_seq : (int, job) Hashtbl.t;
-  per_proc : Job_set.t array;
+  dir : Flat_str_map.t; (* external id -> slot *)
+  (* ----- the slot table: parallel arrays indexed by slot ----- *)
+  mutable cap : int;
+  mutable job_ext : string array;
+  mutable job_size : int array;
+  mutable job_seq : int array;
+  mutable job_proc : int array; (* -1 marks a free slot *)
+  mutable job_hpos : int array; (* position in its processor's heap *)
+  mutable job_gpos : int array; (* position in the global size heap *)
+  mutable free : int array; (* stack of recycled slots below [hw] *)
+  mutable free_len : int;
+  mutable hw : int; (* slots ever handed out (the scan bound) *)
+  mutable live : int;
+  (* per-processor heaps of slots, ordered (size desc, seq asc) *)
+  pheap : int array array;
+  plen : int array;
+  (* global size heap in the same order — replaces the size multiset *)
+  mutable gheap : int array;
+  mutable glen : int;
   load : int array;
   (* Two views of the same load vector: [min_heap] keyed by load answers
      "least-loaded processor" for greedy placement, [max_heap] keyed by
@@ -124,11 +150,13 @@ type t = {
   max_heap : Indexed_heap.t;
   mutable next_seq : int;
   mutable total_size : int;
-  (* Global size multiset so the largest live job — hence the batch lower
-     bound max(avg, max size) — is maintained under removals and resizes. *)
-  mutable size_set : Job_set.t;
   mutable events_since_repair : int;
   mutable last_repair : float;
+  (* repair scratch, sized [cap] so the removal phase never allocates *)
+  mutable scr_slot : int array;
+  mutable scr_src : int array;
+  mutable scr_before : int array;
+  mutable scr_ord : int array;
   c : counters;
   obs : obs;
   (* The flight recorder. Gating is sink presence: every emission site is
@@ -200,6 +228,8 @@ let journal_header t sink =
       ("trigger_config", trigger_to_json t.trigger);
     ]
 
+let initial_cap = 64
+
 let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ?journal ~m () =
   if m < 1 then invalid_arg "Engine.create: need at least one processor";
   let min_heap = Indexed_heap.create m in
@@ -212,17 +242,33 @@ let create ?(trigger = Manual) ?(clock = Unix.gettimeofday) ?journal ~m () =
     m;
     trigger;
     clock;
-    jobs = Hashtbl.create 64;
-    by_seq = Hashtbl.create 64;
-    per_proc = Array.make m Job_set.empty;
+    dir = Flat_str_map.create initial_cap;
+    cap = initial_cap;
+    job_ext = Array.make initial_cap no_id;
+    job_size = Array.make initial_cap 0;
+    job_seq = Array.make initial_cap 0;
+    job_proc = Array.make initial_cap (-1);
+    job_hpos = Array.make initial_cap 0;
+    job_gpos = Array.make initial_cap 0;
+    free = Array.make initial_cap 0;
+    free_len = 0;
+    hw = 0;
+    live = 0;
+    pheap = Array.init m (fun _ -> Array.make 8 0);
+    plen = Array.make m 0;
+    gheap = Array.make initial_cap 0;
+    glen = 0;
     load = Array.make m 0;
     min_heap;
     max_heap;
     next_seq = 0;
     total_size = 0;
-    size_set = Job_set.empty;
     events_since_repair = 0;
     last_repair = clock ();
+    scr_slot = Array.make initial_cap 0;
+    scr_src = Array.make initial_cap 0;
+    scr_before = Array.make initial_cap 0;
+    scr_ord = Array.make initial_cap 0;
     c =
       {
         events = 0;
@@ -258,18 +304,11 @@ let set_trigger t trigger =
 let set_journal t sink =
   t.journal <- sink;
   match sink with Some s -> journal_header t s | None -> ()
-let job_count t = Hashtbl.length t.jobs
 
-let makespan t =
-  let _, neg = Indexed_heap.min_exn t.max_heap in
-  -neg
-
+let job_count t = t.live
+let makespan t = -Indexed_heap.min_prio_exn t.max_heap
 let loads t = Array.copy t.load
-
-let max_job_size t =
-  match Job_set.max_elt_opt t.size_set with
-  | None -> 0
-  | Some (size, _) -> size
+let max_job_size t = if t.glen = 0 then 0 else t.job_size.(t.gheap.(0))
 
 (* Makespan over the batch lower bound max(average load, largest job) —
    the same ratio Verify reports. Using the average alone would make a
@@ -289,28 +328,186 @@ let imbalance t =
 let min_load t = Indexed_heap.min_exn t.min_heap
 
 let peek_heaviest t =
-  let p, neg = Indexed_heap.min_exn t.max_heap in
-  if neg = 0 then None
+  let p = Indexed_heap.min_key_exn t.max_heap in
+  if t.load.(p) = 0 then None
   else begin
-    let size, seq = Job_set.max_elt t.per_proc.(p) in
-    let job = Hashtbl.find t.by_seq seq in
-    Some (job.ext, size, p)
+    let slot = t.pheap.(p).(0) in
+    Some (t.job_ext.(slot), t.job_size.(slot), p)
   end
 
 let fold_jobs t f acc =
-  Hashtbl.fold (fun _ j acc -> f acc ~id:j.ext ~size:j.size ~proc:j.proc) t.jobs acc
+  let acc = ref acc in
+  for slot = 0 to t.hw - 1 do
+    if t.job_proc.(slot) >= 0 then
+      acc :=
+        f !acc ~id:t.job_ext.(slot) ~size:t.job_size.(slot)
+          ~proc:t.job_proc.(slot)
+  done;
+  !acc
 
-let mem t id = Hashtbl.mem t.jobs id
+let mem t id = Flat_str_map.mem t.dir id
 
 let find t id =
-  match Hashtbl.find_opt t.jobs id with
-  | None -> None
-  | Some j -> Some (j.size, j.proc)
+  let slot = Flat_str_map.find t.dir id in
+  if slot < 0 then None else Some (t.job_size.(slot), t.job_proc.(slot))
 
 let set_load t p l =
   t.load.(p) <- l;
   Indexed_heap.set t.min_heap p l;
   Indexed_heap.set t.max_heap p (-l)
+
+(* ----- flat heaps of slots, ordered (size desc, seq asc) ----- *)
+
+(* [a] extracts before [b]: strictly larger, or same size and earlier
+   arrival — exactly the order the batch GREEDY consumes. *)
+let slot_before t a b =
+  let sa = t.job_size.(a) and sb = t.job_size.(b) in
+  sa > sb || (sa = sb && t.job_seq.(a) < t.job_seq.(b))
+
+let rec jsift_up t heap pos i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let si = heap.(i) and sp = heap.(parent) in
+    if slot_before t si sp then begin
+      heap.(i) <- sp;
+      heap.(parent) <- si;
+      pos.(sp) <- i;
+      pos.(si) <- parent;
+      jsift_up t heap pos parent
+    end
+  end
+
+let rec jsift_down t heap pos len i =
+  let l = (2 * i) + 1 in
+  if l < len then begin
+    let r = l + 1 in
+    let best = if r < len && slot_before t heap.(r) heap.(l) then r else l in
+    if slot_before t heap.(best) heap.(i) then begin
+      let sb = heap.(best) and si = heap.(i) in
+      heap.(i) <- sb;
+      heap.(best) <- si;
+      pos.(sb) <- i;
+      pos.(si) <- best;
+      jsift_down t heap pos len best
+    end
+  end
+
+let pheap_push t p slot =
+  let n = t.plen.(p) in
+  (if n >= Array.length t.pheap.(p) then begin
+     let bigger = Array.make (2 * Array.length t.pheap.(p)) 0 in
+     Array.blit t.pheap.(p) 0 bigger 0 n;
+     t.pheap.(p) <- bigger
+   end);
+  let h = t.pheap.(p) in
+  h.(n) <- slot;
+  t.job_hpos.(slot) <- n;
+  t.plen.(p) <- n + 1;
+  jsift_up t h t.job_hpos n
+
+(* Standard last-element replacement (same pattern as
+   [Indexed_heap.remove]): the replacement sifts up or down, and the one
+   that doesn't apply is a no-op. *)
+let pheap_remove t p slot =
+  let h = t.pheap.(p) in
+  let i = t.job_hpos.(slot) in
+  let last = t.plen.(p) - 1 in
+  t.plen.(p) <- last;
+  if i < last then begin
+    let moved = h.(last) in
+    h.(i) <- moved;
+    t.job_hpos.(moved) <- i;
+    jsift_up t h t.job_hpos i;
+    jsift_down t h t.job_hpos last i
+  end
+
+(* After a resize only one direction can be violated: a grown job
+   extracts earlier (sift up), a shrunk one later (sift down). *)
+let pheap_reorder t p slot ~up =
+  let h = t.pheap.(p) in
+  if up then jsift_up t h t.job_hpos t.job_hpos.(slot)
+  else jsift_down t h t.job_hpos t.plen.(p) t.job_hpos.(slot)
+
+let gheap_push t slot =
+  let n = t.glen in
+  t.gheap.(n) <- slot;
+  t.job_gpos.(slot) <- n;
+  t.glen <- n + 1;
+  jsift_up t t.gheap t.job_gpos n
+
+let gheap_remove t slot =
+  let i = t.job_gpos.(slot) in
+  let last = t.glen - 1 in
+  t.glen <- last;
+  if i < last then begin
+    let moved = t.gheap.(last) in
+    t.gheap.(i) <- moved;
+    t.job_gpos.(moved) <- i;
+    jsift_up t t.gheap t.job_gpos i;
+    jsift_down t t.gheap t.job_gpos last i
+  end
+
+let gheap_reorder t slot ~up =
+  if up then jsift_up t t.gheap t.job_gpos t.job_gpos.(slot)
+  else jsift_down t t.gheap t.job_gpos t.glen t.job_gpos.(slot)
+
+(* ----- slot allocation ----- *)
+
+let grow_slots_to t cap =
+  if cap > t.cap then begin
+    let exts = Array.make cap no_id in
+    Array.blit t.job_ext 0 exts 0 t.cap;
+    t.job_ext <- exts;
+    let grown a =
+      let b = Array.make cap 0 in
+      Array.blit a 0 b 0 t.cap;
+      b
+    in
+    t.job_size <- grown t.job_size;
+    t.job_seq <- grown t.job_seq;
+    let procs = Array.make cap (-1) in
+    Array.blit t.job_proc 0 procs 0 t.cap;
+    t.job_proc <- procs;
+    t.job_hpos <- grown t.job_hpos;
+    t.job_gpos <- grown t.job_gpos;
+    t.free <- grown t.free;
+    t.gheap <- grown t.gheap;
+    t.scr_slot <- Array.make cap 0;
+    t.scr_src <- Array.make cap 0;
+    t.scr_before <- Array.make cap 0;
+    t.scr_ord <- Array.make cap 0;
+    t.cap <- cap
+  end
+
+let alloc_slot t =
+  if t.free_len > 0 then begin
+    t.free_len <- t.free_len - 1;
+    t.free.(t.free_len)
+  end
+  else begin
+    if t.hw >= t.cap then grow_slots_to t (2 * t.cap);
+    let slot = t.hw in
+    t.hw <- t.hw + 1;
+    slot
+  end
+
+let rec pow2_above k n = if k >= n then k else pow2_above (k * 2) n
+
+(* Pre-size every structure for [jobs] live jobs so that no later
+   operation allocates even in the worst placement skew (all jobs on one
+   processor). Latency-sensitive callers and the allocation benchmark
+   use this to take growth out of the measured window. *)
+let reserve t ~jobs =
+  if jobs < 0 then invalid_arg "Engine.reserve: negative job count";
+  grow_slots_to t (pow2_above initial_cap jobs);
+  Flat_str_map.reserve t.dir jobs;
+  for p = 0 to t.m - 1 do
+    if Array.length t.pheap.(p) < jobs then begin
+      let bigger = Array.make (max jobs 8) 0 in
+      Array.blit t.pheap.(p) 0 bigger 0 t.plen.(p);
+      t.pheap.(p) <- bigger
+    end
+  done
 
 (* ----- the bounded-move repair pass ----- *)
 
@@ -326,57 +523,86 @@ let repair ~auto t ~k =
     | None -> None
     | Some sink -> Some (sink, makespan t, imbalance t)
   in
+  let journaling = match decision with None -> false | Some _ -> true in
   (* Removal phase = GREEDY step 1 on the live state: k times, take the
      largest job off the most-loaded processor (ties: smaller index).
      Each lift records where the job came from and the source load
      before/after — the "why this job" half of the provenance. *)
-  let removed = ref [] in
+  let lifted = ref 0 in
+  let limit = min k t.live in
   (try
-     for _ = 1 to min k (Hashtbl.length t.jobs) do
-       let p, neg = Indexed_heap.min_exn t.max_heap in
-       if neg = 0 then raise Exit;
-       let ((size, seq) as elt) = Job_set.max_elt t.per_proc.(p) in
-       t.per_proc.(p) <- Job_set.remove elt t.per_proc.(p);
+     while !lifted < limit do
+       let p = Indexed_heap.min_key_exn t.max_heap in
+       if t.load.(p) = 0 then raise Exit;
+       let slot = t.pheap.(p).(0) in
+       let size = t.job_size.(slot) in
+       pheap_remove t p slot;
        let src_before = t.load.(p) in
        set_load t p (src_before - size);
-       removed := (seq, size, p, src_before) :: !removed
+       t.scr_slot.(!lifted) <- slot;
+       t.scr_src.(!lifted) <- p;
+       t.scr_before.(!lifted) <- src_before;
+       t.scr_ord.(!lifted) <- !lifted;
+       incr lifted
      done
    with Exit -> ());
-  let lifted = List.length !removed in
-  (* Reinsertion phase = GREEDY step 2: descending size (stable in
-     removal order) onto the least-loaded processor. *)
-  let removed =
-    List.stable_sort
-      (fun (_, s1, _, _) (_, s2, _, _) -> compare s2 s1)
-      (List.rev !removed)
-  in
+  let lifted = !lifted in
+  (* Reinsertion phase = GREEDY step 2: descending size, stable in
+     removal order, onto the least-loaded processor. The (size desc,
+     removal-order asc) key is a total order, so this in-place insertion
+     sort yields exactly the permutation the old stable sort did. *)
+  for i = 1 to lifted - 1 do
+    let slot = t.scr_slot.(i)
+    and src = t.scr_src.(i)
+    and before = t.scr_before.(i)
+    and ord = t.scr_ord.(i) in
+    let size = t.job_size.(slot) in
+    let j = ref (i - 1) in
+    while
+      !j >= 0
+      &&
+      let sj = t.job_size.(t.scr_slot.(!j)) in
+      sj < size || (sj = size && t.scr_ord.(!j) > ord)
+    do
+      t.scr_slot.(!j + 1) <- t.scr_slot.(!j);
+      t.scr_src.(!j + 1) <- t.scr_src.(!j);
+      t.scr_before.(!j + 1) <- t.scr_before.(!j);
+      t.scr_ord.(!j + 1) <- t.scr_ord.(!j);
+      decr j
+    done;
+    t.scr_slot.(!j + 1) <- slot;
+    t.scr_src.(!j + 1) <- src;
+    t.scr_before.(!j + 1) <- before;
+    t.scr_ord.(!j + 1) <- ord
+  done;
   let moves = ref [] in
   let provenance = ref [] in
-  List.iter
-    (fun (seq, size, src, src_before) ->
-      let job = Hashtbl.find t.by_seq seq in
-      let p, l = Indexed_heap.min_exn t.min_heap in
-      t.per_proc.(p) <- Job_set.add (size, seq) t.per_proc.(p);
-      set_load t p (l + size);
-      if p <> job.proc then begin
-        moves := { id = job.ext; src = job.proc; dst = p } :: !moves;
-        if decision <> None then
-          provenance :=
-            Journal.Obj
-              [
-                ("id", Journal.Str job.ext);
-                ("size", Journal.Int size);
-                ("src", Journal.Int src);
-                ("dst", Journal.Int p);
-                ("src_load_before", Journal.Int src_before);
-                ("src_load_after", Journal.Int (src_before - size));
-                ("dst_load_before", Journal.Int l);
-                ("dst_load_after", Journal.Int (l + size));
-              ]
-            :: !provenance;
-        job.proc <- p
-      end)
-    removed;
+  for i = 0 to lifted - 1 do
+    let slot = t.scr_slot.(i) in
+    let size = t.job_size.(slot) in
+    let p = Indexed_heap.min_key_exn t.min_heap in
+    let l = t.load.(p) in
+    pheap_push t p slot;
+    set_load t p (l + size);
+    if p <> t.job_proc.(slot) then begin
+      moves := { id = t.job_ext.(slot); src = t.job_proc.(slot); dst = p } :: !moves;
+      if journaling then
+        provenance :=
+          Journal.Obj
+            [
+              ("id", Journal.Str t.job_ext.(slot));
+              ("size", Journal.Int size);
+              ("src", Journal.Int t.scr_src.(i));
+              ("dst", Journal.Int p);
+              ("src_load_before", Journal.Int t.scr_before.(i));
+              ("src_load_after", Journal.Int (t.scr_before.(i) - size));
+              ("dst_load_before", Journal.Int l);
+              ("dst_load_after", Journal.Int (l + size));
+            ]
+          :: !provenance;
+      t.job_proc.(slot) <- p
+    end
+  done;
   let moves = List.rev !moves in
   let n_moves = List.length moves in
   t.c.rebalances <- t.c.rebalances + 1;
@@ -436,99 +662,206 @@ let after_event t =
         ]);
     timed t.obs.lat_rebalance (fun () -> repair ~auto:true t ~k)
 
-(* ----- single-event updates, all O(log m) ----- *)
+(* ----- single-event kernels, all O(log m) and allocation-free -----
+
+   The kernels assume validated input (positive size, presence checked
+   by the caller), mutate the flat state, bump counters and journal;
+   the public wrappers and [apply_bulk] share them, so a batch leaves
+   state, stats and journal bytes identical to one-by-one application. *)
+
+let add_slot t id size =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let p = Indexed_heap.min_key_exn t.min_heap in
+  let l = t.load.(p) in
+  let slot = alloc_slot t in
+  t.job_ext.(slot) <- id;
+  t.job_size.(slot) <- size;
+  t.job_seq.(slot) <- seq;
+  t.job_proc.(slot) <- p;
+  Flat_str_map.set t.dir id slot;
+  pheap_push t p slot;
+  gheap_push t slot;
+  set_load t p (l + size);
+  t.total_size <- t.total_size + size;
+  t.live <- t.live + 1;
+  t.c.adds <- t.c.adds + 1;
+  (match t.journal with
+  | None -> ()
+  | Some sink ->
+    (* Streamed: same bytes as [Journal.emit], no field-list alloc. *)
+    Journal.Emit.start sink ~kind:"add" ~fields:5;
+    Journal.Emit.str sink "id" id;
+    Journal.Emit.int sink "size" size;
+    Journal.Emit.int sink "proc" p;
+    Journal.Emit.int sink "load_after" t.load.(p);
+    Journal.Emit.int sink "makespan" (makespan t);
+    Journal.Emit.finish sink);
+  p
+
+let remove_slot t slot =
+  let id = t.job_ext.(slot) in
+  let size = t.job_size.(slot) in
+  let p = t.job_proc.(slot) in
+  pheap_remove t p slot;
+  gheap_remove t slot;
+  set_load t p (t.load.(p) - size);
+  t.total_size <- t.total_size - size;
+  Flat_str_map.remove t.dir id;
+  t.job_proc.(slot) <- -1;
+  t.job_ext.(slot) <- no_id;
+  t.free.(t.free_len) <- slot;
+  t.free_len <- t.free_len + 1;
+  t.live <- t.live - 1;
+  t.c.removes <- t.c.removes + 1;
+  (match t.journal with
+  | None -> ()
+  | Some sink ->
+    Journal.Emit.start sink ~kind:"remove" ~fields:5;
+    Journal.Emit.str sink "id" id;
+    Journal.Emit.int sink "size" size;
+    Journal.Emit.int sink "proc" p;
+    Journal.Emit.int sink "load_after" t.load.(p);
+    Journal.Emit.int sink "makespan" (makespan t);
+    Journal.Emit.finish sink);
+  p
+
+let resize_slot t slot size =
+  let p = t.job_proc.(slot) in
+  let old_size = t.job_size.(slot) in
+  t.job_size.(slot) <- size;
+  pheap_reorder t p slot ~up:(size > old_size);
+  gheap_reorder t slot ~up:(size > old_size);
+  set_load t p (t.load.(p) - old_size + size);
+  t.total_size <- t.total_size - old_size + size;
+  t.c.resizes <- t.c.resizes + 1;
+  (match t.journal with
+  | None -> ()
+  | Some sink ->
+    Journal.Emit.start sink ~kind:"resize" ~fields:6;
+    Journal.Emit.str sink "id" t.job_ext.(slot);
+    Journal.Emit.int sink "size" size;
+    Journal.Emit.int sink "old_size" old_size;
+    Journal.Emit.int sink "proc" p;
+    Journal.Emit.int sink "load_after" t.load.(p);
+    Journal.Emit.int sink "makespan" (makespan t);
+    Journal.Emit.finish sink);
+  p
+
+(* ----- public single-event updates ----- *)
 
 let add_job t ~id ~size =
   timed t.obs.lat_add @@ fun () ->
   if size <= 0 then Error (Printf.sprintf "job %s: size must be positive" id)
-  else if Hashtbl.mem t.jobs id then Error (Printf.sprintf "job %s already present" id)
+  else if Flat_str_map.mem t.dir id then
+    Error (Printf.sprintf "job %s already present" id)
   else begin
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    let p, l = Indexed_heap.min_exn t.min_heap in
-    let job = { ext = id; seq; size; proc = p } in
-    Hashtbl.replace t.jobs id job;
-    Hashtbl.replace t.by_seq seq job;
-    t.per_proc.(p) <- Job_set.add (size, seq) t.per_proc.(p);
-    t.size_set <- Job_set.add (size, seq) t.size_set;
-    set_load t p (l + size);
-    t.total_size <- t.total_size + size;
-    t.c.adds <- t.c.adds + 1;
-    (match t.journal with
-    | None -> ()
-    | Some sink ->
-      Journal.emit sink ~kind:"add"
-        [
-          ("id", Journal.Str id);
-          ("size", Journal.Int size);
-          ("proc", Journal.Int p);
-          ("load_after", Journal.Int t.load.(p));
-          ("makespan", Journal.Int (makespan t));
-        ]);
+    let p = add_slot t id size in
     Ok (p, after_event t)
   end
 
 let remove_job t ~id =
   timed t.obs.lat_remove @@ fun () ->
-  match Hashtbl.find_opt t.jobs id with
-  | None -> Error (Printf.sprintf "job %s not found" id)
-  | Some job ->
-    let p = job.proc in
-    t.per_proc.(p) <- Job_set.remove (job.size, job.seq) t.per_proc.(p);
-    t.size_set <- Job_set.remove (job.size, job.seq) t.size_set;
-    set_load t p (t.load.(p) - job.size);
-    t.total_size <- t.total_size - job.size;
-    Hashtbl.remove t.jobs id;
-    Hashtbl.remove t.by_seq job.seq;
-    t.c.removes <- t.c.removes + 1;
-    (match t.journal with
-    | None -> ()
-    | Some sink ->
-      Journal.emit sink ~kind:"remove"
-        [
-          ("id", Journal.Str id);
-          ("size", Journal.Int job.size);
-          ("proc", Journal.Int p);
-          ("load_after", Journal.Int t.load.(p));
-          ("makespan", Journal.Int (makespan t));
-        ]);
+  let slot = Flat_str_map.find t.dir id in
+  if slot < 0 then Error (Printf.sprintf "job %s not found" id)
+  else begin
+    let p = remove_slot t slot in
     Ok (p, after_event t)
+  end
 
 let resize_job t ~id ~size =
   timed t.obs.lat_resize @@ fun () ->
   if size <= 0 then Error (Printf.sprintf "job %s: size must be positive" id)
-  else
-    match Hashtbl.find_opt t.jobs id with
-    | None -> Error (Printf.sprintf "job %s not found" id)
-    | Some job ->
-      let p = job.proc in
-      t.per_proc.(p) <-
-        Job_set.add (size, job.seq) (Job_set.remove (job.size, job.seq) t.per_proc.(p));
-      t.size_set <- Job_set.add (size, job.seq) (Job_set.remove (job.size, job.seq) t.size_set);
-      set_load t p (t.load.(p) - job.size + size);
-      t.total_size <- t.total_size - job.size + size;
-      let old_size = job.size in
-      job.size <- size;
-      t.c.resizes <- t.c.resizes + 1;
-      (match t.journal with
-      | None -> ()
-      | Some sink ->
-        Journal.emit sink ~kind:"resize"
-          [
-            ("id", Journal.Str id);
-            ("size", Journal.Int size);
-            ("old_size", Journal.Int old_size);
-            ("proc", Journal.Int p);
-            ("load_after", Journal.Int t.load.(p));
-            ("makespan", Journal.Int (makespan t));
-          ]);
+  else begin
+    let slot = Flat_str_map.find t.dir id in
+    if slot < 0 then Error (Printf.sprintf "job %s not found" id)
+    else begin
+      let p = resize_slot t slot size in
       Ok (p, after_event t)
+    end
+  end
+
+(* ----- batched application ----- *)
+
+let apply_op t op =
+  match op with
+  | Add { id; size } ->
+    if size <= 0 then Error (Printf.sprintf "job %s: size must be positive" id)
+    else if Flat_str_map.mem t.dir id then
+      Error (Printf.sprintf "job %s already present" id)
+    else begin
+      let p = add_slot t id size in
+      Ok (p, after_event t)
+    end
+  | Remove { id } ->
+    let slot = Flat_str_map.find t.dir id in
+    if slot < 0 then Error (Printf.sprintf "job %s not found" id)
+    else begin
+      let p = remove_slot t slot in
+      Ok (p, after_event t)
+    end
+  | Resize { id; size } ->
+    if size <= 0 then Error (Printf.sprintf "job %s: size must be positive" id)
+    else begin
+      let slot = Flat_str_map.find t.dir id in
+      if slot < 0 then Error (Printf.sprintf "job %s not found" id)
+      else begin
+        let p = resize_slot t slot size in
+        Ok (p, after_event t)
+      end
+    end
+
+(* The two loops differ only in whether per-op results are materialized:
+   without a consumer, building [Ok (p, moves)] per op would be the one
+   remaining steady-state allocation. Invalid ops change no state in
+   either path (exactly like their one-by-one counterparts), so silently
+   skipping them in the quiet loop is state-identical. *)
+let apply_bulk_loop t on_result ops =
+  match on_result with
+  | None ->
+    for i = 0 to Array.length ops - 1 do
+      match ops.(i) with
+      | Add { id; size } ->
+        if size > 0 && Flat_str_map.find t.dir id < 0 then begin
+          let _p : int = add_slot t id size in
+          ignore (after_event t)
+        end
+      | Remove { id } ->
+        let slot = Flat_str_map.find t.dir id in
+        if slot >= 0 then begin
+          let _p : int = remove_slot t slot in
+          ignore (after_event t)
+        end
+      | Resize { id; size } ->
+        if size > 0 then begin
+          let slot = Flat_str_map.find t.dir id in
+          if slot >= 0 then begin
+            let _p : int = resize_slot t slot size in
+            ignore (after_event t)
+          end
+        end
+    done
+  | Some f ->
+    for i = 0 to Array.length ops - 1 do
+      f i ops.(i) (apply_op t ops.(i))
+    done
+
+let apply_bulk t ?on_result ops =
+  match t.journal with
+  | None -> apply_bulk_loop t on_result ops
+  | Some sink ->
+    (* One sink write for the whole batch; the bytes are identical to
+       per-op writes, so replay and tail see the same journal. *)
+    Journal.begin_batch sink;
+    Fun.protect
+      ~finally:(fun () -> Journal.end_batch sink)
+      (fun () -> apply_bulk_loop t on_result ops)
 
 (* ----- snapshots and the consistency-with-batch invariant ----- *)
 
 let stats t =
   {
-    jobs = Hashtbl.length t.jobs;
+    jobs = t.live;
     procs = t.m;
     makespan = makespan t;
     total_size = t.total_size;
@@ -546,42 +879,58 @@ let stats t =
     consistency_failures = t.c.consistency_failures;
   }
 
+let live_slots t =
+  let slots = ref [] in
+  for slot = t.hw - 1 downto 0 do
+    if t.job_proc.(slot) >= 0 then slots := slot :: !slots
+  done;
+  !slots
+
 let to_instance t =
-  let jobs = Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs [] in
-  let jobs = List.sort (fun a b -> compare a.ext b.ext) jobs in
-  let ids = Array.of_list (List.map (fun j -> j.ext) jobs) in
-  let sizes = Array.of_list (List.map (fun j -> j.size) jobs) in
-  let initial = Array.of_list (List.map (fun j -> j.proc) jobs) in
+  let slots =
+    List.sort
+      (fun a b -> compare t.job_ext.(a) t.job_ext.(b))
+      (live_slots t)
+  in
+  let ids = Array.of_list (List.map (fun s -> t.job_ext.(s)) slots) in
+  let sizes = Array.of_list (List.map (fun s -> t.job_size.(s)) slots) in
+  let initial = Array.of_list (List.map (fun s -> t.job_proc.(s)) slots) in
   (Instance.create ~sizes ~m:t.m initial, ids)
 
 let copy t =
-  let jobs = Hashtbl.create (max 64 (Hashtbl.length t.jobs)) in
-  let by_seq = Hashtbl.create (max 64 (Hashtbl.length t.jobs)) in
-  Hashtbl.iter
-    (fun id j ->
-      let j' = { j with size = j.size } in
-      Hashtbl.replace jobs id j';
-      Hashtbl.replace by_seq j'.seq j')
-    t.jobs;
+  let dir = Flat_str_map.create (max initial_cap t.live) in
+  for slot = 0 to t.hw - 1 do
+    if t.job_proc.(slot) >= 0 then Flat_str_map.set dir t.job_ext.(slot) slot
+  done;
   let min_heap = Indexed_heap.create t.m in
   let max_heap = Indexed_heap.create t.m in
   for p = 0 to t.m - 1 do
     Indexed_heap.set min_heap p t.load.(p);
     Indexed_heap.set max_heap p (-t.load.(p))
   done;
-  (* size_set and per_proc hold immutable sets, so sharing the values is
-     fine; only the containers are copied. The copy never journals: a
-     probe repair (check_consistency) writing into the original's journal
-     would record a rebalance that never happened to the live engine and
-     break replay. *)
+  (* The copy never journals: a probe repair (check_consistency) writing
+     into the original's journal would record a rebalance that never
+     happened to the live engine and break replay. *)
   {
     t with
-    jobs;
-    by_seq;
-    per_proc = Array.copy t.per_proc;
+    dir;
+    job_ext = Array.copy t.job_ext;
+    job_size = Array.copy t.job_size;
+    job_seq = Array.copy t.job_seq;
+    job_proc = Array.copy t.job_proc;
+    job_hpos = Array.copy t.job_hpos;
+    job_gpos = Array.copy t.job_gpos;
+    free = Array.copy t.free;
+    pheap = Array.map Array.copy t.pheap;
+    plen = Array.copy t.plen;
+    gheap = Array.copy t.gheap;
     load = Array.copy t.load;
     min_heap;
     max_heap;
+    scr_slot = Array.copy t.scr_slot;
+    scr_src = Array.copy t.scr_src;
+    scr_before = Array.copy t.scr_before;
+    scr_ord = Array.copy t.scr_ord;
     c = { t.c with events = t.c.events };
     journal = None;
   }
@@ -591,11 +940,12 @@ let copy t =
 let snapshot_version = 1
 
 let snapshot t =
-  let jobs = Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs [] in
   (* Canonical order: ascending sequence number. Job seqs are preserved
      so the (size, seq) repair tie-breaks — hence future move lists —
      survive the round trip bit-exactly. *)
-  let jobs = List.sort (fun a b -> compare a.seq b.seq) jobs in
+  let slots =
+    List.sort (fun a b -> compare t.job_seq.(a) t.job_seq.(b)) (live_slots t)
+  in
   Journal.Obj
     [
       ("snapshot", Journal.Str "rebal-engine");
@@ -607,15 +957,15 @@ let snapshot t =
       ( "jobs",
         Journal.List
           (List.map
-             (fun j ->
+             (fun s ->
                Journal.Obj
                  [
-                   ("id", Journal.Str j.ext);
-                   ("seq", Journal.Int j.seq);
-                   ("size", Journal.Int j.size);
-                   ("proc", Journal.Int j.proc);
+                   ("id", Journal.Str t.job_ext.(s));
+                   ("seq", Journal.Int t.job_seq.(s));
+                   ("size", Journal.Int t.job_size.(s));
+                   ("proc", Journal.Int t.job_proc.(s));
                  ])
-             jobs) );
+             slots) );
       ( "counters",
         Journal.Obj
           [
@@ -632,6 +982,21 @@ let snapshot t =
             ("consistency_failures", Journal.Int t.c.consistency_failures);
           ] );
     ]
+
+(* Place a job at an explicit (seq, proc) — snapshot restore, where the
+   recorded placement overrides greedy choice. *)
+let restore_slot t ~id ~seq ~size ~proc =
+  let slot = alloc_slot t in
+  t.job_ext.(slot) <- id;
+  t.job_size.(slot) <- size;
+  t.job_seq.(slot) <- seq;
+  t.job_proc.(slot) <- proc;
+  Flat_str_map.set t.dir id slot;
+  pheap_push t proc slot;
+  gheap_push t slot;
+  set_load t proc (t.load.(proc) + size);
+  t.total_size <- t.total_size + size;
+  t.live <- t.live + 1
 
 let of_snapshot ?trigger ?clock ?journal json =
   let ( let* ) = Result.bind in
@@ -669,6 +1034,7 @@ let of_snapshot ?trigger ?clock ?journal json =
   in
   let trigger = match trigger with Some t -> t | None -> recorded_trigger in
   let t = create ~trigger ?clock ?journal ~m () in
+  let seen_seq = Hashtbl.create 64 in
   let* () =
     List.fold_left
       (fun acc job ->
@@ -692,18 +1058,13 @@ let of_snapshot ?trigger ?clock ?journal json =
           Error (Printf.sprintf "snapshot job %s: processor %d out of range" id proc)
         else if seq < 0 || seq >= next_seq then
           Error (Printf.sprintf "snapshot job %s: seq %d out of range" id seq)
-        else if Hashtbl.mem t.jobs id then
+        else if Flat_str_map.mem t.dir id then
           Error (Printf.sprintf "snapshot job %s: duplicate id" id)
-        else if Hashtbl.mem t.by_seq seq then
+        else if Hashtbl.mem seen_seq seq then
           Error (Printf.sprintf "snapshot job %s: duplicate seq %d" id seq)
         else begin
-          let job = { ext = id; seq; size; proc } in
-          Hashtbl.replace t.jobs id job;
-          Hashtbl.replace t.by_seq seq job;
-          t.per_proc.(proc) <- Job_set.add (size, seq) t.per_proc.(proc);
-          t.size_set <- Job_set.add (size, seq) t.size_set;
-          set_load t proc (t.load.(proc) + size);
-          t.total_size <- t.total_size + size;
+          Hashtbl.replace seen_seq seq ();
+          restore_slot t ~id ~seq ~size ~proc;
           Ok ()
         end)
       (Ok ()) jobs

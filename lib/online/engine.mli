@@ -54,6 +54,14 @@ type move = {
   dst : int;
 }
 
+(** One mutating event, for {!apply_bulk}. Mirrors {!add_job},
+    {!remove_job} and {!resize_job} exactly — validation, counters,
+    trigger evaluation and journal events included. *)
+type op =
+  | Add of { id : string; size : int }
+  | Remove of { id : string }
+  | Resize of { id : string; size : int }
+
 type stats = {
   jobs : int;
   procs : int;
@@ -167,6 +175,35 @@ val resize_job : t -> id:string -> size:int -> (int * move list, string) result
     repair pass decides otherwise). Returns its processor, plus
     automatic-repair moves. [Error] if absent or the size is not
     positive. *)
+
+val apply_bulk :
+  t ->
+  ?on_result:(int -> op -> (int * move list, string) result -> unit) ->
+  op array ->
+  unit
+(** Apply a batch of events in order, amortizing dispatch and journal
+    flushing: the trigger policy is still evaluated after every single
+    event (so automatic repairs fire at exactly the points one-by-one
+    application would fire them), but the journal sink is written once
+    for the whole batch and per-op latency histograms are skipped.
+    State, stats and journal bytes are bit-identical to applying the
+    same ops through {!add_job} / {!remove_job} / {!resize_job}.
+
+    [on_result] receives the batch index, the op and its result
+    (including any auto-repair moves) as each op completes — protocol
+    sessions use it to format replies against the correct intermediate
+    state. Without it no per-op result is materialized, and a batch of
+    valid ops under a non-firing trigger with no journal attached runs
+    with zero minor-heap allocation (after {!reserve} or warm-up).
+    Invalid ops change no state; with no consumer they are skipped
+    silently. *)
+
+val reserve : t -> jobs:int -> unit
+(** Pre-size every internal structure for [jobs] live jobs (worst-case
+    skew included), so later operations never grow an array. Takes
+    warm-up allocation out of latency-sensitive windows; the allocation
+    benchmark (E24) calls this before measuring.
+    @raise Invalid_argument if [jobs < 0]. *)
 
 val rebalance : t -> k:int -> move list
 (** The bounded-move repair pass: remove (up to) the [k] largest jobs

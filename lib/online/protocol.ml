@@ -539,38 +539,121 @@ let verb_name = function
   | Quit -> "quit"
   | Shutdown -> "shutdown"
 
+let session_hist verb =
+  (* Interning the handle per call is deliberate — sessions are
+     systhreads sharing the control domain's registry, and
+     [Metrics.histogram] returns the existing handle on
+     re-registration. *)
+  Metrics.histogram
+    ~labels:[ ("verb", verb) ]
+    ~help:"Protocol op service time at the session boundary (seconds)"
+    "rebal_session_latency_seconds"
+
+(* The op boundary: every parsed command opens a trace (subject to
+   head sampling and tail capture) and lands one latency observation
+   in the session histogram. *)
+let run_command t cmd =
+  let verb = verb_name cmd in
+  let hist = session_hist verb in
+  let t0 = Timer.now_ns () in
+  let reply =
+    Optrace.with_op ~verb:(String.uppercase_ascii verb) (fun () -> execute t cmd)
+  in
+  Metrics.Histogram.observe_ns hist (Int64.sub (Timer.now_ns ()) t0);
+  reply
+
+let verdict_of = function
+  | Quit -> Close
+  | Shutdown -> Stop
+  | _ -> Continue
+
 let handle_line ?line:lineno t line =
   match parse line with
   | Error e ->
     let where = match lineno with None -> "" | Some n -> pf "line %d: " n in
     ([ "ERR " ^ where ^ e ], Continue)
   | Ok None -> ([], Continue)
-  | Ok (Some cmd) ->
-    let verdict =
-      match cmd with
-      | Quit -> Close
-      | Shutdown -> Stop
-      | _ -> Continue
+  | Ok (Some cmd) -> (run_command t cmd, verdict_of cmd)
+
+(* ----- batched sessions ----- *)
+
+let command_op = function
+  | Add { id; size } -> Some (Engine.Add { id; size })
+  | Remove id -> Some (Engine.Remove { id })
+  | Resize { id; size } -> Some (Engine.Resize { id; size })
+  | _ -> None
+
+(* The reply for one batched mutation. [makespan t] is read inside the
+   batch's [on_result] callback: on a [Single] engine that fires after
+   each op and before the next, so the value is exactly the
+   intermediate makespan the one-by-one path reports; on a [Parallel]
+   cluster results surface when the op's chunk completes, so the value
+   reflects the chunk — indistinguishable from the interleavings
+   concurrent sessions already produce. *)
+let bulk_reply t op result =
+  match result with
+  | Error e -> [ "ERR " ^ e ]
+  | Ok (p, auto) ->
+    let verb, id =
+      match op with
+      | Engine.Add { id; _ } -> ("PLACED", id)
+      | Engine.Remove { id } -> ("REMOVED", id)
+      | Engine.Resize { id; _ } -> ("RESIZED", id)
     in
-    let verb = verb_name cmd in
-    (* The op boundary: every parsed command opens a trace (subject to
-       head sampling and tail capture) and lands one latency
-       observation in the session histogram. Interning the handle per
-       line is deliberate — sessions are systhreads sharing the control
-       domain's registry, and [Metrics.histogram] returns the existing
-       handle on re-registration. *)
-    let hist =
-      Metrics.histogram
-        ~labels:[ ("verb", verb) ]
-        ~help:"Protocol op service time at the session boundary (seconds)"
-        "rebal_session_latency_seconds"
-    in
-    let t0 = Timer.now_ns () in
-    let reply =
-      Optrace.with_op ~verb:(String.uppercase_ascii verb) (fun () -> execute t cmd)
-    in
-    Metrics.Histogram.observe_ns hist (Int64.sub (Timer.now_ns ()) t0);
-    (reply, verdict)
+    pf "%s %s %d makespan=%d" verb id p (makespan t) :: auto_lines t auto
+
+let handle_lines ?(start_line = 1) t lines =
+  let bulk_capable = match t with Single _ | Parallel _ -> true | _ -> false in
+  let out = ref [] in
+  let push ls = out := List.rev_append ls !out in
+  let pending = ref [] in
+  (* Apply the queued run of mutations. A run of one goes through
+     [run_command] — byte- and metric-identical to the unbatched path;
+     only a genuine pipeline (>= 2) pays the batch machinery, under one
+     BATCH span and one batch-verb latency observation. *)
+  let flush_pending () =
+    match List.rev !pending with
+    | [] -> ()
+    | [ cmd ] ->
+      pending := [];
+      push (run_command t cmd)
+    | cmds ->
+      pending := [];
+      let ops = Array.of_list (List.filter_map command_op cmds) in
+      let on_result _ op r = push (bulk_reply t op r) in
+      let hist = session_hist "batch" in
+      let t0 = Timer.now_ns () in
+      Optrace.with_op ~verb:"BATCH" (fun () ->
+          match t with
+          | Single e -> Engine.apply_bulk e ~on_result ops
+          | Parallel c -> Cluster.apply_bulk c ~on_result ops
+          | Cluster _ | Supervised _ -> assert false (* never queued *));
+      Metrics.Histogram.observe_ns hist (Int64.sub (Timer.now_ns ()) t0)
+  in
+  let verdict = ref Continue in
+  let rec go lineno = function
+    | [] -> flush_pending ()
+    | line :: rest -> begin
+      match parse line with
+      | Error e ->
+        flush_pending ();
+        push [ "ERR " ^ pf "line %d: " lineno ^ e ];
+        go (lineno + 1) rest
+      | Ok None -> go (lineno + 1) rest
+      | Ok (Some cmd) when bulk_capable && command_op cmd <> None ->
+        pending := cmd :: !pending;
+        go (lineno + 1) rest
+      | Ok (Some cmd) -> begin
+        flush_pending ();
+        push (run_command t cmd);
+        match verdict_of cmd with
+        | Continue -> go (lineno + 1) rest
+        | v -> verdict := v (* drop anything pipelined after QUIT/SHUTDOWN *)
+      end
+    end
+  in
+  go start_line lines;
+  (List.rev !out, !verdict)
 
 let greeting = function
   | Single e ->

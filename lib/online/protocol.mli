@@ -108,6 +108,21 @@ val handle_line : ?line:int -> target -> string -> string list * verdict
     [rebal_session_latency_seconds{verb=...}] histogram of the calling
     thread's current registry. *)
 
+val handle_lines : ?start_line:int -> target -> string list -> string list * verdict
+(** {!handle_line} over a pipeline of lines, coalescing runs of
+    consecutive mutating commands (ADD / REMOVE / RESIZE) into one
+    [Engine.apply_bulk] (a {!Single} target) or [Cluster.apply_bulk]
+    (a {!Parallel} target) call — one dispatch and one journal flush
+    per run instead of per line. Replies come back in line order and
+    are identical to the one-by-one path; a run of a single mutation
+    takes exactly the unbatched path (same per-verb latency series),
+    while a genuine pipeline runs under one [BATCH] span and one
+    [verb="batch"] latency observation. {!Cluster} and {!Supervised}
+    targets process every line individually. Processing stops at the
+    first [QUIT]/[SHUTDOWN]; the returned verdict is that command's.
+    [start_line] (default 1) numbers the first line for [ERR]
+    prefixes. *)
+
 val verb_name : command -> string
 (** Lowercase metric-label name of a command ([add], [traces], ...). *)
 

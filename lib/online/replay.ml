@@ -233,7 +233,8 @@ let run parsed = Result.map snd (run_engine parsed)
 let resume = run_engine
 
 let run_file path =
-  match Journal.parse_file path with
+  (* Auto-detect: replay verifies binary journals just like JSONL. *)
+  match Journal.load_file path with
   | Error msg -> Error msg
   | Ok parsed -> run parsed
 
